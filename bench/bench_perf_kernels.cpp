@@ -1,0 +1,104 @@
+// google-benchmark microbenchmarks of the analysis kernels, so downstream
+// users know the cost of running the study over much larger logs than
+// Tsubame's (multi-year exascale logs reach millions of records).
+#include <benchmark/benchmark.h>
+
+#include "analysis/study.h"
+#include "data/log_io.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+#include "stats/ecdf.h"
+#include "stats/fit.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tsufail;
+
+std::vector<double> random_sample(std::size_t n) {
+  Rng rng(42);
+  std::vector<double> sample(n);
+  for (auto& x : sample) x = rng.lognormal(3.0, 1.2);
+  return sample;
+}
+
+void BM_EcdfBuild(benchmark::State& state) {
+  const auto sample = random_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ecdf = stats::Ecdf::create(sample);
+    benchmark::DoNotOptimize(ecdf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EcdfBuild)->Range(1 << 10, 1 << 20);
+
+void BM_QuantileSweep(benchmark::State& state) {
+  const auto sample = random_sample(static_cast<std::size_t>(state.range(0)));
+  const auto ecdf = stats::Ecdf::create(sample).value();
+  for (auto _ : state) {
+    for (double q = 0.01; q < 1.0; q += 0.01) {
+      benchmark::DoNotOptimize(ecdf.quantile(q).value());
+    }
+  }
+}
+BENCHMARK(BM_QuantileSweep)->Range(1 << 10, 1 << 20);
+
+void BM_WeibullFit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> sample(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : sample) x = rng.weibull(0.9, 30.0);
+  for (auto _ : state) {
+    auto fit = stats::fit_weibull(sample);
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WeibullFit)->Range(1 << 10, 1 << 17);
+
+void BM_GenerateTsubame2Log(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto log = sim::generate_log(sim::tsubame2_model(), ++seed);
+    benchmark::DoNotOptimize(log);
+  }
+  state.SetItemsProcessed(state.iterations() * 897);
+}
+BENCHMARK(BM_GenerateTsubame2Log);
+
+void BM_FullStudy(benchmark::State& state) {
+  const auto log = sim::generate_log(sim::tsubame2_model(), 1).value();
+  for (auto _ : state) {
+    auto study = analysis::run_study(log);
+    benchmark::DoNotOptimize(study);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_FullStudy);
+
+void BM_CsvRoundTrip(benchmark::State& state) {
+  const auto log = sim::generate_log(sim::tsubame3_model(), 1).value();
+  for (auto _ : state) {
+    const std::string csv = data::write_log_csv(log);
+    auto parsed = data::read_log_csv(csv);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_CsvRoundTrip);
+
+void BM_ScaledSyntheticStudy(benchmark::State& state) {
+  // Study cost on logs far larger than Tsubame's (scaled synthetic fleet).
+  auto model = sim::tsubame3_model();
+  model.total_failures = static_cast<std::size_t>(state.range(0));
+  const auto log = sim::generate_log(model, 1).value();
+  for (auto _ : state) {
+    auto study = analysis::run_study(log);
+    benchmark::DoNotOptimize(study);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScaledSyntheticStudy)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

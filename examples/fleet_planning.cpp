@@ -1,0 +1,69 @@
+// fleet_planning: spare-parts provisioning and proactive-maintenance
+// policy evaluation, replayed against a failure log.
+//
+// The paper: long repairs "highlight the need for appropriate spare
+// provisioning of parts", and the non-uniform node failure distribution
+// suggests proactively servicing repeat-failure nodes.  This example
+// quantifies both against a calibrated Tsubame-3 log.
+//
+//   $ ./fleet_planning
+#include <cstdio>
+
+#include "ops/maintenance.h"
+#include "ops/spares.h"
+#include "report/table.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+using namespace tsufail;
+
+int main() {
+  const auto log = sim::generate_log(sim::tsubame3_model(), 13).value();
+  std::printf("fleet: %s, %zu failures over %.0f days\n\n", log.spec().name.c_str(), log.size(),
+              log.spec().window_hours() / 24.0);
+
+  // --- Spare provisioning -------------------------------------------------
+  std::printf("-- spare-pool sizing (2-week restock lead time, <= 5%% stockouts) --\n");
+  report::Table spares_table({"Part", "Demands", "Recommended spares", "Stockouts at rec.",
+                              "Stockouts with one fewer"});
+  spares_table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                              report::Align::kRight, report::Align::kRight});
+  const double lead = 24.0 * 14;
+  for (data::Category part : {data::Category::kGpu, data::Category::kDisk,
+                              data::Category::kMemory, data::Category::kPowerBoard}) {
+    auto recommended = ops::recommend_spares(log, part, 0.05, lead);
+    if (!recommended.ok()) continue;
+    const auto at = ops::simulate_spares(log, part, {recommended.value(), lead}).value();
+    std::string fewer = "-";
+    if (recommended.value() > 0) {
+      const auto below =
+          ops::simulate_spares(log, part, {recommended.value() - 1, lead}).value();
+      fewer = report::fmt_percent(100.0 * below.stockout_probability, 1);
+    }
+    spares_table.add_row({std::string(data::to_string(part)), std::to_string(at.demand_events),
+                          std::to_string(recommended.value()),
+                          report::fmt_percent(100.0 * at.stockout_probability, 1), fewer});
+  }
+  std::printf("%s\n", spares_table.render().c_str());
+
+  // --- Proactive maintenance ----------------------------------------------
+  std::printf("-- quarantine-after-k-failures policy replay (upper bound) --\n");
+  const auto sweep = ops::sweep_quarantine_policies(log, 6).value();
+  report::Table policy_table({"Threshold k", "Nodes serviced", "Failures avoided",
+                              "% of all failures", "Downtime avoided"});
+  policy_table.set_alignment({report::Align::kRight, report::Align::kRight, report::Align::kRight,
+                              report::Align::kRight, report::Align::kRight});
+  for (const auto& policy : sweep) {
+    policy_table.add_row({std::to_string(policy.threshold),
+                          std::to_string(policy.serviced_nodes),
+                          std::to_string(policy.avoided_failures),
+                          report::fmt_percent(policy.avoided_failure_percent, 1),
+                          report::fmt(policy.avoided_downtime_hours, 0) + " h"});
+  }
+  std::printf("%s", policy_table.render().c_str());
+  std::printf("\nreading: servicing a node after its 2nd failure would have avoided %.0f%%\n"
+              "of all failures on this fleet — the paper's 'non-uniform distribution'\n"
+              "observation turned into an operations lever.\n",
+              sweep[1].avoided_failure_percent);
+  return 0;
+}

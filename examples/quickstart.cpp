@@ -1,0 +1,74 @@
+// Quickstart: generate a calibrated synthetic Tsubame-3 failure log, save
+// it as CSV, load it back, and print the headline reliability numbers.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API:
+//   sim::generate_log      -> a FailureLog from a calibrated model
+//   data::write/read_log_* -> the CSV interchange format
+//   analysis::run_study    -> every analysis in the DSN'21 paper at once
+#include <cstdio>
+
+#include "analysis/study.h"
+#include "data/log_io.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+using namespace tsufail;
+
+int main() {
+  // 1. Generate a synthetic failure log calibrated to the paper's
+  //    Tsubame-3 statistics (338 failures over 2017-2020).
+  auto generated = sim::generate_log(sim::tsubame3_model(), /*seed=*/1);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n", generated.error().to_string().c_str());
+    return 1;
+  }
+
+  // 2. Round-trip through the CSV interchange format, as a downstream
+  //    user with real operator logs would start from.
+  const std::string path = "quickstart_tsubame3.csv";
+  if (auto written = data::write_log_file(path, generated.value()); !written.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", written.error().to_string().c_str());
+    return 1;
+  }
+  auto loaded = data::read_log_file(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", loaded.error().to_string().c_str());
+    return 1;
+  }
+  const data::FailureLog& log = loaded.value().log;
+  std::printf("loaded %zu failures from %s (%zu malformed rows skipped)\n\n", log.size(),
+              path.c_str(), loaded.value().row_errors.size());
+
+  // 3. Run the full study.
+  auto study = analysis::run_study(log);
+  if (!study.ok()) {
+    std::fprintf(stderr, "study failed: %s\n", study.error().to_string().c_str());
+    return 1;
+  }
+  const auto& s = study.value();
+
+  std::printf("machine: %s (%d nodes x %d GPUs)\n", log.spec().name.c_str(),
+              log.spec().node_count, log.spec().gpus_per_node);
+  std::printf("top failure categories:\n");
+  for (std::size_t i = 0; i < 3 && i < s.categories.categories.size(); ++i) {
+    const auto& share = s.categories.categories[i];
+    std::printf("  %-12s %4zu failures (%.2f%%)\n", data::to_string(share.category).data(),
+                share.count, share.percent);
+  }
+  if (s.tbf.has_value()) {
+    std::printf("MTBF: %.1f h (75%% of gaps under %.1f h)\n", s.tbf->exposure_mtbf_hours,
+                s.tbf->p75_hours);
+  }
+  std::printf("MTTR: %.1f h (median %.1f h)\n", s.ttr.mttr_hours, s.ttr.summary.median);
+  if (s.multi_gpu.has_value()) {
+    std::printf("multi-GPU failures: %.1f%% of attributed GPU failures\n",
+                s.multi_gpu->percent_multi);
+  }
+  std::printf("nodes with repeat failures: %.1f%% of failed nodes\n",
+              s.node_counts.percent_multi_failure);
+  std::printf("performance-error-proportionality: %.0f PFlop-hours per failure-free period\n",
+              s.perf_error_prop.pflop_hours_per_failure_free_period);
+  return 0;
+}

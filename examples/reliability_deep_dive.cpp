@@ -1,0 +1,82 @@
+// reliability_deep_dive: the extension analyses in one walkthrough —
+// everything the paper's data could also tell you beyond its figures:
+// censoring-aware node survival, MTBF uncertainty, lifetime trends, and
+// rack-level concentration.
+//
+//   $ ./reliability_deep_dive
+#include <cstdio>
+
+#include "analysis/node_survival.h"
+#include "analysis/rack_distribution.h"
+#include "analysis/rolling.h"
+#include "analysis/tbf.h"
+#include "report/table.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+using namespace tsufail;
+
+int main() {
+  const auto log = sim::generate_log(sim::tsubame3_model(), 23).value();
+  std::printf("== %s deep dive (%zu failures) ==\n\n", log.spec().name.c_str(), log.size());
+
+  // --- 1. MTBF with honest uncertainty -----------------------------------
+  const auto tbf = analysis::analyze_tbf(log).value();
+  const auto system_ci =
+      analysis::mtbf_confidence_interval(log.size(), log.spec().window_hours()).value();
+  std::printf("system MTBF: %.1f h  [95%% CI %.1f - %.1f h]\n", system_ci.mtbf_hours,
+              system_ci.low_hours, system_ci.high_hours);
+  const auto power_board = log.by_category(data::Category::kPowerBoard);
+  if (!power_board.empty()) {
+    const auto pb_ci = analysis::mtbf_confidence_interval(power_board.size(),
+                                                          log.spec().window_hours()).value();
+    std::printf("power-board MTBF: %.0f h  [95%% CI %.0f - %.0f h]  <- %zu events: huge band\n",
+                pb_ci.mtbf_hours, pb_ci.low_hours, pb_ci.high_hours, power_board.size());
+  }
+  std::printf("(headline MTBFs are single realizations; small categories carry\n"
+              " multi-x uncertainty that point estimates hide)\n\n");
+
+  // --- 2. Node survival: the lemon effect, tested -------------------------
+  const auto survival = analysis::analyze_node_survival(log).value();
+  std::printf("node survival: %.1f%% of nodes never failed inside the window\n",
+              100.0 * survival.fraction_never_failed);
+  if (survival.median_refailure_hours.has_value()) {
+    std::printf("median time from a node's 1st to 2nd failure: %.0f h\n",
+                *survival.median_refailure_hours);
+  }
+  if (survival.repeat_offender_test.has_value()) {
+    std::printf("log-rank repeat-offender test: chi2 %.1f, p %.3g -> %s\n\n",
+                survival.repeat_offender_test->statistic,
+                survival.repeat_offender_test->p_value,
+                survival.failed_nodes_refail_faster
+                    ? "failed nodes re-fail significantly faster (lemon effect)"
+                    : "no significant effect");
+  }
+
+  // --- 3. Lifetime trends ---------------------------------------------------
+  const auto trends = analysis::analyze_rolling_trends(log, 90.0, 45.0).value();
+  std::printf("lifetime trends (90-day windows): failure-rate slope p = %.3f, "
+              "early/late rate ratio %.2f, MTTR slope p = %.3f\n",
+              trends.rate_trend.slope_p_value, trends.early_late_rate_ratio,
+              trends.mttr_trend.slope_p_value);
+  std::printf("(the calibrated fleet is stationary; a real fleet's burn-in or wear-out\n"
+              " would surface here first)\n\n");
+
+  // --- 4. Rack concentration -------------------------------------------------
+  const auto racks = analysis::analyze_racks(log).value();
+  std::printf("rack view: %zu of %zu racks saw failures; Gini %.2f; %zu racks hold half\n",
+              racks.racks_with_failures, racks.total_racks, racks.gini,
+              racks.racks_holding_half);
+  report::Table table({"Rack", "Failures", "Failures/node"});
+  table.set_alignment({report::Align::kRight, report::Align::kRight, report::Align::kRight});
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, racks.racks.size()); ++i) {
+    table.add_row({std::to_string(racks.racks[i].rack),
+                   std::to_string(racks.racks[i].failures),
+                   report::fmt(racks.racks[i].per_node_rate, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nimplication: spares and on-call attention belong near the hot racks,\n"
+              "and the survival curves say WHICH nodes to service before they re-fail.\n");
+  (void)tbf;
+  return 0;
+}

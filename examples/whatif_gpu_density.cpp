@@ -1,0 +1,88 @@
+// whatif_gpu_density: a forward-looking study the paper motivates but
+// could not run — "the number of GPUs per node is likely to increase
+// [Summit, Sierra]".  We build hypothetical 6- and 8-GPU-per-node
+// machines from the calibrated Tsubame-3 model, scale the GPU failure
+// share with GPU count, and ask how node-level reliability changes under
+// two regimes: Tsubame-2-style correlated multi-GPU failures vs
+// Tsubame-3-style independent ones.
+//
+//   $ ./whatif_gpu_density
+#include <cstdio>
+
+#include "analysis/multi_gpu.h"
+#include "analysis/node_counts.h"
+#include "analysis/tbf.h"
+#include "report/table.h"
+#include "sim/generator.h"
+#include "sim/scaling.h"
+#include "sim/tsubame_models.h"
+
+using namespace tsufail;
+
+namespace {
+
+/// Builds a hypothetical dense-GPU machine from the Tsubame-3 preset via
+/// the library's scaling utilities.
+sim::MachineModel dense_machine(int gpus_per_node, bool correlated_failures) {
+  auto scaled = sim::scale_gpu_density(
+      sim::tsubame3_model(), gpus_per_node,
+      correlated_failures ? sim::InvolvementRegime::kCorrelated
+                          : sim::InvolvementRegime::kIndependent);
+  return std::move(scaled.value());
+}
+
+struct Row {
+  std::string name;
+  double mtbf = 0.0;
+  double gpu_mtbf = 0.0;
+  double multi_gpu_percent = 0.0;
+  double multi_failure_nodes = 0.0;
+};
+
+Row measure(const sim::MachineModel& model) {
+  Row row;
+  row.name = model.spec.name;
+  const int seeds = 5;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const auto log = sim::generate_log(model, seed).value();
+    row.mtbf += analysis::analyze_tbf(log).value().exposure_mtbf_hours / seeds;
+    row.gpu_mtbf += analysis::analyze_tbf_category(log, data::Category::kGpu)
+                        .value().exposure_mtbf_hours / seeds;
+    if (auto mg = analysis::analyze_multi_gpu(log); mg.ok())
+      row.multi_gpu_percent += mg.value().percent_multi / seeds;
+    row.multi_failure_nodes +=
+        analysis::analyze_node_counts(log).value().percent_multi_failure / seeds;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("what-if: scaling GPUs per node beyond Tsubame-3 (5-seed averages)\n\n");
+  std::vector<Row> rows;
+  rows.push_back(measure(sim::tsubame3_model()));
+  for (int gpus : {6, 8}) {
+    for (bool correlated : {false, true}) {
+      auto model = dense_machine(gpus, correlated);
+      model.spec.name += correlated ? " (correlated)" : " (independent)";
+      rows.push_back(measure(model));
+    }
+  }
+
+  report::Table table({"Machine", "System MTBF", "GPU MTBF", "multi-GPU failures",
+                       "multi-failure nodes"});
+  table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                       report::Align::kRight, report::Align::kRight});
+  for (const auto& row : rows) {
+    table.add_row({row.name, report::fmt(row.mtbf, 1) + " h", report::fmt(row.gpu_mtbf, 1) + " h",
+                   report::fmt_percent(row.multi_gpu_percent, 1),
+                   report::fmt_percent(row.multi_failure_nodes, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: denser nodes erode system MTBF through sheer GPU count, and if\n"
+              "multi-GPU correlation returns (Tsubame-2 regime), most GPU incidents take\n"
+              "out several cards at once — the paper's warning to operators of Summit-\n"
+              "class machines, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "analysis/category_breakdown.h"
+
+#include <algorithm>
+
+namespace tsufail::analysis {
+
+double CategoryBreakdown::percent_of(data::Category category) const noexcept {
+  for (const auto& share : categories) {
+    if (share.category == category) return share.percent;
+  }
+  return 0.0;
+}
+
+double CategoryBreakdown::percent_of(data::FailureClass cls) const noexcept {
+  for (const auto& share : classes) {
+    if (share.cls == cls) return share.percent;
+  }
+  return 0.0;
+}
+
+Result<CategoryBreakdown> analyze_categories(const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "analyze_categories: empty log");
+
+  CategoryBreakdown breakdown;
+  breakdown.total_failures = log.size();
+  const double total = static_cast<double>(log.size());
+
+  for (const auto& [category, count] : log.count_by_category()) {
+    breakdown.categories.push_back(
+        {category, count, 100.0 * static_cast<double>(count) / total});
+  }
+  std::stable_sort(breakdown.categories.begin(), breakdown.categories.end(),
+                   [](const CategoryShare& a, const CategoryShare& b) { return a.count > b.count; });
+
+  for (data::FailureClass cls : {data::FailureClass::kHardware, data::FailureClass::kSoftware,
+                                 data::FailureClass::kUnknown}) {
+    std::size_t count = 0;
+    for (const auto& record : log.records()) {
+      if (record.failure_class() == cls) ++count;
+    }
+    breakdown.classes.push_back({cls, count, 100.0 * static_cast<double>(count) / total});
+  }
+  return breakdown;
+}
+
+}  // namespace tsufail::analysis

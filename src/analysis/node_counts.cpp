@@ -1,0 +1,57 @@
+#include "analysis/node_counts.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace tsufail::analysis {
+
+double NodeCounts::percent_with(std::size_t k) const noexcept {
+  for (const auto& bucket : buckets) {
+    if (bucket.failures == k) return bucket.percent_of_failed;
+  }
+  return 0.0;
+}
+
+Result<NodeCounts> analyze_node_counts(const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "analyze_node_counts: empty log");
+
+  const auto per_node = log.count_by_node();
+
+  NodeCounts result;
+  result.failed_nodes = per_node.size();
+  result.total_nodes = static_cast<std::size_t>(log.spec().node_count);
+
+  std::map<std::size_t, std::size_t> histogram;  // failures -> node count
+  std::set<int> repeat_nodes;
+  for (const auto& [node, count] : per_node) {
+    ++histogram[count];
+    result.max_failures_on_one_node = std::max(result.max_failures_on_one_node, count);
+    if (count > 1) repeat_nodes.insert(node);
+  }
+
+  const double failed = static_cast<double>(result.failed_nodes);
+  for (const auto& [failures, nodes] : histogram) {
+    result.buckets.push_back({failures, nodes, 100.0 * static_cast<double>(nodes) / failed});
+  }
+  result.percent_single_failure = result.percent_with(1);
+  result.percent_multi_failure = 100.0 - result.percent_single_failure;
+
+  for (const auto& record : log.records()) {
+    if (!repeat_nodes.contains(record.node)) continue;
+    switch (record.failure_class()) {
+      case data::FailureClass::kHardware:
+        ++result.repeat_node_hardware_failures;
+        break;
+      case data::FailureClass::kSoftware:
+        ++result.repeat_node_software_failures;
+        break;
+      case data::FailureClass::kUnknown:
+        break;  // the paper's 352/1 and 104/95 split covers HW/SW only
+    }
+  }
+  return result;
+}
+
+}  // namespace tsufail::analysis

@@ -1,0 +1,63 @@
+#include "analysis/node_survival.h"
+
+#include <map>
+#include <vector>
+
+namespace tsufail::analysis {
+
+Result<NodeSurvival> analyze_node_survival(const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "analyze_node_survival: empty log");
+
+  const double window = log.spec().window_hours();
+
+  // First and second failure instants per node (records are time-sorted).
+  std::map<int, std::vector<double>> failure_hours;
+  for (const auto& record : log.records()) {
+    auto& hours = failure_hours[record.node];
+    if (hours.size() < 2) hours.push_back(hours_between(log.spec().log_start, record.time));
+  }
+
+  std::vector<stats::SurvivalObservation> first, refail;
+  first.reserve(static_cast<std::size_t>(log.spec().node_count));
+  for (int node = 0; node < log.spec().node_count; ++node) {
+    const auto it = failure_hours.find(node);
+    if (it == failure_hours.end()) {
+      first.push_back({window, /*event=*/false});  // never failed: censored
+      continue;
+    }
+    first.push_back({it->second[0], /*event=*/true});
+    if (it->second.size() >= 2) {
+      refail.push_back({it->second[1] - it->second[0], /*event=*/true});
+    } else {
+      refail.push_back({window - it->second[0], /*event=*/false});
+    }
+  }
+
+  NodeSurvival result;
+  auto first_curve = stats::SurvivalCurve::fit(first);
+  if (!first_curve.ok()) return first_curve.error().with_context("first-failure curve");
+  result.first_failure = std::move(first_curve.value());
+  result.fraction_never_failed =
+      static_cast<double>(result.first_failure.censored()) /
+      static_cast<double>(result.first_failure.observations());
+  if (auto median = result.first_failure.quantile(0.5); median.ok())
+    result.median_first_failure_hours = median.value();
+
+  auto refail_curve = stats::SurvivalCurve::fit(refail);
+  if (!refail_curve.ok()) return refail_curve.error().with_context("refailure curve");
+  result.refailure = std::move(refail_curve.value());
+  if (auto median = result.refailure.quantile(0.5); median.ok())
+    result.median_refailure_hours = median.value();
+
+  if (auto test = stats::log_rank_test(refail, first); test.ok()) {
+    result.repeat_offender_test = test.value();
+    // Group A is the refailure sample: more events than expected under a
+    // shared hazard means failed nodes re-fail faster.
+    result.failed_nodes_refail_faster =
+        test.value().observed_minus_expected_a > 0.0 && test.value().p_value < 0.05;
+  }
+  return result;
+}
+
+}  // namespace tsufail::analysis

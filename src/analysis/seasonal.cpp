@@ -1,0 +1,100 @@
+#include "analysis/seasonal.h"
+
+#include <algorithm>
+
+#include "stats/correlation.h"
+
+namespace tsufail::analysis {
+
+namespace {
+
+/// Days of each calendar month covered by [start, end): walks month
+/// boundaries exactly (partial months contribute fractional days).
+std::array<double, 12> month_exposure_days(TimePoint start, TimePoint end) {
+  std::array<double, 12> days{};
+  TimePoint cursor = start;
+  while (cursor < end) {
+    const CivilDateTime civil = cursor.to_civil();
+    CivilDateTime next{civil.year, civil.month, 1, 0, 0, 0};
+    if (++next.month > 12) {
+      next.month = 1;
+      ++next.year;
+    }
+    TimePoint month_end = TimePoint::from_civil(next);
+    if (month_end > end) month_end = end;
+    days[static_cast<std::size_t>(civil.month - 1)] += hours_between(cursor, month_end) / 24.0;
+    cursor = month_end;
+  }
+  return days;
+}
+
+}  // namespace
+
+Result<SeasonalAnalysis> analyze_seasonal(const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "analyze_seasonal: empty log");
+
+  std::array<std::vector<double>, 12> ttr_by_month;
+  for (const auto& record : log.records()) {
+    const int month = record.time.month();  // 1..12
+    ttr_by_month[static_cast<std::size_t>(month - 1)].push_back(record.ttr_hours);
+  }
+
+  SeasonalAnalysis result;
+  result.exposure_days = month_exposure_days(log.spec().log_start, log.spec().log_end);
+  std::vector<double> densities, medians;  // months with >= 1 failure
+  std::vector<double> first_half, second_half;
+  for (int month = 1; month <= 12; ++month) {
+    const auto idx = static_cast<std::size_t>(month - 1);
+    auto& slot = result.monthly[idx];
+    slot.month = month;
+    slot.failures = ttr_by_month[idx].size();
+    result.failure_counts[idx] = slot.failures;
+    if (result.exposure_days[idx] > 0.0) {
+      result.failures_per_day[idx] =
+          static_cast<double>(slot.failures) / result.exposure_days[idx];
+    }
+    if (!ttr_by_month[idx].empty()) {
+      slot.box = stats::box_stats(ttr_by_month[idx]).value();
+      densities.push_back(result.failures_per_day[idx]);
+      medians.push_back(slot.box->median);
+    }
+    auto& half = month <= 6 ? first_half : second_half;
+    half.insert(half.end(), ttr_by_month[idx].begin(), ttr_by_month[idx].end());
+  }
+
+  if (!first_half.empty())
+    result.first_half_median_ttr = stats::quantile(first_half, 0.5).value();
+  if (!second_half.empty())
+    result.second_half_median_ttr = stats::quantile(second_half, 0.5).value();
+
+  if (densities.size() >= 3) {
+    if (auto r = stats::pearson(densities, medians); r.ok())
+      result.pearson_density_ttr = r.value();
+    if (auto rho = stats::spearman(densities, medians); rho.ok())
+      result.spearman_density_ttr = rho.value();
+  }
+  return result;
+}
+
+Result<SeasonalAnalysis> analyze_seasonal_class(const data::FailureLog& log,
+                                                data::FailureClass cls) {
+  auto sub = log.sublog(log.by_class(cls));
+  if (!sub.ok()) return sub.error();
+  auto result = analyze_seasonal(sub.value());
+  if (!result.ok())
+    return result.error().with_context("class " + std::string(data::to_string(cls)));
+  return result;
+}
+
+Result<SeasonalAnalysis> analyze_seasonal_category(const data::FailureLog& log,
+                                                   data::Category category) {
+  auto sub = log.sublog(log.by_category(category));
+  if (!sub.ok()) return sub.error();
+  auto result = analyze_seasonal(sub.value());
+  if (!result.ok())
+    return result.error().with_context("category " + std::string(data::to_string(category)));
+  return result;
+}
+
+}  // namespace tsufail::analysis

@@ -1,0 +1,55 @@
+#include "analysis/study.h"
+
+namespace tsufail::analysis {
+
+Result<StudyReport> run_study(const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "run_study: empty log");
+
+  StudyReport report;
+
+  auto categories = analyze_categories(log);
+  if (!categories.ok()) return categories.error();
+  report.categories = std::move(categories.value());
+
+  if (auto loci = analyze_software_loci(log); loci.ok())
+    report.software_loci = std::move(loci.value());
+
+  auto nodes = analyze_node_counts(log);
+  if (!nodes.ok()) return nodes.error();
+  report.node_counts = std::move(nodes.value());
+
+  if (auto slots = analyze_gpu_slots(log); slots.ok())
+    report.gpu_slots = std::move(slots.value());
+
+  if (auto involvement = analyze_multi_gpu(log); involvement.ok())
+    report.multi_gpu = std::move(involvement.value());
+
+  if (auto tbf = analyze_tbf(log); tbf.ok())
+    report.tbf = std::move(tbf.value());
+
+  if (auto by_category = analyze_tbf_by_category(log); by_category.ok())
+    report.tbf_by_category = std::move(by_category.value());
+
+  if (auto clustering = analyze_multi_gpu_clustering(log); clustering.ok())
+    report.multi_gpu_clustering = std::move(clustering.value());
+
+  auto ttr = analyze_ttr(log);
+  if (!ttr.ok()) return ttr.error();
+  report.ttr = std::move(ttr.value());
+
+  if (auto by_category = analyze_ttr_by_category(log); by_category.ok())
+    report.ttr_by_category = std::move(by_category.value());
+
+  auto seasonal = analyze_seasonal(log);
+  if (!seasonal.ok()) return seasonal.error();
+  report.seasonal = std::move(seasonal.value());
+
+  auto perf = analyze_perf_error_prop(log);
+  if (!perf.ok()) return perf.error();
+  report.perf_error_prop = std::move(perf.value());
+
+  return report;
+}
+
+}  // namespace tsufail::analysis

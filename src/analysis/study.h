@@ -1,0 +1,44 @@
+// StudyReport: every analysis in the paper, computed in one call.
+//
+// This is the convenience entry point for downstream users ("run the
+// DSN'21 study on my log").  Analyses that are undefined for a given log
+// (e.g. multi-GPU clustering on a log with no multi-GPU failures) are
+// carried as std::optional and simply absent.
+#pragma once
+
+#include <optional>
+
+#include "analysis/category_breakdown.h"
+#include "analysis/gpu_slots.h"
+#include "analysis/multi_gpu.h"
+#include "analysis/node_counts.h"
+#include "analysis/perf_error_prop.h"
+#include "analysis/seasonal.h"
+#include "analysis/software_loci.h"
+#include "analysis/tbf.h"
+#include "analysis/temporal_cluster.h"
+#include "analysis/ttr.h"
+
+namespace tsufail::analysis {
+
+struct StudyReport {
+  CategoryBreakdown categories;                       // Fig 2
+  std::optional<SoftwareLoci> software_loci;          // Fig 3
+  NodeCounts node_counts;                             // Fig 4
+  std::optional<GpuSlotDistribution> gpu_slots;       // Fig 5
+  std::optional<MultiGpuInvolvement> multi_gpu;       // Table III
+  std::optional<TbfResult> tbf;                       // Fig 6
+  std::vector<CategoryTbf> tbf_by_category;           // Fig 7
+  std::optional<TemporalClustering> multi_gpu_clustering;  // Fig 8
+  TtrResult ttr;                                      // Fig 9
+  std::vector<CategoryTtr> ttr_by_category;           // Fig 10
+  SeasonalAnalysis seasonal;                          // Fig 11-12
+  PerfErrorProportionality perf_error_prop;           // RQ4 metric
+};
+
+/// Runs the full study on one log.  Errors only on conditions that make
+/// the whole study meaningless (empty log); per-analysis impossibilities
+/// yield absent optionals / empty vectors instead.
+Result<StudyReport> run_study(const data::FailureLog& log);
+
+}  // namespace tsufail::analysis

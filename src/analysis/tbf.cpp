@@ -1,0 +1,113 @@
+#include "analysis/tbf.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tsufail::analysis {
+namespace {
+
+/// Differences an ascending event-hour sequence into gaps.
+std::vector<double> gaps_of(const std::vector<double>& event_hours) {
+  std::vector<double> gaps;
+  if (event_hours.size() < 2) return gaps;
+  gaps.reserve(event_hours.size() - 1);
+  for (std::size_t i = 1; i < event_hours.size(); ++i)
+    gaps.push_back(event_hours[i] - event_hours[i - 1]);
+  return gaps;
+}
+
+Result<TbfResult> tbf_from_records(const data::MachineSpec& spec,
+                                   const std::vector<data::FailureRecord>& records) {
+  if (records.size() < 2)
+    return Error(ErrorKind::kDomain, "TBF needs at least 2 failures, have " +
+                                         std::to_string(records.size()));
+  std::vector<double> hours;
+  hours.reserve(records.size());
+  for (const auto& record : records) hours.push_back(hours_between(spec.log_start, record.time));
+  // FailureLog guarantees time order for whole logs; sub-streams inherit it,
+  // but sort defensively so the function is safe on caller-built vectors.
+  std::sort(hours.begin(), hours.end());
+
+  TbfResult result;
+  result.tbf_hours = gaps_of(hours);
+  result.mtbf_hours = stats::mean(result.tbf_hours);
+  result.exposure_mtbf_hours = spec.window_hours() / static_cast<double>(records.size());
+  auto summary = stats::summarize(result.tbf_hours);
+  if (!summary.ok()) return summary.error();
+  result.summary = summary.value();
+  result.p75_hours = result.summary.p75;
+
+  // Simultaneous failures produce zero gaps; family fitting requires
+  // positive support, so fit on the positive sub-sample.
+  std::vector<double> positive;
+  positive.reserve(result.tbf_hours.size());
+  for (double g : result.tbf_hours)
+    if (g > 0.0) positive.push_back(g);
+  if (positive.size() >= 8) {
+    if (auto family = stats::select_family(positive); family.ok())
+      result.best_family = family.value();
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<TbfResult> analyze_tbf(const data::FailureLog& log) {
+  return tbf_from_records(log.spec(),
+                          std::vector<data::FailureRecord>(log.records().begin(),
+                                                           log.records().end()));
+}
+
+Result<TbfResult> analyze_tbf_category(const data::FailureLog& log, data::Category category) {
+  auto result = tbf_from_records(log.spec(), log.by_category(category));
+  if (!result.ok())
+    return result.error().with_context("category " + std::string(data::to_string(category)));
+  return result;
+}
+
+Result<TbfResult> analyze_tbf_class(const data::FailureLog& log, data::FailureClass cls) {
+  auto result = tbf_from_records(log.spec(), log.by_class(cls));
+  if (!result.ok())
+    return result.error().with_context("class " + std::string(data::to_string(cls)));
+  return result;
+}
+
+Result<MtbfInterval> mtbf_confidence_interval(std::size_t failures, double window_hours,
+                                              double level) {
+  if (failures == 0)
+    return Error(ErrorKind::kDomain, "mtbf_confidence_interval: need at least one failure");
+  auto rate = stats::poisson_rate_interval(failures, window_hours, level);
+  if (!rate.ok()) return rate.error();
+  MtbfInterval interval;
+  interval.level = level;
+  interval.mtbf_hours = 1.0 / rate.value().rate;
+  // Rate and MTBF are reciprocal, so the bounds swap roles.
+  interval.low_hours = 1.0 / rate.value().high;
+  interval.high_hours = rate.value().low > 0.0 ? 1.0 / rate.value().low
+                                               : std::numeric_limits<double>::infinity();
+  return interval;
+}
+
+Result<std::vector<CategoryTbf>> analyze_tbf_by_category(const data::FailureLog& log,
+                                                         std::size_t min_failures) {
+  std::vector<CategoryTbf> rows;
+  for (data::Category category : data::categories_for(log.machine())) {
+    const auto records = log.by_category(category);
+    if (records.size() < std::max<std::size_t>(min_failures, 2)) continue;
+    auto tbf = tbf_from_records(log.spec(), records);
+    if (!tbf.ok()) continue;
+    auto box = stats::box_stats(tbf.value().tbf_hours);
+    if (!box.ok()) continue;
+    rows.push_back({category, records.size(), box.value(), tbf.value().mtbf_hours,
+                    tbf.value().exposure_mtbf_hours});
+  }
+  if (rows.empty())
+    return Error(ErrorKind::kDomain, "analyze_tbf_by_category: no category has enough failures");
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const CategoryTbf& a, const CategoryTbf& b) {
+                     return a.mtbf_hours < b.mtbf_hours;
+                   });
+  return rows;
+}
+
+}  // namespace tsufail::analysis

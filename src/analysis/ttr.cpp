@@ -1,0 +1,78 @@
+#include "analysis/ttr.h"
+
+#include <algorithm>
+
+namespace tsufail::analysis {
+namespace {
+
+Result<TtrResult> ttr_from_values(std::vector<double> values) {
+  if (values.empty())
+    return Error(ErrorKind::kDomain, "TTR analysis needs at least one failure");
+  TtrResult result;
+  result.ttr_hours = std::move(values);
+  result.mttr_hours = stats::mean(result.ttr_hours);
+  auto summary = stats::summarize(result.ttr_hours);
+  if (!summary.ok()) return summary.error();
+  result.summary = summary.value();
+
+  std::vector<double> positive;
+  positive.reserve(result.ttr_hours.size());
+  for (double v : result.ttr_hours)
+    if (v > 0.0) positive.push_back(v);
+  if (positive.size() >= 8) {
+    if (auto family = stats::select_family(positive); family.ok())
+      result.best_family = family.value();
+  }
+  return result;
+}
+
+std::vector<double> ttr_of(const std::vector<data::FailureRecord>& records) {
+  std::vector<double> values;
+  values.reserve(records.size());
+  for (const auto& record : records) values.push_back(record.ttr_hours);
+  return values;
+}
+
+}  // namespace
+
+Result<TtrResult> analyze_ttr(const data::FailureLog& log) {
+  return ttr_from_values(log.ttr_values());
+}
+
+Result<TtrResult> analyze_ttr_category(const data::FailureLog& log, data::Category category) {
+  auto result = ttr_from_values(ttr_of(log.by_category(category)));
+  if (!result.ok())
+    return result.error().with_context("category " + std::string(data::to_string(category)));
+  return result;
+}
+
+Result<TtrResult> analyze_ttr_class(const data::FailureLog& log, data::FailureClass cls) {
+  auto result = ttr_from_values(ttr_of(log.by_class(cls)));
+  if (!result.ok())
+    return result.error().with_context("class " + std::string(data::to_string(cls)));
+  return result;
+}
+
+Result<std::vector<CategoryTtr>> analyze_ttr_by_category(const data::FailureLog& log,
+                                                         std::size_t min_failures) {
+  std::vector<CategoryTtr> rows;
+  const double total = static_cast<double>(log.size());
+  for (data::Category category : data::categories_for(log.machine())) {
+    const auto records = log.by_category(category);
+    if (records.size() < std::max<std::size_t>(min_failures, 1)) continue;
+    const auto values = ttr_of(records);
+    auto box = stats::box_stats(values);
+    if (!box.ok()) continue;
+    rows.push_back({category, records.size(),
+                    100.0 * static_cast<double>(records.size()) / total, box.value(),
+                    stats::mean(values)});
+  }
+  if (rows.empty())
+    return Error(ErrorKind::kDomain, "analyze_ttr_by_category: no category has enough failures");
+  std::stable_sort(rows.begin(), rows.end(), [](const CategoryTtr& a, const CategoryTtr& b) {
+    return a.mttr_hours < b.mttr_hours;
+  });
+  return rows;
+}
+
+}  // namespace tsufail::analysis

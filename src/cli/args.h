@@ -1,0 +1,80 @@
+// Declarative command-line argument parsing for the tsufail tool.
+//
+// Deliberately small: long options only (--name value / --name=value /
+// boolean --flag), typed accessors with defaults, positional arguments,
+// and generated --help text.  No external dependency.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::cli {
+
+/// Option declaration.
+struct OptionSpec {
+  std::string name;         ///< long name without the leading "--"
+  std::string value_hint;   ///< e.g. "FILE"; empty = boolean flag
+  std::string help;
+  std::optional<std::string> default_value;  ///< shown in help; applied if absent
+};
+
+/// Positional-argument declaration.
+struct PositionalSpec {
+  std::string name;
+  std::string help;
+  bool required = true;
+};
+
+/// Parsed result: typed access to options and positionals.
+class ParsedArgs {
+ public:
+  bool has(const std::string& name) const noexcept { return values_.contains(name); }
+
+  /// String value (or declared default). Errors: option absent with no default.
+  Result<std::string> get(const std::string& name) const;
+
+  /// Integer value. Errors: absent without default, or not an integer.
+  Result<long long> get_int(const std::string& name) const;
+
+  /// Double value. Errors: absent without default, or not a number.
+  Result<double> get_double(const std::string& name) const;
+
+  /// True iff the boolean flag was given.
+  bool flag(const std::string& name) const noexcept { return has(name); }
+
+  const std::vector<std::string>& positionals() const noexcept { return positionals_; }
+
+ private:
+  friend class ArgParser;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+class ArgParser {
+ public:
+  ArgParser(std::string command, std::string description)
+      : command_(std::move(command)), description_(std::move(description)) {}
+
+  ArgParser& option(OptionSpec spec);
+  ArgParser& positional(PositionalSpec spec);
+
+  /// Parses argv (excluding the program/command tokens).
+  /// Errors: unknown option, missing value, missing required positional,
+  /// or excess positionals.
+  Result<ParsedArgs> parse(const std::vector<std::string>& args) const;
+
+  /// Usage text for --help.
+  std::string help() const;
+
+ private:
+  std::string command_;
+  std::string description_;
+  std::vector<OptionSpec> options_;
+  std::vector<PositionalSpec> positionals_;
+};
+
+}  // namespace tsufail::cli

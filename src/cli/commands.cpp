@@ -1,0 +1,709 @@
+#include "cli/commands.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "analysis/lead_lag.h"
+#include "analysis/node_survival.h"
+#include "analysis/rack_distribution.h"
+#include "analysis/rolling.h"
+#include "analysis/study.h"
+#include "data/legacy_import.h"
+#include "data/log_io.h"
+#include "ops/availability.h"
+#include "ops/capacity.h"
+#include "ops/checkpoint.h"
+#include "ops/maintenance.h"
+#include "ops/spares.h"
+#include "predict/evaluate.h"
+#include "report/figure_export.h"
+#include "report/markdown_report.h"
+#include "report/table.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+#include "stats/ecdf.h"
+
+namespace tsufail::cli {
+namespace {
+
+// --- shared helpers ---------------------------------------------------
+
+Result<data::FailureLog> load_log(const ParsedArgs& args, std::size_t position = 0) {
+  const std::string& path = args.positionals()[position];
+  const auto policy = args.flag("strict") ? data::ReadPolicy::kStrict : data::ReadPolicy::kLenient;
+  auto report = data::read_log_file(path, policy);
+  if (!report.ok()) return report.error();
+  return std::move(report.value().log);
+}
+
+Result<sim::MachineModel> resolve_model(const ParsedArgs& args) {
+  auto machine_name = args.get("machine");
+  if (!machine_name.ok()) return machine_name.error();
+  auto machine = data::parse_machine(machine_name.value());
+  if (!machine.ok()) return machine.error();
+  sim::MachineModel model = machine.value() == data::Machine::kTsubame2
+                                ? sim::tsubame2_model()
+                                : sim::tsubame3_model();
+  if (args.has("failures")) {
+    auto failures = args.get_int("failures");
+    if (!failures.ok()) return failures.error();
+    if (failures.value() <= 0)
+      return Error(ErrorKind::kDomain, "--failures must be positive");
+    model.total_failures = static_cast<std::size_t>(failures.value());
+  }
+  model.knobs.enable_bursts = !args.flag("no-bursts");
+  model.knobs.enable_node_heterogeneity = !args.flag("no-heterogeneity");
+  model.knobs.enable_slot_weights = !args.flag("no-slot-weights");
+  model.knobs.enable_seasonal = !args.flag("no-seasonal");
+  return model;
+}
+
+OptionSpec strict_option() {
+  return {"strict", "", "fail on the first malformed CSV row instead of skipping", {}};
+}
+
+// --- simulate -----------------------------------------------------------
+
+ArgParser make_simulate_parser() {
+  ArgParser parser("simulate", "Generate a calibrated synthetic failure log as CSV.");
+  parser.positional({"out.csv", "output path", true});
+  parser.option({"machine", "NAME", "tsubame-2 or tsubame-3", std::string("tsubame-3")});
+  parser.option({"seed", "N", "generator seed", std::string("1")});
+  parser.option({"failures", "N", "override the calibrated failure count", {}});
+  parser.option({"no-bursts", "", "disable temporal burst clustering", {}});
+  parser.option({"no-heterogeneity", "", "disable the lemon-node hazard mix", {}});
+  parser.option({"no-slot-weights", "", "disable non-uniform GPU slot selection", {}});
+  parser.option({"no-seasonal", "", "disable monthly intensity/TTR modulation", {}});
+  return parser;
+}
+
+Result<void> run_simulate(const ParsedArgs& args, std::ostream& out) {
+  auto model = resolve_model(args);
+  if (!model.ok()) return model.error();
+  auto seed = args.get_int("seed");
+  if (!seed.ok()) return seed.error();
+  auto log = sim::generate_log(model.value(), static_cast<std::uint64_t>(seed.value()));
+  if (!log.ok()) return log.error();
+  const std::string& path = args.positionals()[0];
+  if (auto written = data::write_log_file(path, log.value()); !written.ok())
+    return written.error();
+  out << "wrote " << log.value().size() << " failures (" << model.value().spec.name << ", seed "
+      << seed.value() << ") to " << path << "\n";
+  return {};
+}
+
+// --- analyze --------------------------------------------------------------
+
+ArgParser make_analyze_parser() {
+  ArgParser parser("analyze", "Run the full DSN'21 study on a failure log.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_analyze(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto study = analysis::run_study(log.value());
+  if (!study.ok()) return study.error();
+  const auto& s = study.value();
+
+  out << "== " << log.value().spec().name << ": " << log.value().size() << " failures over "
+      << report::fmt(log.value().spec().window_hours() / 24.0, 0) << " days ==\n\n";
+
+  report::Table categories({"Category", "Count", "Share", "Class"});
+  categories.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                            report::Align::kLeft});
+  for (const auto& share : s.categories.categories) {
+    if (share.count == 0) continue;
+    categories.add_row({std::string(data::to_string(share.category)),
+                        std::to_string(share.count), report::fmt_percent(share.percent),
+                        std::string(data::to_string(data::classify(share.category)))});
+  }
+  out << categories.render() << "\n";
+
+  if (s.tbf.has_value()) {
+    out << "MTBF: " << report::fmt(s.tbf->exposure_mtbf_hours, 1) << " h (mean gap "
+        << report::fmt(s.tbf->mtbf_hours, 1) << " h, p75 " << report::fmt(s.tbf->p75_hours, 1)
+        << " h)\n";
+  }
+  out << "MTTR: " << report::fmt(s.ttr.mttr_hours, 1) << " h (median "
+      << report::fmt(s.ttr.summary.median, 1) << " h, p95 "
+      << report::fmt(s.ttr.summary.p95, 1) << " h)\n";
+  out << "failed nodes: " << s.node_counts.failed_nodes << " of " << s.node_counts.total_nodes
+      << " (" << report::fmt_percent(s.node_counts.percent_multi_failure, 1)
+      << " with repeat failures)\n";
+  if (s.multi_gpu.has_value()) {
+    out << "multi-GPU failures: " << report::fmt_percent(s.multi_gpu->percent_multi, 1) << " of "
+        << s.multi_gpu->attributed_failures << " attributed GPU failures\n";
+  }
+  if (s.software_loci.has_value()) {
+    out << "software loci: " << report::fmt_percent(s.software_loci->gpu_driver_percent, 1)
+        << " GPU-driver-related, " << report::fmt_percent(s.software_loci->unknown_percent, 1)
+        << " unknown\n";
+  }
+  if (s.multi_gpu_clustering.has_value()) {
+    out << "multi-GPU temporal clustering: CV "
+        << report::fmt(s.multi_gpu_clustering->cv, 2)
+        << (s.multi_gpu_clustering->clustered ? " (clustered)" : " (not clustered)") << "\n";
+  }
+  out << "performance-error-proportionality: "
+      << report::fmt(s.perf_error_prop.pflop_hours_per_failure_free_period, 0)
+      << " PFlop-hours per failure-free period\n";
+  return {};
+}
+
+// --- triage -----------------------------------------------------------------
+
+ArgParser make_triage_parser() {
+  ArgParser parser("triage", "Operator report: impact ranking and repeat-failure nodes.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option(strict_option());
+  parser.option({"top", "N", "rows to show per section", std::string("10")});
+  return parser;
+}
+
+Result<void> run_triage(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto top = args.get_int("top");
+  if (!top.ok()) return top.error();
+  auto availability = ops::analyze_availability(log.value());
+  if (!availability.ok()) return availability.error();
+
+  out << "unit availability " << report::fmt(availability.value().availability, 4) << ", MTTR "
+      << report::fmt(availability.value().mttr_hours, 1) << " h, total downtime "
+      << report::fmt(availability.value().total_downtime_hours, 0) << " node-hours\n\n";
+
+  report::Table impact({"Category", "Failures", "Downtime share", "Impact ratio", "Worst TTR"});
+  impact.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                        report::Align::kRight, report::Align::kRight});
+  std::size_t shown = 0;
+  for (const auto& row : availability.value().by_category) {
+    if (static_cast<long long>(shown++) >= top.value()) break;
+    impact.add_row({std::string(data::to_string(row.category)), std::to_string(row.failures),
+                    report::fmt_percent(row.downtime_percent, 1),
+                    report::fmt(row.impact_ratio, 2), report::fmt(row.max_ttr_hours, 0) + " h"});
+  }
+  out << impact.render() << "\n";
+
+  auto survival = analysis::analyze_node_survival(log.value());
+  if (survival.ok()) {
+    out << "repeat-offender test (log-rank): ";
+    if (survival.value().repeat_offender_test.has_value()) {
+      out << "p = " << report::fmt(survival.value().repeat_offender_test->p_value, 4)
+          << (survival.value().failed_nodes_refail_faster
+                  ? " -> failed nodes re-fail significantly faster\n"
+                  : " -> no significant repeat-offender effect\n");
+    } else {
+      out << "not computable on this log\n";
+    }
+  }
+
+  auto policy = ops::evaluate_quarantine_policy(log.value(), 2);
+  if (policy.ok()) {
+    out << "servicing nodes after their 2nd failure would have avoided "
+        << report::fmt_percent(policy.value().avoided_failure_percent, 1) << " of failures ("
+        << report::fmt(policy.value().avoided_downtime_hours, 0) << " node-hours)\n";
+  }
+
+  if (auto capacity = ops::forecast_capacity(log.value()); capacity.ok()) {
+    out << "capacity: expect " << report::fmt(capacity.value().expected_down_nodes, 1)
+        << " nodes down at any time (measured "
+        << report::fmt(capacity.value().measured_mean_down_nodes, 1) << ", peak "
+        << report::fmt(capacity.value().measured_peak_down_nodes, 0) << "); provision "
+        << capacity.value().provision_for_99 << " spares-in-place for 99% coverage\n";
+  }
+  return {};
+}
+
+// --- figures -------------------------------------------------------------
+
+ArgParser make_figures_parser() {
+  ArgParser parser("figures", "Export every paper-figure series for a log as CSV files.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"outdir", "DIR", "output directory", std::string("figures")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_figures(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto outdir = args.get("outdir");
+  if (!outdir.ok()) return outdir.error();
+  auto study = analysis::run_study(log.value());
+  if (!study.ok()) return study.error();
+  const auto& s = study.value();
+  std::size_t written = 0;
+
+  const auto emit = [&](const report::FigureData& figure) -> Result<void> {
+    auto result = report::export_figure(figure, outdir.value());
+    if (!result.ok()) return result;
+    ++written;
+    return {};
+  };
+
+  report::FigureData categories{"categories", {"category", "count", "percent"}, {}};
+  for (const auto& share : s.categories.categories) {
+    categories.rows.push_back({std::string(data::to_string(share.category)),
+                               std::to_string(share.count), report::fmt(share.percent)});
+  }
+  if (auto r = emit(categories); !r.ok()) return r;
+
+  if (s.tbf.has_value()) {
+    report::FigureData tbf{"tbf_cdf", {"tbf_hours", "cdf"}, {}};
+    const auto ecdf = stats::Ecdf::create(s.tbf->tbf_hours).value();
+    for (const auto& [x, y] : ecdf.curve(100))
+      tbf.rows.push_back({report::fmt(x, 3), report::fmt(y, 4)});
+    if (auto r = emit(tbf); !r.ok()) return r;
+  }
+
+  report::FigureData ttr{"ttr_cdf", {"ttr_hours", "cdf"}, {}};
+  const auto ttr_ecdf = stats::Ecdf::create(s.ttr.ttr_hours).value();
+  for (const auto& [x, y] : ttr_ecdf.curve(100))
+    ttr.rows.push_back({report::fmt(x, 3), report::fmt(y, 4)});
+  if (auto r = emit(ttr); !r.ok()) return r;
+
+  report::FigureData nodes{"node_counts", {"failures_per_node", "nodes", "percent"}, {}};
+  for (const auto& bucket : s.node_counts.buckets) {
+    nodes.rows.push_back({std::to_string(bucket.failures), std::to_string(bucket.nodes),
+                          report::fmt(bucket.percent_of_failed)});
+  }
+  if (auto r = emit(nodes); !r.ok()) return r;
+
+  if (s.gpu_slots.has_value()) {
+    report::FigureData slots{"gpu_slots", {"slot", "count", "percent"}, {}};
+    for (const auto& slot : s.gpu_slots->slots) {
+      slots.rows.push_back({std::to_string(slot.slot), std::to_string(slot.count),
+                            report::fmt(slot.percent)});
+    }
+    if (auto r = emit(slots); !r.ok()) return r;
+  }
+
+  report::FigureData monthly{"monthly", {"month", "failures", "median_ttr", "exposure_days"}, {}};
+  for (const auto& month : s.seasonal.monthly) {
+    monthly.rows.push_back(
+        {std::string(month_abbrev(month.month)), std::to_string(month.failures),
+         month.box ? report::fmt(month.box->median, 2) : "",
+         report::fmt(s.seasonal.exposure_days[static_cast<std::size_t>(month.month - 1)], 1)});
+  }
+  if (auto r = emit(monthly); !r.ok()) return r;
+
+  out << "wrote " << written << " figure CSVs to " << outdir.value() << "/\n";
+  return {};
+}
+
+// --- checkpoint ---------------------------------------------------------
+
+ArgParser make_checkpoint_parser() {
+  ArgParser parser("checkpoint", "Young/Daly checkpoint plan from a log's measured MTBF.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"cost-hours", "H", "time to write one checkpoint", std::string("0.25")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_checkpoint(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto cost = args.get_double("cost-hours");
+  if (!cost.ok()) return cost.error();
+  auto tbf = analysis::analyze_tbf(log.value());
+  if (!tbf.ok()) return tbf.error();
+  auto plan = ops::plan_checkpointing(cost.value(), tbf.value().exposure_mtbf_hours);
+  if (!plan.ok()) return plan.error();
+  out << "measured MTBF: " << report::fmt(plan.value().mtbf_hours, 1) << " h\n"
+      << "checkpoint cost: " << report::fmt(plan.value().checkpoint_cost_hours * 60.0, 0)
+      << " min\n"
+      << "Young interval: " << report::fmt(plan.value().young_hours, 2) << " h\n"
+      << "Daly interval:  " << report::fmt(plan.value().daly_hours, 2) << " h\n"
+      << "expected waste at Daly optimum: "
+      << report::fmt_percent(100.0 * plan.value().waste_at_daly, 2) << " (efficiency "
+      << report::fmt_percent(100.0 * plan.value().efficiency_at_daly, 2) << ")\n";
+  return {};
+}
+
+// --- spares -----------------------------------------------------------------
+
+ArgParser make_spares_parser() {
+  ArgParser parser("spares", "Spare-pool sizing for one failure category.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"category", "NAME", "failure category (e.g. GPU, SSD)", std::string("GPU")});
+  parser.option({"lead-days", "D", "restock lead time in days", std::string("14")});
+  parser.option({"target", "P", "max acceptable stockout probability", std::string("0.05")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_spares(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto category_name = args.get("category");
+  if (!category_name.ok()) return category_name.error();
+  auto category = data::parse_category(category_name.value());
+  if (!category.ok()) return category.error();
+  auto lead = args.get_double("lead-days");
+  if (!lead.ok()) return lead.error();
+  auto target = args.get_double("target");
+  if (!target.ok()) return target.error();
+
+  auto recommended =
+      ops::recommend_spares(log.value(), category.value(), target.value(), lead.value() * 24.0);
+  if (!recommended.ok()) return recommended.error();
+  auto sim = ops::simulate_spares(log.value(), category.value(),
+                                  {recommended.value(), lead.value() * 24.0});
+  if (!sim.ok()) return sim.error();
+  out << data::to_string(category.value()) << ": " << sim.value().demand_events
+      << " part demands; keep " << recommended.value() << " spares on site ("
+      << report::fmt(lead.value(), 0) << "-day restock) -> stockout probability "
+      << report::fmt_percent(100.0 * sim.value().stockout_probability, 1) << ", peak "
+      << sim.value().peak_outstanding << " parts on order\n";
+  return {};
+}
+
+// --- predict ---------------------------------------------------------------
+
+ArgParser make_predict_parser() {
+  ArgParser parser("predict", "Backtest node-failure predictors on a log.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"top-k", "K", "watchlist size", std::string("20")});
+  parser.option({"warmup", "F", "fraction of the log used as warm-up", std::string("0.3")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_predict(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto top_k = args.get_int("top-k");
+  if (!top_k.ok()) return top_k.error();
+  auto warmup = args.get_double("warmup");
+  if (!warmup.ok()) return warmup.error();
+  if (top_k.value() <= 0)
+    return Error(ErrorKind::kDomain, "--top-k must be positive");
+  auto reports = predict::compare_predictors(log.value(), warmup.value(),
+                                             static_cast<std::size_t>(top_k.value()));
+  if (!reports.ok()) return reports.error();
+
+  report::Table table({"Predictor", "Queries", "Hit@" + std::to_string(top_k.value()),
+                       "Lift over random", "MRR"});
+  table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                       report::Align::kRight, report::Align::kRight});
+  for (const auto& report : reports.value()) {
+    table.add_row({report.predictor, std::to_string(report.queries),
+                   report::fmt_percent(100.0 * report.hit_rate_at_k, 1),
+                   report::fmt(report.lift_at_k, 1) + "x",
+                   report::fmt(report.mean_reciprocal_rank, 4)});
+  }
+  out << table.render();
+  out << "\nreading: a top-" << top_k.value() << " watchlist from the best predictor catches "
+      << report::fmt_percent(100.0 * reports.value().front().hit_rate_at_k, 1)
+      << " of failures before they happen.\n";
+  return {};
+}
+
+// --- report ----------------------------------------------------------------
+
+ArgParser make_report_parser() {
+  ArgParser parser("report", "Render the full study as a markdown report.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"out", "FILE", "write to a file instead of stdout", {}});
+  parser.option({"title", "TEXT", "report title", {}});
+  parser.option({"no-extensions", "", "omit survival/trends/racks sections", {}});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_report(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  report::MarkdownOptions options;
+  if (args.has("title")) options.title = args.get("title").value();
+  options.include_extensions = !args.flag("no-extensions");
+  auto markdown = report::render_markdown_report(log.value(), options);
+  if (!markdown.ok()) return markdown.error();
+  if (args.has("out")) {
+    const std::string path = args.get("out").value();
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+      return Error(ErrorKind::kIo, "cannot open report file: " + path);
+    file << markdown.value();
+    if (!file.flush())
+      return Error(ErrorKind::kIo, "write error on report file: " + path);
+    out << "wrote markdown report to " << path << "\n";
+  } else {
+    out << markdown.value();
+  }
+  return {};
+}
+
+// --- import ----------------------------------------------------------------
+
+ArgParser make_import_parser() {
+  ArgParser parser("import",
+                   "Convert a legacy-v1 operator log (see src/data/legacy_import.h) to the "
+                   "canonical CSV schema.");
+  parser.positional({"legacy.log", "legacy-v1 input file", true});
+  parser.positional({"out.csv", "canonical CSV output path", true});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_import(const ParsedArgs& args, std::ostream& out) {
+  const auto policy = args.flag("strict") ? data::ReadPolicy::kStrict : data::ReadPolicy::kLenient;
+  auto report = data::import_legacy_v1_file(args.positionals()[0], policy);
+  if (!report.ok()) return report.error();
+  for (const auto& row_error : report.value().row_errors) {
+    out << "warning: skipped line " << row_error.line_number << ": " << row_error.message
+        << "\n";
+  }
+  if (auto written = data::write_log_file(args.positionals()[1], report.value().log);
+      !written.ok())
+    return written.error();
+  out << "imported " << report.value().log.size() << " failures ("
+      << report.value().row_errors.size() << " lines skipped) -> " << args.positionals()[1]
+      << "\n";
+  return {};
+}
+
+// --- trends ----------------------------------------------------------------
+
+ArgParser make_trends_parser() {
+  ArgParser parser("trends", "Rolling-window MTBF/MTTR trends over the system lifetime.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"window-days", "D", "rolling window length", std::string("60")});
+  parser.option({"step-days", "D", "window step", std::string("30")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_trends(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto window = args.get_double("window-days");
+  if (!window.ok()) return window.error();
+  auto step = args.get_double("step-days");
+  if (!step.ok()) return step.error();
+  auto trends = analysis::analyze_rolling_trends(log.value(), window.value(), step.value());
+  if (!trends.ok()) return trends.error();
+
+  report::Table table({"Window center", "Failures", "Failures/day", "MTBF", "MTTR"});
+  table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                       report::Align::kRight, report::Align::kRight});
+  for (const auto& w : trends.value().windows) {
+    table.add_row({format_date(log.value().spec().log_start.plus_hours(w.center_hours)),
+                   std::to_string(w.failures), report::fmt(w.failures_per_day, 2),
+                   w.failures > 0 ? report::fmt(w.mtbf_hours, 1) + " h" : "-",
+                   w.failures > 0 ? report::fmt(w.mttr_hours, 1) + " h" : "-"});
+  }
+  out << table.render() << "\n";
+  out << "failure-rate trend: " << report::fmt(trends.value().rate_trend.slope * 24.0 * 365.0, 3)
+      << " failures/day per year (p = "
+      << report::fmt(trends.value().rate_trend.slope_p_value, 3) << ")\n";
+  out << "MTTR trend: " << report::fmt(trends.value().mttr_trend.slope * 24.0 * 365.0, 2)
+      << " h per year (p = " << report::fmt(trends.value().mttr_trend.slope_p_value, 3) << ")\n";
+  out << "early/late quarter failure-rate ratio: "
+      << report::fmt(trends.value().early_late_rate_ratio, 2)
+      << (trends.value().early_late_rate_ratio > 1.3
+              ? " (burn-in: the machine got more reliable)\n"
+              : trends.value().early_late_rate_ratio < 0.7
+                    ? " (wear-out: the machine is degrading)\n"
+                    : " (stationary)\n");
+  return {};
+}
+
+// --- racks -----------------------------------------------------------------
+
+ArgParser make_racks_parser() {
+  ArgParser parser("racks", "Rack-level spatial distribution of failures.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"top", "N", "racks to list", std::string("10")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_racks(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto top = args.get_int("top");
+  if (!top.ok()) return top.error();
+  auto racks = analysis::analyze_racks(log.value());
+  if (!racks.ok()) return racks.error();
+
+  report::Table table({"Rack", "Failures", "Share", "Failures/node"});
+  table.set_alignment({report::Align::kRight, report::Align::kRight, report::Align::kRight,
+                       report::Align::kRight});
+  long long shown = 0;
+  for (const auto& rack : racks.value().racks) {
+    if (shown++ >= top.value()) break;
+    table.add_row({std::to_string(rack.rack), std::to_string(rack.failures),
+                   report::fmt_percent(rack.percent, 1), report::fmt(rack.per_node_rate, 3)});
+  }
+  out << table.render() << "\n";
+  out << racks.value().racks_with_failures << " of " << racks.value().total_racks
+      << " racks saw failures; " << racks.value().racks_holding_half
+      << " racks hold half of them (Gini " << report::fmt(racks.value().gini, 3) << ")\n";
+  out << "uniformity chi-square p-value: "
+      << report::fmt(racks.value().uniformity_p_value, 4)
+      << (racks.value().uniformity_p_value < 0.05 ? " -> spatially non-uniform\n"
+                                                  : " -> consistent with uniform\n");
+  return {};
+}
+
+// --- couplings --------------------------------------------------------------
+
+ArgParser make_couplings_parser() {
+  ArgParser parser("couplings",
+                   "Cross-category lead-lag couplings: does a failure of one category raise "
+                   "the short-term rate of another?");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"window-hours", "H", "post-event window", std::string("72")});
+  parser.option({"min-events", "N", "ignore categories with fewer events", std::string("8")});
+  parser.option({"top", "N", "pairs to show", std::string("10")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_couplings(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto window = args.get_double("window-hours");
+  if (!window.ok()) return window.error();
+  auto min_events = args.get_int("min-events");
+  if (!min_events.ok()) return min_events.error();
+  auto top = args.get_int("top");
+  if (!top.ok()) return top.error();
+  if (min_events.value() < 1)
+    return Error(ErrorKind::kDomain, "--min-events must be >= 1");
+  auto analysis = analysis::analyze_lead_lag(log.value(), window.value(),
+                                             static_cast<std::size_t>(min_events.value()));
+  if (!analysis.ok()) return analysis.error();
+
+  report::Table table({"Leader -> Follower", "Observed", "Expected", "Lift", "z"});
+  table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                       report::Align::kRight, report::Align::kRight});
+  long long shown = 0;
+  for (const auto& pair : analysis.value().pairs) {
+    if (shown++ >= top.value()) break;
+    table.add_row({std::string(data::to_string(pair.leader)) + " -> " +
+                       std::string(data::to_string(pair.follower)),
+                   report::fmt(pair.observed, 0), report::fmt(pair.expected, 1),
+                   report::fmt(pair.lift, 2), report::fmt(pair.z_score, 1)});
+  }
+  out << table.render();
+  out << "\nz > ~3 marks a coupling unlikely under independence; self-pairs measure\n"
+         "burstiness of a single category.\n";
+  return {};
+}
+
+// --- compare --------------------------------------------------------------
+
+ArgParser make_compare_parser() {
+  ArgParser parser("compare", "Cross-generation comparison of two logs (older, newer).");
+  parser.positional({"older.csv", "older system's log", true});
+  parser.positional({"newer.csv", "newer system's log", true});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_compare(const ParsedArgs& args, std::ostream& out) {
+  auto older = load_log(args, 0);
+  if (!older.ok()) return older.error().with_context("older log");
+  auto newer = load_log(args, 1);
+  if (!newer.ok()) return newer.error().with_context("newer log");
+  auto cmp = analysis::compare_generations(older.value(), newer.value());
+  if (!cmp.ok()) return cmp.error();
+
+  report::Table table({"Metric", older.value().spec().name, newer.value().spec().name, "Ratio"});
+  table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                       report::Align::kRight});
+  table.add_row({"failures", std::to_string(older.value().size()),
+                 std::to_string(newer.value().size()), ""});
+  table.add_row({"Rpeak (PFlop/s)", report::fmt(cmp.value().older.rpeak_pflops, 1),
+                 report::fmt(cmp.value().newer.rpeak_pflops, 1),
+                 report::fmt(cmp.value().compute_ratio, 2) + "x"});
+  table.add_row({"MTBF (h)", report::fmt(cmp.value().older.mtbf_hours, 1),
+                 report::fmt(cmp.value().newer.mtbf_hours, 1),
+                 report::fmt(cmp.value().mtbf_ratio, 2) + "x"});
+  table.add_row({"FLOP x MTBF (PFlop-h)",
+                 report::fmt(cmp.value().older.pflop_hours_per_failure_free_period, 0),
+                 report::fmt(cmp.value().newer.pflop_hours_per_failure_free_period, 0),
+                 report::fmt(cmp.value().metric_ratio, 1) + "x"});
+  table.add_row({"GPU+CPU components", std::to_string(cmp.value().older.components),
+                 std::to_string(cmp.value().newer.components),
+                 report::fmt(1.0 / cmp.value().component_ratio, 2) + "x"});
+  out << table.render();
+  out << "\nreliability outpaced component shrinkage: "
+      << (cmp.value().reliability_outpaced_shrinkage ? "yes" : "no") << "\n";
+  return {};
+}
+
+}  // namespace
+
+const std::vector<Command>& commands() {
+  static const std::vector<Command> kCommands = {
+      {"simulate", "generate a calibrated synthetic log", make_simulate_parser, run_simulate},
+      {"analyze", "run the full DSN'21 study on a log", make_analyze_parser, run_analyze},
+      {"triage", "operator impact report", make_triage_parser, run_triage},
+      {"report", "full study as markdown", make_report_parser, run_report},
+      {"figures", "export figure series as CSV", make_figures_parser, run_figures},
+      {"checkpoint", "checkpoint plan from measured MTBF", make_checkpoint_parser,
+       run_checkpoint},
+      {"spares", "spare-pool sizing", make_spares_parser, run_spares},
+      {"predict", "node-failure prediction backtest", make_predict_parser, run_predict},
+      {"import", "convert a legacy-v1 log to canonical CSV", make_import_parser, run_import},
+      {"trends", "rolling MTBF/MTTR trends over lifetime", make_trends_parser, run_trends},
+      {"racks", "rack-level spatial distribution", make_racks_parser, run_racks},
+      {"couplings", "cross-category lead-lag couplings", make_couplings_parser, run_couplings},
+      {"compare", "cross-generation comparison", make_compare_parser, run_compare},
+  };
+  return kCommands;
+}
+
+int dispatch(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+  const auto print_overview = [&](std::ostream& stream) {
+    stream << "tsufail - failure & repair analysis for multi-GPU supercomputers\n\n"
+           << "usage: tsufail <command> [args]\n\ncommands:\n";
+    for (const auto& command : commands()) {
+      stream << "  " << command.name;
+      stream << std::string(command.name.size() < 12 ? 12 - command.name.size() : 1, ' ');
+      stream << command.summary << "\n";
+    }
+    stream << "\nrun 'tsufail <command> --help' for per-command options.\n";
+  };
+
+  if (argv.empty() || argv[0] == "help" || argv[0] == "--help") {
+    print_overview(out);
+    return argv.empty() ? 1 : 0;
+  }
+
+  for (const auto& command : commands()) {
+    if (command.name != argv[0]) continue;
+    const ArgParser parser = command.make_parser();
+    const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+    for (const auto& token : rest) {
+      if (token == "--help") {
+        out << parser.help();
+        return 0;
+      }
+    }
+    auto parsed = parser.parse(rest);
+    if (!parsed.ok()) {
+      err << "error: " << parsed.error().to_string() << "\n\n" << parser.help();
+      return 2;
+    }
+    auto result = command.run(parsed.value(), out);
+    if (!result.ok()) {
+      err << "error: " << result.error().to_string() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  err << "unknown command '" << argv[0] << "'\n\n";
+  print_overview(err);
+  return 2;
+}
+
+}  // namespace tsufail::cli

@@ -1,0 +1,42 @@
+// The tsufail command-line tool's subcommands.
+//
+// Each subcommand is a pure function from parsed arguments to text on a
+// stream, so the whole tool is unit-testable without spawning processes.
+//
+//   tsufail simulate   generate a calibrated synthetic log as CSV
+//   tsufail analyze    run the full DSN'21 study on a log
+//   tsufail triage     operator report: impact ranking, repeat nodes
+//   tsufail figures    export all figure series as CSV
+//   tsufail checkpoint Young/Daly checkpoint plan from measured MTBF
+//   tsufail spares     spare-pool sizing for one category
+//   tsufail predict    node-failure prediction backtest
+//   tsufail compare    two-generation comparison of two logs
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+
+namespace tsufail::cli {
+
+/// One registered subcommand.
+struct Command {
+  std::string name;
+  std::string summary;
+  /// Builds the command's parser (for help and for run()).
+  ArgParser (*make_parser)();
+  /// Executes with already-parsed args, writing human output to `out`.
+  Result<void> (*run)(const ParsedArgs& args, std::ostream& out);
+};
+
+/// All registered subcommands, in help order.
+const std::vector<Command>& commands();
+
+/// Top-level entry: dispatches `argv` (without the program name) to a
+/// subcommand; handles "help", "--help", and unknown commands.  Returns
+/// the process exit code and writes all output/errors to the streams.
+int dispatch(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err);
+
+}  // namespace tsufail::cli

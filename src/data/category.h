@@ -1,0 +1,84 @@
+// Failure-category taxonomy (Table II of the paper).
+//
+// The two systems report different category vocabularies; we model the
+// union as one enum so cross-system analyses (e.g. "GPU MTBF on both
+// machines") can compare like with like, and tag each category with the
+// machine(s) it appears on plus its hardware/software classification.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "data/machine.h"
+#include "util/error.h"
+
+namespace tsufail::data {
+
+/// Union of the Tsubame-2 and Tsubame-3 failure categories.
+enum class Category {
+  // --- Tsubame-2 vocabulary ---
+  kBoot,
+  kCpu,          // shared with Tsubame-3
+  kDisk,         // shared with Tsubame-3
+  kDown,
+  kFan,
+  kGpu,          // shared with Tsubame-3
+  kInfiniband,
+  kMemory,       // shared with Tsubame-3
+  kNetwork,
+  kOtherHw,
+  kOtherSw,
+  kPbs,
+  kPsu,
+  kRack,
+  kSsd,
+  kSystemBoard,
+  kVm,
+  // --- Tsubame-3 vocabulary ---
+  kCrc,
+  kGpuDriver,
+  kIpMotherboard,
+  kLedFrontPanel,
+  kLustre,
+  kOmniPath,
+  kPowerBoard,
+  kRibbonCable,
+  kSoftware,
+  kSxm2Cable,
+  kSxm2Board,
+  kUnknown,
+};
+
+/// Broad failure class used throughout the paper's hardware-vs-software
+/// comparisons.
+enum class FailureClass {
+  kHardware,
+  kSoftware,
+  kUnknown,
+};
+
+/// Canonical display name, matching the paper's Table II spelling.
+std::string_view to_string(Category category) noexcept;
+
+/// "hardware" / "software" / "unknown".
+std::string_view to_string(FailureClass cls) noexcept;
+
+/// Hardware/software classification of a category.
+FailureClass classify(Category category) noexcept;
+
+/// True iff the category is GPU-related (GPU hardware or GPU driver) —
+/// the paper's GPU-failure analyses (Figures 5, 8; Table III) select these.
+bool is_gpu_related(Category category) noexcept;
+
+/// True iff this category is part of `machine`'s reported vocabulary.
+bool valid_for(Category category, Machine machine) noexcept;
+
+/// All categories reported on the given machine, in Table II order.
+std::span<const Category> categories_for(Machine machine) noexcept;
+
+/// Parses a category name; accepts canonical names plus the common log
+/// aliases ("IB", "PBS", "PSU", "System Board", "Power-Board", ...).
+/// Matching is case-insensitive and ignores spaces, dashes, underscores.
+Result<Category> parse_category(std::string_view name);
+
+}  // namespace tsufail::data

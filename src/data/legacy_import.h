@@ -1,0 +1,44 @@
+// Importer for the "legacy v1" operator log format.
+//
+// Operations teams rarely start from a clean schema; this adapter ingests
+// a semicolon-separated format modeled on hand-maintained repair sheets
+// and converts it to FailureRecords:
+//
+//   #legacy-v1 Tsubame-3            <- header: format tag + machine
+//   # free-form comment lines
+//   07/05/2018;13:45;r02n11;GPU;1.25;G0+G3;fell off the bus
+//   ^date D/M/Y ^time  ^node  ^cat  ^days  ^slots ^note
+//
+// Differences from the canonical CSV handled here: semicolon separators,
+// day-first dates, rack-qualified node names (rNNnMM -> rack * rack_size
+// + index), downtime in fractional DAYS, "G"-prefixed "+"-joined slot
+// lists ("-" = none), and a free-text note that becomes the root locus
+// for software-class records.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "data/log_io.h"
+
+namespace tsufail::data {
+
+/// Parses legacy-v1 text.  Lenient policy collects bad lines as row
+/// errors; strict fails on the first.  Errors: missing/unknown header,
+/// or (strict) any malformed line.
+Result<ReadReport> import_legacy_v1(std::string_view text,
+                                    ReadPolicy policy = ReadPolicy::kLenient);
+
+/// Reads a legacy-v1 file from disk.
+Result<ReadReport> import_legacy_v1_file(const std::string& path,
+                                         ReadPolicy policy = ReadPolicy::kLenient);
+
+/// Parses an "rNNnMM" node name against a machine's rack layout.
+/// Errors: malformed name or out-of-range rack/index.
+Result<int> parse_legacy_node_name(std::string_view name, const MachineSpec& spec);
+
+/// Serializes a log INTO the legacy format (round-trip support for teams
+/// still consuming the old sheets).
+std::string export_legacy_v1(const FailureLog& log);
+
+}  // namespace tsufail::data

@@ -1,0 +1,196 @@
+#include "data/log_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace tsufail::data {
+namespace {
+
+constexpr const char* kColumns[] = {"machine",   "timestamp", "node",      "category",
+                                    "ttr_hours", "gpu_slots", "root_locus"};
+
+/// Parses one CSV record into a FailureRecord; also reports the machine
+/// declared on the row so the caller can enforce uniformity.
+Result<std::pair<Machine, FailureRecord>> parse_row(const CsvDocument& doc,
+                                                    const CsvRecord& row) {
+  const auto get = [&](const char* column) -> Result<std::string> {
+    return doc.field(row, column);
+  };
+
+  auto machine_text = get("machine");
+  if (!machine_text.ok()) return machine_text.error();
+  auto machine = parse_machine(machine_text.value());
+  if (!machine.ok()) return machine.error();
+
+  FailureRecord record;
+
+  auto time_text = get("timestamp");
+  if (!time_text.ok()) return time_text.error();
+  auto time = parse_time(trim(time_text.value()));
+  if (!time.ok()) return time.error();
+  record.time = time.value();
+
+  auto node_text = get("node");
+  if (!node_text.ok()) return node_text.error();
+  auto node = parse_int(trim(node_text.value()));
+  if (!node.ok()) return node.error().with_context("node");
+  record.node = static_cast<int>(node.value());
+
+  auto category_text = get("category");
+  if (!category_text.ok()) return category_text.error();
+  auto category = parse_category(category_text.value());
+  if (!category.ok()) return category.error();
+  record.category = category.value();
+
+  auto ttr_text = get("ttr_hours");
+  if (!ttr_text.ok()) return ttr_text.error();
+  auto ttr = parse_double(trim(ttr_text.value()));
+  if (!ttr.ok()) return ttr.error().with_context("ttr_hours");
+  record.ttr_hours = ttr.value();
+
+  auto slots_text = get("gpu_slots");
+  if (!slots_text.ok()) return slots_text.error();
+  auto slots = parse_gpu_slots(slots_text.value());
+  if (!slots.ok()) return slots.error();
+  record.gpu_slots = std::move(slots.value());
+
+  auto locus = get("root_locus");
+  if (!locus.ok()) return locus.error();
+  record.root_locus = std::string(trim(locus.value()));
+
+  return std::pair<Machine, FailureRecord>(machine.value(), std::move(record));
+}
+
+std::string format_ttr(double ttr_hours) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", ttr_hours);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_gpu_slots(const std::vector<int>& slots) {
+  std::string out;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i != 0) out += '|';
+    out += std::to_string(slots[i]);
+  }
+  return out;
+}
+
+Result<std::vector<int>> parse_gpu_slots(std::string_view text) {
+  std::vector<int> slots;
+  text = trim(text);
+  if (text.empty()) return slots;
+  for (std::string_view part : split(text, '|')) {
+    auto value = parse_int(trim(part));
+    if (!value.ok()) return value.error().with_context("gpu_slots");
+    slots.push_back(static_cast<int>(value.value()));
+  }
+  return slots;
+}
+
+Result<ReadReport> read_log_csv(std::string_view text, ReadPolicy policy) {
+  auto doc = CsvDocument::parse(text);
+  if (!doc.ok()) return doc.error();
+
+  for (const char* column : kColumns) {
+    if (auto idx = doc.value().column(column); !idx.ok())
+      return Error(ErrorKind::kValidation,
+                   "log CSV is missing required column '" + std::string(column) + "'");
+  }
+
+  std::vector<FailureRecord> records;
+  std::vector<RowError> row_errors;
+  std::optional<Machine> machine;
+
+  for (const auto& row : doc.value().records()) {
+    auto parsed = parse_row(doc.value(), row);
+    if (!parsed.ok()) {
+      if (policy == ReadPolicy::kStrict)
+        return parsed.error().with_context("line " + std::to_string(row.line_number));
+      row_errors.push_back({row.line_number, parsed.error().to_string()});
+      continue;
+    }
+    const auto& [row_machine, record] = parsed.value();
+    if (!machine.has_value()) {
+      machine = row_machine;
+    } else if (*machine != row_machine) {
+      const Error mixed(ErrorKind::kValidation, "mixed machines in one log file");
+      if (policy == ReadPolicy::kStrict)
+        return mixed.with_context("line " + std::to_string(row.line_number));
+      row_errors.push_back({row.line_number, mixed.to_string()});
+      continue;
+    }
+    // Semantic validation per row, so one bad record is skippable under
+    // the lenient policy instead of poisoning the whole load.
+    if (auto valid = validate_record(record, spec_for(row_machine), /*slack_hours=*/24.0 * 14);
+        !valid.ok()) {
+      if (policy == ReadPolicy::kStrict)
+        return valid.error().with_context("line " + std::to_string(row.line_number));
+      row_errors.push_back({row.line_number, valid.error().to_string()});
+      continue;
+    }
+    records.push_back(record);
+  }
+
+  if (!machine.has_value())
+    return Error(ErrorKind::kValidation, "log CSV contains no parsable data rows");
+
+  // Generated/operator logs can record repairs finishing past the window;
+  // allow two weeks of slack on the window check.
+  auto log = FailureLog::create(spec_for(*machine), std::move(records), /*slack_hours=*/24.0 * 14);
+  if (!log.ok()) {
+    if (policy == ReadPolicy::kStrict) return log.error();
+    return log.error();  // structural validation failures are never skippable
+  }
+  return ReadReport{std::move(log.value()), std::move(row_errors)};
+}
+
+Result<ReadReport> read_log_file(const std::string& path, ReadPolicy policy) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Error(ErrorKind::kIo, "cannot open log file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto report = read_log_csv(buffer.str(), policy);
+  if (!report.ok()) return report.error().with_context(path);
+  return report;
+}
+
+std::string write_log_csv(const FailureLog& log) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  std::vector<std::string> row(std::begin(kColumns), std::end(kColumns));
+  writer.write_row(row);
+  const std::string machine_name(to_string(log.machine()));
+  for (const auto& record : log.records()) {
+    row[0] = machine_name;
+    row[1] = format_time(record.time);
+    row[2] = std::to_string(record.node);
+    row[3] = std::string(to_string(record.category));
+    row[4] = format_ttr(record.ttr_hours);
+    row[5] = format_gpu_slots(record.gpu_slots);
+    row[6] = record.root_locus;
+    writer.write_row(row);
+  }
+  return out.str();
+}
+
+Result<void> write_log_file(const std::string& path, const FailureLog& log) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    return Error(ErrorKind::kIo, "cannot open log file for writing: " + path);
+  out << write_log_csv(log);
+  out.flush();
+  if (!out)
+    return Error(ErrorKind::kIo, "write error on log file: " + path);
+  return {};
+}
+
+}  // namespace tsufail::data

@@ -1,0 +1,68 @@
+// Machine (system) descriptions for the two studied supercomputers.
+//
+// Every analysis is parameterized by the machine it runs on: the number of
+// nodes and GPUs fixes the denominators for per-node and per-slot rates,
+// Rpeak feeds the performance-error-proportionality metric, and the log
+// observation window fixes exposure time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/civil_time.h"
+#include "util/error.h"
+
+namespace tsufail::data {
+
+enum class Machine {
+  kTsubame2,
+  kTsubame3,
+};
+
+/// "Tsubame-2" / "Tsubame-3".
+std::string_view to_string(Machine machine) noexcept;
+
+/// Parses a machine name ("tsubame-2", "Tsubame2", "t2", ... accepted).
+Result<Machine> parse_machine(std::string_view name);
+
+/// Static configuration of one system (Table I of the paper).
+struct MachineSpec {
+  Machine machine = Machine::kTsubame2;
+  std::string name;
+  int node_count = 0;
+  int gpus_per_node = 0;
+  int cpus_per_node = 0;
+  int nodes_per_rack = 0;          ///< rack granularity for spatial analyses
+  double rpeak_pflops = 0.0;       ///< theoretical peak, PFlop/s
+  double power_mw = 0.0;           ///< facility power, MW
+  TimePoint log_start;             ///< first instant covered by the log
+  TimePoint log_end;               ///< last instant covered by the log
+
+  int total_gpus() const noexcept { return node_count * gpus_per_node; }
+  int total_cpus() const noexcept { return node_count * cpus_per_node; }
+  /// Rack of a node (0-based); precondition: nodes_per_rack > 0.
+  int rack_of(int node) const noexcept { return node / nodes_per_rack; }
+  /// Number of racks (last rack may be partial).
+  int rack_count() const noexcept {
+    return (node_count + nodes_per_rack - 1) / nodes_per_rack;
+  }
+  /// GPU + CPU component count (the paper's "7040 for Tsubame-2,
+  /// 3240 for Tsubame-3" comparison).
+  int total_gpu_cpu_components() const noexcept { return total_gpus() + total_cpus(); }
+  double window_hours() const noexcept { return hours_between(log_start, log_end); }
+};
+
+/// Tsubame-2: 1408 nodes x (3 K20X GPUs + 2 Westmere CPUs), Rpeak 2.3 PF,
+/// log window 2012-01-07 .. 2013-08-01 (897 failures in the paper).
+const MachineSpec& tsubame2_spec();
+
+/// Tsubame-3: 540 nodes x (4 P100 GPUs + 2 Broadwell CPUs), Rpeak 12.1 PF,
+/// log window 2017-05-09 .. 2020-02-22 (338 failures in the paper).
+/// Node count is derived from the paper's component total: 540*(4+2)=3240.
+const MachineSpec& tsubame3_spec();
+
+/// Spec for a machine enum value.
+const MachineSpec& spec_for(Machine machine);
+
+}  // namespace tsufail::data

@@ -1,0 +1,44 @@
+#include "data/record.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsufail::data {
+
+Result<void> validate_record(const FailureRecord& record, const MachineSpec& spec,
+                             double slack_hours) {
+  if (!valid_for(record.category, spec.machine))
+    return Error(ErrorKind::kValidation,
+                 "category '" + std::string(to_string(record.category)) + "' is not in the " +
+                     spec.name + " vocabulary");
+  if (record.node < 0 || record.node >= spec.node_count)
+    return Error(ErrorKind::kValidation, "node index " + std::to_string(record.node) +
+                                             " outside [0, " + std::to_string(spec.node_count) +
+                                             ")");
+  if (!(record.ttr_hours >= 0.0) || !std::isfinite(record.ttr_hours))
+    return Error(ErrorKind::kValidation, "time to recovery must be finite and >= 0");
+
+  const TimePoint earliest = spec.log_start.plus_hours(-slack_hours);
+  const TimePoint latest = spec.log_end.plus_hours(slack_hours);
+  if (record.time < earliest || record.time > latest)
+    return Error(ErrorKind::kValidation,
+                 "failure time " + format_time(record.time) + " outside the log window " +
+                     format_date(spec.log_start) + " .. " + format_date(spec.log_end));
+
+  std::vector<int> slots = record.gpu_slots;
+  std::sort(slots.begin(), slots.end());
+  if (std::adjacent_find(slots.begin(), slots.end()) != slots.end())
+    return Error(ErrorKind::kValidation, "duplicate GPU slot in record");
+  for (int slot : slots) {
+    if (slot < 0 || slot >= spec.gpus_per_node)
+      return Error(ErrorKind::kValidation, "GPU slot " + std::to_string(slot) + " outside [0, " +
+                                               std::to_string(spec.gpus_per_node) + ")");
+  }
+  if (!record.gpu_slots.empty() && !record.gpu_related())
+    return Error(ErrorKind::kValidation,
+                 "GPU slots listed on a non-GPU-related category '" +
+                     std::string(to_string(record.category)) + "'");
+  return {};
+}
+
+}  // namespace tsufail::data

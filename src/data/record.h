@@ -1,0 +1,41 @@
+// FailureRecord: one row of a failure log.
+//
+// This is the atom of the whole library.  A record is what the operator
+// wrote down: when something failed, on which node, what category it was
+// assigned, how long the repair took, which GPU slots were involved (for
+// GPU-related failures), and — for Tsubame-3 software failures — the root
+// locus string the operators recorded (Figure 3's vocabulary).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/category.h"
+#include "data/machine.h"
+#include "util/civil_time.h"
+
+namespace tsufail::data {
+
+struct FailureRecord {
+  TimePoint time;              ///< failure occurrence instant
+  int node = 0;                ///< node index, 0-based within the machine
+  Category category = Category::kUnknown;
+  double ttr_hours = 0.0;      ///< time to recovery, fractional hours
+  std::vector<int> gpu_slots;  ///< 0-based GPU slots involved; empty unless GPU-related
+  std::string root_locus;      ///< software root-locus label; empty if none recorded
+
+  FailureClass failure_class() const noexcept { return classify(category); }
+  bool gpu_related() const noexcept { return is_gpu_related(category); }
+  /// True iff the record names more than one GPU slot (Table III's
+  /// "multi-GPU failure").
+  bool multi_gpu() const noexcept { return gpu_slots.size() > 1; }
+};
+
+/// Validates one record against its machine's spec: category vocabulary,
+/// node range, slot range/uniqueness, non-negative TTR, and time within
+/// the log window (with `slack_hours` of tolerance at the edges, since
+/// repairs may complete after the window closes).
+Result<void> validate_record(const FailureRecord& record, const MachineSpec& spec,
+                             double slack_hours = 0.0);
+
+}  // namespace tsufail::data

@@ -1,0 +1,47 @@
+#include "ops/availability.h"
+
+#include <algorithm>
+
+namespace tsufail::ops {
+
+Result<AvailabilityReport> analyze_availability(const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "analyze_availability: empty log");
+
+  AvailabilityReport report;
+  const double window = log.spec().window_hours();
+  report.mtbf_hours = window / static_cast<double>(log.size());
+
+  double total_ttr = 0.0;
+  for (const auto& record : log.records()) total_ttr += record.ttr_hours;
+  report.mttr_hours = total_ttr / static_cast<double>(log.size());
+  report.availability = report.mtbf_hours / (report.mtbf_hours + report.mttr_hours);
+  report.total_downtime_hours = total_ttr;
+  report.node_hour_loss_fraction =
+      total_ttr / (window * static_cast<double>(log.spec().node_count));
+
+  const double total_failures = static_cast<double>(log.size());
+  for (data::Category category : data::categories_for(log.machine())) {
+    const auto records = log.by_category(category);
+    if (records.empty()) continue;
+    CategoryImpact impact;
+    impact.category = category;
+    impact.failures = records.size();
+    impact.share_percent = 100.0 * static_cast<double>(records.size()) / total_failures;
+    for (const auto& record : records) {
+      impact.downtime_hours += record.ttr_hours;
+      impact.max_ttr_hours = std::max(impact.max_ttr_hours, record.ttr_hours);
+    }
+    impact.downtime_percent = 100.0 * impact.downtime_hours / total_ttr;
+    impact.mean_ttr_hours = impact.downtime_hours / static_cast<double>(records.size());
+    impact.impact_ratio = impact.downtime_percent / impact.share_percent;
+    report.by_category.push_back(impact);
+  }
+  std::stable_sort(report.by_category.begin(), report.by_category.end(),
+                   [](const CategoryImpact& a, const CategoryImpact& b) {
+                     return a.downtime_hours > b.downtime_hours;
+                   });
+  return report;
+}
+
+}  // namespace tsufail::ops

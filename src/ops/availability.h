@@ -1,0 +1,44 @@
+// Availability and failure-impact accounting.
+//
+// The paper argues operators should weigh failure types by *impact*
+// (frequency x repair time), not frequency alone: Tsubame-3's power-board
+// failures are ~1% of events but cost up to 230 hours each.  This module
+// turns a log into exactly that ranking, plus the steady-state
+// availability numbers MTBF/(MTBF + MTTR).
+#pragma once
+
+#include <vector>
+
+#include "data/log.h"
+
+namespace tsufail::ops {
+
+struct CategoryImpact {
+  data::Category category = data::Category::kUnknown;
+  std::size_t failures = 0;
+  double share_percent = 0.0;        ///< of all failures (frequency view)
+  double downtime_hours = 0.0;       ///< sum of TTR over the category
+  double downtime_percent = 0.0;     ///< of all downtime (impact view)
+  double mean_ttr_hours = 0.0;
+  double max_ttr_hours = 0.0;
+  /// downtime share / frequency share: > 1 means the category hurts more
+  /// than its frequency suggests (the paper's power-board/SSD story).
+  double impact_ratio = 0.0;
+};
+
+struct AvailabilityReport {
+  double mtbf_hours = 0.0;               ///< exposure MTBF
+  double mttr_hours = 0.0;
+  /// Steady-state availability of the failing unit: MTBF/(MTBF+MTTR).
+  double availability = 0.0;
+  double total_downtime_hours = 0.0;     ///< sum of all repairs
+  /// Downtime as a fraction of total node-hours in the window (repairs
+  /// take out one node each; the machine keeps running).
+  double node_hour_loss_fraction = 0.0;
+  std::vector<CategoryImpact> by_category;  ///< descending by downtime
+};
+
+/// Computes availability and per-category impact. Errors: empty log.
+Result<AvailabilityReport> analyze_availability(const data::FailureLog& log);
+
+}  // namespace tsufail::ops

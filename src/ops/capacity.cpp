@@ -1,0 +1,75 @@
+#include "ops/capacity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tsufail::ops {
+
+std::size_t poisson_upper_quantile(double mean, double epsilon) {
+  if (mean <= 0.0) return 0;
+  // Walk the CDF; occupancy means here are tiny (a few nodes), so the
+  // direct recurrence is exact and fast.
+  double pmf = std::exp(-mean);
+  double cdf = pmf;
+  std::size_t k = 0;
+  while (1.0 - cdf > epsilon && k < 1000000) {
+    ++k;
+    pmf *= mean / static_cast<double>(k);
+    cdf += pmf;
+  }
+  return k;
+}
+
+Result<CapacityForecast> forecast_capacity(const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "forecast_capacity: empty log");
+
+  CapacityForecast forecast;
+  const double window = log.spec().window_hours();
+  forecast.failure_rate_per_hour = static_cast<double>(log.size()) / window;
+  double ttr_sum = 0.0;
+  for (const auto& record : log.records()) ttr_sum += record.ttr_hours;
+  forecast.mean_repair_hours = ttr_sum / static_cast<double>(log.size());
+  forecast.expected_down_nodes =
+      forecast.failure_rate_per_hour * forecast.mean_repair_hours;
+  forecast.expected_down_fraction =
+      forecast.expected_down_nodes / static_cast<double>(log.spec().node_count);
+  forecast.provision_for_99 = poisson_upper_quantile(forecast.expected_down_nodes, 0.01);
+  forecast.provision_for_999 = poisson_upper_quantile(forecast.expected_down_nodes, 0.001);
+
+  // Replay cross-check: sweep the (start, end) outage intervals.
+  struct Edge {
+    double hours;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(2 * log.size());
+  for (const auto& record : log.records()) {
+    const double start = hours_between(log.spec().log_start, record.time);
+    edges.push_back({start, +1});
+    edges.push_back({start + record.ttr_hours, -1});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.hours != b.hours ? a.hours < b.hours : a.delta < b.delta;
+            });
+  double area = 0.0;
+  double prev = 0.0;
+  int down = 0;
+  int peak = 0;
+  for (const auto& edge : edges) {
+    area += static_cast<double>(down) * (edge.hours - prev);
+    prev = edge.hours;
+    down += edge.delta;
+    peak = std::max(peak, down);
+  }
+  // Normalize over the observation window (repairs can spill past its
+  // end; the spill area is real downtime and stays in the numerator,
+  // matching how operators account it).
+  forecast.measured_mean_down_nodes = area / window;
+  forecast.measured_peak_down_nodes = static_cast<double>(peak);
+  return forecast;
+}
+
+}  // namespace tsufail::ops

@@ -1,0 +1,37 @@
+// Steady-state capacity forecasting from measured failure/repair rates.
+//
+// Each failure takes one node out for its repair duration; with failures
+// arriving at rate lambda and repairs lasting S hours on average, the
+// long-run number of concurrently-down nodes is lambda * E[S] (Little's
+// law / M/G/infinity: the result needs only the MEAN repair time, not its
+// distribution).  This converts the paper's MTBF/MTTR tables into the
+// number operators actually budget: how many nodes are down right now,
+// and how many must be over-provisioned to honour a capacity commitment.
+#pragma once
+
+#include "data/log.h"
+
+namespace tsufail::ops {
+
+struct CapacityForecast {
+  double failure_rate_per_hour = 0.0;   ///< lambda (fleet-wide)
+  double mean_repair_hours = 0.0;       ///< E[S]
+  double expected_down_nodes = 0.0;     ///< lambda * E[S]
+  double expected_down_fraction = 0.0;  ///< of the fleet
+  /// Nodes to over-provision so that P[down > provision] <= epsilon,
+  /// using the Poisson tail of the M/G/inf occupancy distribution.
+  std::size_t provision_for_99 = 0;     ///< epsilon = 1%
+  std::size_t provision_for_999 = 0;    ///< epsilon = 0.1%
+  /// Replay cross-check: time-averaged concurrently-down nodes measured
+  /// directly from the log's (failure, repair) intervals.
+  double measured_mean_down_nodes = 0.0;
+  double measured_peak_down_nodes = 0.0;
+};
+
+/// Computes the forecast and the replay cross-check. Errors: empty log.
+Result<CapacityForecast> forecast_capacity(const data::FailureLog& log);
+
+/// Smallest k with P[Poisson(mean) > k] <= epsilon (exposed for tests).
+std::size_t poisson_upper_quantile(double mean, double epsilon);
+
+}  // namespace tsufail::ops

@@ -1,0 +1,69 @@
+#include "ops/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsufail::ops {
+namespace {
+
+Result<void> check_args(double cost, double mtbf) {
+  if (!(cost > 0.0) || !std::isfinite(cost))
+    return Error(ErrorKind::kDomain, "checkpoint cost must be positive and finite");
+  if (!(mtbf > 0.0) || !std::isfinite(mtbf))
+    return Error(ErrorKind::kDomain, "MTBF must be positive and finite");
+  return {};
+}
+
+}  // namespace
+
+Result<double> young_interval_hours(double checkpoint_cost_hours, double mtbf_hours) {
+  if (auto ok = check_args(checkpoint_cost_hours, mtbf_hours); !ok.ok()) return ok.error();
+  return std::sqrt(2.0 * checkpoint_cost_hours * mtbf_hours);
+}
+
+Result<double> daly_interval_hours(double checkpoint_cost_hours, double mtbf_hours) {
+  if (auto ok = check_args(checkpoint_cost_hours, mtbf_hours); !ok.ok()) return ok.error();
+  const double c = checkpoint_cost_hours;
+  const double m = mtbf_hours;
+  const double base = std::sqrt(2.0 * c * m);
+  const double ratio = std::sqrt(c / (2.0 * m));
+  const double tau = base * (1.0 + ratio / 3.0 + (c / (2.0 * m)) / 9.0) - c;
+  return std::max(tau, c);
+}
+
+Result<double> waste_fraction(double checkpoint_cost_hours, double interval_hours,
+                              double mtbf_hours) {
+  if (auto ok = check_args(checkpoint_cost_hours, mtbf_hours); !ok.ok()) return ok.error();
+  if (!(interval_hours > 0.0))
+    return Error(ErrorKind::kDomain, "checkpoint interval must be positive");
+  // First-order: checkpoint overhead + expected lost re-work after a
+  // failure (half a segment, plus the checkpoint just taken).
+  const double waste = checkpoint_cost_hours / interval_hours +
+                       (interval_hours + checkpoint_cost_hours) / (2.0 * mtbf_hours);
+  return std::min(waste, 1.0);
+}
+
+Result<double> efficiency(double checkpoint_cost_hours, double interval_hours,
+                          double mtbf_hours) {
+  auto waste = waste_fraction(checkpoint_cost_hours, interval_hours, mtbf_hours);
+  if (!waste.ok()) return waste;
+  return std::clamp(1.0 - waste.value(), 0.0, 1.0);
+}
+
+Result<CheckpointPlan> plan_checkpointing(double checkpoint_cost_hours, double mtbf_hours) {
+  auto young = young_interval_hours(checkpoint_cost_hours, mtbf_hours);
+  if (!young.ok()) return young.error();
+  auto daly = daly_interval_hours(checkpoint_cost_hours, mtbf_hours);
+  if (!daly.ok()) return daly.error();
+
+  CheckpointPlan plan;
+  plan.mtbf_hours = mtbf_hours;
+  plan.checkpoint_cost_hours = checkpoint_cost_hours;
+  plan.young_hours = young.value();
+  plan.daly_hours = daly.value();
+  plan.waste_at_daly = waste_fraction(checkpoint_cost_hours, plan.daly_hours, mtbf_hours).value();
+  plan.efficiency_at_daly = 1.0 - plan.waste_at_daly;
+  return plan;
+}
+
+}  // namespace tsufail::ops

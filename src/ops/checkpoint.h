@@ -1,0 +1,48 @@
+// Checkpoint-interval optimization driven by measured MTBF.
+//
+// The paper's implications section points at checkpointing as the main
+// software mitigation for GPU failures.  This module implements the
+// classic Young and Daly optimal-interval formulas plus the first-order
+// waste model, so a user can turn the library's measured MTBF directly
+// into a checkpoint policy and quantify the efficiency left on the table
+// by failures (the operational face of performance-error-proportionality).
+#pragma once
+
+#include "util/error.h"
+
+namespace tsufail::ops {
+
+/// Young's first-order optimum: tau = sqrt(2 * C * M) where C is the
+/// checkpoint write cost and M the MTBF (both hours).
+/// Errors: non-positive cost or MTBF.
+Result<double> young_interval_hours(double checkpoint_cost_hours, double mtbf_hours);
+
+/// Daly's higher-order optimum, more accurate when C is not << M:
+/// tau = sqrt(2 C M) * [1 + 1/3 sqrt(C/(2M)) + (1/9)(C/(2M))] - C,
+/// clamped below by C.  Errors: non-positive cost or MTBF.
+Result<double> daly_interval_hours(double checkpoint_cost_hours, double mtbf_hours);
+
+/// Expected fraction of wall-clock time wasted when checkpointing every
+/// `interval` hours on a machine with the given MTBF, first-order model:
+/// waste = C/tau + tau/(2M) (+ the re-work term tau/(2M) dominating).
+/// Errors: non-positive arguments.
+Result<double> waste_fraction(double checkpoint_cost_hours, double interval_hours,
+                              double mtbf_hours);
+
+/// Machine efficiency (1 - waste), clamped to [0, 1].
+Result<double> efficiency(double checkpoint_cost_hours, double interval_hours,
+                          double mtbf_hours);
+
+struct CheckpointPlan {
+  double mtbf_hours = 0.0;
+  double checkpoint_cost_hours = 0.0;
+  double young_hours = 0.0;
+  double daly_hours = 0.0;
+  double waste_at_daly = 0.0;       ///< waste fraction at the Daly optimum
+  double efficiency_at_daly = 0.0;
+};
+
+/// Computes the full plan for one (cost, MTBF) pair.
+Result<CheckpointPlan> plan_checkpointing(double checkpoint_cost_hours, double mtbf_hours);
+
+}  // namespace tsufail::ops

@@ -1,0 +1,120 @@
+#include "ops/checkpoint_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsufail::ops {
+namespace {
+
+Result<void> validate(const CheckpointSimConfig& config) {
+  if (!(config.work_hours > 0.0))
+    return Error(ErrorKind::kDomain, "checkpoint sim: work must be positive");
+  if (!(config.interval_hours > 0.0))
+    return Error(ErrorKind::kDomain, "checkpoint sim: interval must be positive");
+  if (config.checkpoint_cost_hours < 0.0 || config.restart_cost_hours < 0.0)
+    return Error(ErrorKind::kDomain, "checkpoint sim: costs must be >= 0");
+  return {};
+}
+
+}  // namespace
+
+Result<CheckpointSimResult> simulate_checkpointed_job(const CheckpointSimConfig& config,
+                                                      const FailureSampler& next_failure,
+                                                      Rng& rng) {
+  if (auto ok = validate(config); !ok.ok()) return ok.error();
+
+  CheckpointSimResult result;
+  double committed = 0.0;         // work protected by the last checkpoint
+  double segment_done = 0.0;      // useful work since the last checkpoint
+  double until_failure = next_failure(rng);
+  if (!(until_failure > 0.0))
+    return Error(ErrorKind::kDomain, "checkpoint sim: sampler must return positive gaps");
+
+  // The loop advances through "phases" (useful work, checkpoint writes,
+  // restarts); a failure can strike during any phase.
+  const auto advance = [&](double duration, bool useful) -> bool {
+    // Returns true if a failure interrupted the phase; updates clocks.
+    if (until_failure > duration) {
+      until_failure -= duration;
+      result.wall_hours += duration;
+      if (useful) segment_done += duration;
+      return false;
+    }
+    result.wall_hours += until_failure;
+    if (useful) segment_done += until_failure;
+    until_failure = next_failure(rng);
+    return true;
+  };
+
+  // Guard against pathological configurations that cannot make progress
+  // (e.g. MTBF far below the checkpoint cost): bound the failure count.
+  const std::size_t failure_limit =
+      1000000 + static_cast<std::size_t>(config.work_hours / config.interval_hours) * 100;
+
+  while (committed < config.work_hours) {
+    const double segment_target =
+        std::min(config.interval_hours, config.work_hours - committed);
+    // Phase 1: useful work until the next checkpoint (or completion).
+    if (advance(segment_target - segment_done, /*useful=*/true)) {
+      ++result.failures;
+      result.lost_hours += segment_done + config.restart_cost_hours;
+      result.wall_hours += config.restart_cost_hours;
+      segment_done = 0.0;
+      if (result.failures > failure_limit)
+        return Error(ErrorKind::kDomain, "checkpoint sim: no forward progress (MTBF << costs)");
+      continue;
+    }
+    // Segment finished.  The final segment needs no checkpoint.
+    committed += segment_done;
+    segment_done = 0.0;
+    if (committed >= config.work_hours) break;
+    // Phase 2: write the checkpoint; a failure here loses the (already
+    // committed-in-RAM) segment... the checkpoint is not durable until
+    // the write completes, so roll back to the previous checkpoint.
+    if (advance(config.checkpoint_cost_hours, /*useful=*/false)) {
+      ++result.failures;
+      committed -= config.interval_hours;  // the segment just computed
+      committed = std::max(0.0, committed);
+      result.lost_hours += config.interval_hours + config.restart_cost_hours;
+      result.wall_hours += config.restart_cost_hours;
+      if (result.failures > failure_limit)
+        return Error(ErrorKind::kDomain, "checkpoint sim: no forward progress (MTBF << costs)");
+      continue;
+    }
+    ++result.checkpoints;
+    result.checkpoint_hours += config.checkpoint_cost_hours;
+  }
+
+  result.useful_hours = config.work_hours;
+  result.waste_fraction = 1.0 - result.useful_hours / result.wall_hours;
+  return result;
+}
+
+Result<CheckpointSimResult> simulate_checkpointed_job_exponential(
+    const CheckpointSimConfig& config, double mtbf_hours, Rng& rng,
+    std::size_t replications) {
+  if (!(mtbf_hours > 0.0))
+    return Error(ErrorKind::kDomain, "checkpoint sim: MTBF must be positive");
+  if (replications == 0)
+    return Error(ErrorKind::kDomain, "checkpoint sim: need at least one replication");
+
+  const FailureSampler sampler = [mtbf_hours](Rng& r) { return r.exponential(mtbf_hours); };
+  CheckpointSimResult mean;
+  for (std::size_t i = 0; i < replications; ++i) {
+    auto run = simulate_checkpointed_job(config, sampler, rng);
+    if (!run.ok()) return run.error();
+    const double w = 1.0 / static_cast<double>(replications);
+    mean.wall_hours += run.value().wall_hours * w;
+    mean.useful_hours += run.value().useful_hours * w;
+    mean.checkpoint_hours += run.value().checkpoint_hours * w;
+    mean.lost_hours += run.value().lost_hours * w;
+    mean.failures += run.value().failures;
+    mean.checkpoints += run.value().checkpoints;
+  }
+  mean.failures /= replications;
+  mean.checkpoints /= replications;
+  mean.waste_fraction = 1.0 - mean.useful_hours / mean.wall_hours;
+  return mean;
+}
+
+}  // namespace tsufail::ops

@@ -1,0 +1,51 @@
+// Discrete-event simulation of a checkpointed job under failures.
+//
+// The Young/Daly formulas in checkpoint.h are first-order analytic
+// approximations; this simulator is the ground truth they approximate —
+// a long-running job writes checkpoints every `interval`, failures
+// arrive from a caller-supplied inter-arrival sampler, and each failure
+// rolls the job back to its last checkpoint plus a restart penalty.
+// Benches/tests use it to verify the analytic optimum really is optimal
+// and to quantify where the approximation degrades (interval ~ MTBF).
+#pragma once
+
+#include <functional>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace tsufail::ops {
+
+struct CheckpointSimConfig {
+  double work_hours = 0.0;         ///< useful compute the job must finish
+  double interval_hours = 0.0;     ///< checkpoint period (useful time between writes)
+  double checkpoint_cost_hours = 0.0;
+  double restart_cost_hours = 0.0; ///< reboot/requeue cost after a failure
+};
+
+struct CheckpointSimResult {
+  double wall_hours = 0.0;         ///< total elapsed time to completion
+  double useful_hours = 0.0;       ///< == config.work_hours on success
+  double checkpoint_hours = 0.0;   ///< time spent writing checkpoints
+  double lost_hours = 0.0;         ///< re-done work + restart costs
+  double waste_fraction = 0.0;     ///< 1 - useful / wall
+  std::size_t failures = 0;
+  std::size_t checkpoints = 0;
+};
+
+/// Samples the time until the next failure (hours), e.g. exponential(MTBF).
+using FailureSampler = std::function<double(Rng&)>;
+
+/// Runs one job to completion.  Errors: non-positive work/interval,
+/// negative costs, or a sampler returning non-positive gaps.
+Result<CheckpointSimResult> simulate_checkpointed_job(const CheckpointSimConfig& config,
+                                                      const FailureSampler& next_failure,
+                                                      Rng& rng);
+
+/// Convenience: memoryless failures with the given MTBF, averaged over
+/// `replications` runs (fresh failure stream each).  Errors as above.
+Result<CheckpointSimResult> simulate_checkpointed_job_exponential(
+    const CheckpointSimConfig& config, double mtbf_hours, Rng& rng,
+    std::size_t replications = 32);
+
+}  // namespace tsufail::ops

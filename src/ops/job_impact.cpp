@@ -1,0 +1,98 @@
+#include "ops/job_impact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace tsufail::ops {
+namespace {
+
+Result<void> validate(const JobMixSpec& spec, const data::FailureLog& log) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "job impact: empty log");
+  if (spec.jobs == 0)
+    return Error(ErrorKind::kDomain, "job impact: need at least one job");
+  if (spec.min_nodes < 1 || spec.max_nodes < spec.min_nodes ||
+      spec.max_nodes > log.spec().node_count)
+    return Error(ErrorKind::kDomain, "job impact: invalid node range");
+  if (!(spec.mean_duration_hours > 0.0))
+    return Error(ErrorKind::kDomain, "job impact: duration must be positive");
+  if (!(spec.checkpoint_interval_hours > 0.0) || spec.restart_cost_hours < 0.0)
+    return Error(ErrorKind::kDomain, "job impact: invalid checkpoint parameters");
+  return {};
+}
+
+}  // namespace
+
+Result<JobImpactResult> replay_job_impact(const data::FailureLog& log, const JobMixSpec& spec,
+                                          Rng& rng) {
+  if (auto ok = validate(spec, log); !ok.ok()) return ok.error();
+
+  // Per-node ascending failure times (hours since window start).
+  std::map<int, std::vector<double>> node_failures;
+  for (const auto& record : log.records()) {
+    node_failures[record.node].push_back(hours_between(log.spec().log_start, record.time));
+  }
+
+  const double window = log.spec().window_hours();
+  JobImpactResult result;
+  result.jobs = spec.jobs;
+
+  std::size_t total_hits = 0;
+  for (std::size_t j = 0; j < spec.jobs; ++j) {
+    // Node count log-uniform in [min, max]: small jobs common, big rare.
+    const double log_min = std::log(static_cast<double>(spec.min_nodes));
+    const double log_max = std::log(static_cast<double>(spec.max_nodes) + 1.0);
+    const int width = std::clamp(
+        static_cast<int>(std::exp(rng.uniform(log_min, log_max))), spec.min_nodes,
+        spec.max_nodes);
+    const double duration = std::max(0.1, rng.exponential(spec.mean_duration_hours));
+    const double start = rng.uniform(0.0, std::max(1e-9, window - duration));
+    const double end = start + duration;
+
+    // Contiguous node block starting at a random node (how schedulers
+    // typically allocate); wraps at the fleet edge.
+    const int first_node =
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(log.spec().node_count)));
+
+    // Earliest failure hitting any of the job's nodes during its run.
+    double first_hit = -1.0;
+    std::size_t hits = 0;
+    for (int k = 0; k < width; ++k) {
+      const int node = (first_node + k) % log.spec().node_count;
+      const auto it = node_failures.find(node);
+      if (it == node_failures.end()) continue;
+      auto lower = std::lower_bound(it->second.begin(), it->second.end(), start);
+      for (; lower != it->second.end() && *lower < end; ++lower) {
+        ++hits;
+        if (first_hit < 0.0 || *lower < first_hit) first_hit = *lower;
+      }
+    }
+    total_hits += hits;
+
+    result.total_node_hours += duration * width;
+    if (first_hit >= 0.0) {
+      ++result.interrupted_jobs;
+      const double elapsed = first_hit - start;
+      // Without checkpointing the whole partial run is redone.
+      result.lost_node_hours_no_ckpt += elapsed * width;
+      // With checkpointing only the last segment plus the restart is lost.
+      const double lost =
+          std::min(elapsed, spec.checkpoint_interval_hours) + spec.restart_cost_hours;
+      result.lost_node_hours_ckpt += lost * width;
+    }
+  }
+
+  result.interrupted_fraction =
+      static_cast<double>(result.interrupted_jobs) / static_cast<double>(result.jobs);
+  result.mean_hits_per_job =
+      static_cast<double>(total_hits) / static_cast<double>(result.jobs);
+  result.goodput_no_ckpt =
+      result.total_node_hours / (result.total_node_hours + result.lost_node_hours_no_ckpt);
+  result.goodput_ckpt =
+      result.total_node_hours / (result.total_node_hours + result.lost_node_hours_ckpt);
+  return result;
+}
+
+}  // namespace tsufail::ops

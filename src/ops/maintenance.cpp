@@ -1,0 +1,49 @@
+#include "ops/maintenance.h"
+
+#include <map>
+
+namespace tsufail::ops {
+
+Result<MaintenancePolicyResult> evaluate_quarantine_policy(const data::FailureLog& log,
+                                                           std::size_t threshold) {
+  if (threshold == 0)
+    return Error(ErrorKind::kDomain, "quarantine threshold must be >= 1");
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "evaluate_quarantine_policy: empty log");
+
+  MaintenancePolicyResult result;
+  result.threshold = threshold;
+
+  double total_downtime = 0.0;
+  std::map<int, std::size_t> seen;  // node -> failures so far (in time order)
+  for (const auto& record : log.records()) {
+    total_downtime += record.ttr_hours;
+    const std::size_t count = ++seen[record.node];
+    if (count == threshold) ++result.serviced_nodes;
+    if (count > threshold) {
+      ++result.avoided_failures;
+      result.avoided_downtime_hours += record.ttr_hours;
+    }
+  }
+  result.avoided_failure_percent =
+      100.0 * static_cast<double>(result.avoided_failures) / static_cast<double>(log.size());
+  result.avoided_downtime_percent =
+      total_downtime > 0.0 ? 100.0 * result.avoided_downtime_hours / total_downtime : 0.0;
+  return result;
+}
+
+Result<std::vector<MaintenancePolicyResult>> sweep_quarantine_policies(
+    const data::FailureLog& log, std::size_t max_threshold) {
+  if (max_threshold == 0)
+    return Error(ErrorKind::kDomain, "max_threshold must be >= 1");
+  std::vector<MaintenancePolicyResult> results;
+  results.reserve(max_threshold);
+  for (std::size_t threshold = 1; threshold <= max_threshold; ++threshold) {
+    auto result = evaluate_quarantine_policy(log, threshold);
+    if (!result.ok()) return result.error();
+    results.push_back(result.value());
+  }
+  return results;
+}
+
+}  // namespace tsufail::ops

@@ -1,0 +1,35 @@
+// Proactive-maintenance policy evaluation by log replay.
+//
+// The paper suggests operators act on spatial non-uniformity: repeat-
+// failure ("lemon") nodes concentrate a large share of failures, so
+// servicing a node after its k-th failure could avoid the rest.  This
+// module replays a log under a "quarantine after k failures" policy and
+// reports the avoidable failures and downtime — an upper bound, since it
+// assumes the serviced node never fails again.
+#pragma once
+
+#include <vector>
+
+#include "data/log.h"
+
+namespace tsufail::ops {
+
+struct MaintenancePolicyResult {
+  std::size_t threshold = 0;           ///< quarantine after this many failures
+  std::size_t serviced_nodes = 0;      ///< nodes that hit the threshold
+  std::size_t avoided_failures = 0;    ///< failures after the threshold
+  double avoided_failure_percent = 0;  ///< of all failures in the log
+  double avoided_downtime_hours = 0;   ///< their summed TTR
+  double avoided_downtime_percent = 0; ///< of all downtime
+};
+
+/// Evaluates "service a node after its `threshold`-th failure" against the
+/// log.  Errors: threshold == 0 or empty log.
+Result<MaintenancePolicyResult> evaluate_quarantine_policy(const data::FailureLog& log,
+                                                           std::size_t threshold);
+
+/// Sweeps thresholds 1..max_threshold (1 = replace on first failure).
+Result<std::vector<MaintenancePolicyResult>> sweep_quarantine_policies(
+    const data::FailureLog& log, std::size_t max_threshold = 6);
+
+}  // namespace tsufail::ops

@@ -1,0 +1,70 @@
+#include "ops/spares.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tsufail::ops {
+
+Result<SpareSimResult> simulate_spares(const data::FailureLog& log, data::Category category,
+                                       const SparePolicy& policy) {
+  const auto records = log.by_category(category);
+  if (records.empty())
+    return Error(ErrorKind::kDomain, "simulate_spares: no failures of category " +
+                                         std::string(data::to_string(category)));
+  if (!(policy.restock_lead_time_hours >= 0.0))
+    return Error(ErrorKind::kDomain, "simulate_spares: negative lead time");
+
+  SpareSimResult result;
+  result.demand_events = records.size();
+
+  std::size_t in_stock = policy.initial_spares;
+  // Restock arrival times (hours since window start), earliest first.
+  std::priority_queue<double, std::vector<double>, std::greater<>> arrivals;
+
+  for (const auto& record : records) {
+    const double now = hours_between(log.spec().log_start, record.time);
+    // Receive every restock that has arrived by now.
+    while (!arrivals.empty() && arrivals.top() <= now) {
+      arrivals.pop();
+      ++in_stock;
+    }
+    result.peak_outstanding = std::max(result.peak_outstanding, arrivals.size() + 1);
+
+    if (in_stock > 0) {
+      --in_stock;
+    } else {
+      ++result.stockouts;
+      // The repair waits for the earliest outstanding restock (or a fresh
+      // order if none is in flight).
+      const double available_at =
+          arrivals.empty() ? now + policy.restock_lead_time_hours : arrivals.top();
+      if (!arrivals.empty()) arrivals.pop();  // that unit is consumed on arrival
+      result.added_wait_hours_total += std::max(0.0, available_at - now);
+    }
+    // One-for-one replenishment: every consumption triggers an order.
+    arrivals.push(now + policy.restock_lead_time_hours);
+  }
+
+  result.stockout_probability =
+      static_cast<double>(result.stockouts) / static_cast<double>(result.demand_events);
+  if (result.stockouts > 0)
+    result.added_wait_hours_mean =
+        result.added_wait_hours_total / static_cast<double>(result.stockouts);
+  return result;
+}
+
+Result<std::size_t> recommend_spares(const data::FailureLog& log, data::Category category,
+                                     double target_stockout_probability,
+                                     double restock_lead_time_hours, std::size_t max_spares) {
+  if (!(target_stockout_probability >= 0.0 && target_stockout_probability <= 1.0))
+    return Error(ErrorKind::kDomain, "target stockout probability must be in [0,1]");
+  for (std::size_t spares = 0; spares <= max_spares; ++spares) {
+    auto sim = simulate_spares(log, category, {spares, restock_lead_time_hours});
+    if (!sim.ok()) return sim.error();
+    if (sim.value().stockout_probability <= target_stockout_probability) return spares;
+  }
+  return Error(ErrorKind::kDomain,
+               "even " + std::to_string(max_spares) + " spares cannot meet the target");
+}
+
+}  // namespace tsufail::ops

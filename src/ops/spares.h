@@ -1,0 +1,44 @@
+// Spare-parts provisioning simulation.
+//
+// The paper: "longer recovery times highlight the need for appropriate
+// spare provisioning of parts."  This module replays a failure log's
+// hardware events against a spare pool with a restock lead time and
+// reports stockouts and the extra waiting they would add, then searches
+// for the smallest pool meeting a target stockout probability.
+#pragma once
+
+#include <vector>
+
+#include "data/log.h"
+#include "util/rng.h"
+
+namespace tsufail::ops {
+
+struct SparePolicy {
+  std::size_t initial_spares = 2;
+  double restock_lead_time_hours = 336.0;  ///< 2 weeks procurement
+};
+
+struct SpareSimResult {
+  std::size_t demand_events = 0;      ///< hardware failures needing a part
+  std::size_t stockouts = 0;          ///< demands that found the pool empty
+  double stockout_probability = 0.0;
+  double added_wait_hours_total = 0.0;///< extra downtime while waiting
+  double added_wait_hours_mean = 0.0; ///< over stockout events
+  std::size_t peak_outstanding = 0;   ///< max parts simultaneously on order
+};
+
+/// Replays the category's failures against the pool.  Each failure
+/// consumes a spare at its failure time and triggers a restock order that
+/// arrives lead-time later.  Errors: no failures of that category.
+Result<SpareSimResult> simulate_spares(const data::FailureLog& log, data::Category category,
+                                       const SparePolicy& policy);
+
+/// Smallest initial pool with stockout probability <= target, searching
+/// 0..max_spares.  Errors: no failures of that category, or even
+/// max_spares cannot meet the target.
+Result<std::size_t> recommend_spares(const data::FailureLog& log, data::Category category,
+                                     double target_stockout_probability,
+                                     double restock_lead_time_hours, std::size_t max_spares = 64);
+
+}  // namespace tsufail::ops

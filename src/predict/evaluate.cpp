@@ -1,0 +1,88 @@
+#include "predict/evaluate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsufail::predict {
+
+Result<EvaluationReport> evaluate_predictor(const data::FailureLog& log,
+                                            NodeRiskPredictor& predictor,
+                                            double warmup_fraction, std::size_t top_k) {
+  if (log.empty())
+    return Error(ErrorKind::kDomain, "evaluate_predictor: empty log");
+  if (!(warmup_fraction >= 0.0 && warmup_fraction < 1.0))
+    return Error(ErrorKind::kDomain, "evaluate_predictor: warmup must be in [0,1)");
+  const auto node_count = static_cast<std::size_t>(log.spec().node_count);
+  if (top_k == 0 || top_k > node_count)
+    return Error(ErrorKind::kDomain, "evaluate_predictor: top_k must be in [1, node_count]");
+
+  predictor.reset();
+  const auto records = log.records();
+  const auto warmup_end = static_cast<std::size_t>(warmup_fraction *
+                                                   static_cast<double>(records.size()));
+
+  EvaluationReport report;
+  report.predictor = predictor.name();
+  report.top_k = top_k;
+  report.random_hit_rate = static_cast<double>(top_k) / static_cast<double>(node_count);
+
+  double hit_sum = 0.0;
+  double mrr_sum = 0.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    if (i >= warmup_end) {
+      // Query: rank `record.node` among all nodes by score at this time.
+      const double target = predictor.score(record.node, record.time);
+      std::size_t strictly_greater = 0;
+      std::size_t ties = 0;  // including the target node itself
+      for (int node = 0; node < log.spec().node_count; ++node) {
+        const double s = predictor.score(node, record.time);
+        if (s > target) ++strictly_greater;
+        else if (s == target) ++ties;
+      }
+      // Expected hit@k under random tie-breaking: the target competes for
+      // the remaining top-k slots with its tie group.
+      if (strictly_greater < top_k) {
+        const double slots = static_cast<double>(top_k - strictly_greater);
+        hit_sum += std::min(1.0, slots / static_cast<double>(ties));
+      }
+      // Expected rank = greater + (ties + 1) / 2.
+      const double expected_rank =
+          static_cast<double>(strictly_greater) + (static_cast<double>(ties) + 1.0) / 2.0;
+      mrr_sum += 1.0 / expected_rank;
+      ++report.queries;
+    }
+    predictor.observe(record);
+  }
+
+  if (report.queries == 0)
+    return Error(ErrorKind::kDomain, "evaluate_predictor: no post-warm-up queries");
+  report.hit_rate_at_k = hit_sum / static_cast<double>(report.queries);
+  report.mean_reciprocal_rank = mrr_sum / static_cast<double>(report.queries);
+  report.lift_at_k = report.hit_rate_at_k / report.random_hit_rate;
+  return report;
+}
+
+Result<std::vector<EvaluationReport>> compare_predictors(const data::FailureLog& log,
+                                                         double warmup_fraction,
+                                                         std::size_t top_k) {
+  std::vector<std::unique_ptr<NodeRiskPredictor>> predictors;
+  predictors.push_back(make_uniform_predictor());
+  predictors.push_back(make_count_predictor());
+  predictors.push_back(make_recency_predictor());
+  predictors.push_back(make_hybrid_predictor());
+
+  std::vector<EvaluationReport> reports;
+  for (auto& predictor : predictors) {
+    auto report = evaluate_predictor(log, *predictor, warmup_fraction, top_k);
+    if (!report.ok()) return report.error().with_context(predictor->name());
+    reports.push_back(report.value());
+  }
+  std::stable_sort(reports.begin(), reports.end(),
+                   [](const EvaluationReport& a, const EvaluationReport& b) {
+                     return a.hit_rate_at_k > b.hit_rate_at_k;
+                   });
+  return reports;
+}
+
+}  // namespace tsufail::predict

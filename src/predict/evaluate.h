@@ -1,0 +1,43 @@
+// Replay evaluation of node-risk predictors.
+//
+// Protocol: walk the log in time order; after a warm-up fraction, each
+// failure becomes a test query — just before it happens, rank all nodes
+// by predictor score and check where the actually-failing node landed.
+// Ties (very common: most nodes score 0) are handled by expectation over
+// random tie-breaking, so the uniform baseline correctly measures
+// hit@k = k / node_count instead of an artifact of sort order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/log.h"
+#include "predict/predictor.h"
+
+namespace tsufail::predict {
+
+struct EvaluationReport {
+  std::string predictor;
+  std::size_t queries = 0;          ///< post-warm-up failures evaluated
+  std::size_t top_k = 0;
+  double hit_rate_at_k = 0.0;       ///< expected fraction of queries hit
+  double mean_reciprocal_rank = 0.0;///< expected 1/rank of the failing node
+  double random_hit_rate = 0.0;     ///< k / node_count floor
+  double lift_at_k = 0.0;           ///< hit_rate / random_hit_rate
+};
+
+/// Evaluates one predictor on the log.
+/// Errors: empty log, warmup outside [0,1), top_k == 0 or > node count,
+/// or no post-warm-up queries.
+Result<EvaluationReport> evaluate_predictor(const data::FailureLog& log,
+                                            NodeRiskPredictor& predictor,
+                                            double warmup_fraction = 0.3,
+                                            std::size_t top_k = 20);
+
+/// Evaluates the built-in predictor family (uniform, count, recency,
+/// hybrid) under identical settings, sorted by descending hit rate.
+Result<std::vector<EvaluationReport>> compare_predictors(const data::FailureLog& log,
+                                                         double warmup_fraction = 0.3,
+                                                         std::size_t top_k = 20);
+
+}  // namespace tsufail::predict

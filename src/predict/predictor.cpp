@@ -1,0 +1,129 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.h"
+
+namespace tsufail::predict {
+namespace {
+
+class UniformPredictor final : public NodeRiskPredictor {
+ public:
+  std::string name() const override { return "uniform"; }
+  void observe(const data::FailureRecord&) override {}
+  double score(int, TimePoint) const override { return 0.0; }
+  void reset() override {}
+};
+
+class CountPredictor final : public NodeRiskPredictor {
+ public:
+  std::string name() const override { return "count"; }
+  void observe(const data::FailureRecord& record) override { ++counts_[record.node]; }
+  double score(int node, TimePoint) const override {
+    const auto it = counts_.find(node);
+    return it == counts_.end() ? 0.0 : static_cast<double>(it->second);
+  }
+  void reset() override { counts_.clear(); }
+
+ private:
+  std::map<int, std::size_t> counts_;
+};
+
+class RecencyPredictor final : public NodeRiskPredictor {
+ public:
+  explicit RecencyPredictor(double tau_hours) : tau_hours_(tau_hours) {
+    TSUFAIL_REQUIRE(tau_hours > 0.0, "recency predictor tau must be positive");
+  }
+
+  std::string name() const override {
+    return "recency(tau=" + std::to_string(static_cast<int>(tau_hours_)) + "h)";
+  }
+
+  void observe(const data::FailureRecord& record) override {
+    // Fold the new event into the decayed intensity:
+    //   I(t) = I(t_prev) * exp(-(t - t_prev)/tau) + 1.
+    auto& state = intensity_[record.node];
+    state.value = state.value * decay(state.last, record.time) + 1.0;
+    state.last = record.time;
+  }
+
+  double score(int node, TimePoint now) const override {
+    const auto it = intensity_.find(node);
+    if (it == intensity_.end()) return 0.0;
+    return it->second.value * decay(it->second.last, now);
+  }
+
+  void reset() override { intensity_.clear(); }
+
+ private:
+  struct State {
+    double value = 0.0;
+    TimePoint last;
+  };
+
+  double decay(TimePoint from, TimePoint to) const {
+    const double dt = hours_between(from, to);
+    return dt <= 0.0 ? 1.0 : std::exp(-dt / tau_hours_);
+  }
+
+  double tau_hours_;
+  std::map<int, State> intensity_;
+};
+
+class HybridPredictor final : public NodeRiskPredictor {
+ public:
+  HybridPredictor(double tau_hours, double alpha)
+      : recency_(tau_hours), alpha_(alpha) {
+    TSUFAIL_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "hybrid alpha must be in [0,1]");
+  }
+
+  std::string name() const override { return "hybrid"; }
+
+  void observe(const data::FailureRecord& record) override {
+    count_.observe(record);
+    recency_.observe(record);
+    max_count_ = std::max(max_count_, count_.score(record.node, record.time));
+  }
+
+  double score(int node, TimePoint now) const override {
+    // Normalize the unbounded count by the fleet's current maximum so the
+    // two components live on comparable scales; recency is already <= a
+    // few units for realistic streams.
+    const double count = max_count_ > 0.0 ? count_.score(node, now) / max_count_ : 0.0;
+    return alpha_ * count + (1.0 - alpha_) * recency_.score(node, now);
+  }
+
+  void reset() override {
+    count_.reset();
+    recency_.reset();
+    max_count_ = 0.0;
+  }
+
+ private:
+  CountPredictor count_;
+  RecencyPredictor recency_;
+  double alpha_;
+  double max_count_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeRiskPredictor> make_uniform_predictor() {
+  return std::make_unique<UniformPredictor>();
+}
+
+std::unique_ptr<NodeRiskPredictor> make_count_predictor() {
+  return std::make_unique<CountPredictor>();
+}
+
+std::unique_ptr<NodeRiskPredictor> make_recency_predictor(double tau_hours) {
+  return std::make_unique<RecencyPredictor>(tau_hours);
+}
+
+std::unique_ptr<NodeRiskPredictor> make_hybrid_predictor(double tau_hours, double alpha) {
+  return std::make_unique<HybridPredictor>(tau_hours, alpha);
+}
+
+}  // namespace tsufail::predict

@@ -1,0 +1,57 @@
+// Node-level failure-risk predictors.
+//
+// The paper closes RQ5 with: "lowering the time to recovery requires ...
+// leveraging failure prediction to initiate recovery proactively where
+// possible."  This module provides the online predictors that make that
+// actionable at the node granularity the study exposes: given everything
+// observed so far, score every node's risk of failing next.  Predictors
+// are deliberately simple, transparent baselines (the fleet sizes here do
+// not support deep models): failure counts, recency-decayed intensity,
+// and a hybrid — plus a uniform strawman for lift computation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+namespace tsufail::predict {
+
+/// Online risk scorer.  observe() is called for every failure in time
+/// order; score() may be called between observations for any node.
+class NodeRiskPredictor {
+ public:
+  virtual ~NodeRiskPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Ingests one failure (records arrive in non-decreasing time order).
+  virtual void observe(const data::FailureRecord& record) = 0;
+
+  /// Risk score of `node` at `now`; higher = more likely to fail next.
+  /// Scores only need to be comparable across nodes at one instant.
+  virtual double score(int node, TimePoint now) const = 0;
+
+  /// Resets all learned state.
+  virtual void reset() = 0;
+};
+
+/// Uniform baseline: every node equally risky (defines the random-guess
+/// floor that lift is measured against).
+std::unique_ptr<NodeRiskPredictor> make_uniform_predictor();
+
+/// Lifetime failure count per node ("lemon list").
+std::unique_ptr<NodeRiskPredictor> make_count_predictor();
+
+/// Exponentially-decayed failure intensity per node:
+/// score = sum_i exp(-(now - t_i) / tau).  Small tau reacts to bursts,
+/// large tau approaches the count predictor.
+std::unique_ptr<NodeRiskPredictor> make_recency_predictor(double tau_hours = 24.0 * 14);
+
+/// Blend of count and recency: alpha * normalized-count + (1 - alpha) *
+/// normalized-recency.  Precondition: 0 <= alpha <= 1.
+std::unique_ptr<NodeRiskPredictor> make_hybrid_predictor(double tau_hours = 24.0 * 14,
+                                                         double alpha = 0.5);
+
+}  // namespace tsufail::predict

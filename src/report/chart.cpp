@@ -1,0 +1,98 @@
+#include "report/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tsufail::report {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+}  // namespace
+
+std::string render_cdf_chart(const std::vector<Series>& series, std::size_t width,
+                             std::size_t height, const std::string& x_label,
+                             const std::string& y_label) {
+  if (series.empty()) return "(no series)\n";
+  double x_min = 0.0, x_max = 0.0, y_max = 1.0;
+  bool first = true;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (first) {
+        x_min = x_max = x;
+        first = false;
+      }
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (first) return "(empty series)\n";
+  if (x_max == x_min) x_max = x_min + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& [x, y] : series[si].points) {
+      const auto col = static_cast<std::size_t>(
+          std::round((x - x_min) / (x_max - x_min) * static_cast<double>(width - 1)));
+      const auto row_from_bottom =
+          static_cast<std::size_t>(std::round(y / y_max * static_cast<double>(height - 1)));
+      grid[height - 1 - row_from_bottom][col] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!y_label.empty()) out += y_label + "\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    char axis[16];
+    const double y_val =
+        y_max * static_cast<double>(height - 1 - r) / static_cast<double>(height - 1);
+    std::snprintf(axis, sizeof(axis), "%5.2f |", y_val);
+    out += axis;
+    out += grid[r];
+    out += '\n';
+  }
+  out += "      +";
+  out.append(width, '-');
+  out += '\n';
+  char ends[80];
+  std::snprintf(ends, sizeof(ends), "       %-12.6g%*s%.6g", x_min,
+                static_cast<int>(width) - 18, "", x_max);
+  out += ends;
+  if (!x_label.empty()) out += "  (" + x_label + ")";
+  out += '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += "       ";
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += " = " + series[si].name + "\n";
+  }
+  return out;
+}
+
+std::string render_bar_chart(const std::vector<Bar>& bars, std::size_t width, int decimals) {
+  if (bars.empty()) return "(no bars)\n";
+  std::size_t label_width = 0;
+  double max_value = 0.0;
+  for (const auto& bar : bars) {
+    label_width = std::max(label_width, bar.label.size());
+    max_value = std::max(max_value, bar.value);
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::string out;
+  for (const auto& bar : bars) {
+    char prefix[96];
+    std::snprintf(prefix, sizeof(prefix), "%-*s  %8.*f |", static_cast<int>(label_width),
+                  bar.label.c_str(), decimals, bar.value);
+    out += prefix;
+    const auto filled =
+        static_cast<std::size_t>(std::round(bar.value / max_value * static_cast<double>(width)));
+    out.append(filled, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tsufail::report

@@ -1,0 +1,36 @@
+// ASCII charts: CDF step plots (Figures 6, 9) and horizontal bar charts
+// (Figures 2, 3, 5, 12) rendered as terminal text.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsufail::report {
+
+/// One named series of (x, y) points for a line/CDF plot.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders step-ish line series on a character grid with axes.  y is
+/// assumed to span [0, 1] for CDFs unless the data exceeds it.
+/// Multiple series use distinct glyphs ('*', 'o', '+', 'x', ...).
+std::string render_cdf_chart(const std::vector<Series>& series, std::size_t width = 72,
+                             std::size_t height = 20, const std::string& x_label = "",
+                             const std::string& y_label = "");
+
+/// One labelled bar.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Renders a horizontal bar chart scaled to the maximum value, e.g.
+///   GPU       44.37 |##############################
+///   FAN       10.00 |#######
+std::string render_bar_chart(const std::vector<Bar>& bars, std::size_t width = 48,
+                             int decimals = 2);
+
+}  // namespace tsufail::report

@@ -1,0 +1,26 @@
+// CSV export of figure series, so a user can replot the reproduction with
+// any external tool.  Each bench writes one CSV per figure into an output
+// directory (default "figures/", created on demand).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::report {
+
+/// A rectangular data set destined for one CSV file.
+struct FigureData {
+  std::string name;                            ///< file stem, e.g. "fig06_tbf_cdf"
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Writes `figure` as <directory>/<name>.csv, creating the directory.
+Result<void> export_figure(const FigureData& figure, const std::string& directory = "figures");
+
+/// Builds a row of already-formatted cells (convenience for benches).
+std::vector<std::string> row(std::initializer_list<std::string> cells);
+
+}  // namespace tsufail::report

@@ -1,0 +1,29 @@
+// Full markdown study report generation.
+//
+// Renders a StudyReport (everything the paper measures) plus the
+// extension analyses as a single self-contained markdown document — the
+// artifact an operations team would attach to a quarterly review, and
+// the `tsufail report` subcommand's output.
+#pragma once
+
+#include <string>
+
+#include "analysis/study.h"
+#include "data/log.h"
+
+namespace tsufail::report {
+
+struct MarkdownOptions {
+  std::string title;               ///< empty = derived from the machine name
+  bool include_extensions = true;  ///< survival / trends / racks sections
+  std::size_t top_categories = 20;
+  std::size_t top_loci = 10;
+};
+
+/// Renders the full study as markdown.  Runs the extension analyzers
+/// itself (they need the log, not just the StudyReport).
+/// Errors: empty log or a failing core analysis.
+Result<std::string> render_markdown_report(const data::FailureLog& log,
+                                           const MarkdownOptions& options = {});
+
+}  // namespace tsufail::report

@@ -1,0 +1,67 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tsufail::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  alignment_.assign(headers_.size(), Align::kLeft);
+}
+
+void Table::set_alignment(std::vector<Align> alignment) {
+  alignment.resize(headers_.size(), Align::kLeft);
+  alignment_ = std::move(alignment);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t c) {
+    std::string out;
+    const std::size_t fill = widths[c] - text.size();
+    if (alignment_[c] == Align::kRight) out.append(fill, ' ');
+    out += text;
+    if (alignment_[c] == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out += pad(headers_[c], c);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) out += "  ";
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += "  ";
+      out += pad(row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double value, int decimals) { return fmt(value, decimals) + "%"; }
+
+}  // namespace tsufail::report

@@ -1,0 +1,46 @@
+// Plain-text table rendering for bench output and examples.
+//
+// Benches print the same rows the paper's tables/figures report; this
+// renderer keeps them aligned and readable in a terminal without any
+// plotting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsufail::report {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  /// Creates a table with the given column headers (left-aligned by
+  /// default; numeric columns typically set Align::kRight).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets per-column alignment; missing entries default to kLeft.
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, e.g.
+  ///   Category   Count  Share
+  ///   ---------  -----  ------
+  ///   GPU          398  44.37%
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers used across benches.
+std::string fmt(double value, int decimals = 2);
+std::string fmt_percent(double value, int decimals = 2);
+
+}  // namespace tsufail::report

@@ -1,0 +1,237 @@
+#include "sim/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "sim/placement.h"
+#include "util/rng.h"
+
+namespace tsufail::sim {
+namespace {
+
+/// Splits `total` into integer parts proportional to `weights`
+/// (largest-remainder rounding, so parts sum to exactly `total`).
+std::vector<std::size_t> apportion(std::size_t total, std::span<const double> weights) {
+  const double weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<std::size_t> parts(weights.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;  // (fraction, index)
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double exact = static_cast<double>(total) * weights[i] / weight_sum;
+    parts[i] = static_cast<std::size_t>(std::floor(exact));
+    assigned += parts[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; assigned < total; ++k, ++assigned) {
+    ++parts[remainders[k % remainders.size()].second];
+  }
+  return parts;
+}
+
+/// Node chooser implementing the heterogeneous (gamma) node hazard with
+/// an optional rack-level multiplier.
+class NodePicker {
+ public:
+  NodePicker(const MachineModel& model, Rng& rng) : node_count_(model.spec.node_count) {
+    const double node_shape = model.node_hazard.gamma_shape;
+    const double rack_shape = model.node_hazard.rack_gamma_shape;
+    heterogeneous_ = model.knobs.enable_node_heterogeneity &&
+                     (node_shape > 0.0 || rack_shape > 0.0);
+    if (!heterogeneous_) return;
+
+    std::vector<double> rack_factor(static_cast<std::size_t>(model.spec.rack_count()), 1.0);
+    if (rack_shape > 0.0) {
+      // Mean-1 multipliers so rack structure perturbs, not rescales.
+      for (auto& f : rack_factor) f = rng.gamma(rack_shape, 1.0 / rack_shape) + 1e-12;
+    }
+    std::vector<double> weights(static_cast<std::size_t>(node_count_));
+    for (int node = 0; node < node_count_; ++node) {
+      const double base = node_shape > 0.0 ? rng.gamma(node_shape, 1.0) + 1e-12 : 1.0;
+      weights[static_cast<std::size_t>(node)] =
+          base * rack_factor[static_cast<std::size_t>(model.spec.rack_of(node))];
+    }
+    sampler_ = DiscreteSampler::create(weights).value();
+  }
+
+  int pick(bool hazard_affinity, Rng& rng) const {
+    if (heterogeneous_ && hazard_affinity)
+      return static_cast<int>(sampler_->sample(rng));
+    return static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(node_count_)));
+  }
+
+ private:
+  int node_count_;
+  bool heterogeneous_ = false;
+  std::optional<DiscreteSampler> sampler_;
+};
+
+/// Samples `k` distinct slots weighted by `weights` (sequential weighted
+/// sampling without replacement).
+std::vector<int> sample_slots(std::size_t k, std::span<const double> weights, bool weighted,
+                              Rng& rng) {
+  std::vector<double> remaining(weights.begin(), weights.end());
+  if (!weighted) std::fill(remaining.begin(), remaining.end(), 1.0);
+  std::vector<int> slots;
+  slots.reserve(k);
+  for (std::size_t draw = 0; draw < k; ++draw) {
+    const double total = std::accumulate(remaining.begin(), remaining.end(), 0.0);
+    double target = rng.uniform() * total;
+    std::size_t chosen = remaining.size() - 1;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (remaining[i] <= 0.0) continue;
+      target -= remaining[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    slots.push_back(static_cast<int>(chosen));
+    remaining[chosen] = 0.0;
+  }
+  std::sort(slots.begin(), slots.end());
+  return slots;
+}
+
+/// Draws a repair time honoring the seasonal multiplier and the hard cap.
+/// The cap applies to the final value (it models "the longest repair the
+/// paper reports"), so the multiplier is folded in before resampling.
+double sample_ttr(const RepairModel& repair, double month_multiplier, Rng& rng) {
+  double ttr = 0.0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    ttr = rng.lognormal(repair.ttr.mu_log, repair.ttr.sigma_log) * month_multiplier;
+    if (repair.cap_hours <= 0.0 || ttr <= repair.cap_hours) break;
+    ttr = repair.cap_hours;  // kept if every resample exceeds the cap
+  }
+  return ttr;
+}
+
+class LocusSampler {
+ public:
+  LocusSampler(const std::vector<RootLocusEntry>& vocabulary, Rng&) {
+    if (vocabulary.empty()) return;
+    std::vector<double> weights;
+    weights.reserve(vocabulary.size());
+    for (const auto& entry : vocabulary) {
+      labels_.push_back(entry.label);
+      weights.push_back(entry.weight);
+    }
+    sampler_ = DiscreteSampler::create(weights).value();
+  }
+
+  bool enabled() const noexcept { return !labels_.empty(); }
+
+  std::string sample(Rng& rng) const { return labels_[sampler_->sample(rng)]; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::optional<DiscreteSampler> sampler_;
+};
+
+}  // namespace
+
+Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t seed) {
+  if (auto valid = validate_model(model); !valid.ok()) return valid.error();
+
+  const auto flat_intensity = std::array<double, 12>{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  auto grid = MonthGrid::create(
+      model.spec, model.knobs.enable_seasonal ? model.seasonal.failure_intensity
+                                              : flat_intensity);
+  if (!grid.ok()) return grid.error();
+
+  Rng root(seed);
+  NodePicker nodes(model, root);
+  LocusSampler loci(model.software_loci, root);
+
+  // Per-category event counts (largest-remainder keeps the exact total).
+  std::vector<double> shares;
+  shares.reserve(model.categories.size());
+  for (const auto& cat : model.categories) shares.push_back(cat.share_percent);
+  const auto counts = apportion(model.total_failures, shares);
+
+  std::vector<data::FailureRecord> records;
+  records.reserve(model.total_failures);
+
+  const auto month_of = [&](double hours) {
+    return model.spec.log_start.plus_hours(hours).month();  // 1..12
+  };
+  const auto ttr_multiplier = [&](double hours) {
+    if (!model.knobs.enable_seasonal) return 1.0;
+    return model.seasonal.ttr_multiplier[static_cast<std::size_t>(month_of(hours) - 1)];
+  };
+
+  for (std::size_t ci = 0; ci < model.categories.size(); ++ci) {
+    const CategoryModel& cat = model.categories[ci];
+    const std::size_t count = counts[ci];
+    if (count == 0) continue;
+    Rng rng = root.fork(ci + 1);
+
+    const bool is_gpu_hw = cat.category == data::Category::kGpu;
+
+    // --- Event-time placement -----------------------------------------
+    std::vector<double> times;
+    std::vector<std::vector<int>> slot_lists(count);  // empty = unattributed
+
+    if (is_gpu_hw) {
+      // Split GPU hardware failures into attributed single-GPU,
+      // attributed multi-GPU (bursty, Figure 8), and unattributed.
+      const auto attributed = static_cast<std::size_t>(
+          std::lround(model.gpu.attribution_probability * static_cast<double>(count)));
+      const auto involvement = apportion(attributed, model.gpu.involvement_weights);
+
+      std::size_t multi_total = 0;
+      for (std::size_t k = 1; k < involvement.size(); ++k) multi_total += involvement[k];
+      const std::size_t single_total = count - multi_total;
+
+      const bool burst_multi = model.knobs.enable_bursts && model.gpu.cluster_multi_gpu_in_time;
+      std::vector<double> single_times = grid.value().sample_iid(single_total, rng);
+      std::vector<double> multi_times =
+          burst_multi ? grid.value().sample_bursty(multi_total, model.gpu.multi_gpu_burst, rng)
+                      : grid.value().sample_iid(multi_total, rng);
+
+      // Assemble: attributed singles first, then unattributed singles,
+      // then multis; slot lists align by index.
+      times.reserve(count);
+      std::size_t index = 0;
+      const std::size_t attributed_singles = involvement.empty() ? 0 : involvement[0];
+      for (std::size_t i = 0; i < single_total; ++i, ++index) {
+        times.push_back(single_times[i]);
+        if (i < attributed_singles)
+          slot_lists[index] = sample_slots(1, model.gpu.slot_weights,
+                                           model.knobs.enable_slot_weights, rng);
+      }
+      std::size_t multi_index = 0;
+      for (std::size_t k = 1; k < involvement.size(); ++k) {
+        for (std::size_t i = 0; i < involvement[k]; ++i, ++index, ++multi_index) {
+          times.push_back(multi_times[multi_index]);
+          slot_lists[index] = sample_slots(k + 1, model.gpu.slot_weights,
+                                           model.knobs.enable_slot_weights, rng);
+        }
+      }
+    } else if (cat.arrival == ArrivalKind::kBursty && model.knobs.enable_bursts) {
+      times = grid.value().sample_bursty(count, cat.burst, rng);
+    } else {
+      times = grid.value().sample_iid(count, rng);
+    }
+
+    // --- Record assembly ------------------------------------------------
+    const bool software = data::classify(cat.category) == data::FailureClass::kSoftware;
+    for (std::size_t i = 0; i < count; ++i) {
+      data::FailureRecord record;
+      record.time = model.spec.log_start.plus_hours(times[i]);
+      record.category = cat.category;
+      record.node = nodes.pick(cat.hazard_affinity, rng);
+      record.ttr_hours = sample_ttr(cat.repair, ttr_multiplier(times[i]), rng);
+      record.gpu_slots = std::move(slot_lists[i]);
+      if (software && loci.enabled()) record.root_locus = loci.sample(rng);
+      records.push_back(std::move(record));
+    }
+  }
+
+  return data::FailureLog::create(model.spec, std::move(records), /*slack_hours=*/1.0);
+}
+
+}  // namespace tsufail::sim

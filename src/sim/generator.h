@@ -1,0 +1,19 @@
+// fleetsim: turns a MachineModel into a synthetic FailureLog.
+//
+// Generation is fully deterministic in (model, seed): each category draws
+// from its own forked RNG stream, so editing one category's recipe never
+// perturbs another's sample — a property the calibration tests rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "data/log.h"
+#include "sim/models.h"
+
+namespace tsufail::sim {
+
+/// Generates a synthetic failure log from the model.
+/// Errors: invalid model (see validate_model) or degenerate window.
+Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t seed);
+
+}  // namespace tsufail::sim

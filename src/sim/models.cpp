@@ -1,0 +1,88 @@
+#include "sim/models.h"
+
+#include <cmath>
+
+namespace tsufail::sim {
+namespace {
+
+Result<void> check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    return Error(ErrorKind::kValidation, std::string(what) + " must be in [0,1]");
+  return {};
+}
+
+Result<void> check_positive(double x, const char* what) {
+  if (!(x > 0.0) || !std::isfinite(x))
+    return Error(ErrorKind::kValidation, std::string(what) + " must be positive and finite");
+  return {};
+}
+
+}  // namespace
+
+Result<void> validate_model(const MachineModel& model) {
+  if (model.total_failures == 0)
+    return Error(ErrorKind::kValidation, "total_failures must be positive");
+  if (model.categories.empty())
+    return Error(ErrorKind::kValidation, "model has no categories");
+
+  double share_sum = 0.0;
+  for (const auto& cat : model.categories) {
+    if (!data::valid_for(cat.category, model.spec.machine))
+      return Error(ErrorKind::kValidation,
+                   "category '" + std::string(data::to_string(cat.category)) +
+                       "' is not in the " + model.spec.name + " vocabulary");
+    if (!(cat.share_percent >= 0.0))
+      return Error(ErrorKind::kValidation, "negative category share");
+    share_sum += cat.share_percent;
+    if (auto ok = check_positive(cat.repair.ttr.sigma_log, "repair sigma_log"); !ok.ok())
+      return ok.error().with_context(std::string(data::to_string(cat.category)));
+    if (cat.repair.cap_hours < 0.0)
+      return Error(ErrorKind::kValidation, "negative repair cap");
+    if (cat.arrival == ArrivalKind::kBursty) {
+      if (!(cat.burst.mean_cluster_size >= 1.0))
+        return Error(ErrorKind::kValidation, "burst mean_cluster_size must be >= 1");
+      if (auto ok = check_positive(cat.burst.cluster_spread_hours, "burst spread"); !ok.ok())
+        return ok.error();
+    }
+  }
+  if (std::abs(share_sum - 100.0) > 0.5)
+    return Error(ErrorKind::kValidation,
+                 "category shares sum to " + std::to_string(share_sum) + ", expected ~100");
+
+  if (!std::isfinite(model.node_hazard.gamma_shape))
+    return Error(ErrorKind::kValidation, "node hazard gamma_shape must be finite");
+  if (!std::isfinite(model.node_hazard.rack_gamma_shape))
+    return Error(ErrorKind::kValidation, "rack hazard gamma_shape must be finite");
+  if (model.node_hazard.rack_gamma_shape > 0.0 && model.spec.nodes_per_rack <= 0)
+    return Error(ErrorKind::kValidation,
+                 "rack hazard requires nodes_per_rack in the machine spec");
+
+  const auto slots = static_cast<std::size_t>(model.spec.gpus_per_node);
+  if (model.gpu.slot_weights.size() != slots)
+    return Error(ErrorKind::kValidation, "slot_weights size must equal gpus_per_node");
+  if (model.gpu.involvement_weights.empty() || model.gpu.involvement_weights.size() > slots)
+    return Error(ErrorKind::kValidation,
+                 "involvement_weights must have 1..gpus_per_node entries");
+  for (double w : model.gpu.slot_weights)
+    if (!(w >= 0.0)) return Error(ErrorKind::kValidation, "negative slot weight");
+  for (double w : model.gpu.involvement_weights)
+    if (!(w >= 0.0)) return Error(ErrorKind::kValidation, "negative involvement weight");
+  if (auto ok = check_probability(model.gpu.attribution_probability, "attribution_probability");
+      !ok.ok())
+    return ok;
+
+  for (double w : model.seasonal.failure_intensity)
+    if (!(w > 0.0)) return Error(ErrorKind::kValidation, "failure intensity must be positive");
+  for (double w : model.seasonal.ttr_multiplier)
+    if (!(w > 0.0)) return Error(ErrorKind::kValidation, "TTR multiplier must be positive");
+
+  for (const auto& locus : model.software_loci) {
+    if (locus.label.empty())
+      return Error(ErrorKind::kValidation, "empty root-locus label");
+    if (!(locus.weight > 0.0))
+      return Error(ErrorKind::kValidation, "root-locus weight must be positive");
+  }
+  return {};
+}
+
+}  // namespace tsufail::sim

@@ -1,0 +1,84 @@
+#include "sim/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsufail::sim {
+
+Result<MonthGrid> MonthGrid::create(const data::MachineSpec& spec,
+                                    const std::array<double, 12>& intensity) {
+  if (!(spec.log_end > spec.log_start))
+    return Error(ErrorKind::kValidation, "MonthGrid: empty observation window");
+  for (double w : intensity) {
+    if (!(w > 0.0) || !std::isfinite(w))
+      return Error(ErrorKind::kValidation, "MonthGrid: intensities must be positive");
+  }
+
+  MonthGrid grid;
+  grid.window_hours_ = hours_between(spec.log_start, spec.log_end);
+
+  // Walk month boundaries from the window start.
+  std::vector<double> weights;
+  TimePoint cursor = spec.log_start;
+  while (cursor < spec.log_end) {
+    const CivilDateTime civil = cursor.to_civil();
+    // First instant of the next month.
+    CivilDateTime next{civil.year, civil.month, 1, 0, 0, 0};
+    if (++next.month > 12) {
+      next.month = 1;
+      ++next.year;
+    }
+    TimePoint month_end = TimePoint::from_civil(next);
+    if (month_end > spec.log_end) month_end = spec.log_end;
+
+    Segment segment;
+    segment.start_hours = hours_between(spec.log_start, cursor);
+    segment.length_hours = hours_between(cursor, month_end);
+    grid.segments_.push_back(segment);
+    weights.push_back(intensity[static_cast<std::size_t>(civil.month - 1)] *
+                      segment.length_hours);
+    cursor = month_end;
+  }
+
+  auto sampler = DiscreteSampler::create(weights);
+  if (!sampler.ok()) return sampler.error().with_context("MonthGrid");
+  grid.segment_sampler_ = std::move(sampler.value());
+  return grid;
+}
+
+double MonthGrid::sample_hours(Rng& rng) const {
+  const Segment& segment = segments_[segment_sampler_.sample(rng)];
+  return segment.start_hours + rng.uniform() * segment.length_hours;
+}
+
+std::vector<double> MonthGrid::sample_iid(std::size_t count, Rng& rng) const {
+  std::vector<double> hours(count);
+  for (auto& h : hours) h = sample_hours(rng);
+  std::sort(hours.begin(), hours.end());
+  return hours;
+}
+
+std::vector<double> MonthGrid::sample_bursty(std::size_t count, const BurstParams& burst,
+                                             Rng& rng) const {
+  std::vector<double> hours;
+  hours.reserve(count);
+  while (hours.size() < count) {
+    const double center = sample_hours(rng);
+    // Cluster size ~ 1 + Poisson(mean - 1), so every cluster has >= 1 event.
+    const std::size_t cluster =
+        1 + static_cast<std::size_t>(rng.poisson(burst.mean_cluster_size - 1.0));
+    for (std::size_t i = 0; i < cluster && hours.size() < count; ++i) {
+      double h = center + rng.exponential(burst.cluster_spread_hours);
+      if (h > window_hours_) {
+        // Reflect past-the-end offsets back inside the window.
+        h = window_hours_ - (h - window_hours_);
+        h = std::clamp(h, 0.0, window_hours_);
+      }
+      hours.push_back(h);
+    }
+  }
+  std::sort(hours.begin(), hours.end());
+  return hours;
+}
+
+}  // namespace tsufail::sim

@@ -1,0 +1,57 @@
+// Temporal placement of synthetic failure events.
+//
+// MonthGrid decomposes the observation window into calendar-month segments
+// weighted by a seasonal intensity profile; sampling an event time is then
+// (weighted segment choice, uniform within segment), which is exactly
+// drawing i.i.d. points from a piecewise-constant non-homogeneous Poisson
+// intensity conditioned on the total count.  Burst placement implements a
+// Neyman-Scott cluster process on top: cluster centers are drawn from the
+// same intensity, children spread exponentially around their center.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "data/machine.h"
+#include "sim/models.h"
+#include "util/rng.h"
+
+namespace tsufail::sim {
+
+class MonthGrid {
+ public:
+  /// Builds the month segmentation of [spec.log_start, spec.log_end],
+  /// weighting each segment by intensity[month-1] * segment length.
+  /// Errors: empty window or non-positive intensities.
+  static Result<MonthGrid> create(const data::MachineSpec& spec,
+                                  const std::array<double, 12>& intensity);
+
+  double window_hours() const noexcept { return window_hours_; }
+
+  /// One i.i.d. event time, in hours since the window start.
+  double sample_hours(Rng& rng) const;
+
+  /// `count` i.i.d. event times, ascending.
+  std::vector<double> sample_iid(std::size_t count, Rng& rng) const;
+
+  /// `count` event times from a Neyman-Scott cluster process, ascending.
+  /// Cluster centers are i.i.d. from the intensity; each event offsets its
+  /// center by +Exp(spread).  Offsets falling past the window end are
+  /// reflected back inside so calibration counts are preserved.
+  std::vector<double> sample_bursty(std::size_t count, const BurstParams& burst, Rng& rng) const;
+
+ private:
+  struct Segment {
+    double start_hours = 0.0;  ///< since window start
+    double length_hours = 0.0;
+  };
+
+  MonthGrid() = default;
+
+  std::vector<Segment> segments_;
+  DiscreteSampler segment_sampler_{
+      DiscreteSampler::create(std::vector<double>{1.0}).value()};
+  double window_hours_ = 0.0;
+};
+
+}  // namespace tsufail::sim

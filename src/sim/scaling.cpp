@@ -1,0 +1,77 @@
+#include "sim/scaling.h"
+
+#include <cmath>
+
+namespace tsufail::sim {
+
+Result<MachineModel> scale_gpu_density(const MachineModel& base, int gpus_per_node,
+                                       InvolvementRegime regime) {
+  if (gpus_per_node < 1)
+    return Error(ErrorKind::kDomain, "scale_gpu_density: need at least one GPU per node");
+
+  MachineModel m = base;
+  m.spec.name = base.spec.name + "-x" + std::to_string(gpus_per_node) + "gpu";
+  m.spec.gpus_per_node = gpus_per_node;
+
+  // GPU share scales with the card count; everything else renormalizes.
+  const double gpu_scale =
+      static_cast<double>(gpus_per_node) / static_cast<double>(base.spec.gpus_per_node);
+  double old_gpu_share = -1.0;
+  for (auto& category : m.categories) {
+    if (category.category == data::Category::kGpu) {
+      old_gpu_share = category.share_percent;
+      category.share_percent = std::min(95.0, category.share_percent * gpu_scale);
+    }
+  }
+  if (old_gpu_share < 0.0)
+    return Error(ErrorKind::kDomain, "scale_gpu_density: base model has no GPU category");
+  double new_gpu_share = 0.0;
+  double other_total = 0.0;
+  for (const auto& category : m.categories) {
+    if (category.category == data::Category::kGpu) new_gpu_share = category.share_percent;
+    else other_total += category.share_percent;
+  }
+  const double rescale = (100.0 - new_gpu_share) / other_total;
+  for (auto& category : m.categories) {
+    if (category.category != data::Category::kGpu) category.share_percent *= rescale;
+  }
+  // Failure volume grows with the extra GPU failure mass.
+  m.total_failures = static_cast<std::size_t>(std::lround(
+      static_cast<double>(base.total_failures) *
+      (1.0 + (new_gpu_share - old_gpu_share) / 100.0)));
+  m.total_failures = std::max<std::size_t>(m.total_failures, 1);
+
+  // Outer slots hotter, inner uniform — the Figure 5b pattern extended.
+  m.gpu.slot_weights.assign(static_cast<std::size_t>(gpus_per_node), 0.9);
+  m.gpu.slot_weights.front() = 1.6;
+  m.gpu.slot_weights.back() = 1.6;
+
+  m.gpu.involvement_weights.assign(static_cast<std::size_t>(gpus_per_node), 0.0);
+  if (regime == InvolvementRegime::kCorrelated) {
+    // Tsubame-2 regime: most failures touch 2-3 cards.
+    m.gpu.involvement_weights[0] = 30.0;
+    if (gpus_per_node >= 2) m.gpu.involvement_weights[1] = 35.0;
+    if (gpus_per_node >= 3) m.gpu.involvement_weights[2] = 35.0;
+    else m.gpu.involvement_weights[0] += 35.0;  // fold unusable mass back
+  } else {
+    m.gpu.involvement_weights[0] = 92.6;
+    if (gpus_per_node >= 2) m.gpu.involvement_weights[1] = 4.95;
+    if (gpus_per_node >= 3) m.gpu.involvement_weights[2] = 2.45;
+  }
+  return m;
+}
+
+Result<MachineModel> scale_fleet_size(const MachineModel& base, int node_count) {
+  if (node_count < 1)
+    return Error(ErrorKind::kDomain, "scale_fleet_size: need at least one node");
+  MachineModel m = base;
+  m.spec.name = base.spec.name + "-" + std::to_string(node_count) + "nodes";
+  m.spec.node_count = node_count;
+  const double scale =
+      static_cast<double>(node_count) / static_cast<double>(base.spec.node_count);
+  m.total_failures = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(static_cast<double>(base.total_failures) * scale)));
+  return m;
+}
+
+}  // namespace tsufail::sim

@@ -1,0 +1,35 @@
+// What-if scaling of calibrated machine models.
+//
+// The paper's forward-looking concern: "the number of GPUs per node is
+// likely to increase [Summit, Sierra]".  These utilities derive
+// hypothetical machines from a calibrated preset while keeping the model
+// internally consistent (shares renormalized, slot/involvement vectors
+// resized, failure volume scaled with the GPU population).
+#pragma once
+
+#include "sim/models.h"
+
+namespace tsufail::sim {
+
+/// How GPU failures correlate across a node's cards on the scaled machine.
+enum class InvolvementRegime {
+  kIndependent,  ///< Tsubame-3-like: ~93% of failures touch one card
+  kCorrelated,   ///< Tsubame-2-like: ~70% touch several cards
+};
+
+/// Returns `base` rebuilt for `gpus_per_node` GPUs per node:
+///   * the GPU category's share scales linearly with the card count and
+///     the remaining categories renormalize to keep shares at 100;
+///   * total failures grow with the added GPU share;
+///   * slot weights keep the outer-slots-hotter pattern;
+///   * involvement weights follow the chosen regime.
+/// Errors: gpus_per_node < 1, or base has no GPU category.
+Result<MachineModel> scale_gpu_density(const MachineModel& base, int gpus_per_node,
+                                       InvolvementRegime regime);
+
+/// Returns `base` rebuilt for a fleet of `node_count` nodes, scaling the
+/// expected failure volume proportionally (per-node hazard unchanged).
+/// Errors: node_count < 1.
+Result<MachineModel> scale_fleet_size(const MachineModel& base, int node_count);
+
+}  // namespace tsufail::sim

@@ -1,0 +1,52 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace tsufail::stats {
+
+Result<ConfidenceInterval> bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, Rng& rng,
+    std::size_t replicates, double level) {
+  if (sample.empty())
+    return Error(ErrorKind::kDomain, "bootstrap_ci: empty sample");
+  if (replicates == 0)
+    return Error(ErrorKind::kDomain, "bootstrap_ci: need at least one replicate");
+  if (!(level > 0.0 && level < 1.0))
+    return Error(ErrorKind::kDomain, "bootstrap_ci: level must be in (0,1)");
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> replicate_stats;
+  replicate_stats.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& slot : resample) slot = sample[rng.uniform_index(sample.size())];
+    replicate_stats.push_back(statistic(resample));
+  }
+  std::sort(replicate_stats.begin(), replicate_stats.end());
+
+  const double alpha = (1.0 - level) / 2.0;
+  ConfidenceInterval ci;
+  ci.point = statistic(sample);
+  ci.low = quantile_sorted(replicate_stats, alpha).value();
+  ci.high = quantile_sorted(replicate_stats, 1.0 - alpha).value();
+  ci.level = level;
+  return ci;
+}
+
+Result<ConfidenceInterval> bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
+                                             std::size_t replicates, double level) {
+  return bootstrap_ci(sample, [](std::span<const double> s) { return mean(s); }, rng, replicates,
+                      level);
+}
+
+Result<ConfidenceInterval> bootstrap_median_ci(std::span<const double> sample, Rng& rng,
+                                               std::size_t replicates, double level) {
+  return bootstrap_ci(
+      sample, [](std::span<const double> s) { return quantile(s, 0.5).value_or(0.0); }, rng,
+      replicates, level);
+}
+
+}  // namespace tsufail::stats

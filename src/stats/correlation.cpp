@@ -1,0 +1,62 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace tsufail::stats {
+
+Result<double> pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    return Error(ErrorKind::kDomain, "pearson: length mismatch");
+  if (x.size() < 2)
+    return Error(ErrorKind::kDomain, "pearson: need at least 2 pairs");
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0)
+    return Error(ErrorKind::kDomain, "pearson: zero variance sample");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> fractional_ranks(std::span<const double> sample) {
+  std::vector<std::size_t> order(sample.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return sample[a] < sample[b]; });
+  std::vector<double> ranks(sample.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && sample[order[j + 1]] == sample[order[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<double> spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    return Error(ErrorKind::kDomain, "spearman: length mismatch");
+  const auto rx = fractional_ranks(x);
+  const auto ry = fractional_ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace tsufail::stats

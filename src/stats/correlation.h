@@ -1,0 +1,27 @@
+// Correlation measures.
+//
+// RQ5 asks whether monthly time-to-recovery is correlated with monthly
+// failure density (the paper finds it is not).  We provide Pearson's r for
+// linear association and Spearman's rho (rank-based, tie-aware) because
+// failure-count series are heavy-tailed and non-normal.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::stats {
+
+/// Pearson product-moment correlation of paired samples.
+/// Errors: length mismatch, fewer than 2 pairs, or zero variance in either.
+Result<double> pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation with average ranks for ties.
+/// Errors: as pearson().
+Result<double> spearman(std::span<const double> x, std::span<const double> y);
+
+/// Fractional (average-for-ties) ranks of a sample, 1-based.
+std::vector<double> fractional_ranks(std::span<const double> sample);
+
+}  // namespace tsufail::stats

@@ -1,0 +1,94 @@
+// Descriptive statistics over double samples.
+//
+// All analyses in the paper reduce to order statistics and moments of
+// per-category samples (time-between-failures, time-to-recovery).  This
+// header provides the numerically careful building blocks: Welford moments,
+// interpolated quantiles (R type-7, matching numpy/pandas defaults so the
+// reproduction is comparable to the paper's Python-era tooling), and
+// five-number/box-plot summaries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::stats {
+
+/// Single-pass accumulator for count/mean/variance/min/max (Welford).
+/// Numerically stable for the 1e2..1e6-sample logs this library targets.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample (n-1) variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (Chan's parallel combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Full descriptive summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Box-and-whisker statistics (Tukey fences at 1.5 IQR), as plotted in the
+/// paper's Figures 7 and 10.
+struct BoxStats {
+  std::size_t count = 0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double iqr = 0.0;            ///< q3 - q1 ("spread" in the paper's wording)
+  double whisker_low = 0.0;    ///< smallest sample >= q1 - 1.5*iqr
+  double whisker_high = 0.0;   ///< largest sample <= q3 + 1.5*iqr
+  double mean = 0.0;
+  std::size_t outliers = 0;    ///< samples outside the whiskers
+  double sample_min = 0.0;     ///< true extremes (outliers included)
+  double sample_max = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(std::span<const double> sample) noexcept;
+
+/// Sample standard deviation (n-1); 0 for fewer than two observations.
+double stddev(std::span<const double> sample) noexcept;
+
+/// Interpolated quantile (R type-7) of an UNSORTED sample copy.
+/// Errors: empty sample or q outside [0, 1].
+Result<double> quantile(std::span<const double> sample, double q);
+
+/// Quantile of an already-ascending-sorted sample (no copy).
+/// Precondition: sorted ascending. Errors as quantile().
+Result<double> quantile_sorted(std::span<const double> sorted, double q);
+
+/// Full summary. Errors: empty sample.
+Result<Summary> summarize(std::span<const double> sample);
+
+/// Box-plot statistics. Errors: empty sample.
+Result<BoxStats> box_stats(std::span<const double> sample);
+
+}  // namespace tsufail::stats

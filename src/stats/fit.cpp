@@ -1,0 +1,206 @@
+#include "stats/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+
+namespace tsufail::stats {
+namespace {
+
+Result<void> check_positive(std::span<const double> sample, const char* who) {
+  if (sample.empty())
+    return Error(ErrorKind::kDomain, std::string(who) + ": empty sample");
+  for (double x : sample) {
+    if (!(x > 0.0) || !std::isfinite(x))
+      return Error(ErrorKind::kDomain, std::string(who) + ": observations must be positive and finite");
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<Exponential> fit_exponential(std::span<const double> sample) {
+  if (sample.empty())
+    return Error(ErrorKind::kDomain, "fit_exponential: empty sample");
+  double sum = 0.0;
+  for (double x : sample) {
+    if (!(x >= 0.0) || !std::isfinite(x))
+      return Error(ErrorKind::kDomain, "fit_exponential: observations must be >= 0 and finite");
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(sample.size());
+  if (!(mean > 0.0))
+    return Error(ErrorKind::kDomain, "fit_exponential: all-zero sample");
+  return Exponential{mean};
+}
+
+Result<LogNormal> fit_lognormal(std::span<const double> sample) {
+  if (auto ok = check_positive(sample, "fit_lognormal"); !ok.ok()) return ok.error();
+  RunningStats logs;
+  for (double x : sample) logs.add(std::log(x));
+  LogNormal d;
+  d.mu_log = logs.mean();
+  // MLE uses the biased (n) variance of the logs.
+  const auto n = static_cast<double>(sample.size());
+  d.sigma_log = std::sqrt(logs.variance() * (n - 1.0) / n);
+  if (d.sigma_log <= 0.0) d.sigma_log = 1e-12;  // degenerate constant sample
+  return d;
+}
+
+Result<Weibull> fit_weibull(std::span<const double> sample) {
+  if (auto ok = check_positive(sample, "fit_weibull"); !ok.ok()) return ok.error();
+  if (sample.size() < 2)
+    return Error(ErrorKind::kDomain, "fit_weibull: need at least 2 observations");
+
+  // Profile likelihood: the shape k solves
+  //   g(k) = sum(x^k log x)/sum(x^k) - 1/k - mean(log x) = 0,
+  // then scale = (mean(x^k))^(1/k).  g is increasing in k, so Newton with
+  // bisection safeguards converges from a moment-based start.
+  std::vector<double> logs(sample.size());
+  double mean_log = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    logs[i] = std::log(sample[i]);
+    mean_log += logs[i];
+  }
+  mean_log /= static_cast<double>(sample.size());
+
+  const auto g_and_slope = [&](double k, double& g, double& slope) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    // Scale x^k by exp(-k*max_log) implicitly via shifted logs to avoid
+    // overflow with large k.
+    const double max_log = *std::max_element(logs.begin(), logs.end());
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const double w = std::exp(k * (logs[i] - max_log));
+      s0 += w;
+      s1 += w * logs[i];
+      s2 += w * logs[i] * logs[i];
+    }
+    const double r1 = s1 / s0;
+    const double r2 = s2 / s0;
+    g = r1 - 1.0 / k - mean_log;
+    slope = (r2 - r1 * r1) + 1.0 / (k * k);
+  };
+
+  // Start from the classic log-variance approximation.
+  RunningStats log_stats;
+  for (double l : logs) log_stats.add(l);
+  double k = log_stats.stddev() > 0 ? 1.2 / (log_stats.stddev() * std::sqrt(6.0) / std::numbers::pi)
+                                    : 1.0;
+  k = std::clamp(k, 1e-2, 1e2);
+
+  bool converged = false;
+  for (int iter = 0; iter < 100; ++iter) {
+    double g = 0.0, slope = 0.0;
+    g_and_slope(k, g, slope);
+    const double step = g / slope;
+    double next = k - step;
+    if (!(next > 0.0)) next = k / 2.0;  // safeguard
+    if (std::abs(next - k) < 1e-12 * std::max(1.0, k)) {
+      k = next;
+      converged = true;
+      break;
+    }
+    k = next;
+  }
+  if (!converged || !std::isfinite(k) || k <= 0.0)
+    return Error(ErrorKind::kDomain, "fit_weibull: shape estimation did not converge");
+
+  double sum_pow = 0.0;
+  for (double x : sample) sum_pow += std::pow(x, k);
+  const double scale = std::pow(sum_pow / static_cast<double>(sample.size()), 1.0 / k);
+  return Weibull{k, scale};
+}
+
+double digamma(double x) noexcept {
+  // Shift into the asymptotic regime, then use the Bernoulli expansion.
+  double result = 0.0;
+  while (x < 10.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+  return result;
+}
+
+Result<Gamma> fit_gamma(std::span<const double> sample) {
+  if (auto ok = check_positive(sample, "fit_gamma"); !ok.ok()) return ok.error();
+  if (sample.size() < 2)
+    return Error(ErrorKind::kDomain, "fit_gamma: need at least 2 observations");
+  RunningStats raw, logs;
+  for (double x : sample) {
+    raw.add(x);
+    logs.add(std::log(x));
+  }
+  const double s = std::log(raw.mean()) - logs.mean();
+  if (s <= 0.0) {  // numerically constant sample
+    return Gamma{1e6, raw.mean() / 1e6};
+  }
+  // Minka's closed-form start, then Newton on log(k) - digamma(k) = s.
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) / (12.0 * s);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double f = std::log(k) - digamma(k) - s;
+    // d/dk [log k - psi(k)] = 1/k - psi'(k); approximate trigamma by a
+    // truncated series accurate enough for Newton.
+    const double inv = 1.0 / k;
+    const double trigamma = inv + 0.5 * inv * inv + inv * inv * inv / 6.0;
+    const double slope = inv - trigamma;
+    const double next = k - f / slope;
+    if (!(next > 0.0)) {
+      k /= 2.0;
+      continue;
+    }
+    if (std::abs(next - k) < 1e-12 * std::max(1.0, k)) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  return Gamma{k, raw.mean() / k};
+}
+
+const char* to_string(Family family) noexcept {
+  switch (family) {
+    case Family::kExponential: return "exponential";
+    case Family::kWeibull: return "weibull";
+    case Family::kLogNormal: return "lognormal";
+    case Family::kGamma: return "gamma";
+  }
+  return "unknown";
+}
+
+Result<FamilyChoice> select_family(std::span<const double> sample) {
+  auto ecdf = Ecdf::create(sample);
+  if (!ecdf.ok()) return ecdf.error();
+
+  FamilyChoice best;
+  best.ks_distance = 2.0;  // above any possible KS distance
+  bool any = false;
+
+  const auto consider = [&](Family family, auto fitted) {
+    if (!fitted.ok()) return;
+    const double d =
+        ks_statistic_against(ecdf.value(), [&](double x) { return fitted.value().cdf(x); });
+    if (d < best.ks_distance) {
+      best.family = family;
+      best.ks_distance = d;
+    }
+    any = true;
+  };
+
+  consider(Family::kExponential, fit_exponential(sample));
+  consider(Family::kWeibull, fit_weibull(sample));
+  consider(Family::kLogNormal, fit_lognormal(sample));
+  consider(Family::kGamma, fit_gamma(sample));
+
+  if (!any)
+    return Error(ErrorKind::kDomain, "select_family: no family could be fitted");
+  return best;
+}
+
+}  // namespace tsufail::stats

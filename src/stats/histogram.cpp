@@ -1,0 +1,53 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsufail::stats {
+
+Result<Histogram> Histogram::create(std::span<const double> sample, double lo, double hi,
+                                    std::size_t bins) {
+  if (sample.empty())
+    return Error(ErrorKind::kDomain, "Histogram: empty sample");
+  if (bins == 0)
+    return Error(ErrorKind::kDomain, "Histogram: need at least one bin");
+  if (!(hi > lo))
+    return Error(ErrorKind::kDomain, "Histogram: hi must exceed lo");
+
+  Histogram h;
+  h.bins_.resize(bins);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    h.bins_[i].lower = lo + width * static_cast<double>(i);
+    h.bins_[i].upper = (i + 1 == bins) ? hi : lo + width * static_cast<double>(i + 1);
+  }
+  for (double x : sample) {
+    ++h.total_;
+    if (x < lo) {
+      ++h.underflow_;
+      continue;
+    }
+    if (x > hi) {
+      ++h.overflow_;
+      continue;
+    }
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    idx = std::min(idx, bins - 1);  // x == hi lands in the last bin
+    ++h.bins_[idx].count;
+  }
+  for (auto& bin : h.bins_)
+    bin.fraction = static_cast<double>(bin.count) / static_cast<double>(h.total_);
+  return h;
+}
+
+Result<Histogram> Histogram::create_auto(std::span<const double> sample, std::size_t bins) {
+  if (sample.empty())
+    return Error(ErrorKind::kDomain, "Histogram: empty sample");
+  const auto [lo_it, hi_it] = std::minmax_element(sample.begin(), sample.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  if (lo == hi) hi = lo + 1.0;  // degenerate constant sample: one unit bin
+  return create(sample, lo, hi, bins);
+}
+
+}  // namespace tsufail::stats

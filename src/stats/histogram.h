@@ -1,0 +1,41 @@
+// Fixed-width histograms for the monthly and per-slot bar figures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::stats {
+
+struct HistogramBin {
+  double lower = 0.0;      ///< inclusive
+  double upper = 0.0;      ///< exclusive (inclusive for the last bin)
+  std::size_t count = 0;
+  double fraction = 0.0;   ///< count / total
+};
+
+class Histogram {
+ public:
+  /// Builds a histogram with `bins` equal-width bins over [lo, hi].
+  /// Samples outside the range are counted in underflow/overflow.
+  /// Errors: empty sample, bins == 0, or hi <= lo.
+  static Result<Histogram> create(std::span<const double> sample, double lo, double hi,
+                                  std::size_t bins);
+
+  /// Builds over the sample's own [min, max] range.
+  static Result<Histogram> create_auto(std::span<const double> sample, std::size_t bins);
+
+  const std::vector<HistogramBin>& bins() const noexcept { return bins_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+
+ private:
+  std::vector<HistogramBin> bins_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tsufail::stats

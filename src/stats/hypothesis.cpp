@@ -1,0 +1,119 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distribution.h"
+#include "stats/ecdf.h"
+
+namespace tsufail::stats {
+
+double kolmogorov_sf(double lambda) noexcept {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+Result<KsTestResult> ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  auto fa = Ecdf::create(a);
+  if (!fa.ok()) return fa.error().with_context("ks_two_sample: first sample");
+  auto fb = Ecdf::create(b);
+  if (!fb.ok()) return fb.error().with_context("ks_two_sample: second sample");
+
+  KsTestResult result;
+  result.statistic = ks_statistic(fa.value(), fb.value());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n_eff = na * nb / (na + nb);
+  // Smirnov's small-sample correction improves the asymptotic approximation.
+  const double lambda = (std::sqrt(n_eff) + 0.12 + 0.11 / std::sqrt(n_eff)) * result.statistic;
+  result.p_value = kolmogorov_sf(lambda);
+  return result;
+}
+
+double chi_square_sf(double x, std::size_t dof) noexcept {
+  if (x <= 0.0) return 1.0;
+  // Chi-square(k) is Gamma(shape=k/2, scale=2); SF = 1 - CDF.
+  Gamma g{static_cast<double>(dof) / 2.0, 2.0};
+  return 1.0 - g.cdf(x);
+}
+
+Result<double> chi_square_quantile(double p, std::size_t dof) {
+  if (!(p > 0.0 && p < 1.0))
+    return Error(ErrorKind::kDomain, "chi_square_quantile: p must be in (0,1)");
+  if (dof == 0)
+    return Error(ErrorKind::kDomain, "chi_square_quantile: dof must be >= 1");
+  const Gamma g{static_cast<double>(dof) / 2.0, 2.0};
+  // Bracket: mean +- a generous multiple of the stddev, expanded if needed.
+  double lo = 0.0;
+  double hi = static_cast<double>(dof) + 20.0 * std::sqrt(2.0 * static_cast<double>(dof)) + 20.0;
+  while (g.cdf(hi) < p) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    (g.cdf(mid) < p ? lo : hi) = mid;
+    if (hi - lo < 1e-12 * std::max(1.0, hi)) break;
+  }
+  return (lo + hi) / 2.0;
+}
+
+Result<RateInterval> poisson_rate_interval(std::size_t events, double exposure, double level) {
+  if (!(exposure > 0.0))
+    return Error(ErrorKind::kDomain, "poisson_rate_interval: exposure must be positive");
+  if (!(level > 0.0 && level < 1.0))
+    return Error(ErrorKind::kDomain, "poisson_rate_interval: level must be in (0,1)");
+
+  const double alpha = 1.0 - level;
+  RateInterval interval;
+  interval.level = level;
+  interval.rate = static_cast<double>(events) / exposure;
+  // Garwood: low = chi2(alpha/2; 2n)/2, high = chi2(1-alpha/2; 2n+2)/2.
+  if (events == 0) {
+    interval.low = 0.0;
+  } else {
+    auto q = chi_square_quantile(alpha / 2.0, 2 * events);
+    if (!q.ok()) return q.error();
+    interval.low = q.value() / 2.0 / exposure;
+  }
+  auto q = chi_square_quantile(1.0 - alpha / 2.0, 2 * events + 2);
+  if (!q.ok()) return q.error();
+  interval.high = q.value() / 2.0 / exposure;
+  return interval;
+}
+
+Result<ChiSquareResult> chi_square_gof(std::span<const std::size_t> observed,
+                                       std::span<const double> expected_proportions) {
+  if (observed.size() != expected_proportions.size())
+    return Error(ErrorKind::kDomain, "chi_square_gof: size mismatch");
+  if (observed.size() < 2)
+    return Error(ErrorKind::kDomain, "chi_square_gof: need at least 2 cells");
+  double total_prop = 0.0;
+  std::size_t total_obs = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (!(expected_proportions[i] > 0.0))
+      return Error(ErrorKind::kDomain, "chi_square_gof: expected proportions must be positive");
+    total_prop += expected_proportions[i];
+    total_obs += observed[i];
+  }
+  if (total_obs == 0)
+    return Error(ErrorKind::kDomain, "chi_square_gof: no observations");
+
+  ChiSquareResult result;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected =
+        static_cast<double>(total_obs) * expected_proportions[i] / total_prop;
+    const double diff = static_cast<double>(observed[i]) - expected;
+    result.statistic += diff * diff / expected;
+  }
+  result.dof = observed.size() - 1;
+  result.p_value = chi_square_sf(result.statistic, result.dof);
+  return result;
+}
+
+}  // namespace tsufail::stats

@@ -1,0 +1,63 @@
+// Hypothesis tests used for calibration validation.
+//
+// The simulator must generate logs whose per-category statistics match the
+// paper's targets; these tests are how the test suite (and downstream
+// users) check that claim quantitatively rather than by eyeball.
+#pragma once
+
+#include <span>
+
+#include "util/error.h"
+
+namespace tsufail::stats {
+
+struct KsTestResult {
+  double statistic = 0.0;  ///< sup |F1 - F2|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov p-value
+};
+
+/// Two-sample Kolmogorov-Smirnov test with the asymptotic p-value
+/// (Kolmogorov distribution of sqrt(n_eff) * D).
+/// Errors: either sample empty.
+Result<KsTestResult> ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Survival function of the Kolmogorov distribution, Q(lambda) =
+/// 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+double kolmogorov_sf(double lambda) noexcept;
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  std::size_t dof = 0;
+  double p_value = 0.0;
+};
+
+/// Chi-square goodness-of-fit of observed counts against expected
+/// proportions (need not be normalized).
+/// Errors: size mismatch, fewer than 2 cells, zero/negative expectation,
+/// or zero observed total.
+Result<ChiSquareResult> chi_square_gof(std::span<const std::size_t> observed,
+                                       std::span<const double> expected_proportions);
+
+/// Upper-tail probability of the chi-square distribution with `dof` degrees
+/// of freedom at `x` (via the regularized incomplete gamma).
+double chi_square_sf(double x, std::size_t dof) noexcept;
+
+/// Inverse CDF of the chi-square distribution: the x with P[X <= x] = p.
+/// Errors: p outside (0, 1) or dof == 0.  Solved by bisection on the CDF
+/// (monotone; ~1e-10 relative accuracy).
+Result<double> chi_square_quantile(double p, std::size_t dof);
+
+struct RateInterval {
+  double rate = 0.0;        ///< events per unit exposure (point estimate)
+  double low = 0.0;
+  double high = 0.0;
+  double level = 0.95;
+};
+
+/// Exact (Garwood) confidence interval for a Poisson rate given `events`
+/// over `exposure`; the standard uncertainty statement for MTBF numbers.
+/// Errors: zero/negative exposure, level outside (0,1).
+Result<RateInterval> poisson_rate_interval(std::size_t events, double exposure,
+                                           double level = 0.95);
+
+}  // namespace tsufail::stats

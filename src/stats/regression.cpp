@@ -1,0 +1,60 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+namespace tsufail::stats {
+namespace {
+
+/// Standard normal survival function.
+double normal_sf(double z) noexcept { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+Result<LinearFit> linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    return Error(ErrorKind::kDomain, "linear_fit: size mismatch");
+  if (x.size() < 3)
+    return Error(ErrorKind::kDomain, "linear_fit: need at least 3 points");
+
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0)
+    return Error(ErrorKind::kDomain, "linear_fit: zero variance in x");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double rss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double resid = y[i] - fit.predict(x[i]);
+    rss += resid * resid;
+  }
+  fit.r_squared = syy == 0.0 ? 1.0 : 1.0 - rss / syy;
+  const double sigma2 = rss / (n - 2.0);
+  fit.slope_stderr = std::sqrt(sigma2 / sxx);
+  if (fit.slope_stderr > 0.0) {
+    const double z = std::abs(fit.slope) / fit.slope_stderr;
+    fit.slope_p_value = 2.0 * normal_sf(z);
+  } else {
+    fit.slope_p_value = fit.slope == 0.0 ? 1.0 : 0.0;
+  }
+  return fit;
+}
+
+}  // namespace tsufail::stats

@@ -1,0 +1,28 @@
+// Simple ordinary-least-squares linear regression, used by the
+// rolling-trend analysis to quantify whether reliability drifts over a
+// system's lifetime (burn-in / wear-out).
+#pragma once
+
+#include <span>
+
+#include "util/error.h"
+
+namespace tsufail::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  double slope_stderr = 0.0;   ///< standard error of the slope estimate
+  /// Two-sided p-value for slope != 0 (normal approximation; adequate for
+  /// the n >= 10 window counts this library produces).
+  double slope_p_value = 1.0;
+
+  double predict(double x) const noexcept { return intercept + slope * x; }
+};
+
+/// Fits y = intercept + slope * x.
+/// Errors: size mismatch, fewer than 3 points, or zero variance in x.
+Result<LinearFit> linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace tsufail::stats

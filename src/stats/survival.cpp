@@ -1,0 +1,156 @@
+#include "stats/survival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/hypothesis.h"
+
+namespace tsufail::stats {
+namespace {
+
+/// Groups observations into (event time -> {events, censored}) and checks
+/// preconditions shared by fit() and log_rank_test().
+Result<void> check(std::span<const SurvivalObservation> observations) {
+  if (observations.empty())
+    return Error(ErrorKind::kDomain, "survival: empty sample");
+  bool any_event = false;
+  for (const auto& obs : observations) {
+    if (!(obs.time >= 0.0) || !std::isfinite(obs.time))
+      return Error(ErrorKind::kDomain, "survival: times must be finite and >= 0");
+    any_event |= obs.event;
+  }
+  if (!any_event)
+    return Error(ErrorKind::kDomain, "survival: no observed events (all censored)");
+  return {};
+}
+
+}  // namespace
+
+Result<SurvivalCurve> SurvivalCurve::fit(std::span<const SurvivalObservation> observations) {
+  if (auto ok = check(observations); !ok.ok()) return ok.error();
+
+  // events[t] = failures at t; removals[t] = all departures at t
+  // (failures + censorings), used to maintain the at-risk count.
+  std::map<double, std::size_t> events, removals;
+  for (const auto& obs : observations) {
+    ++removals[obs.time];
+    if (obs.event) ++events[obs.time];
+  }
+
+  SurvivalCurve curve;
+  curve.n_ = observations.size();
+  std::size_t at_risk = observations.size();
+  double survival = 1.0;
+  double hazard = 0.0;
+  for (const auto& [time, removed] : removals) {
+    const auto it = events.find(time);
+    const std::size_t d = it == events.end() ? 0 : it->second;
+    if (d > 0) {
+      SurvivalPoint point;
+      point.time = time;
+      point.at_risk = at_risk;
+      point.events = d;
+      survival *= 1.0 - static_cast<double>(d) / static_cast<double>(at_risk);
+      hazard += static_cast<double>(d) / static_cast<double>(at_risk);
+      point.survival = survival;
+      point.cumulative_hazard = hazard;
+      curve.points_.push_back(point);
+      curve.events_ += d;
+    }
+    at_risk -= removed;
+  }
+  return curve;
+}
+
+double SurvivalCurve::survival_at(double time) const noexcept {
+  double value = 1.0;
+  for (const auto& point : points_) {
+    if (point.time > time) break;
+    value = point.survival;
+  }
+  return value;
+}
+
+double SurvivalCurve::cumulative_hazard_at(double time) const noexcept {
+  double value = 0.0;
+  for (const auto& point : points_) {
+    if (point.time > time) break;
+    value = point.cumulative_hazard;
+  }
+  return value;
+}
+
+Result<double> SurvivalCurve::quantile(double q) const {
+  if (!(q > 0.0 && q < 1.0))
+    return Error(ErrorKind::kDomain, "survival quantile level must be in (0,1)");
+  for (const auto& point : points_) {
+    if (point.survival <= 1.0 - q) return point.time;
+  }
+  return Error(ErrorKind::kDomain,
+               "survival curve never reaches S(t) <= " + std::to_string(1.0 - q) +
+                   " (heavy censoring)");
+}
+
+double SurvivalCurve::restricted_mean(double horizon) const noexcept {
+  double area = 0.0;
+  double prev_time = 0.0;
+  double prev_survival = 1.0;
+  for (const auto& point : points_) {
+    if (point.time >= horizon) break;
+    area += prev_survival * (point.time - prev_time);
+    prev_time = point.time;
+    prev_survival = point.survival;
+  }
+  area += prev_survival * std::max(0.0, horizon - prev_time);
+  return area;
+}
+
+Result<LogRankResult> log_rank_test(std::span<const SurvivalObservation> group_a,
+                                    std::span<const SurvivalObservation> group_b) {
+  if (auto ok = check(group_a); !ok.ok()) return ok.error().with_context("group A");
+  if (auto ok = check(group_b); !ok.ok()) return ok.error().with_context("group B");
+
+  // Departure (event/censor) bookkeeping per group at each distinct time.
+  struct Cell {
+    std::size_t events_a = 0, events_b = 0;
+    std::size_t removed_a = 0, removed_b = 0;
+  };
+  std::map<double, Cell> timeline;
+  for (const auto& obs : group_a) {
+    auto& cell = timeline[obs.time];
+    ++cell.removed_a;
+    if (obs.event) ++cell.events_a;
+  }
+  for (const auto& obs : group_b) {
+    auto& cell = timeline[obs.time];
+    ++cell.removed_b;
+    if (obs.event) ++cell.events_b;
+  }
+
+  double observed_a = 0.0, expected_a = 0.0, variance = 0.0;
+  double at_risk_a = static_cast<double>(group_a.size());
+  double at_risk_b = static_cast<double>(group_b.size());
+  for (const auto& [time, cell] : timeline) {
+    const double d = static_cast<double>(cell.events_a + cell.events_b);
+    const double n = at_risk_a + at_risk_b;
+    if (d > 0.0 && n > 1.0) {
+      observed_a += static_cast<double>(cell.events_a);
+      expected_a += d * at_risk_a / n;
+      variance += d * (at_risk_a / n) * (at_risk_b / n) * (n - d) / (n - 1.0);
+    }
+    at_risk_a -= static_cast<double>(cell.removed_a);
+    at_risk_b -= static_cast<double>(cell.removed_b);
+  }
+
+  LogRankResult result;
+  result.observed_minus_expected_a = observed_a - expected_a;
+  if (variance <= 0.0)
+    return Error(ErrorKind::kDomain, "log-rank: zero variance (degenerate samples)");
+  result.statistic = result.observed_minus_expected_a * result.observed_minus_expected_a /
+                     variance;
+  result.p_value = chi_square_sf(result.statistic, 1);
+  return result;
+}
+
+}  // namespace tsufail::stats

@@ -1,0 +1,82 @@
+// Survival analysis with right-censoring.
+//
+// Field studies of component lifetimes (e.g. Ostrouchov et al.'s GPU
+// lifetimes on Titan, cited by the paper) need estimators that handle
+// units still alive when observation ends.  Node time-to-first-failure is
+// exactly that shape: most nodes never fail inside the log window and are
+// right-censored at its end.  This header provides the Kaplan-Meier
+// product-limit estimator, the Nelson-Aalen cumulative hazard, and the
+// two-sample log-rank test.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::stats {
+
+/// One observed unit: a duration and whether the event (failure) was
+/// actually observed (false = right-censored at `time`).
+struct SurvivalObservation {
+  double time = 0.0;
+  bool event = true;
+};
+
+/// One step of the Kaplan-Meier / Nelson-Aalen curves.
+struct SurvivalPoint {
+  double time = 0.0;           ///< distinct event time
+  std::size_t at_risk = 0;     ///< units at risk just before `time`
+  std::size_t events = 0;      ///< failures exactly at `time`
+  double survival = 1.0;       ///< S(t), Kaplan-Meier
+  double cumulative_hazard = 0.0;  ///< H(t), Nelson-Aalen
+};
+
+class SurvivalCurve {
+ public:
+  /// An empty curve (S(t) = 1 everywhere); fit() replaces it.
+  SurvivalCurve() = default;
+
+  /// Builds the estimators.  Errors: empty input, negative times, or no
+  /// observed events (an all-censored sample has no curve).
+  static Result<SurvivalCurve> fit(std::span<const SurvivalObservation> observations);
+
+  const std::vector<SurvivalPoint>& points() const noexcept { return points_; }
+  std::size_t observations() const noexcept { return n_; }
+  std::size_t events() const noexcept { return events_; }
+  std::size_t censored() const noexcept { return n_ - events_; }
+
+  /// S(t): right-continuous step function, 1 before the first event.
+  double survival_at(double time) const noexcept;
+
+  /// H(t): Nelson-Aalen cumulative hazard.
+  double cumulative_hazard_at(double time) const noexcept;
+
+  /// Smallest event time with S(t) <= 1 - q (e.g. q = 0.5 -> median
+  /// survival).  Errors: the curve never falls that far (heavy
+  /// censoring).
+  Result<double> quantile(double q) const;
+
+  /// Restricted mean survival time up to `horizon` (area under S(t)).
+  double restricted_mean(double horizon) const noexcept;
+
+ private:
+  std::vector<SurvivalPoint> points_;
+  std::size_t n_ = 0;
+  std::size_t events_ = 0;
+};
+
+struct LogRankResult {
+  double statistic = 0.0;  ///< chi-square with 1 dof
+  double p_value = 0.0;
+  /// Observed minus expected events in the first group; sign says which
+  /// group fails faster (positive = group A fails more than expected).
+  double observed_minus_expected_a = 0.0;
+};
+
+/// Two-sample log-rank test: H0 = both groups share one hazard function.
+/// Errors: either sample unusable for fit().
+Result<LogRankResult> log_rank_test(std::span<const SurvivalObservation> group_a,
+                                    std::span<const SurvivalObservation> group_b);
+
+}  // namespace tsufail::stats

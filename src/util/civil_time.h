@@ -1,0 +1,139 @@
+// Minimal, dependency-free civil (calendar) time library.
+//
+// Failure logs carry wall-clock timestamps recorded by operators in local
+// time; the study never needs time zones, only calendar arithmetic
+// (month-of-year, day ordering) and elapsed-time differences.  We therefore
+// model a timestamp as a TimePoint: integral seconds since the Unix epoch of
+// the corresponding *civil* (zone-less, proleptic Gregorian) date-time.
+//
+// Calendar conversions use Howard Hinnant's days_from_civil / civil_from_days
+// algorithms, exact over the full proleptic Gregorian calendar.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace tsufail {
+
+/// A broken-down civil date-time (proleptic Gregorian, no time zone).
+struct CivilDateTime {
+  int year = 1970;
+  int month = 1;   ///< 1..12
+  int day = 1;     ///< 1..31
+  int hour = 0;    ///< 0..23
+  int minute = 0;  ///< 0..59
+  int second = 0;  ///< 0..59 (no leap seconds)
+
+  friend auto operator<=>(const CivilDateTime&, const CivilDateTime&) = default;
+};
+
+/// True iff `year` is a Gregorian leap year.
+constexpr bool is_leap_year(int year) noexcept {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+/// Number of days in the given month (1..12) of `year`; 0 for invalid month.
+constexpr int days_in_month(int year, int month) noexcept {
+  constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[month - 1];
+}
+
+/// Days since 1970-01-01 for the civil date {y, m, d}.  Exact for all
+/// proleptic Gregorian dates (Hinnant's algorithm).
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil: civil date for `days` since 1970-01-01.
+constexpr CivilDateTime civil_from_days(std::int64_t days) noexcept {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);      // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                              // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                      // [1, 31]
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;                         // [1, 12]
+  CivilDateTime c;
+  c.year = static_cast<int>(y + (m <= 2));
+  c.month = static_cast<int>(m);
+  c.day = static_cast<int>(d);
+  return c;
+}
+
+/// An instant: seconds since the Unix epoch of a civil date-time.
+/// Strongly typed so timestamps and durations cannot be mixed up.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t seconds_since_epoch) noexcept
+      : seconds_(seconds_since_epoch) {}
+
+  /// Builds a TimePoint from broken-down fields. Precondition: fields valid.
+  static TimePoint from_civil(const CivilDateTime& c);
+
+  constexpr std::int64_t seconds_since_epoch() const noexcept { return seconds_; }
+
+  /// Broken-down civil representation of this instant.
+  CivilDateTime to_civil() const noexcept;
+
+  /// Calendar month (1..12) of this instant; convenience for seasonality.
+  int month() const noexcept { return to_civil().month; }
+  /// Calendar year of this instant.
+  int year() const noexcept { return to_civil().year; }
+
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) noexcept = default;
+
+  /// Instant shifted forward by fractional hours (rounded to whole seconds).
+  constexpr TimePoint plus_hours(double hours) const noexcept {
+    return TimePoint(seconds_ + static_cast<std::int64_t>(hours * 3600.0 + (hours >= 0 ? 0.5 : -0.5)));
+  }
+  constexpr TimePoint plus_seconds(std::int64_t s) const noexcept {
+    return TimePoint(seconds_ + s);
+  }
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// Elapsed time b - a in fractional hours (negative if b precedes a).
+constexpr double hours_between(TimePoint a, TimePoint b) noexcept {
+  return static_cast<double>(b.seconds_since_epoch() - a.seconds_since_epoch()) / 3600.0;
+}
+
+/// Validates every field of a broken-down civil date-time.
+Result<void> validate_civil(const CivilDateTime& c);
+
+/// Parses a timestamp.  Accepted formats (the union of formats seen in
+/// operator logs):
+///   "YYYY-MM-DD HH:MM:SS"    "YYYY-MM-DD HH:MM"    "YYYY-MM-DD"
+///   "YYYY/MM/DD HH:MM:SS"    "YYYY/MM/DD HH:MM"    "YYYY/MM/DD"
+///   "M/D/YYYY HH:MM:SS"      "M/D/YYYY HH:MM"      "M/D/YYYY"  (US order)
+///   ISO-8601 'T' separator is accepted wherever a space is.
+Result<TimePoint> parse_time(std::string_view text);
+
+/// Formats as "YYYY-MM-DD HH:MM:SS" (the canonical on-disk format).
+std::string format_time(TimePoint t);
+
+/// Formats as "YYYY-MM-DD".
+std::string format_date(TimePoint t);
+
+/// English month name ("January".."December"); precondition: 1 <= month <= 12.
+std::string_view month_name(int month);
+
+/// Three-letter month abbreviation ("Jan".."Dec"); precondition as above.
+std::string_view month_abbrev(int month);
+
+}  // namespace tsufail

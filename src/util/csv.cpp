@@ -1,0 +1,178 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace tsufail {
+namespace {
+
+/// Incremental RFC-4180 tokenizer over the whole document.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view text) : text_(text) {}
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  std::size_t line() const noexcept { return line_; }
+
+  /// Parses one record (one logical row, possibly spanning physical lines
+  /// inside quotes). Returns an empty optional-like flag via `record.fields`
+  /// being empty AND at_end() for trailing blank content.
+  Result<CsvRecord> next_record() {
+    CsvRecord record;
+    record.line_number = line_;
+    std::string field;
+    bool in_quotes = false;
+    bool field_was_quoted = false;
+
+    while (true) {
+      if (at_end()) {
+        if (in_quotes)
+          return Error(ErrorKind::kParse,
+                       "unterminated quoted field starting near line " + std::to_string(record.line_number));
+        record.fields.push_back(std::move(field));
+        return record;
+      }
+      const char c = text_[pos_++];
+      if (in_quotes) {
+        if (c == '"') {
+          if (!at_end() && text_[pos_] == '"') {  // escaped quote
+            field += '"';
+            ++pos_;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          if (c == '\n') ++line_;
+          field += c;
+        }
+        continue;
+      }
+      switch (c) {
+        case ',':
+          record.fields.push_back(std::move(field));
+          field.clear();
+          field_was_quoted = false;
+          break;
+        case '\r':
+          if (!at_end() && text_[pos_] == '\n') ++pos_;
+          [[fallthrough]];
+        case '\n':
+          ++line_;
+          record.fields.push_back(std::move(field));
+          return record;
+        case '"':
+          if (!field.empty() || field_was_quoted)
+            return Error(ErrorKind::kParse, "stray quote in field on line " + std::to_string(line_));
+          in_quotes = true;
+          field_was_quoted = true;
+          break;
+        default:
+          field += c;
+      }
+    }
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+bool is_blank_record(const CsvRecord& record) {
+  return record.fields.size() == 1 && trim(record.fields[0]).empty();
+}
+
+}  // namespace
+
+Result<CsvDocument> CsvDocument::parse(std::string_view text) {
+  Tokenizer tokenizer(text);
+  CsvDocument doc;
+  bool have_header = false;
+  while (!tokenizer.at_end()) {
+    auto record = tokenizer.next_record();
+    if (!record.ok()) return record.error();
+    if (is_blank_record(record.value())) continue;  // skip blank lines anywhere
+    if (!have_header) {
+      doc.header_ = std::move(record.value().fields);
+      have_header = true;
+    } else {
+      doc.records_.push_back(std::move(record.value()));
+    }
+  }
+  if (!have_header)
+    return Error(ErrorKind::kParse, "CSV document is empty (no header row)");
+  return doc;
+}
+
+Result<CsvDocument> CsvDocument::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Error(ErrorKind::kIo, "cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad())
+    return Error(ErrorKind::kIo, "read error on file: " + path);
+  auto doc = parse(buffer.str());
+  if (!doc.ok()) return doc.error().with_context(path);
+  return doc;
+}
+
+Result<std::size_t> CsvDocument::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (iequals(trim(header_[i]), trim(name))) return i;
+  }
+  return Error(ErrorKind::kNotFound, "no such column: '" + std::string(name) + "'");
+}
+
+Result<std::string> CsvDocument::field(const CsvRecord& record, std::string_view column_name) const {
+  auto index = column(column_name);
+  if (!index.ok()) return index.error();
+  if (index.value() >= record.fields.size())
+    return Error(ErrorKind::kValidation,
+                 "row on line " + std::to_string(record.line_number) + " has " +
+                     std::to_string(record.fields.size()) + " fields; column '" +
+                     std::string(column_name) + "' is index " + std::to_string(index.value()));
+  return record.fields[index.value()];
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+Result<void> write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out)
+    return Error(ErrorKind::kIo, "cannot open file for writing: " + path);
+  CsvWriter writer(out);
+  writer.write_row(header);
+  for (const auto& row : rows) writer.write_row(row);
+  out.flush();
+  if (!out)
+    return Error(ErrorKind::kIo, "write error on file: " + path);
+  return {};
+}
+
+}  // namespace tsufail

@@ -1,0 +1,68 @@
+// RFC-4180 CSV reading and writing.
+//
+// Failure logs are exchanged as CSV (the Zenodo artifact format).  The
+// reader is tolerant of the realities of operator-maintained spreadsheets:
+// CRLF and LF line endings, quoted fields with embedded commas/newlines,
+// and trailing blank lines.  Structural problems are reported per record
+// via Result so one bad row cannot poison a 900-row log.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail {
+
+/// One parsed CSV record (row) with its 1-based source line number.
+struct CsvRecord {
+  std::vector<std::string> fields;
+  std::size_t line_number = 0;
+};
+
+/// A fully parsed CSV document: a header row plus data records.
+class CsvDocument {
+ public:
+  /// Parses an in-memory CSV document.  The first record is the header.
+  /// Errors: empty input, unterminated quote, stray quote in unquoted field.
+  static Result<CsvDocument> parse(std::string_view text);
+
+  /// Reads and parses a CSV file from disk.
+  static Result<CsvDocument> read_file(const std::string& path);
+
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<CsvRecord>& records() const noexcept { return records_; }
+
+  /// Column index for `name` (case-insensitive), or kNotFound error.
+  Result<std::size_t> column(std::string_view name) const;
+
+  /// Field `column_name` of `record`, or an error naming the row/column.
+  Result<std::string> field(const CsvRecord& record, std::string_view column_name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<CsvRecord> records_;
+};
+
+/// Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields containing ',' '"' '\n' or '\r' are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Quotes a single field if needed (exposed for tests).
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Writes an entire document (header + rows) to a file.
+Result<void> write_csv_file(const std::string& path, const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace tsufail

@@ -1,0 +1,25 @@
+#include "util/error.h"
+
+namespace tsufail {
+
+const char* to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kValidation: return "validation";
+    case ErrorKind::kNotFound: return "not-found";
+    case ErrorKind::kIo: return "io";
+    case ErrorKind::kDomain: return "domain";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void require_failed(const char* expr, const char* file, int line, const std::string& message) {
+  throw std::logic_error(std::string("precondition failed: ") + message + " [" + expr + " at " +
+                         file + ":" + std::to_string(line) + "]");
+}
+
+}  // namespace detail
+}  // namespace tsufail

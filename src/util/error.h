@@ -1,0 +1,137 @@
+// Lightweight error type and Result<T> used across tsufail.
+//
+// The library is designed for batch log processing, where a malformed input
+// line must not abort the whole run.  Recoverable conditions are therefore
+// reported by value via Result<T>; programming errors (violated
+// preconditions) use TSUFAIL_REQUIRE which throws std::logic_error.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tsufail {
+
+/// Classification of recoverable errors produced by the library.
+enum class ErrorKind {
+  kParse,          ///< malformed textual input (CSV field, timestamp, number)
+  kValidation,     ///< structurally valid input violating a semantic rule
+  kNotFound,       ///< lookup miss (unknown category name, missing column)
+  kIo,             ///< file could not be opened / read / written
+  kDomain,         ///< numeric argument outside the mathematical domain
+  kInternal,       ///< invariant violation that was downgraded to a value
+};
+
+/// Human-readable name of an ErrorKind ("parse", "io", ...).
+const char* to_string(ErrorKind kind) noexcept;
+
+/// A recoverable error: a kind plus a human-readable message.
+///
+/// Errors are cheap to construct and copy; they carry no stack traces.
+/// Context is added by prepending to the message via with_context().
+class [[nodiscard]] Error {
+ public:
+  Error(ErrorKind kind, std::string message)
+      : kind_(kind), message_(std::move(message)) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Returns a copy of this error with `context + ": "` prepended.
+  Error with_context(const std::string& context) const {
+    return Error(kind_, context + ": " + message_);
+  }
+
+  /// "parse: unexpected character 'x'"
+  std::string to_string() const {
+    return std::string(tsufail::to_string(kind_)) + ": " + message_;
+  }
+
+ private:
+  ErrorKind kind_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an Error.  A minimal std::expected stand-in
+/// (the toolchain targets C++20).  Access to value() on an error result
+/// throws std::runtime_error, so accidental misuse is loud in tests.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Value access. Precondition: ok().
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().to_string());
+    return std::get<T>(std::move(state_));
+  }
+
+  /// Value or a caller-provided fallback.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(state_) : std::move(fallback); }
+
+  /// Error access. Precondition: !ok().
+  const Error& error() const& {
+    if (ok()) throw std::runtime_error("Result::error on ok result");
+    return std::get<Error>(state_);
+  }
+
+  /// Applies `fn` to the value, propagating the error unchanged.
+  template <typename Fn>
+  auto map(Fn&& fn) const& -> Result<decltype(fn(std::declval<const T&>()))> {
+    using U = decltype(fn(std::declval<const T&>()));
+    if (!ok()) return Result<U>(error());
+    return Result<U>(fn(std::get<T>(state_)));
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result specialization for operations with no value payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const& {
+    if (ok()) throw std::runtime_error("Result<void>::error on ok result");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+namespace detail {
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& message);
+}  // namespace detail
+
+/// Precondition check for programming errors.  Unlike Result, a REQUIRE
+/// failure indicates a bug in the caller; it throws std::logic_error.
+#define TSUFAIL_REQUIRE(expr, message)                                        \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::tsufail::detail::require_failed(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                         \
+  } while (false)
+
+}  // namespace tsufail

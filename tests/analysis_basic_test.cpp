@@ -1,0 +1,222 @@
+// Analyzer tests on small hand-built logs with pen-and-paper answers:
+// category breakdown, software loci, node counts, GPU slots, multi-GPU
+// involvement, and performance-error-proportionality.
+#include <gtest/gtest.h>
+
+#include "analysis/category_breakdown.h"
+#include "analysis/gpu_slots.h"
+#include "analysis/multi_gpu.h"
+#include "analysis/node_counts.h"
+#include "analysis/perf_error_prop.h"
+#include "analysis/software_loci.h"
+
+namespace tsufail::analysis {
+namespace {
+
+using data::Category;
+using data::FailureClass;
+using data::FailureLog;
+
+data::FailureRecord rec(int node, Category category, const char* time, double ttr = 10.0,
+                        std::vector<int> slots = {}, std::string locus = "") {
+  data::FailureRecord r;
+  r.node = node;
+  r.category = category;
+  r.time = parse_time(time).value();
+  r.ttr_hours = ttr;
+  r.gpu_slots = std::move(slots);
+  r.root_locus = std::move(locus);
+  return r;
+}
+
+FailureLog t2_log(std::vector<data::FailureRecord> records) {
+  return FailureLog::create(data::tsubame2_spec(), std::move(records)).value();
+}
+
+FailureLog t3_log(std::vector<data::FailureRecord> records) {
+  return FailureLog::create(data::tsubame3_spec(), std::move(records)).value();
+}
+
+TEST(CategoryBreakdown, CountsAndPercents) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-02-01"),
+                           rec(2, Category::kGpu, "2012-02-02"),
+                           rec(3, Category::kCpu, "2012-02-03"),
+                           rec(4, Category::kPbs, "2012-02-04")});
+  auto breakdown = analyze_categories(log);
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_EQ(breakdown.value().total_failures, 4u);
+  EXPECT_DOUBLE_EQ(breakdown.value().percent_of(Category::kGpu), 50.0);
+  EXPECT_DOUBLE_EQ(breakdown.value().percent_of(Category::kCpu), 25.0);
+  EXPECT_DOUBLE_EQ(breakdown.value().percent_of(Category::kSsd), 0.0);
+  EXPECT_EQ(breakdown.value().categories.front().category, Category::kGpu);
+}
+
+TEST(CategoryBreakdown, ClassShares) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-02-01"),
+                           rec(2, Category::kPbs, "2012-02-02"),
+                           rec(3, Category::kDown, "2012-02-03"),
+                           rec(4, Category::kVm, "2012-02-04")});
+  auto breakdown = analyze_categories(log);
+  ASSERT_TRUE(breakdown.ok());
+  EXPECT_DOUBLE_EQ(breakdown.value().percent_of(FailureClass::kHardware), 25.0);
+  EXPECT_DOUBLE_EQ(breakdown.value().percent_of(FailureClass::kSoftware), 50.0);
+  EXPECT_DOUBLE_EQ(breakdown.value().percent_of(FailureClass::kUnknown), 25.0);
+}
+
+TEST(CategoryBreakdown, EmptyLogIsError) {
+  EXPECT_FALSE(analyze_categories(t2_log({})).ok());
+}
+
+TEST(SoftwareLoci, CountsAndDriverDetection) {
+  const auto log = t3_log({
+      rec(1, Category::kSoftware, "2018-02-01", 1, {}, "GPU driver problem"),
+      rec(2, Category::kSoftware, "2018-02-02", 1, {}, "gpu driver problem"),
+      rec(3, Category::kSoftware, "2018-02-03", 1, {}, "CUDA version mismatch"),
+      rec(4, Category::kSoftware, "2018-02-04", 1, {}, "lustre hang"),
+      rec(5, Category::kSoftware, "2018-02-05", 1, {}, ""),
+      rec(6, Category::kGpu, "2018-02-06", 1, {0}),  // not software class
+  });
+  auto loci = analyze_software_loci(log);
+  ASSERT_TRUE(loci.ok());
+  EXPECT_EQ(loci.value().software_failures, 5u);
+  EXPECT_EQ(loci.value().distinct_loci, 4u);  // driver, cuda, lustre, unknown
+  EXPECT_DOUBLE_EQ(loci.value().gpu_driver_percent, 60.0);  // 2 driver + 1 cuda
+  EXPECT_DOUBLE_EQ(loci.value().unknown_percent, 20.0);
+  EXPECT_DOUBLE_EQ(loci.value().percent_of("gpu driver problem"), 40.0);
+}
+
+TEST(SoftwareLoci, TopNTruncation) {
+  std::vector<data::FailureRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(rec(i, Category::kSoftware, "2018-03-01", 1, {},
+                          "locus " + std::to_string(i)));
+  }
+  auto loci = analyze_software_loci(t3_log(std::move(records)), 3);
+  ASSERT_TRUE(loci.ok());
+  EXPECT_EQ(loci.value().top.size(), 3u);
+  EXPECT_EQ(loci.value().distinct_loci, 10u);
+}
+
+TEST(SoftwareLoci, NoSoftwareFailuresIsError) {
+  EXPECT_FALSE(analyze_software_loci(t3_log({rec(1, Category::kGpu, "2018-02-01", 1, {0})})).ok());
+}
+
+TEST(NodeCounts, BucketsAndHeadlines) {
+  const auto log = t2_log({
+      rec(1, Category::kGpu, "2012-02-01"), rec(1, Category::kGpu, "2012-02-02"),
+      rec(1, Category::kGpu, "2012-02-03"),  // node 1: three failures
+      rec(2, Category::kCpu, "2012-02-04"), rec(2, Category::kFan, "2012-02-05"),
+      rec(3, Category::kPbs, "2012-02-06"),  // node 3: one failure
+      rec(4, Category::kSsd, "2012-02-07"),  // node 4: one failure
+  });
+  auto counts = analyze_node_counts(log);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts.value().failed_nodes, 4u);
+  EXPECT_EQ(counts.value().total_nodes, 1408u);
+  EXPECT_DOUBLE_EQ(counts.value().percent_with(1), 50.0);
+  EXPECT_DOUBLE_EQ(counts.value().percent_with(2), 25.0);
+  EXPECT_DOUBLE_EQ(counts.value().percent_with(3), 25.0);
+  EXPECT_DOUBLE_EQ(counts.value().percent_single_failure, 50.0);
+  EXPECT_DOUBLE_EQ(counts.value().percent_multi_failure, 50.0);
+  EXPECT_EQ(counts.value().max_failures_on_one_node, 3u);
+}
+
+TEST(NodeCounts, RepeatNodeClassSplit) {
+  const auto log = t2_log({
+      rec(1, Category::kGpu, "2012-02-01"), rec(1, Category::kPbs, "2012-02-02"),
+      rec(2, Category::kVm, "2012-02-03"),
+  });
+  auto counts = analyze_node_counts(log);
+  ASSERT_TRUE(counts.ok());
+  // Node 1 repeats: 1 hardware + 1 software failure land there.
+  EXPECT_EQ(counts.value().repeat_node_hardware_failures, 1u);
+  EXPECT_EQ(counts.value().repeat_node_software_failures, 1u);
+}
+
+TEST(NodeCounts, UnknownClassExcludedFromSplit) {
+  const auto log = t2_log({
+      rec(1, Category::kDown, "2012-02-01"), rec(1, Category::kDown, "2012-02-02"),
+  });
+  auto counts = analyze_node_counts(log);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts.value().repeat_node_hardware_failures, 0u);
+  EXPECT_EQ(counts.value().repeat_node_software_failures, 0u);
+}
+
+TEST(GpuSlots, CountsInvolvementsPerSlot) {
+  const auto log = t2_log({
+      rec(1, Category::kGpu, "2012-02-01", 1, {1}),
+      rec(2, Category::kGpu, "2012-02-02", 1, {1, 2}),
+      rec(3, Category::kGpu, "2012-02-03", 1, {0, 1, 2}),
+      rec(4, Category::kGpu, "2012-02-04", 1, {}),  // unattributed: skipped
+      rec(5, Category::kCpu, "2012-02-05"),
+  });
+  auto slots = analyze_gpu_slots(log);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_EQ(slots.value().attributed_failures, 3u);
+  EXPECT_EQ(slots.value().total_involvements, 6u);
+  EXPECT_EQ(slots.value().slots[0].count, 1u);
+  EXPECT_EQ(slots.value().slots[1].count, 3u);
+  EXPECT_EQ(slots.value().slots[2].count, 2u);
+  EXPECT_DOUBLE_EQ(slots.value().percent_of(1), 50.0);
+  EXPECT_NEAR(slots.value().max_relative_excess, 0.5, 1e-12);  // 3 / 2 - 1
+}
+
+TEST(GpuSlots, NoAttributedFailuresIsError) {
+  EXPECT_FALSE(analyze_gpu_slots(t2_log({rec(1, Category::kCpu, "2012-02-01")})).ok());
+  EXPECT_FALSE(analyze_gpu_slots(t2_log({rec(1, Category::kGpu, "2012-02-01", 1, {})})).ok());
+}
+
+TEST(MultiGpu, TableThreeBuckets) {
+  const auto log = t2_log({
+      rec(1, Category::kGpu, "2012-02-01", 1, {0}),
+      rec(2, Category::kGpu, "2012-02-02", 1, {2}),
+      rec(3, Category::kGpu, "2012-02-03", 1, {0, 1}),
+      rec(4, Category::kGpu, "2012-02-04", 1, {0, 1, 2}),
+  });
+  auto mg = analyze_multi_gpu(log);
+  ASSERT_TRUE(mg.ok());
+  EXPECT_EQ(mg.value().attributed_failures, 4u);
+  EXPECT_EQ(mg.value().count_with(1), 2u);
+  EXPECT_EQ(mg.value().count_with(2), 1u);
+  EXPECT_EQ(mg.value().count_with(3), 1u);
+  EXPECT_DOUBLE_EQ(mg.value().percent_with(1), 50.0);
+  EXPECT_DOUBLE_EQ(mg.value().percent_multi, 50.0);
+}
+
+TEST(MultiGpu, AllBucketsPresentEvenWhenEmpty) {
+  const auto log = t3_log({rec(1, Category::kGpu, "2018-02-01", 1, {0})});
+  auto mg = analyze_multi_gpu(log);
+  ASSERT_TRUE(mg.ok());
+  ASSERT_EQ(mg.value().buckets.size(), 4u);  // 1..4 for Tsubame-3
+  EXPECT_EQ(mg.value().count_with(4), 0u);
+  EXPECT_DOUBLE_EQ(mg.value().percent_with(4), 0.0);
+}
+
+TEST(PerfErrorProp, SingleMachineMetric) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-02-01"),
+                           rec(2, Category::kGpu, "2012-08-01")});
+  auto metric = analyze_perf_error_prop(log);
+  ASSERT_TRUE(metric.ok());
+  const double window = data::tsubame2_spec().window_hours();
+  EXPECT_DOUBLE_EQ(metric.value().mtbf_hours, window / 2.0);
+  EXPECT_DOUBLE_EQ(metric.value().pflop_hours_per_failure_free_period, 2.3 * window / 2.0);
+  EXPECT_EQ(metric.value().components, 7040);
+}
+
+TEST(PerfErrorProp, GenerationComparisonRatios) {
+  const auto older = t2_log({rec(1, Category::kGpu, "2012-02-01"),
+                             rec(2, Category::kGpu, "2012-03-01"),
+                             rec(3, Category::kGpu, "2012-04-01"),
+                             rec(4, Category::kGpu, "2012-05-01")});
+  const auto newer = t3_log({rec(1, Category::kGpu, "2018-02-01", 1, {0})});
+  auto cmp = compare_generations(older, newer);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_NEAR(cmp.value().compute_ratio, 12.1 / 2.3, 1e-12);
+  EXPECT_NEAR(cmp.value().component_ratio, 7040.0 / 3240.0, 1e-12);
+  EXPECT_GT(cmp.value().mtbf_ratio, 1.0);
+  EXPECT_TRUE(cmp.value().reliability_outpaced_shrinkage);
+}
+
+}  // namespace
+}  // namespace tsufail::analysis

@@ -1,0 +1,248 @@
+// Tests for the tsufail tool's subcommands, driven through dispatch() on
+// in-memory streams (no subprocesses).
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tsufail::cli {
+namespace {
+
+struct RunResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+RunResult run(std::vector<std::string> argv) {
+  std::ostringstream out, err;
+  const int code = dispatch(argv, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_log_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Dispatch, NoArgsPrintsOverviewAndFails) {
+  const auto result = run({});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.out.find("usage: tsufail"), std::string::npos);
+}
+
+TEST(Dispatch, HelpCommandSucceeds) {
+  const auto result = run({"help"});
+  EXPECT_EQ(result.code, 0);
+  for (const auto& command : commands()) {
+    EXPECT_NE(result.out.find(command.name), std::string::npos) << command.name;
+  }
+}
+
+TEST(Dispatch, UnknownCommand) {
+  const auto result = run({"frobnicate"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Dispatch, PerCommandHelp) {
+  const auto result = run({"simulate", "--help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("usage: tsufail simulate"), std::string::npos);
+  EXPECT_NE(result.out.find("--machine"), std::string::npos);
+}
+
+TEST(Dispatch, BadArgsShowHelpOnStderr) {
+  const auto result = run({"simulate"});  // missing positional
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+  EXPECT_NE(result.err.find("usage: tsufail simulate"), std::string::npos);
+}
+
+TEST(Commands, SimulateThenAnalyze) {
+  const std::string path = temp_log_path("cli_sim_t2.csv");
+  const auto sim = run({"simulate", path, "--machine", "t2", "--seed", "3"});
+  ASSERT_EQ(sim.code, 0) << sim.err;
+  EXPECT_NE(sim.out.find("897 failures"), std::string::npos);
+
+  const auto analyze = run({"analyze", path});
+  ASSERT_EQ(analyze.code, 0) << analyze.err;
+  EXPECT_NE(analyze.out.find("Tsubame-2"), std::string::npos);
+  EXPECT_NE(analyze.out.find("GPU"), std::string::npos);
+  EXPECT_NE(analyze.out.find("MTBF:"), std::string::npos);
+  EXPECT_NE(analyze.out.find("MTTR:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, SimulateHonorsFailureOverrideAndKnobs) {
+  const std::string path = temp_log_path("cli_sim_small.csv");
+  const auto sim = run({"simulate", path, "--machine", "t3", "--failures", "50",
+                        "--no-bursts", "--no-heterogeneity"});
+  ASSERT_EQ(sim.code, 0) << sim.err;
+  EXPECT_NE(sim.out.find("wrote 50 failures"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, SimulateRejectsBadMachineAndCount) {
+  EXPECT_EQ(run({"simulate", "/tmp/x.csv", "--machine", "cray-1"}).code, 1);
+  EXPECT_EQ(run({"simulate", "/tmp/x.csv", "--failures", "-4"}).code, 1);
+}
+
+TEST(Commands, AnalyzeMissingFileFails) {
+  const auto result = run({"analyze", "/definitely/not/here.csv"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST(Commands, TriageReportsImpactAndPolicy) {
+  const std::string path = temp_log_path("cli_triage.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "4"}).code, 0);
+  const auto triage = run({"triage", path, "--top", "5"});
+  ASSERT_EQ(triage.code, 0) << triage.err;
+  EXPECT_NE(triage.out.find("Impact ratio"), std::string::npos);
+  EXPECT_NE(triage.out.find("repeat-offender test"), std::string::npos);
+  EXPECT_NE(triage.out.find("2nd failure"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, FiguresWritesCsvs) {
+  const std::string path = temp_log_path("cli_figures.csv");
+  const std::string outdir = ::testing::TempDir() + "/cli_figdir";
+  ASSERT_EQ(run({"simulate", path, "--machine", "t2", "--seed", "4"}).code, 0);
+  const auto figures = run({"figures", path, "--outdir", outdir});
+  ASSERT_EQ(figures.code, 0) << figures.err;
+  EXPECT_TRUE(std::filesystem::exists(outdir + "/categories.csv"));
+  EXPECT_TRUE(std::filesystem::exists(outdir + "/tbf_cdf.csv"));
+  EXPECT_TRUE(std::filesystem::exists(outdir + "/ttr_cdf.csv"));
+  EXPECT_TRUE(std::filesystem::exists(outdir + "/monthly.csv"));
+  std::filesystem::remove_all(outdir);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, CheckpointPlan) {
+  const std::string path = temp_log_path("cli_ckpt.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t2", "--seed", "4"}).code, 0);
+  const auto plan = run({"checkpoint", path, "--cost-hours", "0.5"});
+  ASSERT_EQ(plan.code, 0) << plan.err;
+  EXPECT_NE(plan.out.find("Daly interval"), std::string::npos);
+  EXPECT_NE(plan.out.find("efficiency"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, SparesSizing) {
+  const std::string path = temp_log_path("cli_spares.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t2", "--seed", "4"}).code, 0);
+  const auto spares = run({"spares", path, "--category", "SSD", "--lead-days", "7"});
+  ASSERT_EQ(spares.code, 0) << spares.err;
+  EXPECT_NE(spares.out.find("SSD"), std::string::npos);
+  EXPECT_NE(spares.out.find("stockout probability"), std::string::npos);
+  // Unknown category errors out cleanly.
+  EXPECT_EQ(run({"spares", path, "--category", "FluxCapacitor"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, PredictBacktest) {
+  const std::string path = temp_log_path("cli_predict.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "4"}).code, 0);
+  const auto predict = run({"predict", path, "--top-k", "10"});
+  ASSERT_EQ(predict.code, 0) << predict.err;
+  EXPECT_NE(predict.out.find("uniform"), std::string::npos);
+  EXPECT_NE(predict.out.find("count"), std::string::npos);
+  EXPECT_NE(predict.out.find("Hit@10"), std::string::npos);
+  EXPECT_EQ(run({"predict", path, "--top-k", "0"}).code, 1);
+  std::remove(path.c_str());
+}
+
+
+TEST(Commands, TrendsReport) {
+  const std::string path = temp_log_path("cli_trends.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t2", "--seed", "4"}).code, 0);
+  const auto trends = run({"trends", path, "--window-days", "90", "--step-days", "45"});
+  ASSERT_EQ(trends.code, 0) << trends.err;
+  EXPECT_NE(trends.out.find("failure-rate trend"), std::string::npos);
+  EXPECT_NE(trends.out.find("early/late quarter"), std::string::npos);
+  // Degenerate window errors out cleanly.
+  EXPECT_EQ(run({"trends", path, "--window-days", "100000"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, RacksReport) {
+  const std::string path = temp_log_path("cli_racks.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "4"}).code, 0);
+  const auto racks = run({"racks", path, "--top", "5"});
+  ASSERT_EQ(racks.code, 0) << racks.err;
+  EXPECT_NE(racks.out.find("Gini"), std::string::npos);
+  EXPECT_NE(racks.out.find("uniformity chi-square"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, ImportLegacy) {
+  const std::string legacy_path = temp_log_path("cli_legacy.log");
+  const std::string out_path = temp_log_path("cli_legacy_out.csv");
+  {
+    std::ofstream legacy(legacy_path);
+    legacy << "#legacy-v1 Tsubame-3\n"
+              "09/06/2018;13:45;r02n11;GPU;1.25;G0+G3\n"
+              "totally broken line\n"
+              "10/06/2018;08:00;r00n00;Software;0.50;-;driver woes\n";
+  }
+  const auto imported = run({"import", legacy_path, out_path});
+  ASSERT_EQ(imported.code, 0) << imported.err;
+  EXPECT_NE(imported.out.find("imported 2 failures"), std::string::npos);
+  EXPECT_NE(imported.out.find("1 lines skipped"), std::string::npos);
+  const auto analyze = run({"analyze", out_path});
+  EXPECT_EQ(analyze.code, 0) << analyze.err;
+  // Strict import fails on the broken line.
+  EXPECT_EQ(run({"import", legacy_path, out_path, "--strict"}).code, 1);
+  std::remove(legacy_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+
+TEST(Commands, CouplingsReport) {
+  const std::string path = temp_log_path("cli_couplings.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "4"}).code, 0);
+  const auto couplings = run({"couplings", path, "--top", "5"});
+  ASSERT_EQ(couplings.code, 0) << couplings.err;
+  EXPECT_NE(couplings.out.find("Leader -> Follower"), std::string::npos);
+  EXPECT_NE(couplings.out.find("Lift"), std::string::npos);
+  EXPECT_EQ(run({"couplings", path, "--min-events", "0"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Commands, ReportMarkdown) {
+  const std::string path = temp_log_path("cli_report.csv");
+  const std::string out_path = temp_log_path("cli_report.md");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "4"}).code, 0);
+  const auto to_stdout = run({"report", path, "--no-extensions"});
+  ASSERT_EQ(to_stdout.code, 0) << to_stdout.err;
+  EXPECT_NE(to_stdout.out.find("# Tsubame-3 reliability report"), std::string::npos);
+  EXPECT_EQ(to_stdout.out.find("## Node survival"), std::string::npos);
+  const auto to_file = run({"report", path, "--out", out_path, "--title", "Custom title"});
+  ASSERT_EQ(to_file.code, 0) << to_file.err;
+  std::ifstream md(out_path);
+  std::string first_line;
+  std::getline(md, first_line);
+  EXPECT_EQ(first_line, "# Custom title");
+  std::remove(path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Commands, CompareGenerations) {
+  const std::string t2_path = temp_log_path("cli_cmp_t2.csv");
+  const std::string t3_path = temp_log_path("cli_cmp_t3.csv");
+  ASSERT_EQ(run({"simulate", t2_path, "--machine", "t2", "--seed", "4"}).code, 0);
+  ASSERT_EQ(run({"simulate", t3_path, "--machine", "t3", "--seed", "4"}).code, 0);
+  const auto cmp = run({"compare", t2_path, t3_path});
+  ASSERT_EQ(cmp.code, 0) << cmp.err;
+  EXPECT_NE(cmp.out.find("MTBF"), std::string::npos);
+  EXPECT_NE(cmp.out.find("reliability outpaced component shrinkage: yes"), std::string::npos);
+  std::remove(t2_path.c_str());
+  std::remove(t3_path.c_str());
+}
+
+}  // namespace
+}  // namespace tsufail::cli

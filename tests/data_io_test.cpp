@@ -1,0 +1,174 @@
+// Tests for the CSV log schema: round trips, lenient/strict policies,
+// and failure injection with malformed rows.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/log_io.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+namespace tsufail::data {
+namespace {
+
+constexpr const char* kHeader =
+    "machine,timestamp,node,category,ttr_hours,gpu_slots,root_locus\n";
+
+TEST(GpuSlots, FormatAndParse) {
+  EXPECT_EQ(format_gpu_slots({}), "");
+  EXPECT_EQ(format_gpu_slots({0}), "0");
+  EXPECT_EQ(format_gpu_slots({0, 2}), "0|2");
+  EXPECT_EQ(parse_gpu_slots("").value(), (std::vector<int>{}));
+  EXPECT_EQ(parse_gpu_slots("1").value(), (std::vector<int>{1}));
+  EXPECT_EQ(parse_gpu_slots("0|1|3").value(), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(parse_gpu_slots(" 0 | 2 ").value(), (std::vector<int>{0, 2}));
+  EXPECT_FALSE(parse_gpu_slots("0|x").ok());
+}
+
+TEST(ReadLog, MinimalDocument) {
+  const std::string csv = std::string(kHeader) +
+                          "Tsubame-2,2012-06-01 10:00:00,5,GPU,20.5,0|2,\n"
+                          "Tsubame-2,2012-06-02 11:00:00,6,PBS,2.0,,batch stuck\n";
+  auto report = read_log_csv(csv);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().row_errors.empty());
+  const auto& log = report.value().log;
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.machine(), Machine::kTsubame2);
+  EXPECT_EQ(log.records()[0].category, Category::kGpu);
+  EXPECT_EQ(log.records()[0].gpu_slots, (std::vector<int>{0, 2}));
+  EXPECT_DOUBLE_EQ(log.records()[0].ttr_hours, 20.5);
+  EXPECT_EQ(log.records()[1].root_locus, "batch stuck");
+}
+
+TEST(ReadLog, ColumnOrderIsFree) {
+  const std::string csv =
+      "category,node,machine,ttr_hours,root_locus,gpu_slots,timestamp\n"
+      "GPU,5,Tsubame-2,20.5,,0,2012-06-01 10:00:00\n";
+  auto report = read_log_csv(csv);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().log.records()[0].node, 5);
+}
+
+TEST(ReadLog, MissingColumnIsError) {
+  auto report = read_log_csv("machine,timestamp,node\nT2,2012-06-01,5\n");
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message().find("category"), std::string::npos);
+}
+
+TEST(ReadLog, LenientSkipsMalformedRows) {
+  const std::string csv = std::string(kHeader) +
+                          "Tsubame-2,2012-06-01 10:00:00,5,GPU,20.5,0,\n"
+                          "Tsubame-2,not-a-date,5,GPU,20.5,0,\n"          // bad timestamp
+                          "Tsubame-2,2012-06-03 10:00:00,x,GPU,20.5,0,\n" // bad node
+                          "Tsubame-2,2012-06-04 10:00:00,5,Alien,1.0,,\n" // bad category
+                          "Tsubame-2,2012-06-05 10:00:00,5,GPU,oops,0,\n" // bad ttr
+                          "Tsubame-2,2012-06-06 10:00:00,5,GPU,3.0,9,\n"; // bad slot
+  auto report = read_log_csv(csv, ReadPolicy::kLenient);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().log.size(), 1u);
+  EXPECT_EQ(report.value().row_errors.size(), 5u);
+}
+
+TEST(ReadLog, LenientReportsRowErrors) {
+  const std::string csv = std::string(kHeader) +
+                          "Tsubame-2,2012-06-01 10:00:00,5,GPU,20.5,0,\n"
+                          "Tsubame-2,not-a-date,5,GPU,20.5,0,\n"
+                          "Tsubame-2,2012-06-04 10:00:00,5,Alien,1.0,,\n";
+  auto report = read_log_csv(csv, ReadPolicy::kLenient);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().log.size(), 1u);
+  ASSERT_EQ(report.value().row_errors.size(), 2u);
+  EXPECT_EQ(report.value().row_errors[0].line_number, 3u);
+  EXPECT_EQ(report.value().row_errors[1].line_number, 4u);
+}
+
+TEST(ReadLog, StrictFailsOnFirstBadRow) {
+  const std::string csv = std::string(kHeader) +
+                          "Tsubame-2,2012-06-01 10:00:00,5,GPU,20.5,0,\n"
+                          "Tsubame-2,not-a-date,5,GPU,20.5,0,\n";
+  auto report = read_log_csv(csv, ReadPolicy::kStrict);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message().find("line 3"), std::string::npos);
+}
+
+TEST(ReadLog, MixedMachinesRejected) {
+  const std::string csv = std::string(kHeader) +
+                          "Tsubame-2,2012-06-01 10:00:00,5,GPU,20.5,0,\n"
+                          "Tsubame-3,2012-06-02 10:00:00,5,GPU,20.5,0,\n";
+  auto strict = read_log_csv(csv, ReadPolicy::kStrict);
+  EXPECT_FALSE(strict.ok());
+  auto lenient = read_log_csv(csv, ReadPolicy::kLenient);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient.value().log.size(), 1u);
+  EXPECT_EQ(lenient.value().row_errors.size(), 1u);
+}
+
+TEST(ReadLog, NoParsableRowsIsError) {
+  auto report = read_log_csv(std::string(kHeader) + "Tsubame-2,bad,bad,bad,bad,bad,\n");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ReadLog, QuotedRootLocusWithComma) {
+  const std::string csv = std::string(kHeader) +
+                          "Tsubame-3,2018-06-01 10:00:00,5,Software,2.0,,\"driver, cuda 9\"\n";
+  auto report = read_log_csv(csv);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().log.records()[0].root_locus, "driver, cuda 9");
+}
+
+TEST(WriteLog, CanonicalFormat) {
+  FailureRecord r;
+  r.time = parse_time("2012-06-01 10:00:00").value();
+  r.node = 5;
+  r.category = Category::kGpu;
+  r.ttr_hours = 20.5;
+  r.gpu_slots = {0, 2};
+  auto log = FailureLog::create(tsubame2_spec(), {r});
+  ASSERT_TRUE(log.ok());
+  const std::string csv = write_log_csv(log.value());
+  EXPECT_NE(csv.find("Tsubame-2,2012-06-01 10:00:00,5,GPU,20.5000,0|2,"), std::string::npos);
+}
+
+TEST(RoundTrip, GeneratedTsubame2LogSurvivesExactly) {
+  auto log = sim::generate_log(sim::tsubame2_model(), 7).value();
+  auto report = read_log_csv(write_log_csv(log), ReadPolicy::kStrict);
+  ASSERT_TRUE(report.ok());
+  const auto& back = report.value().log;
+  ASSERT_EQ(back.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(back.records()[i].time, log.records()[i].time);
+    EXPECT_EQ(back.records()[i].node, log.records()[i].node);
+    EXPECT_EQ(back.records()[i].category, log.records()[i].category);
+    EXPECT_NEAR(back.records()[i].ttr_hours, log.records()[i].ttr_hours, 5e-5);
+    EXPECT_EQ(back.records()[i].gpu_slots, log.records()[i].gpu_slots);
+    EXPECT_EQ(back.records()[i].root_locus, log.records()[i].root_locus);
+  }
+}
+
+TEST(RoundTrip, GeneratedTsubame3LogSurvivesExactly) {
+  auto log = sim::generate_log(sim::tsubame3_model(), 8).value();
+  auto report = read_log_csv(write_log_csv(log), ReadPolicy::kStrict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().log.size(), log.size());
+  EXPECT_EQ(report.value().log.machine(), Machine::kTsubame3);
+}
+
+TEST(LogFile, WriteReadFile) {
+  const std::string path = ::testing::TempDir() + "/tsufail_log_io_test.csv";
+  auto log = sim::generate_log(sim::tsubame3_model(), 9).value();
+  ASSERT_TRUE(write_log_file(path, log).ok());
+  auto report = read_log_file(path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().log.size(), log.size());
+  std::remove(path.c_str());
+}
+
+TEST(LogFile, MissingFileIsIoError) {
+  auto report = read_log_file("/definitely/not/here.csv");
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().kind(), ErrorKind::kIo);
+}
+
+}  // namespace
+}  // namespace tsufail::data

@@ -1,0 +1,206 @@
+// Tests for the checkpoint discrete-event simulator and the job-impact
+// replay, including the cross-check between the analytic Young/Daly
+// waste model and the simulated ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/checkpoint.h"
+#include "ops/checkpoint_sim.h"
+#include "ops/job_impact.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+namespace tsufail::ops {
+namespace {
+
+TEST(CheckpointSim, NoFailuresIsPureOverheadArithmetic) {
+  CheckpointSimConfig config{100.0, 10.0, 0.5, 1.0};
+  Rng rng(1);
+  const FailureSampler never = [](Rng&) { return 1e18; };
+  auto result = simulate_checkpointed_job(config, never, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().failures, 0u);
+  // 10 segments, but the final one needs no checkpoint: 9 writes.
+  EXPECT_EQ(result.value().checkpoints, 9u);
+  EXPECT_DOUBLE_EQ(result.value().wall_hours, 100.0 + 9 * 0.5);
+  EXPECT_DOUBLE_EQ(result.value().lost_hours, 0.0);
+  EXPECT_NEAR(result.value().waste_fraction, 4.5 / 104.5, 1e-12);
+}
+
+TEST(CheckpointSim, DeterministicFailureLosesSegment) {
+  // One failure at t=5 inside the first 10-hour segment: lose 5 hours of
+  // work plus 1 hour restart.
+  CheckpointSimConfig config{20.0, 10.0, 0.5, 1.0};
+  Rng rng(1);
+  int calls = 0;
+  const FailureSampler once = [&calls](Rng&) { return ++calls == 1 ? 5.0 : 1e18; };
+  auto result = simulate_checkpointed_job(config, once, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().failures, 1u);
+  EXPECT_DOUBLE_EQ(result.value().lost_hours, 6.0);
+  // wall = 5 (lost) + 1 (restart) + 10 + 0.5 (ckpt) + 10 = 26.5.
+  EXPECT_DOUBLE_EQ(result.value().wall_hours, 26.5);
+}
+
+TEST(CheckpointSim, FailureDuringCheckpointRollsBack) {
+  // Fail 1 hour into the first checkpoint write: the whole first segment
+  // must be recomputed.
+  CheckpointSimConfig config{20.0, 10.0, 2.0, 0.0};
+  Rng rng(1);
+  int calls = 0;
+  const FailureSampler once = [&calls](Rng&) { return ++calls == 1 ? 11.0 : 1e18; };
+  auto result = simulate_checkpointed_job(config, once, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().failures, 1u);
+  EXPECT_DOUBLE_EQ(result.value().lost_hours, 10.0);
+  // wall = 10 + 1 (partial ckpt) + 10 (redo) + 2 (ckpt) + 10 = 33.
+  EXPECT_DOUBLE_EQ(result.value().wall_hours, 33.0);
+  EXPECT_EQ(result.value().checkpoints, 1u);
+}
+
+TEST(CheckpointSim, RejectsBadConfig) {
+  Rng rng(1);
+  const FailureSampler sampler = [](Rng& r) { return r.exponential(10.0); };
+  EXPECT_FALSE(simulate_checkpointed_job({0.0, 1.0, 0.1, 0.1}, sampler, rng).ok());
+  EXPECT_FALSE(simulate_checkpointed_job({10.0, 0.0, 0.1, 0.1}, sampler, rng).ok());
+  EXPECT_FALSE(simulate_checkpointed_job({10.0, 1.0, -0.1, 0.1}, sampler, rng).ok());
+  const FailureSampler broken = [](Rng&) { return -1.0; };
+  EXPECT_FALSE(simulate_checkpointed_job({10.0, 1.0, 0.1, 0.1}, broken, rng).ok());
+}
+
+TEST(CheckpointSim, AnalyticWasteModelTracksSimulation) {
+  // At the Daly optimum with C << MTBF the first-order waste formula
+  // should match simulation within a few points.
+  const double mtbf = 72.0, cost = 0.25;
+  const double tau = daly_interval_hours(cost, mtbf).value();
+  CheckpointSimConfig config{5000.0, tau, cost, 0.0};
+  Rng rng(7);
+  auto sim = simulate_checkpointed_job_exponential(config, mtbf, rng, 64);
+  ASSERT_TRUE(sim.ok());
+  const double analytic = waste_fraction(cost, tau, mtbf).value();
+  EXPECT_NEAR(sim.value().waste_fraction, analytic, 0.03);
+}
+
+TEST(CheckpointSim, DalyOptimumBeatsNeighboursInSimulation) {
+  const double mtbf = 15.3, cost = 0.25;  // Tsubame-2 regime
+  const double tau = daly_interval_hours(cost, mtbf).value();
+  Rng rng(11);
+  const auto waste_at = [&](double interval) {
+    CheckpointSimConfig config{3000.0, interval, cost, 0.0};
+    Rng local(11);
+    return simulate_checkpointed_job_exponential(config, mtbf, local, 48)
+        .value().waste_fraction;
+  };
+  const double at_optimum = waste_at(tau);
+  EXPECT_LT(at_optimum, waste_at(tau * 3.0));
+  EXPECT_LT(at_optimum, waste_at(tau / 3.0));
+  (void)rng;
+}
+
+TEST(CheckpointSim, HopelessConfigurationErrorsOut) {
+  // MTBF an order of magnitude below the checkpoint cost: no progress.
+  CheckpointSimConfig config{100.0, 1.0, 10.0, 5.0};
+  Rng rng(3);
+  auto result = simulate_checkpointed_job_exponential(config, 0.5, rng, 1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(JobImpact, ValidatesInput) {
+  const auto log = sim::generate_log(sim::tsubame3_model(), 1).value();
+  Rng rng(1);
+  JobMixSpec bad = {};
+  bad.jobs = 0;
+  EXPECT_FALSE(replay_job_impact(log, bad, rng).ok());
+  JobMixSpec bad_nodes = {};
+  bad_nodes.min_nodes = 10;
+  bad_nodes.max_nodes = 5;
+  EXPECT_FALSE(replay_job_impact(log, bad_nodes, rng).ok());
+  JobMixSpec huge = {};
+  huge.max_nodes = 100000;
+  EXPECT_FALSE(replay_job_impact(log, huge, rng).ok());
+}
+
+TEST(JobImpact, BasicAccountingInvariants) {
+  const auto log = sim::generate_log(sim::tsubame2_model(), 5).value();
+  Rng rng(5);
+  JobMixSpec spec;
+  spec.jobs = 2000;
+  auto result = replay_job_impact(log, spec, rng);
+  ASSERT_TRUE(result.ok());
+  const auto& r = result.value();
+  EXPECT_EQ(r.jobs, 2000u);
+  EXPECT_LE(r.interrupted_jobs, r.jobs);
+  EXPECT_GT(r.total_node_hours, 0.0);
+  EXPECT_GE(r.lost_node_hours_no_ckpt, r.lost_node_hours_ckpt - 1e9 * 0.0);
+  EXPECT_GT(r.goodput_ckpt, 0.0);
+  EXPECT_LE(r.goodput_ckpt, 1.0);
+  EXPECT_GE(r.goodput_ckpt, r.goodput_no_ckpt);  // checkpointing never hurts goodput here
+}
+
+TEST(JobImpact, CheckpointingCapsLosses) {
+  const auto log = sim::generate_log(sim::tsubame2_model(), 7).value();
+  Rng rng(7);
+  JobMixSpec spec;
+  spec.jobs = 3000;
+  spec.mean_duration_hours = 48.0;      // long jobs: big uncheckpointed losses
+  spec.checkpoint_interval_hours = 2.0;
+  auto result = replay_job_impact(log, spec, rng).value();
+  EXPECT_GT(result.interrupted_jobs, 0u);
+  EXPECT_LT(result.lost_node_hours_ckpt, result.lost_node_hours_no_ckpt * 0.5);
+}
+
+TEST(JobImpact, BiggerJobsGetHitMore) {
+  const auto log = sim::generate_log(sim::tsubame2_model(), 9).value();
+  Rng small_rng(9), big_rng(9);
+  JobMixSpec small;
+  small.jobs = 2000;
+  small.min_nodes = small.max_nodes = 1;
+  JobMixSpec big = small;
+  big.min_nodes = big.max_nodes = 64;
+  const auto small_result = replay_job_impact(log, small, small_rng).value();
+  const auto big_result = replay_job_impact(log, big, big_rng).value();
+  EXPECT_GT(big_result.interrupted_fraction, 5.0 * small_result.interrupted_fraction);
+}
+
+TEST(JobImpact, MoreReliableMachineInterruptsLess) {
+  // Same job mix on both generations: Tsubame-3's higher per-node failure
+  // rate advantage must show as fewer interruptions.  Node heterogeneity
+  // is disabled here: with concentrated hazards a random job block rarely
+  // overlaps a hot node, which washes out the rate difference — itself an
+  // interesting effect, but not what this test checks.
+  auto t2_model = sim::tsubame2_model();
+  auto t3_model = sim::tsubame3_model();
+  t2_model.knobs.enable_node_heterogeneity = false;
+  t3_model.knobs.enable_node_heterogeneity = false;
+  const auto t2 = sim::generate_log(t2_model, 11).value();
+  const auto t3 = sim::generate_log(t3_model, 11).value();
+  JobMixSpec spec;
+  spec.jobs = 6000;
+  Rng rng_a(13), rng_b(13);
+  const auto r2 = replay_job_impact(t2, spec, rng_a).value();
+  const auto r3 = replay_job_impact(t3, spec, rng_b).value();
+  // Per-node-hour failure rates differ ~1.8x (4.6e-5 vs 2.6e-5).
+  EXPECT_GT(r2.interrupted_fraction, 1.2 * r3.interrupted_fraction);
+  EXPECT_GT(r3.goodput_no_ckpt, r2.goodput_no_ckpt);
+}
+
+TEST(JobImpact, ConcentrationPreservesTotalHitMass) {
+  // Node heterogeneity redistributes failures across nodes but not their
+  // count, so the EXPECTED failure encounters per job (hit mass) must be
+  // roughly invariant; only which jobs absorb them changes.
+  auto uniform_model = sim::tsubame2_model();
+  uniform_model.knobs.enable_node_heterogeneity = false;
+  const auto concentrated = sim::generate_log(sim::tsubame2_model(), 17).value();
+  const auto uniform = sim::generate_log(uniform_model, 17).value();
+  JobMixSpec spec;
+  spec.jobs = 10000;
+  Rng rng_a(19), rng_b(19);
+  const auto r_conc = replay_job_impact(concentrated, spec, rng_a).value();
+  const auto r_unif = replay_job_impact(uniform, spec, rng_b).value();
+  EXPECT_GT(r_conc.mean_hits_per_job, 0.0);
+  EXPECT_NEAR(r_conc.mean_hits_per_job / r_unif.mean_hits_per_job, 1.0, 0.5);
+}
+
+}  // namespace
+}  // namespace tsufail::ops

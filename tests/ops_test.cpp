@@ -1,0 +1,242 @@
+// Tests for the operations layer: checkpoint planning, availability and
+// impact accounting, spare provisioning, and maintenance policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/availability.h"
+#include "ops/checkpoint.h"
+#include "ops/maintenance.h"
+#include "ops/spares.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+namespace tsufail::ops {
+namespace {
+
+using data::Category;
+
+data::FailureRecord rec(int node, Category category, const char* time, double ttr = 10.0) {
+  data::FailureRecord r;
+  r.node = node;
+  r.category = category;
+  r.time = parse_time(time).value();
+  r.ttr_hours = ttr;
+  return r;
+}
+
+data::FailureLog t2_log(std::vector<data::FailureRecord> records) {
+  return data::FailureLog::create(data::tsubame2_spec(), std::move(records)).value();
+}
+
+// ---- Checkpointing -------------------------------------------------------
+
+TEST(Checkpoint, YoungFormula) {
+  // tau = sqrt(2 * 0.5 * 16) = 4.
+  EXPECT_DOUBLE_EQ(young_interval_hours(0.5, 16.0).value(), 4.0);
+}
+
+TEST(Checkpoint, DalyNearYoungWhenCostSmall) {
+  const double young = young_interval_hours(0.01, 100.0).value();
+  const double daly = daly_interval_hours(0.01, 100.0).value();
+  EXPECT_NEAR(daly, young, young * 0.05);
+}
+
+TEST(Checkpoint, DalyNeverBelowCost) {
+  EXPECT_GE(daly_interval_hours(10.0, 12.0).value(), 10.0);
+}
+
+TEST(Checkpoint, WasteFractionFirstOrder) {
+  // C=0.5, tau=4, M=16: 0.5/4 + 4.5/32 = 0.265625.
+  EXPECT_DOUBLE_EQ(waste_fraction(0.5, 4.0, 16.0).value(), 0.265625);
+  EXPECT_DOUBLE_EQ(efficiency(0.5, 4.0, 16.0).value(), 1.0 - 0.265625);
+}
+
+TEST(Checkpoint, WasteClampedToOne) {
+  EXPECT_DOUBLE_EQ(waste_fraction(50.0, 1.0, 1.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(efficiency(50.0, 1.0, 1.0).value(), 0.0);
+}
+
+TEST(Checkpoint, OptimumBeatsNeighbours) {
+  const double cost = 0.25;
+  const double mtbf = 15.3;  // Tsubame-2's measured MTBF
+  const double tau = daly_interval_hours(cost, mtbf).value();
+  const double at_opt = waste_fraction(cost, tau, mtbf).value();
+  EXPECT_LT(at_opt, waste_fraction(cost, tau * 2.0, mtbf).value());
+  EXPECT_LT(at_opt, waste_fraction(cost, tau / 2.0, mtbf).value());
+}
+
+TEST(Checkpoint, HigherMtbfLongerIntervalLessWaste) {
+  const auto t2 = plan_checkpointing(0.25, 15.3).value();
+  const auto t3 = plan_checkpointing(0.25, 72.3).value();
+  EXPECT_GT(t3.daly_hours, t2.daly_hours);
+  EXPECT_LT(t3.waste_at_daly, t2.waste_at_daly);
+  EXPECT_GT(t3.efficiency_at_daly, t2.efficiency_at_daly);
+}
+
+TEST(Checkpoint, Errors) {
+  EXPECT_FALSE(young_interval_hours(0.0, 10.0).ok());
+  EXPECT_FALSE(young_interval_hours(1.0, -1.0).ok());
+  EXPECT_FALSE(daly_interval_hours(-1.0, 10.0).ok());
+  EXPECT_FALSE(waste_fraction(1.0, 0.0, 10.0).ok());
+  EXPECT_FALSE(plan_checkpointing(0.0, 0.0).ok());
+}
+
+// ---- Availability --------------------------------------------------------
+
+TEST(Availability, HandLogNumbers) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-02-01", 10.0),
+                           rec(2, Category::kSsd, "2012-03-01", 290.0),
+                           rec(3, Category::kGpu, "2012-04-01", 20.0)});
+  auto report = analyze_availability(log);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().total_downtime_hours, 320.0);
+  EXPECT_NEAR(report.value().mttr_hours, 320.0 / 3.0, 1e-9);
+  EXPECT_GT(report.value().availability, 0.97);  // MTBF >> MTTR here
+  ASSERT_EQ(report.value().by_category.size(), 2u);
+  // SSD leads the downtime ranking despite fewer failures.
+  EXPECT_EQ(report.value().by_category[0].category, Category::kSsd);
+  EXPECT_NEAR(report.value().by_category[0].impact_ratio, (290.0 / 320.0) / (1.0 / 3.0), 1e-9);
+  EXPECT_GT(report.value().by_category[0].impact_ratio, 2.0);
+}
+
+TEST(Availability, EmptyLogIsError) {
+  EXPECT_FALSE(analyze_availability(t2_log({})).ok());
+}
+
+TEST(Availability, PaperStoryOnCalibratedLog) {
+  // On Tsubame-3, power-board failures (~1% share) must show an impact
+  // ratio > 1 (downtime share exceeding frequency share).  Only 3-4 such
+  // events exist per realization, so average across seeds.
+  double ratio_sum = 0.0;
+  int seen = 0;
+  for (std::uint64_t seed = 90; seed < 100; ++seed) {
+    auto log = sim::generate_log(sim::tsubame3_model(), seed).value();
+    auto report = analyze_availability(log).value();
+    for (const auto& impact : report.by_category) {
+      if (impact.category == Category::kPowerBoard) {
+        EXPECT_LT(impact.share_percent, 2.0);
+        ratio_sum += impact.impact_ratio;
+        ++seen;
+      }
+    }
+  }
+  ASSERT_GT(seen, 0);
+  EXPECT_GT(ratio_sum / seen, 1.0);
+}
+
+// ---- Spares ----------------------------------------------------------------
+
+TEST(Spares, NoStockoutWithGenerousPool) {
+  const auto log = t2_log({rec(1, Category::kSsd, "2012-02-01"),
+                           rec(2, Category::kSsd, "2012-02-02"),
+                           rec(3, Category::kSsd, "2012-02-03")});
+  auto sim = simulate_spares(log, Category::kSsd, {10, 336.0});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim.value().stockouts, 0u);
+  EXPECT_DOUBLE_EQ(sim.value().stockout_probability, 0.0);
+}
+
+TEST(Spares, StockoutsWhenPoolTooSmall) {
+  // Three failures within the lead time, one spare: two stockouts.
+  const auto log = t2_log({rec(1, Category::kSsd, "2012-02-01 00:00:00"),
+                           rec(2, Category::kSsd, "2012-02-01 01:00:00"),
+                           rec(3, Category::kSsd, "2012-02-01 02:00:00")});
+  auto sim = simulate_spares(log, Category::kSsd, {1, 336.0});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim.value().demand_events, 3u);
+  EXPECT_EQ(sim.value().stockouts, 2u);
+  EXPECT_GT(sim.value().added_wait_hours_total, 0.0);
+}
+
+TEST(Spares, RestockReplenishesPool) {
+  // Second failure arrives after the first restock: no stockout with 1 spare.
+  const auto log = t2_log({rec(1, Category::kSsd, "2012-02-01 00:00:00"),
+                           rec(2, Category::kSsd, "2012-03-01 00:00:00")});
+  auto sim = simulate_spares(log, Category::kSsd, {1, 336.0});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim.value().stockouts, 0u);
+}
+
+TEST(Spares, ZeroLeadTimeNeverWaits) {
+  const auto log = t2_log({rec(1, Category::kSsd, "2012-02-01 00:00:00"),
+                           rec(2, Category::kSsd, "2012-02-01 00:30:00")});
+  auto sim = simulate_spares(log, Category::kSsd, {1, 0.0});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(sim.value().added_wait_hours_total, 0.0);
+}
+
+TEST(Spares, Errors) {
+  const auto log = t2_log({rec(1, Category::kSsd, "2012-02-01")});
+  EXPECT_FALSE(simulate_spares(log, Category::kGpu, {1, 10.0}).ok());
+  SparePolicy bad{1, -5.0};
+  EXPECT_FALSE(simulate_spares(log, Category::kSsd, bad).ok());
+}
+
+TEST(Spares, RecommendationMeetsTarget) {
+  auto log = sim::generate_log(sim::tsubame2_model(), 31).value();
+  auto spares = recommend_spares(log, Category::kGpu, 0.05, 336.0);
+  ASSERT_TRUE(spares.ok());
+  auto check = simulate_spares(log, Category::kGpu, {spares.value(), 336.0}).value();
+  EXPECT_LE(check.stockout_probability, 0.05);
+  if (spares.value() > 0) {
+    auto fewer = simulate_spares(log, Category::kGpu, {spares.value() - 1, 336.0}).value();
+    EXPECT_GT(fewer.stockout_probability, 0.05);
+  }
+}
+
+TEST(Spares, RecommendErrors) {
+  const auto log = t2_log({rec(1, Category::kSsd, "2012-02-01")});
+  EXPECT_FALSE(recommend_spares(log, Category::kSsd, 1.5, 10.0).ok());
+  EXPECT_FALSE(recommend_spares(log, Category::kGpu, 0.1, 10.0).ok());
+}
+
+// ---- Maintenance -----------------------------------------------------------
+
+TEST(Maintenance, QuarantineReplay) {
+  const auto log = t2_log({
+      rec(1, Category::kGpu, "2012-02-01", 10.0), rec(1, Category::kGpu, "2012-02-02", 10.0),
+      rec(1, Category::kGpu, "2012-02-03", 30.0),  // avoided at threshold 2
+      rec(2, Category::kCpu, "2012-02-04", 10.0),
+  });
+  auto result = evaluate_quarantine_policy(log, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().serviced_nodes, 1u);
+  EXPECT_EQ(result.value().avoided_failures, 1u);
+  EXPECT_DOUBLE_EQ(result.value().avoided_failure_percent, 25.0);
+  EXPECT_DOUBLE_EQ(result.value().avoided_downtime_hours, 30.0);
+  EXPECT_DOUBLE_EQ(result.value().avoided_downtime_percent, 50.0);
+}
+
+TEST(Maintenance, ThresholdOneAvoidsAllRepeats) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-02-01"),
+                           rec(1, Category::kGpu, "2012-02-02"),
+                           rec(2, Category::kGpu, "2012-02-03")});
+  auto result = evaluate_quarantine_policy(log, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().avoided_failures, 1u);
+  EXPECT_EQ(result.value().serviced_nodes, 2u);
+}
+
+TEST(Maintenance, SweepMonotone) {
+  auto log = sim::generate_log(sim::tsubame3_model(), 77).value();
+  auto sweep = sweep_quarantine_policies(log, 5);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep.value().size(), 5u);
+  for (std::size_t i = 1; i < sweep.value().size(); ++i) {
+    EXPECT_GE(sweep.value()[i - 1].avoided_failures, sweep.value()[i].avoided_failures);
+  }
+  // On the heterogeneous Tsubame-3 fleet the threshold-1 policy must avoid
+  // a large share of all failures (the paper's lemon-node observation).
+  EXPECT_GT(sweep.value()[0].avoided_failure_percent, 30.0);
+}
+
+TEST(Maintenance, Errors) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-02-01")});
+  EXPECT_FALSE(evaluate_quarantine_policy(log, 0).ok());
+  EXPECT_FALSE(evaluate_quarantine_policy(t2_log({}), 1).ok());
+  EXPECT_FALSE(sweep_quarantine_policies(log, 0).ok());
+}
+
+}  // namespace
+}  // namespace tsufail::ops

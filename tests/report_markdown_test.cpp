@@ -1,0 +1,88 @@
+// Tests for the markdown report on hand-built (non-simulated) logs, where
+// several sections must degrade gracefully.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/markdown_report.h"
+
+namespace tsufail::report {
+namespace {
+
+using data::Category;
+
+data::FailureRecord rec(int node, Category category, const char* time, double ttr = 10.0,
+                        std::vector<int> slots = {}) {
+  data::FailureRecord r;
+  r.node = node;
+  r.category = category;
+  r.time = parse_time(time).value();
+  r.ttr_hours = ttr;
+  r.gpu_slots = std::move(slots);
+  return r;
+}
+
+data::FailureLog t2_log(std::vector<data::FailureRecord> records) {
+  return data::FailureLog::create(data::tsubame2_spec(), std::move(records)).value();
+}
+
+TEST(MarkdownReportHandLog, MinimalLogStillRenders) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-06-01", 5.0, {0}),
+                           rec(2, Category::kCpu, "2012-07-01", 9.0)});
+  auto md = render_markdown_report(log);
+  ASSERT_TRUE(md.ok());
+  EXPECT_NE(md.value().find("# Tsubame-2 reliability report"), std::string::npos);
+  EXPECT_NE(md.value().find("failures: 2"), std::string::npos);
+  // No software failures: the loci section is absent, not broken.
+  EXPECT_EQ(md.value().find("## Software root loci"), std::string::npos);
+  // Rolling trends need more span than 2 events give windows for — the
+  // section may be absent; headline metrics must be present.
+  EXPECT_NE(md.value().find("| MTTR |"), std::string::npos);
+}
+
+TEST(MarkdownReportHandLog, TopCategoryLimitRespected) {
+  std::vector<data::FailureRecord> records;
+  const Category kinds[] = {Category::kGpu, Category::kCpu, Category::kFan, Category::kSsd,
+                            Category::kDisk};
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(rec(i, kinds[i], "2012-06-01", 1.0,
+                          kinds[i] == Category::kGpu ? std::vector<int>{0}
+                                                     : std::vector<int>{}));
+  }
+  MarkdownOptions options;
+  options.top_categories = 2;
+  auto md = render_markdown_report(t2_log(std::move(records)), options);
+  ASSERT_TRUE(md.ok());
+  // Only two category rows rendered: count the table pipes after the header.
+  const auto section = md.value().find("## Failure categories");
+  const auto next = md.value().find("##", section + 5);
+  const std::string body = md.value().substr(section, next - section);
+  std::size_t rows = 0;
+  for (std::size_t pos = body.find("\n|"); pos != std::string::npos;
+       pos = body.find("\n|", pos + 1))
+    ++rows;
+  EXPECT_EQ(rows, 2u + 2u);  // header + rule + 2 data rows
+}
+
+TEST(MarkdownReportHandLog, EmptyLogIsError) {
+  EXPECT_FALSE(render_markdown_report(t2_log({})).ok());
+}
+
+TEST(MarkdownReportHandLog, TablesAreWellFormed) {
+  const auto log = t2_log({rec(1, Category::kGpu, "2012-06-01", 5.0, {0, 1}),
+                           rec(1, Category::kGpu, "2012-08-01", 7.0, {2}),
+                           rec(2, Category::kPbs, "2012-09-01", 1.0)});
+  auto md = render_markdown_report(log);
+  ASSERT_TRUE(md.ok());
+  // Every table line has balanced pipes (starts and ends with '|').
+  std::istringstream lines(md.value());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.front() == '|') {
+      EXPECT_EQ(line.back(), '|') << line;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsufail::report

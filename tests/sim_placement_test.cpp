@@ -1,0 +1,198 @@
+// Tests for MonthGrid temporal placement and model validation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "sim/models.h"
+#include "sim/placement.h"
+#include "sim/tsubame_models.h"
+#include "util/rng.h"
+
+namespace tsufail::sim {
+namespace {
+
+std::array<double, 12> flat() { return {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}; }
+
+TEST(MonthGrid, RejectsEmptyWindow) {
+  data::MachineSpec spec = data::tsubame2_spec();
+  spec.log_end = spec.log_start;
+  EXPECT_FALSE(MonthGrid::create(spec, flat()).ok());
+}
+
+TEST(MonthGrid, RejectsNonPositiveIntensity) {
+  auto intensity = flat();
+  intensity[3] = 0.0;
+  EXPECT_FALSE(MonthGrid::create(data::tsubame2_spec(), intensity).ok());
+}
+
+TEST(MonthGrid, WindowHoursMatchesSpec) {
+  auto grid = MonthGrid::create(data::tsubame2_spec(), flat());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_DOUBLE_EQ(grid.value().window_hours(), data::tsubame2_spec().window_hours());
+}
+
+TEST(MonthGrid, SamplesStayInWindow) {
+  auto grid = MonthGrid::create(data::tsubame3_spec(), flat());
+  ASSERT_TRUE(grid.ok());
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double h = grid.value().sample_hours(rng);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, grid.value().window_hours());
+  }
+}
+
+TEST(MonthGrid, IidSampleIsSortedAndExactCount) {
+  auto grid = MonthGrid::create(data::tsubame2_spec(), flat());
+  ASSERT_TRUE(grid.ok());
+  Rng rng(5);
+  const auto hours = grid.value().sample_iid(897, rng);
+  ASSERT_EQ(hours.size(), 897u);
+  for (std::size_t i = 1; i < hours.size(); ++i) EXPECT_LE(hours[i - 1], hours[i]);
+}
+
+TEST(MonthGrid, FlatIntensityIsRoughlyUniform) {
+  auto grid = MonthGrid::create(data::tsubame2_spec(), flat());
+  ASSERT_TRUE(grid.ok());
+  Rng rng(7);
+  const auto hours = grid.value().sample_iid(20000, rng);
+  // First and second halves of the window get ~equal mass.
+  const double half = grid.value().window_hours() / 2.0;
+  std::size_t first = 0;
+  for (double h : hours) first += (h < half);
+  EXPECT_NEAR(static_cast<double>(first) / 20000.0, 0.5, 0.02);
+}
+
+TEST(MonthGrid, SeasonalIntensityShiftsMass) {
+  // All weight on July: every sample must fall in a July.
+  std::array<double, 12> july_only{};
+  july_only.fill(1e-9);
+  july_only[6] = 1.0;
+  auto grid = MonthGrid::create(data::tsubame2_spec(), july_only);
+  ASSERT_TRUE(grid.ok());
+  Rng rng(9);
+  const auto hours = grid.value().sample_iid(2000, rng);
+  std::size_t in_july = 0;
+  for (double h : hours) {
+    in_july += (data::tsubame2_spec().log_start.plus_hours(h).month() == 7);
+  }
+  EXPECT_GT(static_cast<double>(in_july) / 2000.0, 0.999);
+}
+
+TEST(MonthGrid, RelativeIntensityIsRespected) {
+  // December three times as intense as the rest: mass ratio ~3x.
+  auto intensity = flat();
+  intensity[11] = 3.0;
+  auto grid = MonthGrid::create(data::tsubame3_spec(), intensity);
+  ASSERT_TRUE(grid.ok());
+  Rng rng(11);
+  const auto hours = grid.value().sample_iid(30000, rng);
+  std::map<int, std::size_t> by_month;
+  for (double h : hours) ++by_month[data::tsubame3_spec().log_start.plus_hours(h).month()];
+  const double dec = static_cast<double>(by_month[12]);
+  const double jan = static_cast<double>(by_month[1]);
+  EXPECT_NEAR(dec / jan, 3.0, 0.35);
+}
+
+TEST(MonthGrid, BurstySampleExactCountInWindow) {
+  auto grid = MonthGrid::create(data::tsubame2_spec(), flat());
+  ASSERT_TRUE(grid.ok());
+  Rng rng(13);
+  const auto hours = grid.value().sample_bursty(500, {3.0, 48.0}, rng);
+  ASSERT_EQ(hours.size(), 500u);
+  for (double h : hours) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, grid.value().window_hours());
+  }
+  for (std::size_t i = 1; i < hours.size(); ++i) EXPECT_LE(hours[i - 1], hours[i]);
+}
+
+TEST(MonthGrid, BurstyGapsAreOverdispersed) {
+  auto grid = MonthGrid::create(data::tsubame2_spec(), flat());
+  ASSERT_TRUE(grid.ok());
+  Rng rng(17);
+  const auto bursty = grid.value().sample_bursty(2000, {4.0, 12.0}, rng);
+  const auto iid = grid.value().sample_iid(2000, rng);
+
+  const auto cv_of = [](const std::vector<double>& hours) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < hours.size(); ++i) gaps.push_back(hours[i] - hours[i - 1]);
+    double mean = 0.0;
+    for (double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    double var = 0.0;
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(gaps.size() - 1);
+    return std::sqrt(var) / mean;
+  };
+  EXPECT_GT(cv_of(bursty), cv_of(iid) * 1.3);
+  EXPECT_NEAR(cv_of(iid), 1.0, 0.15);  // Poissonian baseline
+}
+
+TEST(ValidateModel, AcceptsCalibratedPresets) {
+  EXPECT_TRUE(validate_model(tsubame2_model()).ok());
+  EXPECT_TRUE(validate_model(tsubame3_model()).ok());
+}
+
+TEST(ValidateModel, RejectsShareSumDrift) {
+  MachineModel m = tsubame2_model();
+  m.categories[0].share_percent += 5.0;
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsWrongVocabulary) {
+  MachineModel m = tsubame2_model();
+  m.categories[0].category = data::Category::kLustre;  // Tsubame-3-only
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsBadSlotWeights) {
+  MachineModel m = tsubame2_model();
+  m.gpu.slot_weights = {1.0, 1.0};  // needs 3 for Tsubame-2
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsBadInvolvementWeights) {
+  MachineModel m = tsubame3_model();
+  m.gpu.involvement_weights = {1, 1, 1, 1, 1};  // more than gpus_per_node
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsBadProbabilities) {
+  MachineModel m = tsubame2_model();
+  m.gpu.attribution_probability = 1.5;
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsZeroTotal) {
+  MachineModel m = tsubame2_model();
+  m.total_failures = 0;
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsBadBurstParams) {
+  MachineModel m = tsubame2_model();
+  for (auto& cat : m.categories) {
+    if (cat.arrival == ArrivalKind::kBursty) {
+      cat.burst.mean_cluster_size = 0.5;
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsBadSeasonalProfiles) {
+  MachineModel m = tsubame3_model();
+  m.seasonal.ttr_multiplier[4] = 0.0;
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+TEST(ValidateModel, RejectsEmptyLocusLabel) {
+  MachineModel m = tsubame3_model();
+  m.software_loci.push_back({"", 1.0});
+  EXPECT_FALSE(validate_model(m).ok());
+}
+
+}  // namespace
+}  // namespace tsufail::sim

@@ -1,0 +1,192 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tsufail::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    whole.add(x);
+    (i < 250 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, EmptySampleIsError) {
+  EXPECT_FALSE(quantile(std::vector<double>{}, 0.5).ok());
+}
+
+TEST(Quantile, OutOfRangeLevelIsError) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_FALSE(quantile(v, -0.1).ok());
+  EXPECT_FALSE(quantile(v, 1.1).ok());
+}
+
+TEST(Quantile, Type7Interpolation) {
+  // numpy.percentile([1,2,3,4], [0,25,50,75,100]) = [1, 1.75, 2.5, 3.25, 4]
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25).value(), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5).value(), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75).value(), 3.25);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0).value(), 4.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0).value(), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5).value(), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0).value(), 7.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto s = summarize(v);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().count, 10u);
+  EXPECT_DOUBLE_EQ(s.value().mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.value().median, 5.5);
+  EXPECT_DOUBLE_EQ(s.value().min, 1.0);
+  EXPECT_DOUBLE_EQ(s.value().max, 10.0);
+  EXPECT_DOUBLE_EQ(s.value().p25, 3.25);
+  EXPECT_DOUBLE_EQ(s.value().p75, 7.75);
+}
+
+TEST(Summarize, EmptyIsError) {
+  EXPECT_FALSE(summarize(std::vector<double>{}).ok());
+}
+
+TEST(BoxStats, KnownSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 100};  // one outlier
+  auto b = box_stats(v);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(b.value().q1, 3.25);
+  EXPECT_DOUBLE_EQ(b.value().median, 5.5);
+  EXPECT_DOUBLE_EQ(b.value().q3, 7.75);
+  EXPECT_DOUBLE_EQ(b.value().iqr, 4.5);
+  EXPECT_EQ(b.value().outliers, 1u);       // 100 beyond q3 + 1.5 iqr = 14.5
+  EXPECT_DOUBLE_EQ(b.value().whisker_high, 9.0);
+  EXPECT_DOUBLE_EQ(b.value().whisker_low, 1.0);
+}
+
+TEST(BoxStats, NoOutliersWhiskersAreExtremes) {
+  const std::vector<double> v{10, 11, 12, 13, 14};
+  auto b = box_stats(v);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value().outliers, 0u);
+  EXPECT_DOUBLE_EQ(b.value().whisker_low, 10.0);
+  EXPECT_DOUBLE_EQ(b.value().whisker_high, 14.0);
+}
+
+TEST(BoxStats, ConstantSample) {
+  const std::vector<double> v{5, 5, 5, 5};
+  auto b = box_stats(v);
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(b.value().iqr, 0.0);
+  EXPECT_EQ(b.value().outliers, 0u);
+}
+
+TEST(MeanStddev, FreeFunctions) {
+  const std::vector<double> v{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+  EXPECT_NEAR(stddev(v), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+// Property sweep: quantiles are monotone in the level and bounded by the
+// sample extremes, across random samples.
+class QuantileProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileProperties, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> sample(1 + rng.uniform_index(200));
+  for (auto& x : sample) x = rng.lognormal(2.0, 1.5);
+
+  double previous = -1e300;
+  for (double q = 0.0; q <= 1.0001; q += 0.05) {
+    const double level = std::min(q, 1.0);
+    const double value = quantile(sample, level).value();
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+    EXPECT_GE(value, *std::min_element(sample.begin(), sample.end()) - 1e-12);
+    EXPECT_LE(value, *std::max_element(sample.begin(), sample.end()) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperties, ::testing::Range<std::uint64_t>(1, 16));
+
+// Property sweep: box stats invariants q1 <= median <= q3, whiskers
+// bracket the box, outliers consistent.
+class BoxProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoxProperties, Invariants) {
+  Rng rng(GetParam() * 977);
+  std::vector<double> sample(2 + rng.uniform_index(300));
+  for (auto& x : sample) x = rng.weibull(0.8, 40.0);
+  auto b = box_stats(sample);
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b.value().q1, b.value().median);
+  EXPECT_LE(b.value().median, b.value().q3);
+  EXPECT_LE(b.value().whisker_low, b.value().q1 + 1e-12);
+  EXPECT_GE(b.value().whisker_high, b.value().q3 - 1e-12);
+  EXPECT_LE(b.value().outliers, b.value().count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxProperties, ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace tsufail::stats

@@ -1,0 +1,148 @@
+#include "stats/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsufail::stats {
+namespace {
+
+TEST(Exponential, PdfCdfKnownValues) {
+  const Exponential d{2.0};
+  EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.5);
+  EXPECT_NEAR(d.cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+}
+
+TEST(Exponential, QuantileInvertsCdf) {
+  const Exponential d{15.0};
+  for (double q : {0.1, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(q)), q, 1e-12);
+  }
+  EXPECT_NEAR(d.quantile(0.5), 15.0 * std::log(2.0), 1e-12);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w{1.0, 3.0};
+  const Exponential e{3.0};
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+    EXPECT_NEAR(w.pdf(x), e.pdf(x), 1e-12);
+  }
+}
+
+TEST(Weibull, MeanVarianceClosedForm) {
+  const Weibull w{2.0, 5.0};
+  EXPECT_NEAR(w.mean(), 5.0 * std::sqrt(std::numbers::pi) / 2.0, 1e-10);
+  EXPECT_NEAR(w.variance(), 25.0 * (1.0 - std::numbers::pi / 4.0), 1e-10);
+}
+
+TEST(Weibull, QuantileInvertsCdf) {
+  const Weibull w{0.7, 20.0};
+  for (double q : {0.05, 0.5, 0.9}) {
+    EXPECT_NEAR(w.cdf(w.quantile(q)), q, 1e-12);
+  }
+}
+
+TEST(Weibull, DecreasingHazardForShapeBelowOne) {
+  const Weibull w{0.5, 10.0};
+  const auto hazard = [&](double x) { return w.pdf(x) / (1.0 - w.cdf(x)); };
+  EXPECT_GT(hazard(1.0), hazard(5.0));
+  EXPECT_GT(hazard(5.0), hazard(20.0));
+}
+
+TEST(LogNormal, MedianAndMean) {
+  const LogNormal d{std::log(20.0), 1.0};
+  EXPECT_NEAR(d.median(), 20.0, 1e-10);
+  EXPECT_NEAR(d.mean(), 20.0 * std::exp(0.5), 1e-10);
+  EXPECT_NEAR(d.cdf(20.0), 0.5, 1e-12);
+}
+
+TEST(LogNormal, PdfIntegratesRoughlyToOne) {
+  const LogNormal d{1.0, 0.6};
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = dx / 2; x < 60.0; x += dx) integral += d.pdf(x) * dx;
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LogNormal, FromMeanMedian) {
+  auto d = LogNormal::from_mean_median(55.0, 22.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value().mean(), 55.0, 1e-9);
+  EXPECT_NEAR(d.value().median(), 22.0, 1e-9);
+}
+
+TEST(LogNormal, FromMeanMedianRejectsBadArgs) {
+  EXPECT_FALSE(LogNormal::from_mean_median(10.0, 20.0).ok());  // mean < median
+  EXPECT_FALSE(LogNormal::from_mean_median(10.0, -1.0).ok());
+  EXPECT_FALSE(LogNormal::from_mean_median(10.0, 10.0).ok());
+}
+
+TEST(Gamma, CdfKnownValues) {
+  // Gamma(1, theta) is Exponential(theta).
+  const Gamma g{1.0, 2.0};
+  const Exponential e{2.0};
+  for (double x : {0.1, 1.0, 5.0}) EXPECT_NEAR(g.cdf(x), e.cdf(x), 1e-10);
+}
+
+TEST(Gamma, CdfChiSquareReference) {
+  // Chi-square(4) = Gamma(2, 2); P[X <= 4] for chi2(4) ~ 0.59399.
+  const Gamma g{2.0, 2.0};
+  EXPECT_NEAR(g.cdf(4.0), 0.5939941502901616, 1e-9);
+}
+
+TEST(Gamma, CdfLargeShapeUsesContinuedFraction) {
+  const Gamma g{50.0, 1.0};
+  EXPECT_NEAR(g.cdf(50.0), 0.5188083154720433, 1e-6);  // near the mean
+  EXPECT_NEAR(g.cdf(1e9), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(g.cdf(0.0), 0.0);
+}
+
+TEST(Gamma, MeanVariance) {
+  const Gamma g{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(g.mean(), 12.0);
+  EXPECT_DOUBLE_EQ(g.variance(), 48.0);
+}
+
+// Property sweep: CDFs are monotone, in [0,1], and pdf >= 0 for all four
+// families across a parameter grid.
+struct Params {
+  double a, b;
+};
+class DistributionProperties : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DistributionProperties, CdfMonotoneAndBounded) {
+  const auto [a, b] = GetParam();
+  const Weibull w{a, b};
+  const Gamma g{a, b};
+  const LogNormal l{std::log(b), a};
+  const Exponential e{b};
+
+  const auto check = [](auto&& dist) {
+    double prev = 0.0;
+    for (double x = 0.0; x <= 200.0; x += 2.5) {
+      const double f = dist.cdf(x);
+      EXPECT_GE(f + 1e-12, prev);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+      EXPECT_GE(dist.pdf(x), 0.0);
+      prev = f;
+    }
+  };
+  check(w);
+  check(g);
+  check(l);
+  check(e);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DistributionProperties,
+                         ::testing::Values(Params{0.5, 5.0}, Params{0.8, 20.0}, Params{1.0, 55.0},
+                                           Params{1.5, 10.0}, Params{2.5, 40.0},
+                                           Params{4.0, 2.0}));
+
+}  // namespace
+}  // namespace tsufail::stats

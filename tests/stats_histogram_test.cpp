@@ -1,0 +1,92 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tsufail::stats {
+namespace {
+
+TEST(Histogram, RejectsBadInput) {
+  EXPECT_FALSE(Histogram::create(std::vector<double>{}, 0, 1, 4).ok());
+  EXPECT_FALSE(Histogram::create(std::vector<double>{1.0}, 0, 1, 0).ok());
+  EXPECT_FALSE(Histogram::create(std::vector<double>{1.0}, 2, 1, 4).ok());
+}
+
+TEST(Histogram, BinAssignment) {
+  const std::vector<double> sample{0.5, 1.5, 1.6, 2.5, 3.9};
+  auto h = Histogram::create(sample, 0.0, 4.0, 4);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h.value().bins().size(), 4u);
+  EXPECT_EQ(h.value().bins()[0].count, 1u);
+  EXPECT_EQ(h.value().bins()[1].count, 2u);
+  EXPECT_EQ(h.value().bins()[2].count, 1u);
+  EXPECT_EQ(h.value().bins()[3].count, 1u);
+  EXPECT_EQ(h.value().underflow(), 0u);
+  EXPECT_EQ(h.value().overflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.value().bins()[1].fraction, 0.4);
+}
+
+TEST(Histogram, EdgeValues) {
+  // lo lands in the first bin; hi lands in the LAST bin (inclusive).
+  const std::vector<double> sample{0.0, 4.0};
+  auto h = Histogram::create(sample, 0.0, 4.0, 4);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().bins()[0].count, 1u);
+  EXPECT_EQ(h.value().bins()[3].count, 1u);
+}
+
+TEST(Histogram, UnderflowOverflow) {
+  const std::vector<double> sample{-1.0, 0.5, 9.0};
+  auto h = Histogram::create(sample, 0.0, 1.0, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().underflow(), 1u);
+  EXPECT_EQ(h.value().overflow(), 1u);
+  EXPECT_EQ(h.value().total(), 3u);
+}
+
+TEST(Histogram, AutoRange) {
+  const std::vector<double> sample{2.0, 4.0, 6.0};
+  auto h = Histogram::create_auto(sample, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h.value().bins().front().lower, 2.0);
+  EXPECT_DOUBLE_EQ(h.value().bins().back().upper, 6.0);
+  EXPECT_EQ(h.value().underflow() + h.value().overflow(), 0u);
+}
+
+TEST(Histogram, AutoRangeConstantSample) {
+  const std::vector<double> sample{5.0, 5.0};
+  auto h = Histogram::create_auto(sample, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().bins()[0].count, 2u);  // degenerate range widened
+}
+
+// Property sweep: counts conserve the sample across random configurations.
+class HistogramProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramProperties, CountsConserved) {
+  Rng rng(GetParam() * 61);
+  std::vector<double> sample(1 + rng.uniform_index(500));
+  for (auto& x : sample) x = rng.normal(0.0, 10.0);
+  const std::size_t bins = 1 + rng.uniform_index(30);
+  auto h = Histogram::create(sample, -5.0, 5.0, bins);
+  ASSERT_TRUE(h.ok());
+  std::size_t in_bins = 0;
+  double fraction_sum = 0.0;
+  for (const auto& bin : h.value().bins()) {
+    in_bins += bin.count;
+    fraction_sum += bin.fraction;
+    EXPECT_LT(bin.lower, bin.upper);
+  }
+  EXPECT_EQ(in_bins + h.value().underflow() + h.value().overflow(), sample.size());
+  EXPECT_NEAR(fraction_sum + (h.value().underflow() + h.value().overflow()) /
+                                 static_cast<double>(sample.size()),
+              1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperties, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tsufail::stats

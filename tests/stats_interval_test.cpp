@@ -1,0 +1,88 @@
+// Tests for chi-square quantiles, exact Poisson rate intervals, and the
+// MTBF confidence intervals built on them.
+#include <gtest/gtest.h>
+
+#include "analysis/tbf.h"
+#include "stats/hypothesis.h"
+
+namespace tsufail {
+namespace {
+
+TEST(ChiSquareQuantile, KnownCriticalValues) {
+  EXPECT_NEAR(stats::chi_square_quantile(0.95, 1).value(), 3.841, 2e-3);
+  EXPECT_NEAR(stats::chi_square_quantile(0.95, 2).value(), 5.991, 2e-3);
+  EXPECT_NEAR(stats::chi_square_quantile(0.99, 10).value(), 23.209, 5e-3);
+  EXPECT_NEAR(stats::chi_square_quantile(0.5, 2).value(), 1.386, 2e-3);  // median = 2 ln 2
+}
+
+TEST(ChiSquareQuantile, InvertsSurvivalFunction) {
+  for (std::size_t dof : {1u, 3u, 10u, 50u, 200u}) {
+    for (double p : {0.025, 0.5, 0.975}) {
+      const double x = stats::chi_square_quantile(p, dof).value();
+      EXPECT_NEAR(1.0 - stats::chi_square_sf(x, dof), p, 1e-8) << dof << " " << p;
+    }
+  }
+}
+
+TEST(ChiSquareQuantile, Errors) {
+  EXPECT_FALSE(stats::chi_square_quantile(0.0, 1).ok());
+  EXPECT_FALSE(stats::chi_square_quantile(1.0, 1).ok());
+  EXPECT_FALSE(stats::chi_square_quantile(0.5, 0).ok());
+}
+
+TEST(PoissonRateInterval, TextbookValues) {
+  // 10 events over unit exposure, 95%: Garwood interval [4.795, 18.39].
+  auto interval = stats::poisson_rate_interval(10, 1.0, 0.95);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_NEAR(interval.value().rate, 10.0, 1e-12);
+  EXPECT_NEAR(interval.value().low, 4.795, 5e-3);
+  EXPECT_NEAR(interval.value().high, 18.39, 5e-2);
+}
+
+TEST(PoissonRateInterval, ZeroEventsHasZeroLowerBound) {
+  auto interval = stats::poisson_rate_interval(0, 100.0, 0.95);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_DOUBLE_EQ(interval.value().low, 0.0);
+  // Upper bound: chi2(0.975; 2)/2/100 = 7.378/200.
+  EXPECT_NEAR(interval.value().high, 7.378 / 200.0, 2e-4);
+}
+
+TEST(PoissonRateInterval, ScalesWithExposure) {
+  const auto unit = stats::poisson_rate_interval(20, 1.0).value();
+  const auto scaled = stats::poisson_rate_interval(20, 50.0).value();
+  EXPECT_NEAR(scaled.low, unit.low / 50.0, 1e-9);
+  EXPECT_NEAR(scaled.high, unit.high / 50.0, 1e-9);
+}
+
+TEST(PoissonRateInterval, Errors) {
+  EXPECT_FALSE(stats::poisson_rate_interval(1, 0.0).ok());
+  EXPECT_FALSE(stats::poisson_rate_interval(1, 1.0, 1.5).ok());
+}
+
+TEST(MtbfInterval, PaperScaleNumbers) {
+  // Tsubame-2: 897 failures over ~13728 h -> MTBF 15.3 h with a tight CI.
+  auto interval = analysis::mtbf_confidence_interval(897, 13728.0);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_NEAR(interval.value().mtbf_hours, 15.3, 0.05);
+  EXPECT_LT(interval.value().low_hours, interval.value().mtbf_hours);
+  EXPECT_GT(interval.value().high_hours, interval.value().mtbf_hours);
+  // With n = 897 the relative half-width is ~ 2/sqrt(n) ~ 7%.
+  EXPECT_GT(interval.value().low_hours, 15.3 * 0.9);
+  EXPECT_LT(interval.value().high_hours, 15.3 * 1.1);
+}
+
+TEST(MtbfInterval, SmallSampleIsWide) {
+  // 4 power-board failures over the T3 window: the CI must be wide.
+  auto interval = analysis::mtbf_confidence_interval(4, 24445.0);
+  ASSERT_TRUE(interval.ok());
+  EXPECT_GT(interval.value().high_hours, 2.0 * interval.value().mtbf_hours);
+  EXPECT_LT(interval.value().low_hours, 0.7 * interval.value().mtbf_hours);
+}
+
+TEST(MtbfInterval, Errors) {
+  EXPECT_FALSE(analysis::mtbf_confidence_interval(0, 100.0).ok());
+  EXPECT_FALSE(analysis::mtbf_confidence_interval(5, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace tsufail

@@ -1,0 +1,99 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tsufail::stats {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  auto fit = linear_fit(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.value().intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.value().r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.value().predict(10.0), 21.0, 1e-12);
+  EXPECT_LT(fit.value().slope_p_value, 0.01);
+}
+
+TEST(LinearFit, FlatLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{5, 5, 5, 5};
+  auto fit = linear_fit(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.value().intercept, 5.0, 1e-12);
+}
+
+TEST(LinearFit, KnownHandComputation) {
+  // x = {0,1,2}, y = {0,1,1}: slope = 0.5, intercept = 1/6.
+  auto fit = linear_fit(std::vector<double>{0, 1, 2}, std::vector<double>{0, 1, 1});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().slope, 0.5, 1e-12);
+  EXPECT_NEAR(fit.value().intercept, 1.0 / 6.0, 1e-12);
+}
+
+TEST(LinearFit, Errors) {
+  EXPECT_FALSE(linear_fit(std::vector<double>{1, 2}, std::vector<double>{1}).ok());
+  EXPECT_FALSE(linear_fit(std::vector<double>{1, 2}, std::vector<double>{1, 2}).ok());
+  EXPECT_FALSE(
+      linear_fit(std::vector<double>{3, 3, 3}, std::vector<double>{1, 2, 3}).ok());
+}
+
+TEST(LinearFit, NoisyRecovery) {
+  Rng rng(3);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 4.0 - 0.01 * x[i] + rng.normal(0.0, 0.5);
+  }
+  auto fit = linear_fit(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().slope, -0.01, 0.001);
+  EXPECT_NEAR(fit.value().intercept, 4.0, 0.2);
+  EXPECT_LT(fit.value().slope_p_value, 1e-6);
+}
+
+TEST(LinearFit, PureNoiseSlopeNotSignificant) {
+  Rng rng(5);
+  std::vector<double> x(100), y(100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = rng.normal(10.0, 2.0);
+  }
+  auto fit = linear_fit(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit.value().slope_p_value, 0.01);
+  EXPECT_LT(fit.value().r_squared, 0.2);
+}
+
+// Property sweep: r_squared in [0,1] and stderr positive on noisy grids.
+class RegressionProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegressionProperties, Invariants) {
+  Rng rng(GetParam() * 97);
+  const std::size_t n = 3 + rng.uniform_index(100);
+  std::vector<double> x(n), y(n);
+  const double slope = rng.uniform(-5.0, 5.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i) + rng.uniform();
+    y[i] = slope * x[i] + rng.normal(0.0, 2.0);
+  }
+  auto fit = linear_fit(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit.value().r_squared, -1e-9);
+  EXPECT_LE(fit.value().r_squared, 1.0 + 1e-9);
+  EXPECT_GE(fit.value().slope_stderr, 0.0);
+  EXPECT_GE(fit.value().slope_p_value, 0.0);
+  EXPECT_LE(fit.value().slope_p_value, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegressionProperties, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tsufail::stats

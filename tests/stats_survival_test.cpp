@@ -1,0 +1,209 @@
+// Tests for Kaplan-Meier / Nelson-Aalen estimation, survival quantiles,
+// restricted means, and the two-sample log-rank test.
+#include "stats/survival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tsufail::stats {
+namespace {
+
+std::vector<SurvivalObservation> uncensored(std::initializer_list<double> times) {
+  std::vector<SurvivalObservation> obs;
+  for (double t : times) obs.push_back({t, true});
+  return obs;
+}
+
+TEST(SurvivalCurve, RejectsBadInput) {
+  EXPECT_FALSE(SurvivalCurve::fit(std::vector<SurvivalObservation>{}).ok());
+  EXPECT_FALSE(SurvivalCurve::fit(std::vector<SurvivalObservation>{{-1.0, true}}).ok());
+  EXPECT_FALSE(SurvivalCurve::fit(std::vector<SurvivalObservation>{{1.0, false}}).ok());
+}
+
+TEST(SurvivalCurve, UncensoredMatchesEmpiricalSurvival) {
+  auto curve = SurvivalCurve::fit(uncensored({1, 2, 3, 4}));
+  ASSERT_TRUE(curve.ok());
+  // Without censoring, KM reduces to 1 - ECDF.
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(4.0), 0.0);
+  EXPECT_EQ(curve.value().events(), 4u);
+  EXPECT_EQ(curve.value().censored(), 0u);
+}
+
+TEST(SurvivalCurve, ClassicCensoredExample) {
+  // Events at 1, 3; censored at 2, 4.
+  const std::vector<SurvivalObservation> obs{{1, true}, {2, false}, {3, true}, {4, false}};
+  auto curve = SurvivalCurve::fit(obs);
+  ASSERT_TRUE(curve.ok());
+  // At t=1: 4 at risk, 1 event -> S = 3/4.
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(1.0), 0.75);
+  // At t=3: 2 at risk (one censored at 2), 1 event -> S = 3/4 * 1/2.
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(3.0), 0.375);
+  // Censoring at 4 does not drop S.
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(10.0), 0.375);
+  EXPECT_EQ(curve.value().censored(), 2u);
+}
+
+TEST(SurvivalCurve, TiedEventTimes) {
+  auto curve = SurvivalCurve::fit(uncensored({2, 2, 2, 5}));
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve.value().survival_at(2.0), 0.25);
+  ASSERT_EQ(curve.value().points().size(), 2u);
+  EXPECT_EQ(curve.value().points()[0].events, 3u);
+  EXPECT_EQ(curve.value().points()[0].at_risk, 4u);
+}
+
+TEST(SurvivalCurve, NelsonAalenHazard) {
+  auto curve = SurvivalCurve::fit(uncensored({1, 2, 3, 4}));
+  ASSERT_TRUE(curve.ok());
+  // H(2) = 1/4 + 1/3.
+  EXPECT_NEAR(curve.value().cumulative_hazard_at(2.0), 0.25 + 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve.value().cumulative_hazard_at(0.5), 0.0);
+}
+
+TEST(SurvivalCurve, QuantileAndHeavyCensoring) {
+  auto curve = SurvivalCurve::fit(uncensored({10, 20, 30, 40}));
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve.value().quantile(0.5).value(), 20.0);
+  EXPECT_DOUBLE_EQ(curve.value().quantile(0.25).value(), 10.0);
+  EXPECT_FALSE(curve.value().quantile(1.5).ok());
+
+  // 1 event among 9 censored: S never reaches 0.5.
+  std::vector<SurvivalObservation> censored_heavy(9, {100.0, false});
+  censored_heavy.push_back({50.0, true});
+  auto heavy = SurvivalCurve::fit(censored_heavy);
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_FALSE(heavy.value().quantile(0.5).ok());
+  EXPECT_NEAR(heavy.value().survival_at(60.0), 0.9, 1e-12);
+}
+
+TEST(SurvivalCurve, RestrictedMean) {
+  auto curve = SurvivalCurve::fit(uncensored({1, 3}));
+  ASSERT_TRUE(curve.ok());
+  // S = 1 on [0,1), 0.5 on [1,3), 0 after: RMST(4) = 1 + 1 = 2.
+  EXPECT_DOUBLE_EQ(curve.value().restricted_mean(4.0), 2.0);
+  // Truncation before the first event: area is just the horizon.
+  EXPECT_DOUBLE_EQ(curve.value().restricted_mean(0.5), 0.5);
+}
+
+TEST(SurvivalCurve, AgreesWithExponentialModel) {
+  // KM on a large exponential sample tracks exp(-t/mean).
+  Rng rng(5);
+  std::vector<SurvivalObservation> obs(20000);
+  for (auto& o : obs) o = {rng.exponential(10.0), true};
+  auto curve = SurvivalCurve::fit(obs);
+  ASSERT_TRUE(curve.ok());
+  for (double t : {1.0, 5.0, 10.0, 20.0}) {
+    EXPECT_NEAR(curve.value().survival_at(t), std::exp(-t / 10.0), 0.02) << t;
+  }
+}
+
+TEST(SurvivalCurve, CensoringDoesNotBias) {
+  // Exponential lifetimes with independent uniform censoring: KM should
+  // still track the true survival function.
+  Rng rng(7);
+  std::vector<SurvivalObservation> obs(20000);
+  for (auto& o : obs) {
+    const double life = rng.exponential(10.0);
+    const double censor = rng.uniform(0.0, 30.0);
+    o = life <= censor ? SurvivalObservation{life, true} : SurvivalObservation{censor, false};
+  }
+  auto curve = SurvivalCurve::fit(obs);
+  ASSERT_TRUE(curve.ok());
+  for (double t : {2.0, 5.0, 10.0, 15.0}) {
+    EXPECT_NEAR(curve.value().survival_at(t), std::exp(-t / 10.0), 0.03) << t;
+  }
+}
+
+TEST(LogRank, IdenticalGroupsHighPValue) {
+  Rng rng(11);
+  std::vector<SurvivalObservation> a(500), b(500);
+  for (auto& o : a) o = {rng.weibull(1.2, 20.0), true};
+  for (auto& o : b) o = {rng.weibull(1.2, 20.0), true};
+  auto test = log_rank_test(a, b);
+  ASSERT_TRUE(test.ok());
+  EXPECT_GT(test.value().p_value, 0.01);
+}
+
+TEST(LogRank, FasterFailingGroupDetected) {
+  Rng rng(13);
+  std::vector<SurvivalObservation> fast(400), slow(400);
+  for (auto& o : fast) o = {rng.exponential(5.0), true};
+  for (auto& o : slow) o = {rng.exponential(20.0), true};
+  auto test = log_rank_test(fast, slow);
+  ASSERT_TRUE(test.ok());
+  EXPECT_LT(test.value().p_value, 1e-6);
+  EXPECT_GT(test.value().observed_minus_expected_a, 0.0);  // A fails faster
+}
+
+TEST(LogRank, DirectionFlipsWithArgumentOrder) {
+  Rng rng(17);
+  std::vector<SurvivalObservation> fast(300), slow(300);
+  for (auto& o : fast) o = {rng.exponential(5.0), true};
+  for (auto& o : slow) o = {rng.exponential(20.0), true};
+  auto ab = log_rank_test(fast, slow).value();
+  auto ba = log_rank_test(slow, fast).value();
+  EXPECT_LT(ba.observed_minus_expected_a, 0.0);
+  EXPECT_NEAR(ab.statistic, ba.statistic, 1e-9);
+}
+
+TEST(LogRank, WorksUnderCensoring) {
+  Rng rng(19);
+  std::vector<SurvivalObservation> fast, slow;
+  for (int i = 0; i < 500; ++i) {
+    const double life_fast = rng.exponential(5.0);
+    const double life_slow = rng.exponential(20.0);
+    const double censor = 15.0;
+    fast.push_back(life_fast <= censor ? SurvivalObservation{life_fast, true}
+                                       : SurvivalObservation{censor, false});
+    slow.push_back(life_slow <= censor ? SurvivalObservation{life_slow, true}
+                                       : SurvivalObservation{censor, false});
+  }
+  auto test = log_rank_test(fast, slow);
+  ASSERT_TRUE(test.ok());
+  EXPECT_LT(test.value().p_value, 1e-6);
+}
+
+TEST(LogRank, Errors) {
+  EXPECT_FALSE(log_rank_test({}, uncensored({1, 2})).ok());
+  EXPECT_FALSE(
+      log_rank_test(uncensored({1, 2}), std::vector<SurvivalObservation>{{1.0, false}}).ok());
+}
+
+// Property sweep: KM survival is monotone non-increasing and bounded for
+// random censored samples.
+class SurvivalProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SurvivalProperties, MonotoneBoundedConsistent) {
+  Rng rng(GetParam() * 37);
+  std::vector<SurvivalObservation> obs(20 + rng.uniform_index(400));
+  bool any_event = false;
+  for (auto& o : obs) {
+    o.time = rng.lognormal(2.0, 1.0);
+    o.event = rng.bernoulli(0.7);
+    any_event |= o.event;
+  }
+  if (!any_event) obs[0].event = true;
+  auto curve = SurvivalCurve::fit(obs);
+  ASSERT_TRUE(curve.ok());
+  double prev = 1.0;
+  for (const auto& point : curve.value().points()) {
+    EXPECT_LE(point.survival, prev + 1e-12);
+    EXPECT_GE(point.survival, 0.0);
+    EXPECT_LE(point.survival, 1.0);
+    EXPECT_GE(point.cumulative_hazard, 0.0);
+    EXPECT_LE(point.events, point.at_risk);
+    prev = point.survival;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SurvivalProperties, ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace tsufail::stats

@@ -1,0 +1,103 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+namespace tsufail {
+namespace {
+
+TEST(Error, ToStringIncludesKindAndMessage) {
+  const Error e(ErrorKind::kParse, "bad token");
+  EXPECT_EQ(e.to_string(), "parse: bad token");
+  EXPECT_EQ(e.kind(), ErrorKind::kParse);
+}
+
+TEST(Error, WithContextPrepends) {
+  const Error e = Error(ErrorKind::kIo, "open failed").with_context("log.csv");
+  EXPECT_EQ(e.message(), "log.csv: open failed");
+  EXPECT_EQ(e.kind(), ErrorKind::kIo);
+}
+
+TEST(ErrorKind, AllNamesDistinct) {
+  EXPECT_STREQ(to_string(ErrorKind::kParse), "parse");
+  EXPECT_STREQ(to_string(ErrorKind::kValidation), "validation");
+  EXPECT_STREQ(to_string(ErrorKind::kNotFound), "not-found");
+  EXPECT_STREQ(to_string(ErrorKind::kIo), "io");
+  EXPECT_STREQ(to_string(ErrorKind::kDomain), "domain");
+  EXPECT_STREQ(to_string(ErrorKind::kInternal), "internal");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Error(ErrorKind::kDomain, "nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kDomain);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r(Error(ErrorKind::kDomain, "nope"));
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(Result, ErrorOnValueThrows) {
+  Result<int> r(1);
+  EXPECT_THROW(r.error(), std::runtime_error);
+}
+
+TEST(Result, MapTransformsValue) {
+  Result<int> r(21);
+  auto doubled = r.map([](int x) { return x * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+}
+
+TEST(Result, MapPropagatesError) {
+  Result<int> r(Error(ErrorKind::kParse, "bad"));
+  auto mapped = r.map([](int x) { return x * 2; });
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.error().kind(), ErrorKind::kParse);
+}
+
+TEST(Result, MapCanChangeType) {
+  Result<int> r(7);
+  auto text = r.map([](int x) { return std::to_string(x); });
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "7");
+}
+
+TEST(ResultVoid, DefaultIsOk) {
+  Result<void> r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_THROW(r.error(), std::runtime_error);
+}
+
+TEST(ResultVoid, CarriesError) {
+  Result<void> r(Error(ErrorKind::kValidation, "bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kValidation);
+}
+
+TEST(Require, ThrowsLogicErrorWithLocation) {
+  try {
+    TSUFAIL_REQUIRE(false, "must not happen");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("must not happen"), std::string::npos);
+    EXPECT_NE(what.find("util_error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesOnTrue) {
+  EXPECT_NO_THROW(TSUFAIL_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+}  // namespace
+}  // namespace tsufail

@@ -1,0 +1,206 @@
+#include "util/civil_time.h"
+
+#include <gtest/gtest.h>
+
+namespace tsufail {
+namespace {
+
+TEST(CivilTime, LeapYearRules) {
+  EXPECT_TRUE(is_leap_year(2000));   // divisible by 400
+  EXPECT_TRUE(is_leap_year(2012));
+  EXPECT_TRUE(is_leap_year(2020));
+  EXPECT_FALSE(is_leap_year(1900));  // divisible by 100 but not 400
+  EXPECT_FALSE(is_leap_year(2019));
+  EXPECT_FALSE(is_leap_year(2100));
+}
+
+TEST(CivilTime, DaysInMonth) {
+  EXPECT_EQ(days_in_month(2020, 2), 29);
+  EXPECT_EQ(days_in_month(2019, 2), 28);
+  EXPECT_EQ(days_in_month(2017, 1), 31);
+  EXPECT_EQ(days_in_month(2017, 4), 30);
+  EXPECT_EQ(days_in_month(2017, 12), 31);
+  EXPECT_EQ(days_in_month(2017, 0), 0);
+  EXPECT_EQ(days_in_month(2017, 13), 0);
+}
+
+TEST(CivilTime, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(days_from_civil(1970, 1, 2), 1);
+  EXPECT_EQ(days_from_civil(1969, 12, 31), -1);
+}
+
+TEST(CivilTime, KnownDates) {
+  // Paper log windows.
+  EXPECT_EQ(days_from_civil(2012, 1, 7), 15346);
+  EXPECT_EQ(days_from_civil(2013, 8, 1), 15918);
+  EXPECT_EQ(days_from_civil(2017, 5, 9), 17295);
+  EXPECT_EQ(days_from_civil(2020, 2, 22), 18314);
+}
+
+TEST(CivilTime, CivilFromDaysInvertsKnownDates) {
+  const CivilDateTime c = civil_from_days(15346);
+  EXPECT_EQ(c.year, 2012);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 7);
+}
+
+TEST(TimePoint, FromCivilAndBack) {
+  const CivilDateTime c{2017, 5, 9, 13, 45, 12};
+  const TimePoint t = TimePoint::from_civil(c);
+  EXPECT_EQ(t.to_civil(), c);
+}
+
+TEST(TimePoint, NegativeEpochSecondsRoundTrip) {
+  const CivilDateTime c{1969, 6, 15, 23, 59, 59};
+  const TimePoint t = TimePoint::from_civil(c);
+  EXPECT_LT(t.seconds_since_epoch(), 0);
+  EXPECT_EQ(t.to_civil(), c);
+}
+
+TEST(TimePoint, MonthAndYearAccessors) {
+  const TimePoint t = TimePoint::from_civil({2013, 8, 1, 0, 0, 0});
+  EXPECT_EQ(t.month(), 8);
+  EXPECT_EQ(t.year(), 2013);
+}
+
+TEST(TimePoint, HoursBetween) {
+  const TimePoint a = TimePoint::from_civil({2012, 1, 7, 0, 0, 0});
+  const TimePoint b = TimePoint::from_civil({2012, 1, 8, 12, 0, 0});
+  EXPECT_DOUBLE_EQ(hours_between(a, b), 36.0);
+  EXPECT_DOUBLE_EQ(hours_between(b, a), -36.0);
+}
+
+TEST(TimePoint, PlusHoursRoundsToSeconds) {
+  const TimePoint a = TimePoint::from_civil({2012, 1, 7, 0, 0, 0});
+  EXPECT_EQ(a.plus_hours(1.5).seconds_since_epoch() - a.seconds_since_epoch(), 5400);
+  EXPECT_EQ(a.plus_hours(-1.0).seconds_since_epoch() - a.seconds_since_epoch(), -3600);
+}
+
+TEST(TimePoint, OrderingFollowsTime) {
+  const TimePoint a = TimePoint::from_civil({2012, 1, 7, 0, 0, 0});
+  const TimePoint b = a.plus_seconds(1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, TimePoint(a.seconds_since_epoch()));
+}
+
+TEST(ParseTime, IsoDateTime) {
+  auto t = parse_time("2017-05-09 13:45:12");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().to_civil(), (CivilDateTime{2017, 5, 9, 13, 45, 12}));
+}
+
+TEST(ParseTime, IsoWithTSeparator) {
+  auto t = parse_time("2017-05-09T13:45:12");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().to_civil(), (CivilDateTime{2017, 5, 9, 13, 45, 12}));
+}
+
+TEST(ParseTime, DateOnlyIsMidnight) {
+  auto t = parse_time("2013-08-01");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().to_civil(), (CivilDateTime{2013, 8, 1, 0, 0, 0}));
+}
+
+TEST(ParseTime, SlashSeparatedIsoOrder) {
+  auto t = parse_time("2012/01/07 06:30");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().to_civil(), (CivilDateTime{2012, 1, 7, 6, 30, 0}));
+}
+
+TEST(ParseTime, UsStyleMonthFirst) {
+  // The paper quotes windows as 1/7/2012 and 8/1/2013 (US order).
+  auto t = parse_time("1/7/2012");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().to_civil(), (CivilDateTime{2012, 1, 7, 0, 0, 0}));
+  auto u = parse_time("8/1/2013 23:59:59");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().to_civil(), (CivilDateTime{2013, 8, 1, 23, 59, 59}));
+}
+
+TEST(ParseTime, MinutesWithoutSeconds) {
+  auto t = parse_time("2017-05-09 13:45");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().to_civil().second, 0);
+}
+
+TEST(ParseTime, RejectsGarbage) {
+  EXPECT_FALSE(parse_time("").ok());
+  EXPECT_FALSE(parse_time("yesterday").ok());
+  EXPECT_FALSE(parse_time("2017-05").ok());
+  EXPECT_FALSE(parse_time("2017-05-09 25:00:00").ok());
+  EXPECT_FALSE(parse_time("2017-13-09").ok());
+  EXPECT_FALSE(parse_time("2017-02-30").ok());
+  EXPECT_FALSE(parse_time("5/9/17").ok());  // two-digit year is ambiguous
+  EXPECT_FALSE(parse_time("2017-05-09 13:45:12trailing").ok());
+}
+
+TEST(ParseTime, ErrorsCarryParseKind) {
+  auto t = parse_time("not a date");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.error().kind(), ErrorKind::kParse);
+}
+
+TEST(FormatTime, CanonicalFormat) {
+  const TimePoint t = TimePoint::from_civil({2020, 2, 22, 4, 5, 6});
+  EXPECT_EQ(format_time(t), "2020-02-22 04:05:06");
+  EXPECT_EQ(format_date(t), "2020-02-22");
+}
+
+TEST(MonthNames, NamesAndAbbrevs) {
+  EXPECT_EQ(month_name(1), "January");
+  EXPECT_EQ(month_name(12), "December");
+  EXPECT_EQ(month_abbrev(6), "Jun");
+  EXPECT_THROW(month_name(0), std::logic_error);
+  EXPECT_THROW(month_abbrev(13), std::logic_error);
+}
+
+TEST(ValidateCivil, FieldRanges) {
+  EXPECT_TRUE(validate_civil({2020, 2, 29, 0, 0, 0}).ok());
+  EXPECT_FALSE(validate_civil({2019, 2, 29, 0, 0, 0}).ok());
+  EXPECT_FALSE(validate_civil({2019, 1, 1, -1, 0, 0}).ok());
+  EXPECT_FALSE(validate_civil({2019, 1, 1, 0, 60, 0}).ok());
+  EXPECT_FALSE(validate_civil({2019, 1, 1, 0, 0, 60}).ok());
+}
+
+// Property sweep: round-trip format -> parse across a calendar grid.
+class TimeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeRoundTrip, FormatParseIdentity) {
+  const int year = GetParam();
+  for (int month = 1; month <= 12; ++month) {
+    const int last_day = days_in_month(year, month);
+    for (int day : {1, 15, last_day}) {
+      const CivilDateTime c{year, month, day, 23, 59, 58};
+      const TimePoint t = TimePoint::from_civil(c);
+      auto parsed = parse_time(format_time(t));
+      ASSERT_TRUE(parsed.ok()) << format_time(t);
+      EXPECT_EQ(parsed.value(), t) << format_time(t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(YearGrid, TimeRoundTrip,
+                         ::testing::Values(1969, 1970, 1999, 2000, 2012, 2013, 2016, 2017, 2020,
+                                           2024, 2100));
+
+// Property sweep: days_from_civil / civil_from_days are exact inverses on
+// a dense range of day numbers.
+class DayNumberRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DayNumberRoundTrip, Identity) {
+  const std::int64_t base = GetParam();
+  for (std::int64_t offset = 0; offset < 400; offset += 7) {
+    const std::int64_t days = base + offset;
+    const CivilDateTime c = civil_from_days(days);
+    EXPECT_EQ(days_from_civil(c.year, c.month, c.day), days);
+    EXPECT_TRUE(validate_civil(c).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DayGrid, DayNumberRoundTrip,
+                         ::testing::Values(-200000, -1000, 0, 10000, 15346, 17295, 30000,
+                                           100000));
+
+}  // namespace
+}  // namespace tsufail

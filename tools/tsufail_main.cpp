@@ -1,0 +1,13 @@
+// tsufail: the command-line front end.  All logic lives in
+// src/cli/commands.cpp so it is unit-testable; this file only adapts
+// argc/argv and the process streams.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tsufail::cli::dispatch(args, std::cout, std::cerr);
+}
