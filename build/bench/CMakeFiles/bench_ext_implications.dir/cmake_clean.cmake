@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_implications.dir/bench_ext_implications.cpp.o"
+  "CMakeFiles/bench_ext_implications.dir/bench_ext_implications.cpp.o.d"
+  "bench_ext_implications"
+  "bench_ext_implications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_implications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_prediction.dir/bench_ext_prediction.cpp.o"
+  "CMakeFiles/bench_ext_prediction.dir/bench_ext_prediction.cpp.o.d"
+  "bench_ext_prediction"
+  "bench_ext_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

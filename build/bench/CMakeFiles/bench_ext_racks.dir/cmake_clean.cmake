@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_racks.dir/bench_ext_racks.cpp.o"
+  "CMakeFiles/bench_ext_racks.dir/bench_ext_racks.cpp.o.d"
+  "bench_ext_racks"
+  "bench_ext_racks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_racks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_survival.dir/bench_ext_survival.cpp.o"
+  "CMakeFiles/bench_ext_survival.dir/bench_ext_survival.cpp.o.d"
+  "bench_ext_survival"
+  "bench_ext_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_software_loci.dir/bench_fig03_software_loci.cpp.o"
+  "CMakeFiles/bench_fig03_software_loci.dir/bench_fig03_software_loci.cpp.o.d"
+  "bench_fig03_software_loci"
+  "bench_fig03_software_loci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_software_loci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

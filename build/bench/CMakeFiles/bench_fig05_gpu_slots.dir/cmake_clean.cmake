@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_gpu_slots.dir/bench_fig05_gpu_slots.cpp.o"
+  "CMakeFiles/bench_fig05_gpu_slots.dir/bench_fig05_gpu_slots.cpp.o.d"
+  "bench_fig05_gpu_slots"
+  "bench_fig05_gpu_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_gpu_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

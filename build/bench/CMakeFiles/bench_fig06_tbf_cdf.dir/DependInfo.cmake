@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_tbf_cdf.cpp" "bench/CMakeFiles/bench_fig06_tbf_cdf.dir/bench_fig06_tbf_cdf.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06_tbf_cdf.dir/bench_fig06_tbf_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/tsufail_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/tsufail_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsufail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/tsufail_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tsufail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsufail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tsufail_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

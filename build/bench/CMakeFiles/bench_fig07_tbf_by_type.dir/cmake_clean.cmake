@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_tbf_by_type.dir/bench_fig07_tbf_by_type.cpp.o"
+  "CMakeFiles/bench_fig07_tbf_by_type.dir/bench_fig07_tbf_by_type.cpp.o.d"
+  "bench_fig07_tbf_by_type"
+  "bench_fig07_tbf_by_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_tbf_by_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_temporal_cluster.dir/bench_fig08_temporal_cluster.cpp.o"
+  "CMakeFiles/bench_fig08_temporal_cluster.dir/bench_fig08_temporal_cluster.cpp.o.d"
+  "bench_fig08_temporal_cluster"
+  "bench_fig08_temporal_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_temporal_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_monthly_ttr.dir/bench_fig11_monthly_ttr.cpp.o"
+  "CMakeFiles/bench_fig11_monthly_ttr.dir/bench_fig11_monthly_ttr.cpp.o.d"
+  "bench_fig11_monthly_ttr"
+  "bench_fig11_monthly_ttr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_monthly_ttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq4_component_mtbf.dir/bench_rq4_component_mtbf.cpp.o"
+  "CMakeFiles/bench_rq4_component_mtbf.dir/bench_rq4_component_mtbf.cpp.o.d"
+  "bench_rq4_component_mtbf"
+  "bench_rq4_component_mtbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq4_component_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

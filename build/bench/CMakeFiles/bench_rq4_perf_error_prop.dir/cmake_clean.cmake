@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq4_perf_error_prop.dir/bench_rq4_perf_error_prop.cpp.o"
+  "CMakeFiles/bench_rq4_perf_error_prop.dir/bench_rq4_perf_error_prop.cpp.o.d"
+  "bench_rq4_perf_error_prop"
+  "bench_rq4_perf_error_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq4_perf_error_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

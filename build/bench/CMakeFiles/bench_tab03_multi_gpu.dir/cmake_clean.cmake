@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_multi_gpu.dir/bench_tab03_multi_gpu.cpp.o"
+  "CMakeFiles/bench_tab03_multi_gpu.dir/bench_tab03_multi_gpu.cpp.o.d"
+  "bench_tab03_multi_gpu"
+  "bench_tab03_multi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_tuning.dir/checkpoint_tuning.cpp.o"
+  "CMakeFiles/checkpoint_tuning.dir/checkpoint_tuning.cpp.o.d"
+  "checkpoint_tuning"
+  "checkpoint_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_planning.dir/fleet_planning.cpp.o"
+  "CMakeFiles/fleet_planning.dir/fleet_planning.cpp.o.d"
+  "fleet_planning"
+  "fleet_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_triage.dir/log_triage.cpp.o"
+  "CMakeFiles/log_triage.dir/log_triage.cpp.o.d"
+  "log_triage"
+  "log_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

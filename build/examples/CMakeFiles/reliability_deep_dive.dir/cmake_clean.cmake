@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_deep_dive.dir/reliability_deep_dive.cpp.o"
+  "CMakeFiles/reliability_deep_dive.dir/reliability_deep_dive.cpp.o.d"
+  "reliability_deep_dive"
+  "reliability_deep_dive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_deep_dive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_gpu_density.dir/whatif_gpu_density.cpp.o"
+  "CMakeFiles/whatif_gpu_density.dir/whatif_gpu_density.cpp.o.d"
+  "whatif_gpu_density"
+  "whatif_gpu_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_gpu_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

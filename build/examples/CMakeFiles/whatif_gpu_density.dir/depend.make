@@ -1,0 +1,2 @@
+# Empty dependencies file for whatif_gpu_density.
+# This may be replaced when dependencies are built.

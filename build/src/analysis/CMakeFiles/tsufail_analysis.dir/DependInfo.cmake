@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/category_breakdown.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/category_breakdown.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/category_breakdown.cpp.o.d"
+  "/root/repo/src/analysis/gpu_slots.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/gpu_slots.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/gpu_slots.cpp.o.d"
+  "/root/repo/src/analysis/lead_lag.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/lead_lag.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/lead_lag.cpp.o.d"
+  "/root/repo/src/analysis/multi_gpu.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/multi_gpu.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/multi_gpu.cpp.o.d"
+  "/root/repo/src/analysis/node_counts.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/node_counts.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/node_counts.cpp.o.d"
+  "/root/repo/src/analysis/node_survival.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/node_survival.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/node_survival.cpp.o.d"
+  "/root/repo/src/analysis/perf_error_prop.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/perf_error_prop.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/perf_error_prop.cpp.o.d"
+  "/root/repo/src/analysis/rack_distribution.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/rack_distribution.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/rack_distribution.cpp.o.d"
+  "/root/repo/src/analysis/rolling.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/rolling.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/rolling.cpp.o.d"
+  "/root/repo/src/analysis/seasonal.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/seasonal.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/seasonal.cpp.o.d"
+  "/root/repo/src/analysis/software_loci.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/software_loci.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/software_loci.cpp.o.d"
+  "/root/repo/src/analysis/study.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/study.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/study.cpp.o.d"
+  "/root/repo/src/analysis/tbf.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/tbf.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/tbf.cpp.o.d"
+  "/root/repo/src/analysis/temporal_cluster.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/temporal_cluster.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/temporal_cluster.cpp.o.d"
+  "/root/repo/src/analysis/ttr.cpp" "src/analysis/CMakeFiles/tsufail_analysis.dir/ttr.cpp.o" "gcc" "src/analysis/CMakeFiles/tsufail_analysis.dir/ttr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tsufail_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsufail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_analysis.dir/category_breakdown.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/category_breakdown.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/gpu_slots.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/gpu_slots.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/lead_lag.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/lead_lag.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/multi_gpu.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/multi_gpu.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/node_counts.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/node_counts.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/node_survival.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/node_survival.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/perf_error_prop.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/perf_error_prop.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/rack_distribution.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/rack_distribution.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/rolling.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/rolling.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/seasonal.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/seasonal.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/software_loci.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/software_loci.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/study.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/study.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/tbf.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/tbf.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/temporal_cluster.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/temporal_cluster.cpp.o.d"
+  "CMakeFiles/tsufail_analysis.dir/ttr.cpp.o"
+  "CMakeFiles/tsufail_analysis.dir/ttr.cpp.o.d"
+  "libtsufail_analysis.a"
+  "libtsufail_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_cli.dir/args.cpp.o"
+  "CMakeFiles/tsufail_cli.dir/args.cpp.o.d"
+  "CMakeFiles/tsufail_cli.dir/commands.cpp.o"
+  "CMakeFiles/tsufail_cli.dir/commands.cpp.o.d"
+  "libtsufail_cli.a"
+  "libtsufail_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/category.cpp" "src/data/CMakeFiles/tsufail_data.dir/category.cpp.o" "gcc" "src/data/CMakeFiles/tsufail_data.dir/category.cpp.o.d"
+  "/root/repo/src/data/legacy_import.cpp" "src/data/CMakeFiles/tsufail_data.dir/legacy_import.cpp.o" "gcc" "src/data/CMakeFiles/tsufail_data.dir/legacy_import.cpp.o.d"
+  "/root/repo/src/data/log.cpp" "src/data/CMakeFiles/tsufail_data.dir/log.cpp.o" "gcc" "src/data/CMakeFiles/tsufail_data.dir/log.cpp.o.d"
+  "/root/repo/src/data/log_io.cpp" "src/data/CMakeFiles/tsufail_data.dir/log_io.cpp.o" "gcc" "src/data/CMakeFiles/tsufail_data.dir/log_io.cpp.o.d"
+  "/root/repo/src/data/machine.cpp" "src/data/CMakeFiles/tsufail_data.dir/machine.cpp.o" "gcc" "src/data/CMakeFiles/tsufail_data.dir/machine.cpp.o.d"
+  "/root/repo/src/data/record.cpp" "src/data/CMakeFiles/tsufail_data.dir/record.cpp.o" "gcc" "src/data/CMakeFiles/tsufail_data.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

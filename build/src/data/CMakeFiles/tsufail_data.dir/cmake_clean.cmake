@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_data.dir/category.cpp.o"
+  "CMakeFiles/tsufail_data.dir/category.cpp.o.d"
+  "CMakeFiles/tsufail_data.dir/legacy_import.cpp.o"
+  "CMakeFiles/tsufail_data.dir/legacy_import.cpp.o.d"
+  "CMakeFiles/tsufail_data.dir/log.cpp.o"
+  "CMakeFiles/tsufail_data.dir/log.cpp.o.d"
+  "CMakeFiles/tsufail_data.dir/log_io.cpp.o"
+  "CMakeFiles/tsufail_data.dir/log_io.cpp.o.d"
+  "CMakeFiles/tsufail_data.dir/machine.cpp.o"
+  "CMakeFiles/tsufail_data.dir/machine.cpp.o.d"
+  "CMakeFiles/tsufail_data.dir/record.cpp.o"
+  "CMakeFiles/tsufail_data.dir/record.cpp.o.d"
+  "libtsufail_data.a"
+  "libtsufail_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/availability.cpp" "src/ops/CMakeFiles/tsufail_ops.dir/availability.cpp.o" "gcc" "src/ops/CMakeFiles/tsufail_ops.dir/availability.cpp.o.d"
+  "/root/repo/src/ops/capacity.cpp" "src/ops/CMakeFiles/tsufail_ops.dir/capacity.cpp.o" "gcc" "src/ops/CMakeFiles/tsufail_ops.dir/capacity.cpp.o.d"
+  "/root/repo/src/ops/checkpoint.cpp" "src/ops/CMakeFiles/tsufail_ops.dir/checkpoint.cpp.o" "gcc" "src/ops/CMakeFiles/tsufail_ops.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ops/checkpoint_sim.cpp" "src/ops/CMakeFiles/tsufail_ops.dir/checkpoint_sim.cpp.o" "gcc" "src/ops/CMakeFiles/tsufail_ops.dir/checkpoint_sim.cpp.o.d"
+  "/root/repo/src/ops/job_impact.cpp" "src/ops/CMakeFiles/tsufail_ops.dir/job_impact.cpp.o" "gcc" "src/ops/CMakeFiles/tsufail_ops.dir/job_impact.cpp.o.d"
+  "/root/repo/src/ops/maintenance.cpp" "src/ops/CMakeFiles/tsufail_ops.dir/maintenance.cpp.o" "gcc" "src/ops/CMakeFiles/tsufail_ops.dir/maintenance.cpp.o.d"
+  "/root/repo/src/ops/spares.cpp" "src/ops/CMakeFiles/tsufail_ops.dir/spares.cpp.o" "gcc" "src/ops/CMakeFiles/tsufail_ops.dir/spares.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tsufail_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_ops.dir/availability.cpp.o"
+  "CMakeFiles/tsufail_ops.dir/availability.cpp.o.d"
+  "CMakeFiles/tsufail_ops.dir/capacity.cpp.o"
+  "CMakeFiles/tsufail_ops.dir/capacity.cpp.o.d"
+  "CMakeFiles/tsufail_ops.dir/checkpoint.cpp.o"
+  "CMakeFiles/tsufail_ops.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/tsufail_ops.dir/checkpoint_sim.cpp.o"
+  "CMakeFiles/tsufail_ops.dir/checkpoint_sim.cpp.o.d"
+  "CMakeFiles/tsufail_ops.dir/job_impact.cpp.o"
+  "CMakeFiles/tsufail_ops.dir/job_impact.cpp.o.d"
+  "CMakeFiles/tsufail_ops.dir/maintenance.cpp.o"
+  "CMakeFiles/tsufail_ops.dir/maintenance.cpp.o.d"
+  "CMakeFiles/tsufail_ops.dir/spares.cpp.o"
+  "CMakeFiles/tsufail_ops.dir/spares.cpp.o.d"
+  "libtsufail_ops.a"
+  "libtsufail_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

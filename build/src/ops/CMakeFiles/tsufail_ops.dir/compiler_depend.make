@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tsufail_ops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/evaluate.cpp" "src/predict/CMakeFiles/tsufail_predict.dir/evaluate.cpp.o" "gcc" "src/predict/CMakeFiles/tsufail_predict.dir/evaluate.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/predict/CMakeFiles/tsufail_predict.dir/predictor.cpp.o" "gcc" "src/predict/CMakeFiles/tsufail_predict.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tsufail_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_predict.dir/evaluate.cpp.o"
+  "CMakeFiles/tsufail_predict.dir/evaluate.cpp.o.d"
+  "CMakeFiles/tsufail_predict.dir/predictor.cpp.o"
+  "CMakeFiles/tsufail_predict.dir/predictor.cpp.o.d"
+  "libtsufail_predict.a"
+  "libtsufail_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

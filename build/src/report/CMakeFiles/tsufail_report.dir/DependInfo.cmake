@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/chart.cpp" "src/report/CMakeFiles/tsufail_report.dir/chart.cpp.o" "gcc" "src/report/CMakeFiles/tsufail_report.dir/chart.cpp.o.d"
+  "/root/repo/src/report/compare.cpp" "src/report/CMakeFiles/tsufail_report.dir/compare.cpp.o" "gcc" "src/report/CMakeFiles/tsufail_report.dir/compare.cpp.o.d"
+  "/root/repo/src/report/figure_export.cpp" "src/report/CMakeFiles/tsufail_report.dir/figure_export.cpp.o" "gcc" "src/report/CMakeFiles/tsufail_report.dir/figure_export.cpp.o.d"
+  "/root/repo/src/report/markdown_report.cpp" "src/report/CMakeFiles/tsufail_report.dir/markdown_report.cpp.o" "gcc" "src/report/CMakeFiles/tsufail_report.dir/markdown_report.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/report/CMakeFiles/tsufail_report.dir/table.cpp.o" "gcc" "src/report/CMakeFiles/tsufail_report.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tsufail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tsufail_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsufail_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

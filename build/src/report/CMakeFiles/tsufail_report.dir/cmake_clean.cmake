@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_report.dir/chart.cpp.o"
+  "CMakeFiles/tsufail_report.dir/chart.cpp.o.d"
+  "CMakeFiles/tsufail_report.dir/compare.cpp.o"
+  "CMakeFiles/tsufail_report.dir/compare.cpp.o.d"
+  "CMakeFiles/tsufail_report.dir/figure_export.cpp.o"
+  "CMakeFiles/tsufail_report.dir/figure_export.cpp.o.d"
+  "CMakeFiles/tsufail_report.dir/markdown_report.cpp.o"
+  "CMakeFiles/tsufail_report.dir/markdown_report.cpp.o.d"
+  "CMakeFiles/tsufail_report.dir/table.cpp.o"
+  "CMakeFiles/tsufail_report.dir/table.cpp.o.d"
+  "libtsufail_report.a"
+  "libtsufail_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

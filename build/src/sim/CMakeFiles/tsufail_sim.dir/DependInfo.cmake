@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/generator.cpp" "src/sim/CMakeFiles/tsufail_sim.dir/generator.cpp.o" "gcc" "src/sim/CMakeFiles/tsufail_sim.dir/generator.cpp.o.d"
+  "/root/repo/src/sim/models.cpp" "src/sim/CMakeFiles/tsufail_sim.dir/models.cpp.o" "gcc" "src/sim/CMakeFiles/tsufail_sim.dir/models.cpp.o.d"
+  "/root/repo/src/sim/placement.cpp" "src/sim/CMakeFiles/tsufail_sim.dir/placement.cpp.o" "gcc" "src/sim/CMakeFiles/tsufail_sim.dir/placement.cpp.o.d"
+  "/root/repo/src/sim/scaling.cpp" "src/sim/CMakeFiles/tsufail_sim.dir/scaling.cpp.o" "gcc" "src/sim/CMakeFiles/tsufail_sim.dir/scaling.cpp.o.d"
+  "/root/repo/src/sim/tsubame_models.cpp" "src/sim/CMakeFiles/tsufail_sim.dir/tsubame_models.cpp.o" "gcc" "src/sim/CMakeFiles/tsufail_sim.dir/tsubame_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/tsufail_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsufail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

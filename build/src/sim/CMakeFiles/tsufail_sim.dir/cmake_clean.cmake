@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_sim.dir/generator.cpp.o"
+  "CMakeFiles/tsufail_sim.dir/generator.cpp.o.d"
+  "CMakeFiles/tsufail_sim.dir/models.cpp.o"
+  "CMakeFiles/tsufail_sim.dir/models.cpp.o.d"
+  "CMakeFiles/tsufail_sim.dir/placement.cpp.o"
+  "CMakeFiles/tsufail_sim.dir/placement.cpp.o.d"
+  "CMakeFiles/tsufail_sim.dir/scaling.cpp.o"
+  "CMakeFiles/tsufail_sim.dir/scaling.cpp.o.d"
+  "CMakeFiles/tsufail_sim.dir/tsubame_models.cpp.o"
+  "CMakeFiles/tsufail_sim.dir/tsubame_models.cpp.o.d"
+  "libtsufail_sim.a"
+  "libtsufail_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

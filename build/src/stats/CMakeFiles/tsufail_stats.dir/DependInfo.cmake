@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/fit.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/fit.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/fit.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/tsufail_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/tsufail_stats.dir/survival.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tsufail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

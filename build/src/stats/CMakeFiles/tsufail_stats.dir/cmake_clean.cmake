@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/correlation.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/distribution.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/fit.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/histogram.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/regression.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/tsufail_stats.dir/survival.cpp.o"
+  "CMakeFiles/tsufail_stats.dir/survival.cpp.o.d"
+  "libtsufail_stats.a"
+  "libtsufail_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

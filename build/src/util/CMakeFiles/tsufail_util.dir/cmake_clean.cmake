@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail_util.dir/civil_time.cpp.o"
+  "CMakeFiles/tsufail_util.dir/civil_time.cpp.o.d"
+  "CMakeFiles/tsufail_util.dir/csv.cpp.o"
+  "CMakeFiles/tsufail_util.dir/csv.cpp.o.d"
+  "CMakeFiles/tsufail_util.dir/error.cpp.o"
+  "CMakeFiles/tsufail_util.dir/error.cpp.o.d"
+  "CMakeFiles/tsufail_util.dir/rng.cpp.o"
+  "CMakeFiles/tsufail_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tsufail_util.dir/strings.cpp.o"
+  "CMakeFiles/tsufail_util.dir/strings.cpp.o.d"
+  "libtsufail_util.a"
+  "libtsufail_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

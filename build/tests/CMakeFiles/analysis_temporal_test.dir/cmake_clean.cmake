@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_temporal_test.dir/analysis_temporal_test.cpp.o"
+  "CMakeFiles/analysis_temporal_test.dir/analysis_temporal_test.cpp.o.d"
+  "analysis_temporal_test"
+  "analysis_temporal_test.pdb"
+  "analysis_temporal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_args_test.dir/cli_args_test.cpp.o"
+  "CMakeFiles/cli_args_test.dir/cli_args_test.cpp.o.d"
+  "cli_args_test"
+  "cli_args_test.pdb"
+  "cli_args_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

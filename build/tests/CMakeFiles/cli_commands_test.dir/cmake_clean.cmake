@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_commands_test.dir/cli_commands_test.cpp.o"
+  "CMakeFiles/cli_commands_test.dir/cli_commands_test.cpp.o.d"
+  "cli_commands_test"
+  "cli_commands_test.pdb"
+  "cli_commands_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_commands_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

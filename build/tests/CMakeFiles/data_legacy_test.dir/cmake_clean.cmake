@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_legacy_test.dir/data_legacy_test.cpp.o"
+  "CMakeFiles/data_legacy_test.dir/data_legacy_test.cpp.o.d"
+  "data_legacy_test"
+  "data_legacy_test.pdb"
+  "data_legacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_legacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_model_test.dir/data_model_test.cpp.o"
+  "CMakeFiles/data_model_test.dir/data_model_test.cpp.o.d"
+  "data_model_test"
+  "data_model_test.pdb"
+  "data_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

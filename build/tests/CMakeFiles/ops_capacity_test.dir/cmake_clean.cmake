@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_capacity_test.dir/ops_capacity_test.cpp.o"
+  "CMakeFiles/ops_capacity_test.dir/ops_capacity_test.cpp.o.d"
+  "ops_capacity_test"
+  "ops_capacity_test.pdb"
+  "ops_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

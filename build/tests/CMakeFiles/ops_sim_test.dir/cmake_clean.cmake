@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_sim_test.dir/ops_sim_test.cpp.o"
+  "CMakeFiles/ops_sim_test.dir/ops_sim_test.cpp.o.d"
+  "ops_sim_test"
+  "ops_sim_test.pdb"
+  "ops_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_test.dir/predict_test.cpp.o"
+  "CMakeFiles/predict_test.dir/predict_test.cpp.o.d"
+  "predict_test"
+  "predict_test.pdb"
+  "predict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_placement_test.dir/sim_placement_test.cpp.o"
+  "CMakeFiles/sim_placement_test.dir/sim_placement_test.cpp.o.d"
+  "sim_placement_test"
+  "sim_placement_test.pdb"
+  "sim_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

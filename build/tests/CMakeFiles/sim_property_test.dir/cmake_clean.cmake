@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_property_test.dir/sim_property_test.cpp.o"
+  "CMakeFiles/sim_property_test.dir/sim_property_test.cpp.o.d"
+  "sim_property_test"
+  "sim_property_test.pdb"
+  "sim_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

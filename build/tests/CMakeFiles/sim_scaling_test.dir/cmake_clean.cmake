@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_scaling_test.dir/sim_scaling_test.cpp.o"
+  "CMakeFiles/sim_scaling_test.dir/sim_scaling_test.cpp.o.d"
+  "sim_scaling_test"
+  "sim_scaling_test.pdb"
+  "sim_scaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

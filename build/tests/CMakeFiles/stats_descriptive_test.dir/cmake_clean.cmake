@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_descriptive_test.dir/stats_descriptive_test.cpp.o"
+  "CMakeFiles/stats_descriptive_test.dir/stats_descriptive_test.cpp.o.d"
+  "stats_descriptive_test"
+  "stats_descriptive_test.pdb"
+  "stats_descriptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_descriptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

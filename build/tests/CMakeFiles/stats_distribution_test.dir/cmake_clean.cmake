@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_distribution_test.dir/stats_distribution_test.cpp.o"
+  "CMakeFiles/stats_distribution_test.dir/stats_distribution_test.cpp.o.d"
+  "stats_distribution_test"
+  "stats_distribution_test.pdb"
+  "stats_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ecdf_test.dir/stats_ecdf_test.cpp.o"
+  "CMakeFiles/stats_ecdf_test.dir/stats_ecdf_test.cpp.o.d"
+  "stats_ecdf_test"
+  "stats_ecdf_test.pdb"
+  "stats_ecdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ecdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

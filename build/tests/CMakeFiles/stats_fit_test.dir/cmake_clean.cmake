@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_fit_test.dir/stats_fit_test.cpp.o"
+  "CMakeFiles/stats_fit_test.dir/stats_fit_test.cpp.o.d"
+  "stats_fit_test"
+  "stats_fit_test.pdb"
+  "stats_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

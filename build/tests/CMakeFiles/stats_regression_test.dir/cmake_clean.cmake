@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_regression_test.dir/stats_regression_test.cpp.o"
+  "CMakeFiles/stats_regression_test.dir/stats_regression_test.cpp.o.d"
+  "stats_regression_test"
+  "stats_regression_test.pdb"
+  "stats_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

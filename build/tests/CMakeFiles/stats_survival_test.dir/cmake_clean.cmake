@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_survival_test.dir/stats_survival_test.cpp.o"
+  "CMakeFiles/stats_survival_test.dir/stats_survival_test.cpp.o.d"
+  "stats_survival_test"
+  "stats_survival_test.pdb"
+  "stats_survival_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_survival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_error_test.dir/util_error_test.cpp.o"
+  "CMakeFiles/util_error_test.dir/util_error_test.cpp.o.d"
+  "util_error_test"
+  "util_error_test.pdb"
+  "util_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsufail.dir/tsufail_main.cpp.o"
+  "CMakeFiles/tsufail.dir/tsufail_main.cpp.o.d"
+  "tsufail"
+  "tsufail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsufail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
