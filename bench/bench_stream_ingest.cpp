@@ -1,0 +1,98 @@
+// google-benchmark throughput measurements for the streaming subsystem:
+// events/sec through EventStream ingestion, the online estimators, and
+// the full ingest -> monitor -> alert path.  Later perf PRs diff against
+// these numbers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+#include "stream/alerts.h"
+#include "stream/event_stream.h"
+#include "stream/health.h"
+
+namespace {
+
+using namespace tsufail;
+
+/// A scaled synthetic Tsubame-3 log (cached per size), the replay corpus.
+const data::FailureLog& corpus(std::size_t failures) {
+  static std::vector<std::pair<std::size_t, data::FailureLog>> cache;
+  for (const auto& [size, log] : cache) {
+    if (size == failures) return log;
+  }
+  auto model = sim::tsubame3_model();
+  model.total_failures = failures;
+  cache.emplace_back(failures, sim::generate_log(model, 1).value());
+  return cache.back().second;
+}
+
+void BM_EventStreamIngest(benchmark::State& state) {
+  const auto& log = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto stream = stream::EventStream::create(log.spec()).value();
+    for (const auto& record : log.records()) {
+      benchmark::DoNotOptimize(stream.offer(record));
+      while (auto released = stream.poll()) benchmark::DoNotOptimize(released);
+    }
+    stream.finish();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventStreamIngest)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HealthMonitorObserve(benchmark::State& state) {
+  const auto& log = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto monitor = stream::HealthMonitor::create(log.spec()).value();
+    for (const auto& record : log.records()) monitor.observe(record);
+    monitor.finish();
+    benchmark::DoNotOptimize(monitor.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HealthMonitorObserve)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FullStreamPath(benchmark::State& state) {
+  // Ingest -> release -> estimators -> alert evaluation per event: the
+  // `tsufail watch` inner loop.
+  const auto& log = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto stream = stream::EventStream::create(log.spec()).value();
+    auto monitor = stream::HealthMonitor::create(log.spec()).value();
+    auto engine =
+        stream::AlertEngine::create(stream::default_rules(log.spec(), log.size())).value();
+    for (const auto& record : log.records()) {
+      benchmark::DoNotOptimize(stream.offer(record));
+      while (auto released = stream.poll()) {
+        monitor.observe(*released);
+        benchmark::DoNotOptimize(engine.evaluate(monitor.snapshot()));
+      }
+    }
+    stream.finish();
+    while (auto released = stream.poll()) monitor.observe(*released);
+    monitor.finish();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullStreamPath)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SnapshotAndEvaluate(benchmark::State& state) {
+  // Steady-state cost of one snapshot + rule sweep, the per-event alerting
+  // overhead on top of estimator updates.
+  const auto& log = corpus(10000);
+  auto monitor = stream::HealthMonitor::create(log.spec()).value();
+  for (const auto& record : log.records()) monitor.observe(record);
+  auto engine =
+      stream::AlertEngine::create(stream::default_rules(log.spec(), log.size())).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.evaluate(monitor.snapshot()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotAndEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

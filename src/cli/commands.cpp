@@ -1,7 +1,9 @@
 #include "cli/commands.h"
 
+#include <chrono>
 #include <fstream>
 #include <ostream>
+#include <thread>
 
 #include "analysis/lead_lag.h"
 #include "analysis/node_survival.h"
@@ -22,6 +24,9 @@
 #include "sim/generator.h"
 #include "sim/tsubame_models.h"
 #include "stats/ecdf.h"
+#include "stream/alerts.h"
+#include "stream/event_stream.h"
+#include "stream/health.h"
 
 namespace tsufail::cli {
 namespace {
@@ -597,6 +602,151 @@ Result<void> run_couplings(const ParsedArgs& args, std::ostream& out) {
   return {};
 }
 
+// --- watch ------------------------------------------------------------------
+
+ArgParser make_watch_parser() {
+  ArgParser parser("watch",
+                   "Replay a failure log through the streaming monitor, printing alerts and "
+                   "periodic health summaries.");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option({"reorder-hours", "H", "reorder horizon of the event stream", std::string("24")});
+  parser.option({"window-days", "D", "rolling MTBF/MTTR window length", std::string("60")});
+  parser.option({"step-days", "D", "rolling window step", std::string("30")});
+  parser.option({"rate-tau-days", "D", "EWMA rate time constant", std::string("7")});
+  parser.option({"burst-window-hours", "H", "multi-GPU burst detection window",
+                 std::string("72")});
+  parser.option({"burst-size", "N", "multi-GPU events in the window that raise an alert",
+                 std::string("3")});
+  parser.option({"expected-failures", "N",
+                 "historical failure count calibrating the MTBF/rate baselines "
+                 "(default: the machine's paper count)",
+                 {}});
+  parser.option({"summary-every", "N", "print a health line every N failures (0 = off)",
+                 std::string("100")});
+  parser.option({"pace-ms", "MS", "replay delay per event in milliseconds (0 = instant)",
+                 std::string("0")});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto reorder = args.get_double("reorder-hours");
+  if (!reorder.ok()) return reorder.error();
+  auto window_days = args.get_double("window-days");
+  if (!window_days.ok()) return window_days.error();
+  auto step_days = args.get_double("step-days");
+  if (!step_days.ok()) return step_days.error();
+  auto rate_tau = args.get_double("rate-tau-days");
+  if (!rate_tau.ok()) return rate_tau.error();
+  auto burst_window = args.get_double("burst-window-hours");
+  if (!burst_window.ok()) return burst_window.error();
+  auto burst_size = args.get_int("burst-size");
+  if (!burst_size.ok()) return burst_size.error();
+  auto summary_every = args.get_int("summary-every");
+  if (!summary_every.ok()) return summary_every.error();
+  auto pace_ms = args.get_int("pace-ms");
+  if (!pace_ms.ok()) return pace_ms.error();
+  if (burst_size.value() <= 0)
+    return Error(ErrorKind::kDomain, "--burst-size must be positive");
+  if (summary_every.value() < 0 || pace_ms.value() < 0)
+    return Error(ErrorKind::kDomain, "--summary-every and --pace-ms must be >= 0");
+
+  const data::MachineSpec& spec = log.value().spec();
+  std::size_t expected_failures =
+      spec.machine == data::Machine::kTsubame2 ? 897 : 338;  // the paper's counts
+  if (args.has("expected-failures")) {
+    auto expected = args.get_int("expected-failures");
+    if (!expected.ok()) return expected.error();
+    if (expected.value() <= 0)
+      return Error(ErrorKind::kDomain, "--expected-failures must be positive");
+    expected_failures = static_cast<std::size_t>(expected.value());
+  }
+
+  stream::StreamConfig stream_config;
+  stream_config.reorder_horizon_hours = reorder.value();
+  auto events = stream::EventStream::create(spec, stream_config);
+  if (!events.ok()) return events.error();
+
+  stream::MonitorConfig monitor_config;
+  monitor_config.window_days = window_days.value();
+  monitor_config.step_days = step_days.value();
+  monitor_config.rate_tau_hours = rate_tau.value() * 24.0;
+  monitor_config.burst_window_hours = burst_window.value();
+  auto monitor = stream::HealthMonitor::create(spec, monitor_config);
+  if (!monitor.ok()) return monitor.error();
+
+  auto rules = stream::default_rules(spec, expected_failures);
+  for (auto& rule : rules) {
+    if (rule.kind == stream::AlertKind::kMultiGpuBurst)
+      rule.threshold = static_cast<double>(burst_size.value());
+  }
+  auto engine = stream::AlertEngine::create(std::move(rules));
+  if (!engine.ok()) return engine.error();
+
+  out << "watching " << spec.name << ": " << log.value().size() << " failures, reorder horizon "
+      << report::fmt(reorder.value(), 0) << " h, " << engine.value().rules().size()
+      << " alert rules\n";
+
+  const auto print_summary = [&](const stream::HealthSnapshot& health) {
+    out << "[" << format_time(health.as_of) << "] events=" << health.events
+        << " rate=" << report::fmt(health.ewma_failures_per_day, 2) << "/day";
+    if (health.window.has_value() && health.window->failures > 0)
+      out << " window-mtbf=" << report::fmt(health.window->mtbf_hours, 1) << "h";
+    out << " p95-ttr=" << report::fmt(health.ttr_p95_hours, 1) << "h"
+        << " burst=" << health.multi_gpu_burst_size << "\n";
+  };
+
+  std::uint64_t processed = 0;
+  const auto consume = [&](const data::FailureRecord& record) {
+    monitor.value().observe(record);
+    const auto health = monitor.value().snapshot();
+    for (const auto& alert : engine.value().evaluate(health))
+      out << stream::format_alert(alert) << "\n";
+    ++processed;
+    if (summary_every.value() > 0 &&
+        processed % static_cast<std::uint64_t>(summary_every.value()) == 0)
+      print_summary(health);
+  };
+
+  stream::StreamCursor cursor(events.value());
+  for (const auto& record : log.value().records()) {
+    if (pace_ms.value() > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms.value()));
+    auto outcome = events.value().offer(record);
+    if (!outcome.ok()) return outcome.error();
+    cursor.drain(consume);
+  }
+  events.value().finish();
+  cursor.drain(consume);
+  monitor.value().finish();
+
+  const auto& stats = events.value().stats();
+  const auto health = monitor.value().snapshot();
+  out << "\n-- final --\n";
+  print_summary(health);
+  out << "stream: offered=" << stats.offered << " released=" << stats.released
+      << " quarantined=" << (stats.quarantined_invalid + stats.quarantined_late)
+      << " duplicates=" << stats.rejected_duplicates << "\n";
+  for (const auto& entry : events.value().quarantine())
+    out << "quarantined: " << entry.error.to_string() << "\n";
+  out << "alerts raised: " << engine.value().raised_total();
+  const auto active = engine.value().active();
+  if (!active.empty()) {
+    out << "; still active:";
+    for (const auto& name : active) out << " " << name;
+  }
+  out << "\n";
+  if (auto trends = monitor.value().trends(); trends.ok()) {
+    out << "failure-rate trend: "
+        << report::fmt(trends.value().rate_trend.slope * 24.0 * 365.0, 3)
+        << " failures/day per year (p = "
+        << report::fmt(trends.value().rate_trend.slope_p_value, 3) << ")\n";
+  }
+  return {};
+}
+
 // --- compare --------------------------------------------------------------
 
 ArgParser make_compare_parser() {
@@ -654,6 +804,7 @@ const std::vector<Command>& commands() {
       {"predict", "node-failure prediction backtest", make_predict_parser, run_predict},
       {"import", "convert a legacy-v1 log to canonical CSV", make_import_parser, run_import},
       {"trends", "rolling MTBF/MTTR trends over lifetime", make_trends_parser, run_trends},
+      {"watch", "live-replay a log through the streaming monitor", make_watch_parser, run_watch},
       {"racks", "rack-level spatial distribution", make_racks_parser, run_racks},
       {"couplings", "cross-category lead-lag couplings", make_couplings_parser, run_couplings},
       {"compare", "cross-generation comparison", make_compare_parser, run_compare},

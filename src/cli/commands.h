@@ -11,6 +11,7 @@
 //   tsufail spares     spare-pool sizing for one category
 //   tsufail predict    node-failure prediction backtest
 //   tsufail compare    two-generation comparison of two logs
+//   tsufail watch      live-replay a log through the streaming monitor
 #pragma once
 
 #include <iosfwd>

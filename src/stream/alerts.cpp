@@ -1,0 +1,183 @@
+#include "stream/alerts.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace tsufail::stream {
+namespace {
+
+/// Signal extracted from a snapshot for one rule kind; `available` is
+/// false while the snapshot cannot speak to the rule yet (e.g. no rolling
+/// window completed).
+struct Signal {
+  double value = 0.0;
+  bool available = false;
+};
+
+Signal extract(AlertKind kind, const HealthSnapshot& snapshot) {
+  switch (kind) {
+    case AlertKind::kWindowMtbfBelow:
+      // A completed window with zero failures has mtbf_hours == 0 by the
+      // batch convention, but means "no failures at all" — never alert.
+      if (!snapshot.window.has_value() || snapshot.window->failures == 0) return {};
+      return {snapshot.window->mtbf_hours, true};
+    case AlertKind::kRateAbove:
+      return {snapshot.ewma_failures_per_day, snapshot.events > 0};
+    case AlertKind::kMttrP95Above:
+      return {snapshot.ttr_p95_hours, snapshot.events > 0};
+    case AlertKind::kMultiGpuBurst:
+      return {static_cast<double>(snapshot.multi_gpu_burst_size), true};
+    case AlertKind::kSlotSkewAbove:
+      return {snapshot.slot_skew, snapshot.slot_attributed_events > 0};
+  }
+  return {};
+}
+
+/// Events the rule's min_events gate counts.
+std::uint64_t gate_events(AlertKind kind, const HealthSnapshot& snapshot) {
+  return kind == AlertKind::kSlotSkewAbove ? snapshot.slot_attributed_events : snapshot.events;
+}
+
+std::string describe(const AlertRule& rule, double value) {
+  std::ostringstream text;
+  text.precision(3);
+  switch (rule.kind) {
+    case AlertKind::kWindowMtbfBelow:
+      text << "rolling-window MTBF " << value << " h vs floor " << rule.threshold << " h";
+      break;
+    case AlertKind::kRateAbove:
+      text << "EWMA failure rate " << value << "/day vs ceiling " << rule.threshold << "/day";
+      break;
+    case AlertKind::kMttrP95Above:
+      text << "p95 repair time " << value << " h vs ceiling " << rule.threshold << " h";
+      break;
+    case AlertKind::kMultiGpuBurst:
+      text << value << " multi-GPU failures in the burst window (threshold "
+           << rule.threshold << ")";
+      break;
+    case AlertKind::kSlotSkewAbove:
+      text << "hottest GPU slot at " << value << "x the uniform share (threshold "
+           << rule.threshold << "x)";
+      break;
+  }
+  return text.str();
+}
+
+}  // namespace
+
+const char* to_string(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::kWindowMtbfBelow: return "window-mtbf-below";
+    case AlertKind::kRateAbove: return "rate-above";
+    case AlertKind::kMttrP95Above: return "mttr-p95-above";
+    case AlertKind::kMultiGpuBurst: return "multi-gpu-burst";
+    case AlertKind::kSlotSkewAbove: return "slot-skew-above";
+  }
+  return "?";
+}
+
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+std::string format_alert(const Alert& alert) {
+  std::string line = alert.raised ? "RAISED" : "CLEARED";
+  line += " [";
+  line += to_string(alert.severity);
+  line += "] ";
+  line += alert.rule;
+  line += ": ";
+  line += alert.message;
+  line += " at ";
+  line += format_time(alert.time);
+  return line;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules)
+    : rules_(std::move(rules)), raised_(rules_.size(), false) {}
+
+Result<AlertEngine> AlertEngine::create(std::vector<AlertRule> rules) {
+  std::set<std::string> names;
+  for (const auto& rule : rules) {
+    if (rule.name.empty())
+      return Error(ErrorKind::kValidation, "AlertEngine: rule with an empty name");
+    if (!names.insert(rule.name).second)
+      return Error(ErrorKind::kValidation, "AlertEngine: duplicate rule name '" + rule.name + "'");
+    if (!(rule.threshold > 0.0))
+      return Error(ErrorKind::kValidation,
+                   "AlertEngine: rule '" + rule.name + "' needs a positive threshold");
+    if (!(rule.hysteresis >= 0.0) || rule.hysteresis >= 1.0)
+      return Error(ErrorKind::kValidation,
+                   "AlertEngine: rule '" + rule.name + "' hysteresis must be in [0, 1)");
+  }
+  return AlertEngine(std::move(rules));
+}
+
+std::vector<Alert> AlertEngine::evaluate(const HealthSnapshot& snapshot) {
+  std::vector<Alert> transitions;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i];
+    if (gate_events(rule.kind, snapshot) < rule.min_events) continue;
+    const Signal signal = extract(rule.kind, snapshot);
+    if (!signal.available) continue;
+
+    const bool below = rule.kind == AlertKind::kWindowMtbfBelow;
+    // Burst counts are discrete "at least N" conditions; the others are
+    // strict threshold crossings.
+    const bool breach = below            ? signal.value < rule.threshold
+                        : rule.kind == AlertKind::kMultiGpuBurst
+                            ? signal.value >= rule.threshold
+                            : signal.value > rule.threshold;
+    const bool recovered = below ? signal.value >= rule.threshold * (1.0 + rule.hysteresis)
+                                 : signal.value <= rule.threshold * (1.0 - rule.hysteresis);
+
+    const bool was_raised = raised_[i];
+    if (!was_raised && breach) {
+      raised_[i] = true;
+      ++raised_total_;
+      transitions.push_back({rule.name, rule.kind, rule.severity, true, snapshot.as_of,
+                             signal.value, rule.threshold, describe(rule, signal.value)});
+    } else if (was_raised && recovered) {
+      raised_[i] = false;
+      transitions.push_back({rule.name, rule.kind, rule.severity, false, snapshot.as_of,
+                             signal.value, rule.threshold, describe(rule, signal.value)});
+    }
+  }
+  return transitions;
+}
+
+std::vector<std::string> AlertEngine::active() const {
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (raised_[i]) names.push_back(rules_[i].name);
+  }
+  return names;
+}
+
+std::vector<AlertRule> default_rules(const data::MachineSpec& spec,
+                                     std::size_t expected_failures) {
+  TSUFAIL_REQUIRE(expected_failures > 0, "default_rules: expected_failures must be positive");
+  const double window_days = spec.window_hours() / 24.0;
+  const double baseline_mtbf_hours =
+      spec.window_hours() / static_cast<double>(expected_failures);
+  const double baseline_rate_per_day =
+      static_cast<double>(expected_failures) / window_days;
+
+  std::vector<AlertRule> rules;
+  rules.push_back({"low-window-mtbf", AlertKind::kWindowMtbfBelow, baseline_mtbf_hours / 4.0,
+                   Severity::kWarning, 0.1, 10});
+  rules.push_back({"rate-surge", AlertKind::kRateAbove, 4.0 * baseline_rate_per_day,
+                   Severity::kCritical, 0.1, 10});
+  rules.push_back({"repair-blowup", AlertKind::kMttrP95Above, 168.0, Severity::kWarning, 0.1, 20});
+  rules.push_back({"multi-gpu-burst", AlertKind::kMultiGpuBurst, 3.0, Severity::kCritical, 0.1, 0});
+  rules.push_back({"slot-skew", AlertKind::kSlotSkewAbove, 2.0, Severity::kWarning, 0.1, 30});
+  return rules;
+}
+
+}  // namespace tsufail::stream

@@ -1,0 +1,102 @@
+// AlertEngine: declarative threshold rules with hysteresis over
+// HealthSnapshots.
+//
+// A rule compares one snapshot signal against a threshold.  To keep a
+// signal hovering at the threshold from flapping, every rule carries a
+// hysteresis band: a raised "below"-type rule clears only once the signal
+// recovers above threshold * (1 + band), and a raised "above"-type rule
+// only once it drops below threshold * (1 - band).  The engine emits a
+// typed Alert exactly at each raise and clear transition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/machine.h"
+#include "stream/health.h"
+#include "util/civil_time.h"
+
+namespace tsufail::stream {
+
+/// What a rule watches.
+enum class AlertKind {
+  kWindowMtbfBelow,  ///< last completed rolling window's MTBF < threshold hours
+  kRateAbove,        ///< EWMA failure rate > threshold failures/day
+  kMttrP95Above,     ///< P^2 p95 TTR estimate > threshold hours
+  kMultiGpuBurst,    ///< multi-GPU events in the burst window >= threshold
+  kSlotSkewAbove,    ///< hottest-slot share over uniform > threshold ratio
+};
+
+/// "window-mtbf-below" / "rate-above" / ...
+const char* to_string(AlertKind kind) noexcept;
+
+enum class Severity { kInfo, kWarning, kCritical };
+
+/// "info" / "warning" / "critical".
+const char* to_string(Severity severity) noexcept;
+
+/// One declarative rule.
+struct AlertRule {
+  std::string name;            ///< unique identifier, shown in alerts
+  AlertKind kind = AlertKind::kRateAbove;
+  double threshold = 0.0;
+  Severity severity = Severity::kWarning;
+  /// Relative hysteresis band in [0, 1): a raised alert clears only after
+  /// the signal recovers past the band, not merely back to the threshold.
+  double hysteresis = 0.1;
+  /// Rule stays silent until the monitor has seen this many events
+  /// (estimators are noisy early on).
+  std::uint64_t min_events = 0;
+};
+
+/// One raise or clear transition.
+struct Alert {
+  std::string rule;
+  AlertKind kind = AlertKind::kRateAbove;
+  Severity severity = Severity::kWarning;
+  bool raised = true;          ///< false = the condition cleared
+  TimePoint time;              ///< snapshot time of the transition
+  double value = 0.0;          ///< the signal that crossed
+  double threshold = 0.0;
+  std::string message;         ///< human-readable one-liner
+};
+
+/// Formats as "RAISED [warning] low-mtbf: ..." for logs and the CLI.
+std::string format_alert(const Alert& alert);
+
+class AlertEngine {
+ public:
+  /// Errors: duplicate rule names, empty name, threshold/hysteresis out
+  /// of range.
+  static Result<AlertEngine> create(std::vector<AlertRule> rules);
+
+  /// Evaluates every rule against a snapshot; returns the transitions
+  /// (empty for the steady state, which is the common case).
+  std::vector<Alert> evaluate(const HealthSnapshot& snapshot);
+
+  /// Rules currently in the raised state.
+  std::vector<std::string> active() const;
+
+  std::span<const AlertRule> rules() const noexcept { return {rules_.data(), rules_.size()}; }
+  std::uint64_t raised_total() const noexcept { return raised_total_; }
+
+ private:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  std::vector<AlertRule> rules_;
+  std::vector<bool> raised_;       ///< parallel to rules_
+  std::uint64_t raised_total_ = 0;
+};
+
+/// Paper-informed default rule set for a machine: window MTBF collapsing
+/// below a quarter of the spec-wide expectation, EWMA rate above 4x the
+/// long-run average, multi-GPU bursts (Figure 8), p95 repair blow-ups,
+/// and per-slot skew beyond the paper's Figure 5 imbalance.
+/// `expected_failures` calibrates the MTBF/rate baselines (e.g. the
+/// machine's historical count: 897 for Tsubame-2, 338 for Tsubame-3).
+std::vector<AlertRule> default_rules(const data::MachineSpec& spec,
+                                     std::size_t expected_failures);
+
+}  // namespace tsufail::stream

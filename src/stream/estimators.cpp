@@ -1,0 +1,229 @@
+#include "stream/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/regression.h"
+
+namespace tsufail::stream {
+
+// --- P2Quantile -----------------------------------------------------------
+
+Result<P2Quantile> P2Quantile::create(double q) {
+  if (!(q > 0.0) || !(q < 1.0) || !std::isfinite(q))
+    return Error(ErrorKind::kDomain, "P2Quantile: quantile must be inside (0, 1)");
+  P2Quantile estimator(q);
+  estimator.desired_[0] = 1.0;
+  estimator.desired_[1] = 1.0 + 2.0 * q;
+  estimator.desired_[2] = 1.0 + 4.0 * q;
+  estimator.desired_[3] = 3.0 + 2.0 * q;
+  estimator.desired_[4] = 5.0;
+  estimator.increments_[0] = 0.0;
+  estimator.increments_[1] = q / 2.0;
+  estimator.increments_[2] = q;
+  estimator.increments_[3] = (1.0 + q) / 2.0;
+  estimator.increments_[4] = 1.0;
+  return estimator;
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) std::sort(heights_, heights_ + 5);
+    return;
+  }
+
+  // Locate the marker cell containing x, extending the extremes if needed.
+  std::size_t k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the three interior markers toward their desired positions,
+  // with parabolic (P^2) interpolation falling back to linear.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double delta = desired_[i] - positions_[i];
+    if ((delta >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (delta <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const double d = delta >= 0.0 ? 1.0 : -1.0;
+      const double np = positions_[i + 1] - positions_[i];
+      const double nm = positions_[i] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] + d / (positions_[i + 1] - positions_[i - 1]) *
+                            ((nm + d) * (heights_[i + 1] - heights_[i]) / np +
+                             (np - d) * (heights_[i] - heights_[i - 1]) / nm);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const std::size_t j = d > 0.0 ? i + 1 : i - 1;
+        heights_[i] += d * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+      }
+      positions_[i] += d;
+    }
+  }
+  ++count_;
+}
+
+double P2Quantile::estimate() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Small-sample exact path: interpolated order statistic of the buffer.
+    double sorted[5];
+    std::copy(heights_, heights_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const double h = (static_cast<double>(count_) - 1.0) * q_;
+    const auto lo = static_cast<std::size_t>(h);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    return sorted[lo] + (h - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+  }
+  return heights_[2];
+}
+
+// --- EwmaRate -------------------------------------------------------------
+
+EwmaRate::EwmaRate(double tau_hours) : tau_hours_(tau_hours) {
+  TSUFAIL_REQUIRE(tau_hours > 0.0, "EwmaRate: tau must be positive");
+}
+
+void EwmaRate::observe(TimePoint t) noexcept {
+  if (events_ > 0) {
+    const double dt = hours_between(last_, t);
+    intensity_ *= std::exp(-std::max(dt, 0.0) / tau_hours_);
+  }
+  intensity_ += 1.0 / tau_hours_;
+  last_ = t;
+  ++events_;
+}
+
+double EwmaRate::per_hour(TimePoint as_of) const noexcept {
+  if (events_ == 0) return 0.0;
+  const double dt = std::max(hours_between(last_, as_of), 0.0);
+  return intensity_ * std::exp(-dt / tau_hours_);
+}
+
+// --- SlidingCounter -------------------------------------------------------
+
+SlidingCounter::SlidingCounter(double window_hours) : window_hours_(window_hours) {
+  TSUFAIL_REQUIRE(window_hours > 0.0, "SlidingCounter: window must be positive");
+}
+
+void SlidingCounter::observe(TimePoint t) { times_.push_back(t); }
+
+std::size_t SlidingCounter::count(TimePoint as_of) {
+  while (!times_.empty() && hours_between(times_.front(), as_of) >= window_hours_)
+    times_.pop_front();
+  return times_.size();
+}
+
+// --- RollingWindowEstimator -----------------------------------------------
+
+Result<RollingWindowEstimator> RollingWindowEstimator::create(double total_hours,
+                                                              double window_days,
+                                                              double step_days) {
+  if (!(window_days > 0.0) || !(step_days > 0.0))
+    return Error(ErrorKind::kDomain,
+                 "RollingWindowEstimator: window and step must be positive");
+  RollingWindowEstimator estimator;
+  estimator.total_hours_ = total_hours;
+  estimator.window_days_ = window_days;
+  estimator.window_hours_ = window_days * 24.0;
+  estimator.step_hours_ = step_days * 24.0;
+  if (estimator.window_hours_ > total_hours)
+    return Error(ErrorKind::kDomain, "RollingWindowEstimator: window exceeds the log span");
+  // The grid must accumulate exactly like the batch analyzer's loop so the
+  // two paths see bit-identical window bounds.
+  for (double start = 0.0; start + estimator.window_hours_ <= total_hours + 1e-9;
+       start += estimator.step_hours_)
+    estimator.starts_.push_back(start);
+  if (estimator.starts_.size() < 3)
+    return Error(ErrorKind::kDomain,
+                 "RollingWindowEstimator: fewer than 3 windows; shrink window/step");
+  estimator.completed_.reserve(estimator.starts_.size());
+  return estimator;
+}
+
+void RollingWindowEstimator::observe(double hours_since_start, double ttr_hours) {
+  TSUFAIL_REQUIRE(!finished_, "RollingWindowEstimator: observe after finish");
+  TSUFAIL_REQUIRE(events_.empty() || hours_since_start >= events_.back().hours,
+                  "RollingWindowEstimator: events must arrive in time order");
+  // Every window whose right edge lies strictly before this event can no
+  // longer change; emit it before buffering the event.
+  while (next_window_ < starts_.size() &&
+         starts_[next_window_] + window_hours_ < hours_since_start)
+    finalize_next_window();
+  events_.push_back({hours_since_start, ttr_hours});
+
+  const double quarter = total_hours_ / 4.0;
+  if (hours_since_start < quarter) ++early_events_;
+  if (hours_since_start > total_hours_ - quarter) ++late_events_;
+}
+
+void RollingWindowEstimator::finalize_next_window() {
+  const double start = starts_[next_window_];
+  const double end = start + window_hours_;
+  // Events before this window's left edge cannot appear in any later
+  // window either (starts are non-decreasing): drop them.
+  while (!events_.empty() && events_.front().hours < start) events_.pop_front();
+
+  analysis::RollingWindow window;
+  window.center_hours = (start + end) / 2.0;
+  double ttr_sum = 0.0;
+  for (const Event& event : events_) {
+    if (event.hours > end) break;
+    ++window.failures;
+    ttr_sum += event.ttr;
+  }
+  window.failures_per_day = static_cast<double>(window.failures) / window_days_;
+  if (window.failures > 0) {
+    window.mtbf_hours = window_hours_ / static_cast<double>(window.failures);
+    window.mttr_hours = ttr_sum / static_cast<double>(window.failures);
+  }
+  completed_.push_back(window);
+  ++next_window_;
+}
+
+void RollingWindowEstimator::finish() {
+  if (finished_) return;
+  while (next_window_ < starts_.size()) finalize_next_window();
+  events_.clear();
+  finished_ = true;
+}
+
+Result<analysis::RollingTrends> RollingWindowEstimator::trends() const {
+  TSUFAIL_REQUIRE(finished_, "RollingWindowEstimator: trends before finish");
+  analysis::RollingTrends trends;
+  trends.window_hours = window_hours_;
+  trends.step_hours = step_hours_;
+  trends.windows = completed_;
+
+  std::vector<double> centers, rates, mttrs_x, mttrs_y;
+  for (const auto& window : trends.windows) {
+    centers.push_back(window.center_hours);
+    rates.push_back(window.failures_per_day);
+    if (window.failures > 0) {
+      mttrs_x.push_back(window.center_hours);
+      mttrs_y.push_back(window.mttr_hours);
+    }
+  }
+  auto rate_fit = stats::linear_fit(centers, rates);
+  if (!rate_fit.ok()) return rate_fit.error().with_context("rate trend");
+  trends.rate_trend = rate_fit.value();
+  if (auto mttr_fit = stats::linear_fit(mttrs_x, mttrs_y); mttr_fit.ok())
+    trends.mttr_trend = mttr_fit.value();
+
+  trends.early_late_rate_ratio =
+      late_events_ == 0 ? static_cast<double>(early_events_)
+                        : static_cast<double>(early_events_) / static_cast<double>(late_events_);
+  return trends;
+}
+
+}  // namespace tsufail::stream

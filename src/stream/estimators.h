@@ -1,0 +1,173 @@
+// Bounded-memory online estimators for live failure monitoring.
+//
+// Every estimator here consumes one observation at a time and holds O(1)
+// state — or, for the window-based ones, state bounded by the window
+// occupancy — so a monitor can run forever against a live fleet without
+// growing.  The batch analyzers remain the reference implementations: the
+// rolling-window estimator is property-tested to reproduce
+// analysis::analyze_rolling_trends bit-for-bit on in-order input.
+//
+//   WelfordStats           mean/variance/min/max    O(1)   (= stats::RunningStats)
+//   P2Quantile             one quantile, P^2 method O(1)   approximate past 5 samples
+//   EwmaRate               exponentially-weighted event rate, O(1)
+//   SlidingCounter         events within a trailing window, O(window occupancy)
+//   RollingWindowEstimator streaming analyze_rolling_trends, O(window occupancy)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "analysis/rolling.h"
+#include "stats/descriptive.h"
+#include "util/civil_time.h"
+#include "util/error.h"
+
+namespace tsufail::stream {
+
+/// Welford mean/variance accumulator.  The batch library already has a
+/// numerically careful single-pass implementation; the streaming layer
+/// reuses it rather than duplicating the recurrence.
+using WelfordStats = stats::RunningStats;
+
+/// P^2 (Jain & Chlamtac 1985) single-quantile estimator: five markers,
+/// O(1) memory, no sample retention.  Exact for the first five samples,
+/// approximate after; agreement with the batch quantile tightens as the
+/// sample grows.
+class P2Quantile {
+ public:
+  /// Errors: q outside (0, 1).
+  static Result<P2Quantile> create(double q);
+
+  void add(double x) noexcept;
+
+  /// Current estimate; 0 before the first sample.  Exact (interpolated
+  /// order statistic) while count() < 5.
+  double estimate() const noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double quantile() const noexcept { return q_; }
+
+ private:
+  explicit P2Quantile(double q) noexcept : q_(q) {}
+
+  double q_ = 0.5;
+  std::size_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};   ///< marker heights
+  double positions_[5] = {1, 2, 3, 4, 5}; ///< actual marker positions
+  double desired_[5] = {0, 0, 0, 0, 0};   ///< desired marker positions
+  double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+/// Exponentially-weighted event-rate estimator.  Models the arrival
+/// intensity with an exponential kernel of time constant `tau_hours`:
+/// each event adds 1/tau, and the whole estimate decays as exp(-dt/tau).
+/// The estimate converges to the true rate for stationary arrivals and
+/// tracks changes with ~tau lag.
+class EwmaRate {
+ public:
+  /// Precondition: tau_hours > 0 (checked with TSUFAIL_REQUIRE).
+  explicit EwmaRate(double tau_hours);
+
+  /// Records one event.  Precondition: non-decreasing event times.
+  void observe(TimePoint t) noexcept;
+
+  /// Estimated rate in events/hour, decayed to `as_of`; 0 before any event.
+  double per_hour(TimePoint as_of) const noexcept;
+  /// Estimated rate in events/day.
+  double per_day(TimePoint as_of) const noexcept { return 24.0 * per_hour(as_of); }
+
+  std::uint64_t events() const noexcept { return events_; }
+
+ private:
+  double tau_hours_;
+  double intensity_ = 0.0;  ///< events/hour at time last_
+  TimePoint last_;
+  std::uint64_t events_ = 0;
+};
+
+/// Count of events inside a trailing window (burst detection).  Memory is
+/// bounded by the number of events currently inside the window.
+class SlidingCounter {
+ public:
+  /// Precondition: window_hours > 0 (checked with TSUFAIL_REQUIRE).
+  explicit SlidingCounter(double window_hours);
+
+  /// Records one event.  Precondition: non-decreasing event times.
+  void observe(TimePoint t);
+
+  /// Events with time in (as_of - window, as_of].  Also evicts expired
+  /// entries, so repeated calls stay cheap.
+  std::size_t count(TimePoint as_of);
+
+  double window_hours() const noexcept { return window_hours_; }
+
+ private:
+  double window_hours_;
+  std::deque<TimePoint> times_;
+};
+
+/// Streaming twin of analysis::analyze_rolling_trends.  Fed in-order
+/// (hours-since-log-start, ttr) pairs, it finalizes each rolling window
+/// as soon as the stream passes its right edge and — after finish() —
+/// produces a RollingTrends equal to the batch analyzer's (identical
+/// window grid, counts, MTBF/MTTR arithmetic, and trend fits).
+///
+/// Memory: the event buffer holds only events still inside some open
+/// window (<= one window span), plus the completed-window list that is
+/// the output itself.
+class RollingWindowEstimator {
+ public:
+  /// `total_hours` is the log-window span (spec.window_hours()).
+  /// Errors mirror the batch analyzer: non-positive window/step, window
+  /// exceeding the span, or a grid of fewer than 3 windows.
+  static Result<RollingWindowEstimator> create(double total_hours, double window_days = 60.0,
+                                               double step_days = 30.0);
+
+  /// Feeds one failure.  Precondition: `hours_since_start` non-decreasing.
+  void observe(double hours_since_start, double ttr_hours);
+
+  /// Finalizes every window still open.  Idempotent; observe() afterwards
+  /// is a precondition violation.
+  void finish();
+
+  /// Windows finalized so far (all of them after finish()).
+  const std::vector<analysis::RollingWindow>& completed() const noexcept { return completed_; }
+
+  /// Most recently finalized window, if any.
+  const analysis::RollingWindow* latest() const noexcept {
+    return completed_.empty() ? nullptr : &completed_.back();
+  }
+
+  /// The full batch-equivalent result.  Precondition: finish() was called.
+  /// Errors as the batch analyzer (trend fit failures).
+  Result<analysis::RollingTrends> trends() const;
+
+  double window_hours() const noexcept { return window_hours_; }
+  double step_hours() const noexcept { return step_hours_; }
+
+ private:
+  RollingWindowEstimator() = default;
+
+  void finalize_next_window();
+
+  struct Event {
+    double hours = 0.0;
+    double ttr = 0.0;
+  };
+
+  double total_hours_ = 0.0;
+  double window_days_ = 0.0;
+  double window_hours_ = 0.0;
+  double step_hours_ = 0.0;
+  std::vector<double> starts_;            ///< window grid, batch-identical doubles
+  std::size_t next_window_ = 0;           ///< first not-yet-finalized window
+  std::deque<Event> events_;              ///< events still inside an open window
+  std::vector<analysis::RollingWindow> completed_;
+  bool finished_ = false;
+  // Early/late quarter tallies for RollingTrends::early_late_rate_ratio.
+  std::size_t early_events_ = 0;
+  std::size_t late_events_ = 0;
+};
+
+}  // namespace tsufail::stream

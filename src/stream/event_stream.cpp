@@ -1,0 +1,113 @@
+#include "stream/event_stream.h"
+
+#include <utility>
+
+namespace tsufail::stream {
+
+const char* to_string(IngestOutcome outcome) noexcept {
+  switch (outcome) {
+    case IngestOutcome::kAccepted: return "accepted";
+    case IngestOutcome::kQuarantinedInvalid: return "quarantined-invalid";
+    case IngestOutcome::kQuarantinedLate: return "quarantined-late";
+    case IngestOutcome::kRejectedDuplicate: return "rejected-duplicate";
+  }
+  return "?";
+}
+
+Result<EventStream> EventStream::create(data::MachineSpec spec, StreamConfig config) {
+  if (!(config.reorder_horizon_hours >= 0.0))
+    return Error(ErrorKind::kDomain, "EventStream: reorder horizon must be >= 0");
+  if (!(config.slack_hours >= 0.0))
+    return Error(ErrorKind::kDomain, "EventStream: slack must be >= 0");
+  if (spec.log_end < spec.log_start)
+    return Error(ErrorKind::kDomain, "EventStream: spec window ends before it starts");
+  return EventStream(std::move(spec), config);
+}
+
+Result<IngestOutcome> EventStream::offer(const data::FailureRecord& record) {
+  if (finished_)
+    return Error(ErrorKind::kInternal, "EventStream: offer after finish");
+  const std::uint64_t index = stats_.offered++;
+
+  if (auto valid = data::validate_record(record, spec_, config_.slack_hours); !valid.ok()) {
+    ++stats_.quarantined_invalid;
+    QuarantinedRecord entry{record, valid.error(), index};
+    if (quarantine_.size() >= config_.quarantine_capacity && !quarantine_.empty()) {
+      quarantine_.erase(quarantine_.begin());
+      ++stats_.quarantine_dropped;
+    }
+    if (config_.quarantine_capacity > 0) quarantine_.push_back(std::move(entry));
+    return IngestOutcome::kQuarantinedInvalid;
+  }
+
+  if (watermark_.has_value() && record.time < *watermark_) {
+    ++stats_.quarantined_late;
+    quarantine_record(record,
+                      Error(ErrorKind::kValidation,
+                            "record at " + format_time(record.time) +
+                                " arrived behind the watermark " + format_time(*watermark_) +
+                                " (reorder horizon " +
+                                std::to_string(config_.reorder_horizon_hours) + " h)"));
+    return IngestOutcome::kQuarantinedLate;
+  }
+
+  if (config_.detect_duplicates) {
+    const auto fingerprint =
+        std::make_tuple(record.time.seconds_since_epoch(), record.node, record.category);
+    if (!fingerprints_.insert(fingerprint).second) {
+      ++stats_.rejected_duplicates;
+      return IngestOutcome::kRejectedDuplicate;
+    }
+  }
+
+  pending_.push(record);
+  ++stats_.accepted;
+  if (stats_.accepted == 1 || record.time > max_time_) max_time_ = record.time;
+  watermark_ = max_time_.plus_hours(-config_.reorder_horizon_hours);
+  release_ready();
+  return IngestOutcome::kAccepted;
+}
+
+void EventStream::quarantine_record(const data::FailureRecord& record, Error error) {
+  if (config_.quarantine_capacity == 0) return;
+  if (quarantine_.size() >= config_.quarantine_capacity) {
+    quarantine_.erase(quarantine_.begin());
+    ++stats_.quarantine_dropped;
+  }
+  quarantine_.push_back({record, std::move(error), stats_.offered - 1});
+}
+
+void EventStream::release_ready() {
+  if (!watermark_.has_value()) return;
+  while (!pending_.empty() && pending_.top().time <= *watermark_) {
+    released_.push_back(pending_.top());
+    pending_.pop();
+    ++stats_.released;
+  }
+  // Fingerprints older than the watermark can no longer collide with an
+  // acceptable record (anything that old is quarantined as late), so the
+  // set stays bounded by the horizon occupancy.
+  const std::int64_t cutoff = watermark_->seconds_since_epoch();
+  while (!fingerprints_.empty() && std::get<0>(*fingerprints_.begin()) < cutoff)
+    fingerprints_.erase(fingerprints_.begin());
+}
+
+std::optional<data::FailureRecord> EventStream::poll() {
+  if (released_.empty()) return std::nullopt;
+  data::FailureRecord record = std::move(released_.front());
+  released_.pop_front();
+  return record;
+}
+
+void EventStream::finish() {
+  if (finished_) return;
+  finished_ = true;
+  while (!pending_.empty()) {
+    released_.push_back(pending_.top());
+    pending_.pop();
+    ++stats_.released;
+  }
+  fingerprints_.clear();
+}
+
+}  // namespace tsufail::stream

@@ -1,0 +1,162 @@
+// EventStream: incremental, validated ingestion of failure records.
+//
+// The batch library consumes a complete, immutable FailureLog; a live
+// fleet produces one record at a time, slightly out of order (operators
+// file tickets late, collectors flush on different cadences).  EventStream
+// accepts records in near-arrival order, holds them in a bounded reorder
+// buffer, and releases them in strict time order once the watermark —
+// highest time seen minus the reorder horizon — passes them.
+//
+// Malformed records (failing data::validate_record) and records arriving
+// later than the horizon are quarantined with the error that rejected
+// them; exact duplicates still inside the horizon are rejected outright.
+// Everything is a value-level outcome — nothing throws on bad input.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <set>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "data/machine.h"
+#include "data/record.h"
+#include "util/error.h"
+
+namespace tsufail::stream {
+
+/// Tuning knobs for one stream.
+struct StreamConfig {
+  /// Records may arrive up to this many hours behind the newest record
+  /// seen and still be merged in order.  0 = strict in-order input.
+  double reorder_horizon_hours = 24.0;
+  /// Window slack passed through to data::validate_record.
+  double slack_hours = 0.0;
+  /// Quarantine ring-buffer capacity; the oldest entry is dropped when
+  /// full, so a flood of garbage cannot grow memory.
+  std::size_t quarantine_capacity = 64;
+  /// Reject records identical in (time, node, category) to one already
+  /// inside the reorder horizon.
+  bool detect_duplicates = true;
+};
+
+/// What happened to one offered record.
+enum class IngestOutcome {
+  kAccepted,           ///< buffered; will be released in time order
+  kQuarantinedInvalid, ///< failed validation against the MachineSpec
+  kQuarantinedLate,    ///< arrived behind the watermark (outside the horizon)
+  kRejectedDuplicate,  ///< (time, node, category) already seen in the horizon
+};
+
+/// "accepted" / "quarantined-invalid" / ...
+const char* to_string(IngestOutcome outcome) noexcept;
+
+/// A record the stream refused, with why.
+struct QuarantinedRecord {
+  data::FailureRecord record;
+  Error error;
+  std::uint64_t offer_index = 0;  ///< 0-based position in the offer sequence
+};
+
+/// Ingestion counters.
+struct StreamStats {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t released = 0;
+  std::uint64_t quarantined_invalid = 0;
+  std::uint64_t quarantined_late = 0;
+  std::uint64_t rejected_duplicates = 0;
+  std::uint64_t quarantine_dropped = 0;  ///< evicted from the full ring
+};
+
+class EventStream {
+ public:
+  /// Errors: negative horizon/slack or invalid spec window.
+  static Result<EventStream> create(data::MachineSpec spec, StreamConfig config = {});
+
+  /// Offers one record.  Errors only on misuse (offer after finish);
+  /// per-record problems come back as an IngestOutcome, with detail in
+  /// quarantine().
+  Result<IngestOutcome> offer(const data::FailureRecord& record);
+
+  /// Next record whose release the watermark has authorized, in strict
+  /// time order; nullopt when none is ready yet.
+  std::optional<data::FailureRecord> poll();
+
+  /// Declares end-of-stream: flushes the reorder buffer so poll() drains
+  /// every accepted record.  Further offer() calls error.
+  void finish();
+
+  /// Watermark: the newest instant before which no further record can be
+  /// accepted (highest time seen minus the horizon).  nullopt before the
+  /// first accepted record.
+  std::optional<TimePoint> watermark() const noexcept { return watermark_; }
+
+  const StreamStats& stats() const noexcept { return stats_; }
+  const data::MachineSpec& spec() const noexcept { return spec_; }
+  const StreamConfig& config() const noexcept { return config_; }
+
+  /// Refused records, oldest first (bounded by quarantine_capacity).
+  std::span<const QuarantinedRecord> quarantine() const noexcept {
+    return {quarantine_.data(), quarantine_.size()};
+  }
+
+  /// Records buffered but not yet released.
+  std::size_t pending() const noexcept { return pending_.size(); }
+  bool finished() const noexcept { return finished_; }
+
+ private:
+  EventStream(data::MachineSpec spec, StreamConfig config)
+      : spec_(std::move(spec)), config_(config) {}
+
+  void quarantine_record(const data::FailureRecord& record, Error error);
+  void release_ready();
+
+  struct TimeOrder {
+    bool operator()(const data::FailureRecord& a, const data::FailureRecord& b) const noexcept {
+      return a.time > b.time;  // min-heap on time
+    }
+  };
+
+  data::MachineSpec spec_;
+  StreamConfig config_;
+  StreamStats stats_;
+  std::priority_queue<data::FailureRecord, std::vector<data::FailureRecord>, TimeOrder> pending_;
+  std::deque<data::FailureRecord> released_;
+  std::vector<QuarantinedRecord> quarantine_;
+  /// Fingerprints of accepted records still inside the horizon.
+  std::set<std::tuple<std::int64_t, int, data::Category>> fingerprints_;
+  std::optional<TimePoint> watermark_;
+  TimePoint max_time_;
+  bool finished_ = false;
+};
+
+/// Single-consumer pull view over a stream's released records.  Thin by
+/// design: the stream owns the buffer; the cursor is the reading idiom
+/// (`while (auto record = cursor.next()) ...`).
+class StreamCursor {
+ public:
+  explicit StreamCursor(EventStream& stream) noexcept : stream_(&stream) {}
+
+  /// Next released record, nullopt when the stream has nothing ready.
+  std::optional<data::FailureRecord> next() { return stream_->poll(); }
+
+  /// Drains everything currently ready through `fn`; returns the count.
+  template <typename Fn>
+  std::size_t drain(Fn&& fn) {
+    std::size_t drained = 0;
+    while (auto record = stream_->poll()) {
+      fn(*record);
+      ++drained;
+    }
+    return drained;
+  }
+
+ private:
+  EventStream* stream_;
+};
+
+}  // namespace tsufail::stream

@@ -1,0 +1,94 @@
+#include "stream/health.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsufail::stream {
+
+HealthMonitor::HealthMonitor(data::MachineSpec spec, MonitorConfig config,
+                             RollingWindowEstimator rolling, P2Quantile ttr_p50,
+                             P2Quantile ttr_p95)
+    : spec_(std::move(spec)),
+      config_(config),
+      rolling_(std::move(rolling)),
+      ttr_p50_(std::move(ttr_p50)),
+      ttr_p95_(std::move(ttr_p95)),
+      rate_(config.rate_tau_hours),
+      multi_gpu_burst_(config.burst_window_hours),
+      slot_counts_(static_cast<std::size_t>(std::max(spec_.gpus_per_node, 0)), 0) {}
+
+Result<HealthMonitor> HealthMonitor::create(const data::MachineSpec& spec,
+                                            MonitorConfig config) {
+  if (!(config.rate_tau_hours > 0.0))
+    return Error(ErrorKind::kDomain, "HealthMonitor: rate tau must be positive");
+  if (!(config.burst_window_hours > 0.0))
+    return Error(ErrorKind::kDomain, "HealthMonitor: burst window must be positive");
+  auto rolling = RollingWindowEstimator::create(spec.window_hours(), config.window_days,
+                                                config.step_days);
+  if (!rolling.ok()) return rolling.error().with_context("HealthMonitor");
+  auto p50 = P2Quantile::create(0.5);
+  if (!p50.ok()) return p50.error();
+  auto p95 = P2Quantile::create(0.95);
+  if (!p95.ok()) return p95.error();
+  return HealthMonitor(spec, config, std::move(rolling).value(), std::move(p50).value(),
+                       std::move(p95).value());
+}
+
+void HealthMonitor::observe(const data::FailureRecord& record) {
+  ++events_;
+  switch (record.failure_class()) {
+    case data::FailureClass::kHardware: ++hardware_events_; break;
+    case data::FailureClass::kSoftware: ++software_events_; break;
+    case data::FailureClass::kUnknown: break;
+  }
+
+  rolling_.observe(hours_between(spec_.log_start, record.time), record.ttr_hours);
+  ttr_stats_.add(record.ttr_hours);
+  ttr_p50_.add(record.ttr_hours);
+  ttr_p95_.add(record.ttr_hours);
+  rate_.observe(record.time);
+
+  if (record.multi_gpu()) multi_gpu_burst_.observe(record.time);
+  burst_size_ = multi_gpu_burst_.count(record.time);
+
+  for (int slot : record.gpu_slots) {
+    if (slot >= 0 && static_cast<std::size_t>(slot) < slot_counts_.size())
+      ++slot_counts_[static_cast<std::size_t>(slot)];
+  }
+  if (!record.gpu_slots.empty()) ++slot_attributed_events_;
+
+  last_time_ = record.time;
+}
+
+HealthSnapshot HealthMonitor::snapshot() const {
+  HealthSnapshot snapshot;
+  snapshot.as_of = last_time_;
+  snapshot.events = events_;
+  snapshot.hardware_events = hardware_events_;
+  snapshot.software_events = software_events_;
+  snapshot.ewma_failures_per_day = rate_.per_day(last_time_);
+  snapshot.mean_ttr_hours = ttr_stats_.mean();
+  snapshot.ttr_stddev_hours = ttr_stats_.stddev();
+  snapshot.ttr_p50_hours = ttr_p50_.estimate();
+  snapshot.ttr_p95_hours = ttr_p95_.estimate();
+  if (const auto* window = rolling_.latest()) snapshot.window = *window;
+  snapshot.multi_gpu_burst_size = burst_size_;
+  snapshot.slot_attributed_events = slot_attributed_events_;
+
+  std::uint64_t total_slot_hits = 0;
+  std::uint64_t max_slot_hits = 0;
+  for (std::uint64_t hits : slot_counts_) {
+    total_slot_hits += hits;
+    max_slot_hits = std::max(max_slot_hits, hits);
+  }
+  if (total_slot_hits > 0 && !slot_counts_.empty()) {
+    const double max_share =
+        static_cast<double>(max_slot_hits) / static_cast<double>(total_slot_hits);
+    snapshot.slot_skew = max_share * static_cast<double>(slot_counts_.size());
+  }
+  return snapshot;
+}
+
+void HealthMonitor::finish() { rolling_.finish(); }
+
+}  // namespace tsufail::stream

@@ -1,0 +1,112 @@
+// HealthMonitor: live fleet-health state fed from an EventStream.
+//
+// One monitor owns every online estimator the alerting layer needs and
+// exposes their current values as a HealthSnapshot — a plain value the
+// AlertEngine (or a dashboard) evaluates.  All state is bounded: O(1)
+// scalars plus the window-occupancy buffers of the sliding estimators.
+//
+// observe() requires in-time-order records, which is exactly what an
+// EventStream's poll()/cursor releases.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "data/machine.h"
+#include "data/record.h"
+#include "stream/estimators.h"
+#include "util/error.h"
+
+namespace tsufail::stream {
+
+/// Monitor tuning.
+struct MonitorConfig {
+  /// EWMA time constant for the failure-rate estimate.
+  double rate_tau_hours = 7.0 * 24.0;
+  /// Rolling MTBF/MTTR grid (must match the batch analyzer's arguments
+  /// for cross-checking).
+  double window_days = 60.0;
+  double step_days = 30.0;
+  /// Trailing window for multi-GPU burst detection (the paper's Figure 8
+  /// clusters resolve within days).
+  double burst_window_hours = 72.0;
+};
+
+/// Point-in-time health of the monitored fleet.
+struct HealthSnapshot {
+  TimePoint as_of;                      ///< time of the newest observed record
+  std::uint64_t events = 0;
+  std::uint64_t hardware_events = 0;
+  std::uint64_t software_events = 0;
+
+  double ewma_failures_per_day = 0.0;   ///< EWMA arrival-rate estimate
+  double mean_ttr_hours = 0.0;          ///< Welford mean over all TTRs
+  double ttr_stddev_hours = 0.0;
+  double ttr_p50_hours = 0.0;           ///< P^2 estimates
+  double ttr_p95_hours = 0.0;
+
+  /// Most recently completed rolling window (batch-equivalent numbers);
+  /// unset until the stream passes the first window's right edge.
+  std::optional<analysis::RollingWindow> window;
+
+  /// Multi-GPU failure events inside the trailing burst window.
+  std::size_t multi_gpu_burst_size = 0;
+
+  /// Per-slot attribution skew: share of the hottest GPU slot over the
+  /// uniform share (1 = perfectly even, gpus_per_node = all on one slot).
+  /// 0 until any slot-attributed failure is seen.
+  double slot_skew = 0.0;
+  std::uint64_t slot_attributed_events = 0;
+};
+
+class HealthMonitor {
+ public:
+  /// Errors: rolling-window grid invalid for the spec's span (see
+  /// RollingWindowEstimator::create) or non-positive config values.
+  static Result<HealthMonitor> create(const data::MachineSpec& spec, MonitorConfig config = {});
+
+  /// Feeds one record.  Precondition: records arrive in time order.
+  void observe(const data::FailureRecord& record);
+
+  /// Current health.  `as_of` defaults to the newest record's time.
+  HealthSnapshot snapshot() const;
+
+  /// Ends the stream: finalizes every rolling window still open.
+  void finish();
+
+  /// Completed rolling windows so far (all of them after finish()).
+  std::span<const analysis::RollingWindow> windows() const noexcept {
+    return rolling_.completed();
+  }
+
+  /// Batch-equivalent RollingTrends.  Precondition: finish() was called.
+  Result<analysis::RollingTrends> trends() const { return rolling_.trends(); }
+
+  const data::MachineSpec& spec() const noexcept { return spec_; }
+  const MonitorConfig& config() const noexcept { return config_; }
+
+ private:
+  HealthMonitor(data::MachineSpec spec, MonitorConfig config, RollingWindowEstimator rolling,
+                P2Quantile ttr_p50, P2Quantile ttr_p95);
+
+  data::MachineSpec spec_;
+  MonitorConfig config_;
+  RollingWindowEstimator rolling_;
+  WelfordStats ttr_stats_;
+  P2Quantile ttr_p50_;
+  P2Quantile ttr_p95_;
+  EwmaRate rate_;
+  SlidingCounter multi_gpu_burst_;
+  std::vector<std::uint64_t> slot_counts_;
+  std::uint64_t slot_attributed_events_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t hardware_events_ = 0;
+  std::uint64_t software_events_ = 0;
+  TimePoint last_time_;
+  std::size_t burst_size_ = 0;  ///< burst count as of last_time_
+};
+
+}  // namespace tsufail::stream

@@ -169,6 +169,31 @@ TEST(Commands, TrendsReport) {
   std::remove(path.c_str());
 }
 
+TEST(Commands, WatchReplaysLogAndRaisesBurstAlert) {
+  // Acceptance scenario: a seeded Tsubame-3 log (whose generator clusters
+  // multi-GPU failures in time) replayed through the streaming monitor
+  // must deterministically raise the multi-GPU burst alert.
+  const std::string path = temp_log_path("cli_watch_t3.csv");
+  ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "1"}).code, 0);
+  const auto watch = run({"watch", path, "--summary-every", "100"});
+  ASSERT_EQ(watch.code, 0) << watch.err;
+  EXPECT_NE(watch.out.find("watching Tsubame-3"), std::string::npos);
+  EXPECT_NE(watch.out.find("RAISED [critical] multi-gpu-burst"), std::string::npos);
+  EXPECT_NE(watch.out.find("-- final --"), std::string::npos);
+  EXPECT_NE(watch.out.find("offered=338"), std::string::npos);
+  EXPECT_NE(watch.out.find("failure-rate trend"), std::string::npos);
+
+  // The periodic health summary appears (>= 3 summaries for 338 events).
+  EXPECT_NE(watch.out.find("events=100"), std::string::npos);
+  EXPECT_NE(watch.out.find("events=300"), std::string::npos);
+
+  // Bad knobs error out cleanly.
+  EXPECT_EQ(run({"watch", path, "--burst-size", "0"}).code, 1);
+  EXPECT_EQ(run({"watch", path, "--expected-failures", "-3"}).code, 1);
+  EXPECT_EQ(run({"watch", path, "--window-days", "100000"}).code, 1);
+  std::remove(path.c_str());
+}
+
 TEST(Commands, RacksReport) {
   const std::string path = temp_log_path("cli_racks.csv");
   ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "4"}).code, 0);

@@ -3,10 +3,12 @@
 // uncaught exception.  Deterministic seeds keep failures reproducible.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 
 #include "data/legacy_import.h"
 #include "data/log_io.h"
+#include "stream/event_stream.h"
 #include "util/civil_time.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -82,6 +84,62 @@ TEST_P(ParserFuzz, LegacyImporterNeverCrashes) {
     auto report = data::import_legacy_v1(text, data::ReadPolicy::kLenient);
     (void)report;  // ok or clean error; reaching here without throwing passes
   }
+}
+
+TEST_P(ParserFuzz, EventStreamSurvivesHostileRecords) {
+  // Malformed, out-of-order, duplicated, and far-future/past records must
+  // always come back as a value-level outcome, and whatever the stream
+  // releases must be in time order.
+  Rng rng(GetParam() * 6007);
+  const auto& spec = data::tsubame3_spec();
+  stream::StreamConfig config;
+  config.reorder_horizon_hours = static_cast<double>(rng.uniform_index(96));
+  config.quarantine_capacity = rng.uniform_index(8);
+  auto stream = stream::EventStream::create(spec, config).value();
+
+  data::FailureRecord previous;
+  TimePoint last_released(std::numeric_limits<std::int64_t>::min());
+  std::uint64_t released = 0;
+  for (int i = 0; i < 300; ++i) {
+    data::FailureRecord record;
+    if (i > 0 && rng.uniform_index(8) == 0) {
+      record = previous;  // exact duplicate
+    } else {
+      // Mostly in-window times with occasional wild jumps, both directions.
+      const double span = spec.window_hours();
+      const double jitter = (static_cast<double>(rng.uniform_index(2001)) - 1000.0) * span / 250.0;
+      record.time = spec.log_start.plus_hours(
+          static_cast<double>(rng.uniform_index(static_cast<std::size_t>(span))) +
+          (rng.uniform_index(12) == 0 ? jitter : 0.0));
+      record.node = static_cast<int>(rng.uniform_index(spec.node_count + 40)) - 20;
+      record.category = static_cast<data::Category>(rng.uniform_index(40));
+      record.ttr_hours = static_cast<double>(rng.uniform_index(400)) - 50.0;
+      const auto slots = rng.uniform_index(4);
+      for (std::uint64_t s = 0; s < slots; ++s)
+        record.gpu_slots.push_back(static_cast<int>(rng.uniform_index(8)) - 2);
+    }
+    previous = record;
+    auto outcome = stream.offer(record);
+    ASSERT_TRUE(outcome.ok());
+    while (auto out = stream.poll()) {
+      EXPECT_GE(out->time, last_released);
+      last_released = out->time;
+      ++released;
+    }
+    EXPECT_LE(stream.quarantine().size(), std::max<std::size_t>(config.quarantine_capacity, 1));
+  }
+  stream.finish();
+  while (auto out = stream.poll()) {
+    EXPECT_GE(out->time, last_released);
+    last_released = out->time;
+    ++released;
+  }
+  const auto& stats = stream.stats();
+  EXPECT_EQ(stats.offered, 300u);
+  EXPECT_EQ(stats.released, released);
+  EXPECT_EQ(stats.accepted, stats.released);
+  EXPECT_EQ(stats.offered, stats.accepted + stats.quarantined_invalid + stats.quarantined_late +
+                               stats.rejected_duplicates);
 }
 
 TEST_P(ParserFuzz, ParseCategoryAndSlotsNeverCrash) {

@@ -1,0 +1,173 @@
+// AlertEngine semantics: rule validation, raise/clear transitions,
+// hysteresis (no flapping inside the band), and the end-to-end monitor ->
+// engine path on synthetic burst scenarios.
+#include "stream/alerts.h"
+
+#include <gtest/gtest.h>
+
+#include "data/machine.h"
+#include "stream/health.h"
+
+namespace tsufail::stream {
+namespace {
+
+HealthSnapshot snapshot_at(double rate_per_day, std::uint64_t events = 100) {
+  HealthSnapshot snapshot;
+  snapshot.as_of = TimePoint(1000000);
+  snapshot.events = events;
+  snapshot.ewma_failures_per_day = rate_per_day;
+  return snapshot;
+}
+
+TEST(AlertEngine, ValidatesRules) {
+  EXPECT_FALSE(AlertEngine::create({{"", AlertKind::kRateAbove, 1.0}}).ok());
+  EXPECT_FALSE(AlertEngine::create({{"a", AlertKind::kRateAbove, 0.0}}).ok());
+  EXPECT_FALSE(AlertEngine::create({{"a", AlertKind::kRateAbove, 1.0},
+                                    {"a", AlertKind::kRateAbove, 2.0}})
+                   .ok());
+  AlertRule bad_band{"a", AlertKind::kRateAbove, 1.0};
+  bad_band.hysteresis = 1.5;
+  EXPECT_FALSE(AlertEngine::create({bad_band}).ok());
+  EXPECT_TRUE(AlertEngine::create({{"a", AlertKind::kRateAbove, 1.0}}).ok());
+}
+
+TEST(AlertEngine, RaisesOnceAndClearsWithHysteresis) {
+  AlertRule rule{"rate", AlertKind::kRateAbove, 10.0};
+  rule.hysteresis = 0.2;  // clears only at <= 8.0
+  auto engine = AlertEngine::create({rule}).value();
+
+  EXPECT_TRUE(engine.evaluate(snapshot_at(9.0)).empty());   // below threshold
+  auto raised = engine.evaluate(snapshot_at(11.0));
+  ASSERT_EQ(raised.size(), 1u);
+  EXPECT_TRUE(raised[0].raised);
+  EXPECT_EQ(raised[0].rule, "rate");
+  EXPECT_DOUBLE_EQ(raised[0].value, 11.0);
+
+  // Still above: no repeat alert.
+  EXPECT_TRUE(engine.evaluate(snapshot_at(12.0)).empty());
+  // Inside the hysteresis band: still no clear.
+  EXPECT_TRUE(engine.evaluate(snapshot_at(9.0)).empty());
+  EXPECT_EQ(engine.active().size(), 1u);
+
+  auto cleared = engine.evaluate(snapshot_at(7.5));
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_FALSE(cleared[0].raised);
+  EXPECT_TRUE(engine.active().empty());
+  EXPECT_EQ(engine.raised_total(), 1u);
+
+  // A fresh breach raises again.
+  EXPECT_EQ(engine.evaluate(snapshot_at(11.0)).size(), 1u);
+  EXPECT_EQ(engine.raised_total(), 2u);
+}
+
+TEST(AlertEngine, BelowRuleClearsAboveTheBand) {
+  AlertRule rule{"mtbf", AlertKind::kWindowMtbfBelow, 100.0};
+  rule.hysteresis = 0.1;  // clears only at >= 110
+  auto engine = AlertEngine::create({rule}).value();
+
+  const auto with_window = [](double mtbf_hours) {
+    HealthSnapshot snapshot;
+    snapshot.events = 50;
+    analysis::RollingWindow window;
+    window.failures = 5;
+    window.mtbf_hours = mtbf_hours;
+    snapshot.window = window;
+    return snapshot;
+  };
+
+  EXPECT_TRUE(engine.evaluate(with_window(150.0)).empty());
+  EXPECT_EQ(engine.evaluate(with_window(80.0)).size(), 1u);
+  EXPECT_TRUE(engine.evaluate(with_window(105.0)).empty());  // inside the band
+  auto cleared = engine.evaluate(with_window(120.0));
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_FALSE(cleared[0].raised);
+}
+
+TEST(AlertEngine, SilentUntilSignalAvailableAndGated) {
+  AlertRule mtbf{"mtbf", AlertKind::kWindowMtbfBelow, 100.0};
+  AlertRule rate{"rate", AlertKind::kRateAbove, 1.0};
+  rate.min_events = 50;
+  auto engine = AlertEngine::create({mtbf, rate}).value();
+
+  // No rolling window yet + rate gated by min_events: nothing fires.
+  EXPECT_TRUE(engine.evaluate(snapshot_at(5.0, 10)).empty());
+  // Past the gate the rate rule fires.
+  EXPECT_EQ(engine.evaluate(snapshot_at(5.0, 60)).size(), 1u);
+  // An empty completed window (zero failures) must not read as "MTBF 0":
+  // only the raised rate rule transitions (clears) on this quiet snapshot.
+  HealthSnapshot quiet;
+  quiet.events = 60;
+  quiet.window = analysis::RollingWindow{};  // failures == 0
+  const auto transitions = engine.evaluate(quiet);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].rule, "rate");
+  EXPECT_FALSE(transitions[0].raised);
+}
+
+TEST(AlertEngine, MonitorFedBurstScenario) {
+  // Synthetic burst: 4 multi-GPU failures within 48 hours must raise the
+  // burst rule, and quiet weeks afterwards must clear it.
+  const auto& spec = data::tsubame3_spec();
+  auto monitor = HealthMonitor::create(spec).value();
+  auto engine = AlertEngine::create(
+                    {{"burst", AlertKind::kMultiGpuBurst, 3.0, Severity::kCritical}})
+                    .value();
+
+  const auto gpu_failure = [&](double hours, int node, std::vector<int> slots) {
+    data::FailureRecord record;
+    record.time = spec.log_start.plus_hours(hours);
+    record.node = node;
+    record.category = data::Category::kGpu;
+    record.ttr_hours = 4.0;
+    record.gpu_slots = std::move(slots);
+    return record;
+  };
+
+  std::vector<Alert> all;
+  const auto feed = [&](const data::FailureRecord& record) {
+    monitor.observe(record);
+    for (auto& alert : engine.evaluate(monitor.snapshot())) all.push_back(std::move(alert));
+  };
+
+  feed(gpu_failure(100.0, 1, {0, 1}));
+  feed(gpu_failure(110.0, 2, {1, 2}));
+  EXPECT_TRUE(all.empty());
+  feed(gpu_failure(120.0, 3, {0, 3}));  // 3 multi-GPU events in 20h -> raise
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].raised);
+  EXPECT_EQ(all[0].kind, AlertKind::kMultiGpuBurst);
+
+  feed(gpu_failure(125.0, 4, {2, 3}));  // still bursting: no repeat
+  EXPECT_EQ(all.size(), 1u);
+  feed(gpu_failure(1000.0, 5, {0}));  // single-GPU, weeks later -> burst window empty
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_FALSE(all[1].raised);
+}
+
+TEST(DefaultRules, AreValidAndCoverEveryKind) {
+  const auto rules = default_rules(data::tsubame3_spec(), 338);
+  EXPECT_TRUE(AlertEngine::create(rules).ok());
+  bool has_mtbf = false, has_burst = false, has_skew = false;
+  for (const auto& rule : rules) {
+    has_mtbf |= rule.kind == AlertKind::kWindowMtbfBelow;
+    has_burst |= rule.kind == AlertKind::kMultiGpuBurst;
+    has_skew |= rule.kind == AlertKind::kSlotSkewAbove;
+    EXPECT_GT(rule.threshold, 0.0);
+  }
+  EXPECT_TRUE(has_mtbf);
+  EXPECT_TRUE(has_burst);
+  EXPECT_TRUE(has_skew);
+}
+
+TEST(FormatAlert, ReadableLine) {
+  Alert alert{"burst", AlertKind::kMultiGpuBurst, Severity::kCritical, true,
+              TimePoint::from_civil({2019, 1, 2, 3, 4, 5}), 4.0, 3.0, "4 multi-GPU failures"};
+  const std::string line = format_alert(alert);
+  EXPECT_NE(line.find("RAISED"), std::string::npos);
+  EXPECT_NE(line.find("critical"), std::string::npos);
+  EXPECT_NE(line.find("burst"), std::string::npos);
+  EXPECT_NE(line.find("2019-01-02"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsufail::stream

@@ -1,0 +1,190 @@
+// EventStream semantics: in-order release under bounded reordering,
+// quarantine of invalid/late records, duplicate rejection, and the
+// finish() drain.
+#include "stream/event_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "data/machine.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+#include "util/rng.h"
+
+namespace tsufail::stream {
+namespace {
+
+data::FailureRecord record_at(const data::MachineSpec& spec, double hours, int node = 0,
+                              data::Category category = data::Category::kGpu,
+                              double ttr = 1.0) {
+  data::FailureRecord record;
+  record.time = spec.log_start.plus_hours(hours);
+  record.node = node;
+  record.category = category;
+  record.ttr_hours = ttr;
+  return record;
+}
+
+TEST(EventStream, RejectsBadConfig) {
+  const auto& spec = data::tsubame3_spec();
+  StreamConfig config;
+  config.reorder_horizon_hours = -1.0;
+  EXPECT_FALSE(EventStream::create(spec, config).ok());
+  config.reorder_horizon_hours = 24.0;
+  config.slack_hours = -0.5;
+  EXPECT_FALSE(EventStream::create(spec, config).ok());
+}
+
+TEST(EventStream, ReordersWithinHorizon) {
+  const auto& spec = data::tsubame3_spec();
+  StreamConfig config;
+  config.reorder_horizon_hours = 24.0;
+  auto stream = EventStream::create(spec, config).value();
+
+  // Arrival order 10h, 5h, 40h: the 5h record is late but inside the
+  // horizon, so release order must be 5h, 10h.
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0)).value(), IngestOutcome::kAccepted);
+  EXPECT_EQ(stream.offer(record_at(spec, 5.0, 1)).value(), IngestOutcome::kAccepted);
+  EXPECT_FALSE(stream.poll().has_value());  // watermark still at -14h
+  EXPECT_EQ(stream.offer(record_at(spec, 40.0, 2)).value(), IngestOutcome::kAccepted);
+
+  // Watermark is now 16h: the 5h and 10h records are released, in order.
+  auto first = stream.poll();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->node, 1);
+  auto second = stream.poll();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->node, 0);
+  EXPECT_FALSE(stream.poll().has_value());
+
+  stream.finish();
+  auto third = stream.poll();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->node, 2);
+  EXPECT_EQ(stream.stats().released, 3u);
+}
+
+TEST(EventStream, QuarantinesRecordsBehindTheWatermark) {
+  const auto& spec = data::tsubame3_spec();
+  StreamConfig config;
+  config.reorder_horizon_hours = 12.0;
+  auto stream = EventStream::create(spec, config).value();
+
+  EXPECT_EQ(stream.offer(record_at(spec, 100.0)).value(), IngestOutcome::kAccepted);
+  // 100 - 12 = 88h watermark; an 80h record is too old.
+  EXPECT_EQ(stream.offer(record_at(spec, 80.0, 1)).value(), IngestOutcome::kQuarantinedLate);
+  EXPECT_EQ(stream.stats().quarantined_late, 1u);
+  ASSERT_EQ(stream.quarantine().size(), 1u);
+  EXPECT_EQ(stream.quarantine().front().record.node, 1);
+  EXPECT_EQ(stream.quarantine().front().error.kind(), ErrorKind::kValidation);
+}
+
+TEST(EventStream, QuarantinesInvalidRecords) {
+  const auto& spec = data::tsubame3_spec();
+  auto stream = EventStream::create(spec).value();
+
+  // Node outside the machine.
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0, spec.node_count + 7)).value(),
+            IngestOutcome::kQuarantinedInvalid);
+  // Category not in the Tsubame-3 vocabulary.
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0, 0, data::Category::kVm)).value(),
+            IngestOutcome::kQuarantinedInvalid);
+  // Negative repair time.
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0, 0, data::Category::kGpu, -3.0)).value(),
+            IngestOutcome::kQuarantinedInvalid);
+  // Time outside the log window.
+  EXPECT_EQ(stream.offer(record_at(spec, -5000.0)).value(), IngestOutcome::kQuarantinedInvalid);
+
+  EXPECT_EQ(stream.stats().quarantined_invalid, 4u);
+  EXPECT_EQ(stream.stats().accepted, 0u);
+  EXPECT_EQ(stream.quarantine().size(), 4u);
+}
+
+TEST(EventStream, QuarantineRingIsBounded) {
+  const auto& spec = data::tsubame3_spec();
+  StreamConfig config;
+  config.quarantine_capacity = 3;
+  auto stream = EventStream::create(spec, config).value();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(stream.offer(record_at(spec, 10.0, spec.node_count + i)).value(),
+              IngestOutcome::kQuarantinedInvalid);
+  EXPECT_EQ(stream.quarantine().size(), 3u);
+  EXPECT_EQ(stream.stats().quarantine_dropped, 7u);
+  // The ring keeps the newest entries.
+  EXPECT_EQ(stream.quarantine().back().record.node, spec.node_count + 9);
+}
+
+TEST(EventStream, RejectsDuplicatesInsideHorizon) {
+  const auto& spec = data::tsubame3_spec();
+  auto stream = EventStream::create(spec).value();
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0)).value(), IngestOutcome::kAccepted);
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0)).value(), IngestOutcome::kRejectedDuplicate);
+  // Same time, different node: not a duplicate.
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0, 1)).value(), IngestOutcome::kAccepted);
+  // Same time/node, different category: not a duplicate.
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0, 0, data::Category::kDisk)).value(),
+            IngestOutcome::kAccepted);
+  EXPECT_EQ(stream.stats().rejected_duplicates, 1u);
+
+  StreamConfig permissive;
+  permissive.detect_duplicates = false;
+  auto relaxed = EventStream::create(spec, permissive).value();
+  EXPECT_EQ(relaxed.offer(record_at(spec, 10.0)).value(), IngestOutcome::kAccepted);
+  EXPECT_EQ(relaxed.offer(record_at(spec, 10.0)).value(), IngestOutcome::kAccepted);
+}
+
+TEST(EventStream, OfferAfterFinishErrors) {
+  const auto& spec = data::tsubame3_spec();
+  auto stream = EventStream::create(spec).value();
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0)).value(), IngestOutcome::kAccepted);
+  stream.finish();
+  auto result = stream.offer(record_at(spec, 20.0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().kind(), ErrorKind::kInternal);
+}
+
+TEST(EventStream, ZeroHorizonReleasesUpToNewestRecord) {
+  const auto& spec = data::tsubame3_spec();
+  StreamConfig config;
+  config.reorder_horizon_hours = 0.0;
+  auto stream = EventStream::create(spec, config).value();
+  EXPECT_EQ(stream.offer(record_at(spec, 10.0)).value(), IngestOutcome::kAccepted);
+  EXPECT_TRUE(stream.poll().has_value());  // watermark == newest time
+  EXPECT_EQ(stream.offer(record_at(spec, 5.0, 1)).value(), IngestOutcome::kQuarantinedLate);
+}
+
+TEST(EventStream, FullLogRoundTripsInOrder) {
+  // Feed a whole generated log in a scrambled-but-bounded order; the
+  // released sequence must be sorted and complete.
+  const auto log = sim::generate_log(sim::tsubame3_model(), 7).value();
+  StreamConfig config;
+  config.reorder_horizon_hours = 0.0;
+  auto stream = EventStream::create(log.spec(), config).value();
+
+  std::size_t released = 0;
+  TimePoint last(std::numeric_limits<std::int64_t>::min());
+  StreamCursor cursor(stream);
+  const auto check = [&](const data::FailureRecord& record) {
+    EXPECT_GE(record.time, last);
+    last = record.time;
+    ++released;
+  };
+  for (const auto& record : log.records()) {
+    auto outcome = stream.offer(record);
+    ASSERT_TRUE(outcome.ok());
+    // Generated logs can carry coincident (time, node, category) events;
+    // everything else must be accepted.
+    EXPECT_TRUE(outcome.value() == IngestOutcome::kAccepted ||
+                outcome.value() == IngestOutcome::kRejectedDuplicate);
+    cursor.drain(check);
+  }
+  stream.finish();
+  cursor.drain(check);
+  EXPECT_EQ(released, stream.stats().released);
+  EXPECT_EQ(stream.stats().accepted, released);
+  EXPECT_EQ(stream.stats().accepted + stream.stats().rejected_duplicates, log.size());
+}
+
+}  // namespace
+}  // namespace tsufail::stream
