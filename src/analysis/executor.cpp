@@ -1,0 +1,130 @@
+#include "analysis/executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace tsufail::analysis {
+namespace {
+
+/// Runs one task function, downgrading anything it throws to an Error so
+/// a worker thread can never escape via an exception.  (Not named
+/// `invoke`: ADL on std::function would prefer std::invoke.)
+std::optional<Error> run_task(const Executor::TaskFn& fn) {
+  try {
+    auto result = fn();
+    if (!result.ok()) return result.error();
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return Error(ErrorKind::kInternal, std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Error(ErrorKind::kInternal, "task threw a non-exception");
+  }
+}
+
+Error dependency_error(const std::string& dependency) {
+  return Error(ErrorKind::kInternal, "dependency failed: " + dependency);
+}
+
+}  // namespace
+
+Executor::TaskId Executor::add(std::string name, TaskFn fn, std::vector<TaskId> deps) {
+  TSUFAIL_REQUIRE(!ran_, "Executor::add after run()");
+  const TaskId id = tasks_.size();
+  for (TaskId dep : deps) {
+    TSUFAIL_REQUIRE(dep < id, "Executor::add: dependency must be an earlier task");
+    tasks_[dep].dependents.push_back(id);
+  }
+  tasks_.push_back({std::move(name), std::move(fn), std::move(deps), {}});
+  return id;
+}
+
+std::vector<TaskOutcome> Executor::run(std::size_t jobs) {
+  TSUFAIL_REQUIRE(!ran_, "Executor::run may be called once");
+  ran_ = true;
+  if (jobs == 0) jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  jobs = std::min(jobs, tasks_.size());
+  return jobs <= 1 ? run_serial() : run_parallel(jobs);
+}
+
+std::vector<TaskOutcome> Executor::run_serial() {
+  // Registration order is topological (deps point backwards), so a single
+  // in-order sweep sees every dependency's outcome before its dependents.
+  std::vector<TaskOutcome> outcomes(tasks_.size());
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    auto& outcome = outcomes[id];
+    outcome.name = tasks_[id].name;
+    for (TaskId dep : tasks_[id].deps) {
+      if (!outcomes[dep].ok()) {
+        outcome.dependency_failed = true;
+        outcome.error = dependency_error(tasks_[dep].name);
+        break;
+      }
+    }
+    if (!outcome.dependency_failed) outcome.error = run_task(tasks_[id].fn);
+  }
+  return outcomes;
+}
+
+std::vector<TaskOutcome> Executor::run_parallel(std::size_t jobs) {
+  std::vector<TaskOutcome> outcomes(tasks_.size());
+  std::vector<std::size_t> pending_deps(tasks_.size());
+  std::vector<TaskId> poisoned_by(tasks_.size(), tasks_.size());  // sentinel: not poisoned
+
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::deque<TaskId> ready;
+  std::size_t completed = 0;
+
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    outcomes[id].name = tasks_[id].name;
+    pending_deps[id] = tasks_[id].deps.size();
+    if (pending_deps[id] == 0) ready.push_back(id);
+  }
+
+  // Called under the lock when `id` has finished (ran or was skipped):
+  // publishes its outcome to dependents and releases the ones that became
+  // runnable.  Holding the lock here is what gives dependents a
+  // happens-before edge on everything their dependencies wrote.
+  const auto complete = [&](TaskId id) {
+    ++completed;
+    for (TaskId dependent : tasks_[id].dependents) {
+      if (!outcomes[id].ok() && poisoned_by[dependent] == tasks_.size())
+        poisoned_by[dependent] = id;
+      if (--pending_deps[dependent] == 0) ready.push_back(dependent);
+    }
+    ready_cv.notify_all();
+  };
+
+  const auto worker = [&] {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      ready_cv.wait(lock, [&] { return !ready.empty() || completed == tasks_.size(); });
+      if (ready.empty()) return;  // all done
+      const TaskId id = ready.front();
+      ready.pop_front();
+      if (poisoned_by[id] != tasks_.size()) {
+        outcomes[id].dependency_failed = true;
+        outcomes[id].error = dependency_error(tasks_[poisoned_by[id]].name);
+        complete(id);
+        continue;
+      }
+      lock.unlock();
+      auto error = run_task(tasks_[id].fn);
+      lock.lock();
+      outcomes[id].error = std::move(error);
+      complete(id);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return outcomes;
+}
+
+}  // namespace tsufail::analysis

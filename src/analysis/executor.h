@@ -1,0 +1,70 @@
+// Executor: a small dependency-aware task runner for analysis pipelines.
+//
+// run_study dispatches a dozen independent analyses over one shared
+// LogIndex; the executor gives that dispatch a deterministic shape: tasks
+// are registered with explicit dependency edges (a task may only depend
+// on earlier registrations, so the graph is acyclic by construction),
+// run() executes them on a bounded thread pool, and outcomes come back in
+// registration order regardless of scheduling.  A failed task never takes
+// the process down — its error is captured by value, and transitive
+// dependents are marked dependency_failed instead of running.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::analysis {
+
+/// Result of one task, reported in registration order.
+struct TaskOutcome {
+  std::string name;
+  /// The task's error (or a captured exception, downgraded to
+  /// ErrorKind::kInternal).  Absent = the task ran and succeeded.
+  std::optional<Error> error;
+  /// True iff the task never ran because a (transitive) dependency
+  /// failed; `error` then names the failed dependency.
+  bool dependency_failed = false;
+
+  bool ok() const noexcept { return !error.has_value(); }
+};
+
+class Executor {
+ public:
+  using TaskFn = std::function<Result<void>()>;
+  using TaskId = std::size_t;
+
+  /// Registers a task.  `deps` must be ids returned by earlier add()
+  /// calls (TSUFAIL_REQUIRE), which makes registration order a valid
+  /// topological order of the graph.
+  TaskId add(std::string name, TaskFn fn, std::vector<TaskId> deps = {});
+
+  std::size_t task_count() const noexcept { return tasks_.size(); }
+
+  /// Runs every task, honouring dependency edges, on up to `jobs`
+  /// worker threads: 1 (the default) runs inline on the calling thread,
+  /// 0 uses one worker per hardware thread.  Deterministic: the outcome
+  /// vector is indexed by TaskId, and each task function sees all writes
+  /// of its dependencies (completion is published under the scheduler
+  /// lock).  May be called once per Executor (TSUFAIL_REQUIRE).
+  std::vector<TaskOutcome> run(std::size_t jobs = 1);
+
+ private:
+  struct Task {
+    std::string name;
+    TaskFn fn;
+    std::vector<TaskId> deps;
+    std::vector<TaskId> dependents;
+  };
+
+  std::vector<TaskOutcome> run_serial();
+  std::vector<TaskOutcome> run_parallel(std::size_t jobs);
+
+  std::vector<Task> tasks_;
+  bool ran_ = false;
+};
+
+}  // namespace tsufail::analysis

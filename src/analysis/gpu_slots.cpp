@@ -13,28 +13,26 @@ double GpuSlotDistribution::percent_of(int slot) const noexcept {
   return 0.0;
 }
 
-Result<GpuSlotDistribution> analyze_gpu_slots(const data::FailureLog& log) {
-  const int slots_per_node = log.spec().gpus_per_node;
+Result<GpuSlotDistribution> analyze_gpu_slots(const data::LogIndex& index) {
+  const int slots_per_node = index.spec().gpus_per_node;
   std::vector<std::size_t> counts(static_cast<std::size_t>(slots_per_node), 0);
 
-  std::size_t attributed = 0;
-  for (const auto& record : log.records()) {
-    if (!record.gpu_related() || record.gpu_slots.empty()) continue;
-    ++attributed;
-    for (int slot : record.gpu_slots) counts[static_cast<std::size_t>(slot)]++;
+  const auto attributed = index.gpu_attributed();
+  for (std::uint32_t position : attributed) {
+    for (int slot : index.record(position).gpu_slots) counts[static_cast<std::size_t>(slot)]++;
   }
-  if (attributed == 0)
+  if (attributed.empty())
     return Error(ErrorKind::kDomain, "analyze_gpu_slots: no slot-attributed GPU failures");
 
   GpuSlotDistribution result;
-  result.attributed_failures = attributed;
+  result.attributed_failures = attributed.size();
   for (std::size_t c : counts) result.total_involvements += c;
   const double total = static_cast<double>(result.total_involvements);
   const double mean_count = total / static_cast<double>(slots_per_node);
   for (int slot = 0; slot < slots_per_node; ++slot) {
     const auto count = counts[static_cast<std::size_t>(slot)];
     result.slots.push_back({slot, count, 100.0 * static_cast<double>(count) / total,
-                            static_cast<double>(count) / log.spec().node_count});
+                            static_cast<double>(count) / index.spec().node_count});
     result.max_relative_excess =
         std::max(result.max_relative_excess, static_cast<double>(count) / mean_count - 1.0);
   }
@@ -43,6 +41,10 @@ Result<GpuSlotDistribution> analyze_gpu_slots(const data::FailureLog& log) {
   if (auto chi = stats::chi_square_gof(counts, uniform); chi.ok())
     result.uniformity_p_value = chi.value().p_value;
   return result;
+}
+
+Result<GpuSlotDistribution> analyze_gpu_slots(const data::FailureLog& log) {
+  return analyze_gpu_slots(data::LogIndex(log));
 }
 
 }  // namespace tsufail::analysis

@@ -53,33 +53,39 @@ LeadLagPair compute_pair(const std::vector<double>& leader_hours,
 
 }  // namespace
 
-Result<LeadLagPair> analyze_lead_lag_pair(const data::FailureLog& log, data::Category leader,
+Result<LeadLagPair> analyze_lead_lag_pair(const data::LogIndex& index, data::Category leader,
                                           data::Category follower, double window_hours) {
   if (!(window_hours > 0.0))
     return Error(ErrorKind::kDomain, "lead-lag window must be positive");
-  std::vector<double> leader_hours, follower_hours;
-  for (const auto& record : log.records()) {
-    const double h = hours_between(log.spec().log_start, record.time);
-    if (record.category == leader) leader_hours.push_back(h);
-    if (record.category == follower) follower_hours.push_back(h);
-  }
+  std::vector<double> leader_hours = index.hours_of(index.by_category(leader));
+  std::vector<double> follower_hours = index.hours_of(index.by_category(follower));
   if (leader_hours.empty() || follower_hours.empty())
     return Error(ErrorKind::kDomain, "lead-lag: both categories need events");
   LeadLagPair pair =
-      compute_pair(leader_hours, follower_hours, window_hours, log.spec().window_hours());
+      compute_pair(leader_hours, follower_hours, window_hours, index.spec().window_hours());
   pair.leader = leader;
   pair.follower = follower;
   return pair;
 }
 
-Result<LeadLagAnalysis> analyze_lead_lag(const data::FailureLog& log, double window_hours,
+Result<LeadLagPair> analyze_lead_lag_pair(const data::FailureLog& log, data::Category leader,
+                                          data::Category follower, double window_hours) {
+  return analyze_lead_lag_pair(data::LogIndex(log), leader, follower, window_hours);
+}
+
+Result<LeadLagAnalysis> analyze_lead_lag(const data::LogIndex& index, double window_hours,
                                          std::size_t min_events) {
   if (!(window_hours > 0.0))
     return Error(ErrorKind::kDomain, "lead-lag window must be positive");
 
+  // Enum order over all categories with events, matching the enum-keyed
+  // map the record scan used to build, so the pair list's pre-sort order
+  // (and hence equal-z tie order) is unchanged.
   std::map<data::Category, std::vector<double>> events;
-  for (const auto& record : log.records()) {
-    events[record.category].push_back(hours_between(log.spec().log_start, record.time));
+  for (std::size_t c = 0; c <= static_cast<std::size_t>(data::Category::kUnknown); ++c) {
+    const auto category = static_cast<data::Category>(c);
+    const auto positions = index.by_category(category);
+    if (!positions.empty()) events[category] = index.hours_of(positions);
   }
   std::vector<data::Category> qualifying;
   for (const auto& [category, hours] : events) {
@@ -92,7 +98,7 @@ Result<LeadLagAnalysis> analyze_lead_lag(const data::FailureLog& log, double win
 
   LeadLagAnalysis analysis;
   analysis.window_hours = window_hours;
-  const double span = log.spec().window_hours();
+  const double span = index.spec().window_hours();
   for (data::Category leader : qualifying) {
     for (data::Category follower : qualifying) {
       LeadLagPair pair =
@@ -105,6 +111,11 @@ Result<LeadLagAnalysis> analyze_lead_lag(const data::FailureLog& log, double win
   std::sort(analysis.pairs.begin(), analysis.pairs.end(),
             [](const LeadLagPair& a, const LeadLagPair& b) { return a.z_score > b.z_score; });
   return analysis;
+}
+
+Result<LeadLagAnalysis> analyze_lead_lag(const data::FailureLog& log, double window_hours,
+                                         std::size_t min_events) {
+  return analyze_lead_lag(data::LogIndex(log), window_hours, min_events);
 }
 
 }  // namespace tsufail::analysis

@@ -16,22 +16,18 @@ std::size_t MultiGpuInvolvement::count_with(int gpus) const noexcept {
   return 0;
 }
 
-Result<MultiGpuInvolvement> analyze_multi_gpu(const data::FailureLog& log) {
-  const int slots_per_node = log.spec().gpus_per_node;
+Result<MultiGpuInvolvement> analyze_multi_gpu(const data::LogIndex& index) {
+  const int slots_per_node = index.spec().gpus_per_node;
   std::vector<std::size_t> counts(static_cast<std::size_t>(slots_per_node) + 1, 0);
 
-  std::size_t attributed = 0;
-  for (const auto& record : log.records()) {
-    if (!record.gpu_related() || record.gpu_slots.empty()) continue;
-    ++attributed;
-    ++counts[record.gpu_slots.size()];
-  }
-  if (attributed == 0)
+  const auto attributed = index.gpu_attributed();
+  for (std::uint32_t position : attributed) ++counts[index.record(position).gpu_slots.size()];
+  if (attributed.empty())
     return Error(ErrorKind::kDomain, "analyze_multi_gpu: no slot-attributed GPU failures");
 
   MultiGpuInvolvement result;
-  result.attributed_failures = attributed;
-  const double total = static_cast<double>(attributed);
+  result.attributed_failures = attributed.size();
+  const double total = static_cast<double>(attributed.size());
   for (int gpus = 1; gpus <= slots_per_node; ++gpus) {
     const auto count = counts[static_cast<std::size_t>(gpus)];
     const double percent = 100.0 * static_cast<double>(count) / total;
@@ -39,6 +35,10 @@ Result<MultiGpuInvolvement> analyze_multi_gpu(const data::FailureLog& log) {
     if (gpus >= 2) result.percent_multi += percent;
   }
   return result;
+}
+
+Result<MultiGpuInvolvement> analyze_multi_gpu(const data::FailureLog& log) {
+  return analyze_multi_gpu(data::LogIndex(log));
 }
 
 }  // namespace tsufail::analysis

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
 
 namespace tsufail::analysis {
 
@@ -13,22 +12,21 @@ double NodeCounts::percent_with(std::size_t k) const noexcept {
   return 0.0;
 }
 
-Result<NodeCounts> analyze_node_counts(const data::FailureLog& log) {
-  if (log.empty())
+Result<NodeCounts> analyze_node_counts(const data::LogIndex& index) {
+  if (index.empty())
     return Error(ErrorKind::kDomain, "analyze_node_counts: empty log");
 
-  const auto per_node = log.count_by_node();
+  const auto groups = index.nodes();
 
   NodeCounts result;
-  result.failed_nodes = per_node.size();
-  result.total_nodes = static_cast<std::size_t>(log.spec().node_count);
+  result.failed_nodes = groups.size();
+  result.total_nodes = static_cast<std::size_t>(index.spec().node_count);
 
   std::map<std::size_t, std::size_t> histogram;  // failures -> node count
-  std::set<int> repeat_nodes;
-  for (const auto& [node, count] : per_node) {
-    ++histogram[count];
-    result.max_failures_on_one_node = std::max(result.max_failures_on_one_node, count);
-    if (count > 1) repeat_nodes.insert(node);
+  for (const auto& group : groups) {
+    ++histogram[group.count];
+    result.max_failures_on_one_node =
+        std::max<std::size_t>(result.max_failures_on_one_node, group.count);
   }
 
   const double failed = static_cast<double>(result.failed_nodes);
@@ -38,20 +36,26 @@ Result<NodeCounts> analyze_node_counts(const data::FailureLog& log) {
   result.percent_single_failure = result.percent_with(1);
   result.percent_multi_failure = 100.0 - result.percent_single_failure;
 
-  for (const auto& record : log.records()) {
-    if (!repeat_nodes.contains(record.node)) continue;
-    switch (record.failure_class()) {
-      case data::FailureClass::kHardware:
-        ++result.repeat_node_hardware_failures;
-        break;
-      case data::FailureClass::kSoftware:
-        ++result.repeat_node_software_failures;
-        break;
-      case data::FailureClass::kUnknown:
-        break;  // the paper's 352/1 and 104/95 split covers HW/SW only
+  for (const auto& group : groups) {
+    if (group.count <= 1) continue;  // repeat-failure nodes only
+    for (std::uint32_t position : index.positions_of(group)) {
+      switch (index.record(position).failure_class()) {
+        case data::FailureClass::kHardware:
+          ++result.repeat_node_hardware_failures;
+          break;
+        case data::FailureClass::kSoftware:
+          ++result.repeat_node_software_failures;
+          break;
+        case data::FailureClass::kUnknown:
+          break;  // the paper's 352/1 and 104/95 split covers HW/SW only
+      }
     }
   }
   return result;
+}
+
+Result<NodeCounts> analyze_node_counts(const data::FailureLog& log) {
+  return analyze_node_counts(data::LogIndex(log));
 }
 
 }  // namespace tsufail::analysis

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 
 namespace tsufail::analysis {
 
@@ -36,6 +37,7 @@ struct NodeCounts {
 };
 
 /// Computes the Figure 4 distribution. Errors: empty log.
+Result<NodeCounts> analyze_node_counts(const data::LogIndex& index);
 Result<NodeCounts> analyze_node_counts(const data::FailureLog& log);
 
 }  // namespace tsufail::analysis

@@ -1,36 +1,37 @@
 #include "analysis/node_survival.h"
 
-#include <map>
 #include <vector>
 
 namespace tsufail::analysis {
 
-Result<NodeSurvival> analyze_node_survival(const data::FailureLog& log) {
-  if (log.empty())
+Result<NodeSurvival> analyze_node_survival(const data::LogIndex& index) {
+  if (index.empty())
     return Error(ErrorKind::kDomain, "analyze_node_survival: empty log");
 
-  const double window = log.spec().window_hours();
+  const double window = index.spec().window_hours();
 
-  // First and second failure instants per node (records are time-sorted).
-  std::map<int, std::vector<double>> failure_hours;
-  for (const auto& record : log.records()) {
-    auto& hours = failure_hours[record.node];
-    if (hours.size() < 2) hours.push_back(hours_between(log.spec().log_start, record.time));
-  }
+  // Node groups are ascending by node id and each group's positions are
+  // time-sorted, so positions[0]/positions[1] are the first and second
+  // failure instants.  A cursor walk pairs groups with the 0..node_count
+  // sweep without a per-node lookup.
+  const auto groups = index.nodes();
+  std::size_t cursor = 0;
 
   std::vector<stats::SurvivalObservation> first, refail;
-  first.reserve(static_cast<std::size_t>(log.spec().node_count));
-  for (int node = 0; node < log.spec().node_count; ++node) {
-    const auto it = failure_hours.find(node);
-    if (it == failure_hours.end()) {
+  first.reserve(static_cast<std::size_t>(index.spec().node_count));
+  for (int node = 0; node < index.spec().node_count; ++node) {
+    if (cursor == groups.size() || groups[cursor].node != node) {
       first.push_back({window, /*event=*/false});  // never failed: censored
       continue;
     }
-    first.push_back({it->second[0], /*event=*/true});
-    if (it->second.size() >= 2) {
-      refail.push_back({it->second[1] - it->second[0], /*event=*/true});
+    const auto positions = index.positions_of(groups[cursor]);
+    ++cursor;
+    const double first_hours = index.hours()[positions[0]];
+    first.push_back({first_hours, /*event=*/true});
+    if (positions.size() >= 2) {
+      refail.push_back({index.hours()[positions[1]] - first_hours, /*event=*/true});
     } else {
-      refail.push_back({window - it->second[0], /*event=*/false});
+      refail.push_back({window - first_hours, /*event=*/false});
     }
   }
 
@@ -58,6 +59,10 @@ Result<NodeSurvival> analyze_node_survival(const data::FailureLog& log) {
         test.value().observed_minus_expected_a > 0.0 && test.value().p_value < 0.05;
   }
   return result;
+}
+
+Result<NodeSurvival> analyze_node_survival(const data::FailureLog& log) {
+  return analyze_node_survival(data::LogIndex(log));
 }
 
 }  // namespace tsufail::analysis

@@ -2,17 +2,30 @@
 
 namespace tsufail::analysis {
 
-Result<PerfErrorProportionality> analyze_perf_error_prop(const data::FailureLog& log) {
-  if (log.empty())
+namespace {
+
+Result<PerfErrorProportionality> perf_error_prop(const data::MachineSpec& spec,
+                                                 std::size_t failures) {
+  if (failures == 0)
     return Error(ErrorKind::kDomain, "analyze_perf_error_prop: empty log");
   PerfErrorProportionality result;
-  result.mtbf_hours = log.spec().window_hours() / static_cast<double>(log.size());
-  result.rpeak_pflops = log.spec().rpeak_pflops;
+  result.mtbf_hours = spec.window_hours() / static_cast<double>(failures);
+  result.rpeak_pflops = spec.rpeak_pflops;
   result.pflop_hours_per_failure_free_period = result.rpeak_pflops * result.mtbf_hours;
-  result.components = log.spec().total_gpu_cpu_components();
+  result.components = spec.total_gpu_cpu_components();
   result.pflop_hours_per_component =
       result.pflop_hours_per_failure_free_period / static_cast<double>(result.components);
   return result;
+}
+
+}  // namespace
+
+Result<PerfErrorProportionality> analyze_perf_error_prop(const data::LogIndex& index) {
+  return perf_error_prop(index.spec(), index.size());
+}
+
+Result<PerfErrorProportionality> analyze_perf_error_prop(const data::FailureLog& log) {
+  return perf_error_prop(log.spec(), log.size());
 }
 
 Result<GenerationComparison> compare_generations(const data::FailureLog& older,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "data/log.h"
+#include "data/log_index.h"
 
 namespace tsufail::analysis {
 
@@ -36,6 +37,7 @@ struct GenerationComparison {
 };
 
 /// Metric for one log. Errors: empty log.
+Result<PerfErrorProportionality> analyze_perf_error_prop(const data::LogIndex& index);
 Result<PerfErrorProportionality> analyze_perf_error_prop(const data::FailureLog& log);
 
 /// Cross-generation comparison. Errors: either log empty.

@@ -21,26 +21,26 @@ double gini_coefficient(std::vector<double> values) {
   return 2.0 * weighted / (n * total) - (n + 1.0) / n;
 }
 
-Result<RackDistribution> analyze_racks(const data::FailureLog& log) {
-  if (log.empty())
+Result<RackDistribution> analyze_racks(const data::LogIndex& index) {
+  if (index.empty())
     return Error(ErrorKind::kDomain, "analyze_racks: empty log");
-  if (log.spec().nodes_per_rack <= 0)
+  if (index.spec().nodes_per_rack <= 0)
     return Error(ErrorKind::kDomain, "analyze_racks: machine spec has no rack layout");
 
-  const int rack_count = log.spec().rack_count();
+  const int rack_count = index.spec().rack_count();
   std::vector<std::size_t> counts(static_cast<std::size_t>(rack_count), 0);
-  for (const auto& record : log.records()) {
-    ++counts[static_cast<std::size_t>(log.spec().rack_of(record.node))];
+  for (const auto& group : index.nodes()) {
+    counts[static_cast<std::size_t>(index.spec().rack_of(group.node))] += group.count;
   }
 
   RackDistribution result;
   result.total_racks = static_cast<std::size_t>(rack_count);
-  const double total = static_cast<double>(log.size());
+  const double total = static_cast<double>(index.size());
 
   std::vector<double> expected;  // rack sizes (the last rack may be partial)
   for (int rack = 0; rack < rack_count; ++rack) {
-    const int first = rack * log.spec().nodes_per_rack;
-    const int size = std::min(log.spec().nodes_per_rack, log.spec().node_count - first);
+    const int first = rack * index.spec().nodes_per_rack;
+    const int size = std::min(index.spec().nodes_per_rack, index.spec().node_count - first);
     expected.push_back(static_cast<double>(size));
     const auto count = counts[static_cast<std::size_t>(rack)];
     result.racks_with_failures += count > 0;
@@ -65,6 +65,10 @@ Result<RackDistribution> analyze_racks(const data::FailureLog& log) {
     if (static_cast<double>(cumulative) >= total / 2.0) break;
   }
   return result;
+}
+
+Result<RackDistribution> analyze_racks(const data::FailureLog& log) {
+  return analyze_racks(data::LogIndex(log));
 }
 
 }  // namespace tsufail::analysis

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 
 namespace tsufail::analysis {
 
@@ -36,6 +37,7 @@ struct RackDistribution {
 };
 
 /// Computes the rack view. Errors: empty log or spec without rack info.
+Result<RackDistribution> analyze_racks(const data::LogIndex& index);
 Result<RackDistribution> analyze_racks(const data::FailureLog& log);
 
 /// Gini coefficient of a non-negative sample (exposed for tests).

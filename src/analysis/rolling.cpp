@@ -4,21 +4,21 @@
 
 namespace tsufail::analysis {
 
-Result<RollingTrends> analyze_rolling_trends(const data::FailureLog& log, double window_days,
+Result<RollingTrends> analyze_rolling_trends(const data::LogIndex& index, double window_days,
                                              double step_days) {
-  if (log.empty())
+  if (index.empty())
     return Error(ErrorKind::kDomain, "analyze_rolling_trends: empty log");
   if (!(window_days > 0.0) || !(step_days > 0.0))
     return Error(ErrorKind::kDomain, "analyze_rolling_trends: window and step must be positive");
 
-  const double total_hours = log.spec().window_hours();
+  const double total_hours = index.spec().window_hours();
   const double window_hours = window_days * 24.0;
   const double step_hours = step_days * 24.0;
   if (window_hours > total_hours)
     return Error(ErrorKind::kDomain, "analyze_rolling_trends: window exceeds the log span");
 
-  const auto event_hours = log.failure_hours_since_start();
-  const auto ttr = log.ttr_values();  // same order as records/event_hours
+  const auto event_hours = index.hours();
+  const auto ttr = index.ttr();  // same order as records/event_hours
 
   RollingTrends trends;
   trends.window_hours = window_hours;
@@ -73,6 +73,11 @@ Result<RollingTrends> analyze_rolling_trends(const data::FailureLog& log, double
   trends.early_late_rate_ratio =
       late == 0 ? static_cast<double>(early) : static_cast<double>(early) / late;
   return trends;
+}
+
+Result<RollingTrends> analyze_rolling_trends(const data::FailureLog& log, double window_days,
+                                             double step_days) {
+  return analyze_rolling_trends(data::LogIndex(log), window_days, step_days);
 }
 
 }  // namespace tsufail::analysis

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 #include "stats/regression.h"
 
 namespace tsufail::analysis {
@@ -39,6 +40,9 @@ struct RollingTrends {
 /// Slides a `window_days` window by `step_days` over the log.
 /// Errors: empty log, non-positive window/step, or fewer than 3 windows
 /// (no trend can be fit).
+Result<RollingTrends> analyze_rolling_trends(const data::LogIndex& index,
+                                             double window_days = 60.0,
+                                             double step_days = 30.0);
 Result<RollingTrends> analyze_rolling_trends(const data::FailureLog& log,
                                              double window_days = 60.0,
                                              double step_days = 30.0);

@@ -30,18 +30,18 @@ std::array<double, 12> month_exposure_days(TimePoint start, TimePoint end) {
 
 }  // namespace
 
-Result<SeasonalAnalysis> analyze_seasonal(const data::FailureLog& log) {
-  if (log.empty())
+Result<SeasonalAnalysis> analyze_seasonal(const data::LogIndex& index) {
+  if (index.empty())
     return Error(ErrorKind::kDomain, "analyze_seasonal: empty log");
 
+  // Month spans preserve record order, so each bucket holds the same TTR
+  // sequence the record scan used to produce.
   std::array<std::vector<double>, 12> ttr_by_month;
-  for (const auto& record : log.records()) {
-    const int month = record.time.month();  // 1..12
-    ttr_by_month[static_cast<std::size_t>(month - 1)].push_back(record.ttr_hours);
-  }
+  for (int month = 1; month <= 12; ++month)
+    ttr_by_month[static_cast<std::size_t>(month - 1)] = index.ttr_of(index.by_month(month));
 
   SeasonalAnalysis result;
-  result.exposure_days = month_exposure_days(log.spec().log_start, log.spec().log_end);
+  result.exposure_days = month_exposure_days(index.spec().log_start, index.spec().log_end);
   std::vector<double> densities, medians;  // months with >= 1 failure
   std::vector<double> first_half, second_half;
   for (int month = 1; month <= 12; ++month) {
@@ -75,6 +75,10 @@ Result<SeasonalAnalysis> analyze_seasonal(const data::FailureLog& log) {
       result.spearman_density_ttr = rho.value();
   }
   return result;
+}
+
+Result<SeasonalAnalysis> analyze_seasonal(const data::FailureLog& log) {
+  return analyze_seasonal(data::LogIndex(log));
 }
 
 Result<SeasonalAnalysis> analyze_seasonal_class(const data::FailureLog& log,

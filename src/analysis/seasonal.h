@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 #include "stats/descriptive.h"
 
 namespace tsufail::analysis {
@@ -43,6 +44,7 @@ struct SeasonalAnalysis {
 };
 
 /// Computes the Figures 11-12 monthly profiles. Errors: empty log.
+Result<SeasonalAnalysis> analyze_seasonal(const data::LogIndex& index);
 Result<SeasonalAnalysis> analyze_seasonal(const data::FailureLog& log);
 
 /// Seasonal profile restricted to one failure class (the paper: "We

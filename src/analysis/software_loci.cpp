@@ -23,16 +23,16 @@ double SoftwareLoci::percent_of(std::string_view locus) const noexcept {
   return 0.0;
 }
 
-Result<SoftwareLoci> analyze_software_loci(const data::FailureLog& log, std::size_t top_n) {
-  const auto software = log.by_class(data::FailureClass::kSoftware);
+Result<SoftwareLoci> analyze_software_loci(const data::LogIndex& index, std::size_t top_n) {
+  const auto software = index.by_class(data::FailureClass::kSoftware);
   if (software.empty())
     return Error(ErrorKind::kDomain, "analyze_software_loci: no software-class failures in log");
 
   std::map<std::string, std::size_t> counts;
   std::size_t gpu_driver = 0;
   std::size_t unknown = 0;
-  for (const auto& record : software) {
-    std::string locus = to_lower(trim(record.root_locus));
+  for (std::uint32_t position : software) {
+    std::string locus = to_lower(trim(index.record(position).root_locus));
     if (locus.empty() || locus == "unknown") {
       locus = "unknown";
       ++unknown;
@@ -56,6 +56,10 @@ Result<SoftwareLoci> analyze_software_loci(const data::FailureLog& log, std::siz
                    [](const RootLocusShare& a, const RootLocusShare& b) { return a.count > b.count; });
   if (result.top.size() > top_n) result.top.resize(top_n);
   return result;
+}
+
+Result<SoftwareLoci> analyze_software_loci(const data::FailureLog& log, std::size_t top_n) {
+  return analyze_software_loci(data::LogIndex(log), top_n);
 }
 
 }  // namespace tsufail::analysis

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 
 namespace tsufail::analysis {
 
@@ -32,6 +33,7 @@ struct SoftwareLoci {
 /// Computes the Figure 3 breakdown over software-class failures.
 /// `top_n` truncates the list (16 in the paper).  Errors: the log has no
 /// software-class failures.
+Result<SoftwareLoci> analyze_software_loci(const data::LogIndex& index, std::size_t top_n = 16);
 Result<SoftwareLoci> analyze_software_loci(const data::FailureLog& log, std::size_t top_n = 16);
 
 }  // namespace tsufail::analysis

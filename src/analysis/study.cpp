@@ -1,55 +1,100 @@
 #include "analysis/study.h"
 
+#include <utility>
+#include <vector>
+
+#include "analysis/executor.h"
+#include "data/log_index.h"
+
 namespace tsufail::analysis {
 
-Result<StudyReport> run_study(const data::FailureLog& log) {
+Result<StudyReport> run_study(const data::FailureLog& log, const StudyOptions& options) {
   if (log.empty())
     return Error(ErrorKind::kDomain, "run_study: empty log");
 
   StudyReport report;
 
-  auto categories = analyze_categories(log);
-  if (!categories.ok()) return categories.error();
-  report.categories = std::move(categories.value());
+  // The index is built by the first task; every analysis depends on it,
+  // so the executor's publication order guarantees they see the build.
+  std::optional<data::LogIndex> index;
 
-  if (auto loci = analyze_software_loci(log); loci.ok())
-    report.software_loci = std::move(loci.value());
+  Executor executor;
+  const auto index_task = executor.add("index", [&]() -> Result<void> {
+    index.emplace(log);
+    return {};
+  });
 
-  auto nodes = analyze_node_counts(log);
-  if (!nodes.ok()) return nodes.error();
-  report.node_counts = std::move(nodes.value());
+  // Registers one analysis over the shared index: on success the value
+  // moves into its report slot, on failure the error reaches the
+  // executor.  Tasks only touch their own slot, so parallel runs do not
+  // race on the report.
+  const auto add_analysis = [&](std::string name, auto analyze, auto& slot) {
+    return executor.add(
+        std::move(name),
+        [&index, analyze, &slot]() -> Result<void> {
+          auto result = analyze(*index);
+          if (!result.ok()) return result.error();
+          slot = std::move(result.value());
+          return {};
+        },
+        {index_task});
+  };
 
-  if (auto slots = analyze_gpu_slots(log); slots.ok())
-    report.gpu_slots = std::move(slots.value());
+  // Registration order mirrors the sequential study; required analyses
+  // abort the study on failure, the rest land in report.skipped.
+  std::vector<Executor::TaskId> required{index_task};
+  required.push_back(add_analysis(
+      "categories", [](const data::LogIndex& i) { return analyze_categories(i); },
+      report.categories));
+  add_analysis(
+      "software_loci", [](const data::LogIndex& i) { return analyze_software_loci(i); },
+      report.software_loci);
+  required.push_back(add_analysis(
+      "node_counts", [](const data::LogIndex& i) { return analyze_node_counts(i); },
+      report.node_counts));
+  add_analysis(
+      "gpu_slots", [](const data::LogIndex& i) { return analyze_gpu_slots(i); },
+      report.gpu_slots);
+  add_analysis(
+      "multi_gpu", [](const data::LogIndex& i) { return analyze_multi_gpu(i); },
+      report.multi_gpu);
+  add_analysis(
+      "tbf", [](const data::LogIndex& i) { return analyze_tbf(i); }, report.tbf);
+  add_analysis(
+      "tbf_by_category", [](const data::LogIndex& i) { return analyze_tbf_by_category(i); },
+      report.tbf_by_category);
+  add_analysis(
+      "multi_gpu_clustering",
+      [](const data::LogIndex& i) { return analyze_multi_gpu_clustering(i); },
+      report.multi_gpu_clustering);
+  required.push_back(add_analysis(
+      "ttr", [](const data::LogIndex& i) { return analyze_ttr(i); }, report.ttr));
+  add_analysis(
+      "ttr_by_category", [](const data::LogIndex& i) { return analyze_ttr_by_category(i); },
+      report.ttr_by_category);
+  required.push_back(add_analysis(
+      "seasonal", [](const data::LogIndex& i) { return analyze_seasonal(i); },
+      report.seasonal));
+  required.push_back(add_analysis(
+      "perf_error_prop", [](const data::LogIndex& i) { return analyze_perf_error_prop(i); },
+      report.perf_error_prop));
 
-  if (auto involvement = analyze_multi_gpu(log); involvement.ok())
-    report.multi_gpu = std::move(involvement.value());
+  const auto outcomes = executor.run(options.jobs);
 
-  if (auto tbf = analyze_tbf(log); tbf.ok())
-    report.tbf = std::move(tbf.value());
-
-  if (auto by_category = analyze_tbf_by_category(log); by_category.ok())
-    report.tbf_by_category = std::move(by_category.value());
-
-  if (auto clustering = analyze_multi_gpu_clustering(log); clustering.ok())
-    report.multi_gpu_clustering = std::move(clustering.value());
-
-  auto ttr = analyze_ttr(log);
-  if (!ttr.ok()) return ttr.error();
-  report.ttr = std::move(ttr.value());
-
-  if (auto by_category = analyze_ttr_by_category(log); by_category.ok())
-    report.ttr_by_category = std::move(by_category.value());
-
-  auto seasonal = analyze_seasonal(log);
-  if (!seasonal.ok()) return seasonal.error();
-  report.seasonal = std::move(seasonal.value());
-
-  auto perf = analyze_perf_error_prop(log);
-  if (!perf.ok()) return perf.error();
-  report.perf_error_prop = std::move(perf.value());
-
+  for (Executor::TaskId id : required) {
+    if (!outcomes[id].ok())
+      return outcomes[id].error->with_context("run_study: " + outcomes[id].name);
+  }
+  for (Executor::TaskId id = 0; id < outcomes.size(); ++id) {
+    const auto& outcome = outcomes[id];
+    if (outcome.ok()) continue;
+    report.skipped.push_back({outcome.name, *outcome.error});
+  }
   return report;
+}
+
+Result<StudyReport> run_study(const data::FailureLog& log) {
+  return run_study(log, StudyOptions{});
 }
 
 }  // namespace tsufail::analysis

@@ -1,12 +1,17 @@
 // StudyReport: every analysis in the paper, computed in one call.
 //
 // This is the convenience entry point for downstream users ("run the
-// DSN'21 study on my log").  Analyses that are undefined for a given log
-// (e.g. multi-GPU clustering on a log with no multi-GPU failures) are
-// carried as std::optional and simply absent.
+// DSN'21 study on my log").  The log is indexed once (data::LogIndex) and
+// the independent analyses are dispatched over it through the Executor,
+// optionally in parallel (StudyOptions::jobs); the assembled report is
+// identical for any thread count.  Analyses that are undefined for a
+// given log (e.g. multi-GPU clustering on a log with no multi-GPU
+// failures) are carried as std::optional and simply absent, with the
+// reason recorded in StudyReport::skipped.
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "analysis/category_breakdown.h"
 #include "analysis/gpu_slots.h"
@@ -21,6 +26,20 @@
 
 namespace tsufail::analysis {
 
+struct StudyOptions {
+  /// Worker threads for the independent analyses: 1 (the default) runs
+  /// everything serially on the calling thread, 0 uses one worker per
+  /// hardware thread, n > 1 uses n workers.  The report is bit-identical
+  /// for every value.
+  std::size_t jobs = 1;
+};
+
+/// An optional analysis that could not be computed for this log, and why.
+struct SkippedAnalysis {
+  std::string analysis;  ///< analysis name, e.g. "multi_gpu_clustering"
+  Error error;           ///< the domain error that made it undefined
+};
+
 struct StudyReport {
   CategoryBreakdown categories;                       // Fig 2
   std::optional<SoftwareLoci> software_loci;          // Fig 3
@@ -34,11 +53,16 @@ struct StudyReport {
   std::vector<CategoryTtr> ttr_by_category;           // Fig 10
   SeasonalAnalysis seasonal;                          // Fig 11-12
   PerfErrorProportionality perf_error_prop;           // RQ4 metric
+  /// Optional analyses that were undefined for this log, in the order the
+  /// study runs them, each with the error explaining why.
+  std::vector<SkippedAnalysis> skipped;
 };
 
 /// Runs the full study on one log.  Errors only on conditions that make
-/// the whole study meaningless (empty log); per-analysis impossibilities
-/// yield absent optionals / empty vectors instead.
+/// the whole study meaningless (empty log, or a required analysis
+/// failing); per-analysis impossibilities yield absent optionals / empty
+/// vectors and an entry in StudyReport::skipped instead.
+Result<StudyReport> run_study(const data::FailureLog& log, const StudyOptions& options);
 Result<StudyReport> run_study(const data::FailureLog& log);
 
 }  // namespace tsufail::analysis

@@ -16,33 +16,36 @@ std::vector<double> gaps_of(const std::vector<double>& event_hours) {
   return gaps;
 }
 
-Result<TbfResult> tbf_from_records(const data::MachineSpec& spec,
-                                   const std::vector<data::FailureRecord>& records) {
-  if (records.size() < 2)
-    return Error(ErrorKind::kDomain, "TBF needs at least 2 failures, have " +
-                                         std::to_string(records.size()));
-  std::vector<double> hours;
-  hours.reserve(records.size());
-  for (const auto& record : records) hours.push_back(hours_between(spec.log_start, record.time));
-  // FailureLog guarantees time order for whole logs; sub-streams inherit it,
-  // but sort defensively so the function is safe on caller-built vectors.
+/// Core TBF computation over an event-hour sample.  Takes ownership of
+/// `hours` (the result does not retain it) and sorts defensively, so the
+/// function is safe on caller-built samples; index/log streams are
+/// already ascending and the sort is a no-op for them.
+Result<TbfResult> tbf_from_hours(const data::MachineSpec& spec, std::vector<double> hours) {
+  if (hours.size() < 2)
+    return Error(ErrorKind::kDomain,
+                 "TBF needs at least 2 failures, have " + std::to_string(hours.size()));
   std::sort(hours.begin(), hours.end());
 
   TbfResult result;
   result.tbf_hours = gaps_of(hours);
   result.mtbf_hours = stats::mean(result.tbf_hours);
-  result.exposure_mtbf_hours = spec.window_hours() / static_cast<double>(records.size());
-  auto summary = stats::summarize(result.tbf_hours);
+  result.exposure_mtbf_hours = spec.window_hours() / static_cast<double>(hours.size());
+
+  // The summary and the family fit both want an ordered sample; sorting
+  // the gaps once here lets summarize and the fitter's Ecdf take their
+  // sorted fast paths instead of each re-sorting a copy.
+  std::vector<double> sorted_gaps = result.tbf_hours;
+  std::sort(sorted_gaps.begin(), sorted_gaps.end());
+  auto summary = stats::summarize(sorted_gaps);
   if (!summary.ok()) return summary.error();
   result.summary = summary.value();
   result.p75_hours = result.summary.p75;
 
   // Simultaneous failures produce zero gaps; family fitting requires
-  // positive support, so fit on the positive sub-sample.
-  std::vector<double> positive;
-  positive.reserve(result.tbf_hours.size());
-  for (double g : result.tbf_hours)
-    if (g > 0.0) positive.push_back(g);
+  // positive support, so fit on the positive sub-sample — the suffix past
+  // the zeros, since the sorted gaps are non-negative.
+  const std::vector<double> positive(
+      std::upper_bound(sorted_gaps.begin(), sorted_gaps.end(), 0.0), sorted_gaps.end());
   if (positive.size() >= 8) {
     if (auto family = stats::select_family(positive); family.ok())
       result.best_family = family.value();
@@ -50,26 +53,50 @@ Result<TbfResult> tbf_from_records(const data::MachineSpec& spec,
   return result;
 }
 
-}  // namespace
-
-Result<TbfResult> analyze_tbf(const data::FailureLog& log) {
-  return tbf_from_records(log.spec(),
-                          std::vector<data::FailureRecord>(log.records().begin(),
-                                                           log.records().end()));
+std::vector<double> hours_of(const data::MachineSpec& spec,
+                             std::span<const data::FailureRecord> records) {
+  std::vector<double> hours;
+  hours.reserve(records.size());
+  for (const auto& record : records) hours.push_back(hours_between(spec.log_start, record.time));
+  return hours;
 }
 
-Result<TbfResult> analyze_tbf_category(const data::FailureLog& log, data::Category category) {
-  auto result = tbf_from_records(log.spec(), log.by_category(category));
+}  // namespace
+
+Result<TbfResult> tbf_from_records(const data::MachineSpec& spec,
+                                   std::span<const data::FailureRecord> records) {
+  return tbf_from_hours(spec, hours_of(spec, records));
+}
+
+Result<TbfResult> analyze_tbf(const data::LogIndex& index) {
+  const auto hours = index.hours();
+  return tbf_from_hours(index.spec(), std::vector<double>(hours.begin(), hours.end()));
+}
+
+Result<TbfResult> analyze_tbf(const data::FailureLog& log) {
+  return tbf_from_records(log.spec(), log.records());
+}
+
+Result<TbfResult> analyze_tbf_category(const data::LogIndex& index, data::Category category) {
+  auto result = tbf_from_hours(index.spec(), index.hours_of(index.by_category(category)));
   if (!result.ok())
     return result.error().with_context("category " + std::string(data::to_string(category)));
   return result;
 }
 
-Result<TbfResult> analyze_tbf_class(const data::FailureLog& log, data::FailureClass cls) {
-  auto result = tbf_from_records(log.spec(), log.by_class(cls));
+Result<TbfResult> analyze_tbf_category(const data::FailureLog& log, data::Category category) {
+  return analyze_tbf_category(data::LogIndex(log), category);
+}
+
+Result<TbfResult> analyze_tbf_class(const data::LogIndex& index, data::FailureClass cls) {
+  auto result = tbf_from_hours(index.spec(), index.hours_of(index.by_class(cls)));
   if (!result.ok())
     return result.error().with_context("class " + std::string(data::to_string(cls)));
   return result;
+}
+
+Result<TbfResult> analyze_tbf_class(const data::FailureLog& log, data::FailureClass cls) {
+  return analyze_tbf_class(data::LogIndex(log), cls);
 }
 
 Result<MtbfInterval> mtbf_confidence_interval(std::size_t failures, double window_hours,
@@ -88,18 +115,23 @@ Result<MtbfInterval> mtbf_confidence_interval(std::size_t failures, double windo
   return interval;
 }
 
-Result<std::vector<CategoryTbf>> analyze_tbf_by_category(const data::FailureLog& log,
+Result<std::vector<CategoryTbf>> analyze_tbf_by_category(const data::LogIndex& index,
                                                          std::size_t min_failures) {
   std::vector<CategoryTbf> rows;
-  for (data::Category category : data::categories_for(log.machine())) {
-    const auto records = log.by_category(category);
-    if (records.size() < std::max<std::size_t>(min_failures, 2)) continue;
-    auto tbf = tbf_from_records(log.spec(), records);
-    if (!tbf.ok()) continue;
-    auto box = stats::box_stats(tbf.value().tbf_hours);
+  for (data::Category category : data::categories_for(index.machine())) {
+    const auto positions = index.by_category(category);
+    if (positions.size() < std::max<std::size_t>(min_failures, 2)) continue;
+    // CategoryTbf keeps only the box and the two MTBF estimators, so the
+    // full tbf_from_hours pipeline (summary quantiles, family fitting)
+    // would be computed just to be discarded; difference the gaps and box
+    // them directly instead.
+    auto hours = index.hours_of(positions);
+    std::sort(hours.begin(), hours.end());  // no-op: index streams ascend
+    const auto gaps = gaps_of(hours);
+    auto box = stats::box_stats(gaps);
     if (!box.ok()) continue;
-    rows.push_back({category, records.size(), box.value(), tbf.value().mtbf_hours,
-                    tbf.value().exposure_mtbf_hours});
+    rows.push_back({category, positions.size(), box.value(), stats::mean(gaps),
+                    index.spec().window_hours() / static_cast<double>(hours.size())});
   }
   if (rows.empty())
     return Error(ErrorKind::kDomain, "analyze_tbf_by_category: no category has enough failures");
@@ -108,6 +140,11 @@ Result<std::vector<CategoryTbf>> analyze_tbf_by_category(const data::FailureLog&
                      return a.mtbf_hours < b.mtbf_hours;
                    });
   return rows;
+}
+
+Result<std::vector<CategoryTbf>> analyze_tbf_by_category(const data::FailureLog& log,
+                                                         std::size_t min_failures) {
+  return analyze_tbf_by_category(data::LogIndex(log), min_failures);
 }
 
 }  // namespace tsufail::analysis

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 #include "stats/descriptive.h"
 #include "stats/ecdf.h"
 #include "stats/fit.h"
@@ -31,14 +33,23 @@ struct TbfResult {
 };
 
 /// System-wide TBF. Errors: fewer than 2 failures.
+Result<TbfResult> analyze_tbf(const data::LogIndex& index);
 Result<TbfResult> analyze_tbf(const data::FailureLog& log);
 
 /// TBF restricted to one category's event stream.
 /// Errors: fewer than 2 failures of that category.
+Result<TbfResult> analyze_tbf_category(const data::LogIndex& index, data::Category category);
 Result<TbfResult> analyze_tbf_category(const data::FailureLog& log, data::Category category);
 
 /// TBF restricted to one failure class.
+Result<TbfResult> analyze_tbf_class(const data::LogIndex& index, data::FailureClass cls);
 Result<TbfResult> analyze_tbf_class(const data::FailureLog& log, data::FailureClass cls);
+
+/// TBF of an arbitrary record stream measured against `spec`'s window
+/// (no copy is taken; records need not be pre-sorted).
+/// Errors: fewer than 2 records.
+Result<TbfResult> tbf_from_records(const data::MachineSpec& spec,
+                                   std::span<const data::FailureRecord> records);
 
 struct MtbfInterval {
   double mtbf_hours = 0.0;
@@ -66,6 +77,8 @@ struct CategoryTbf {
 /// the paper.  Categories with fewer than `min_failures` events are
 /// skipped (a 2-event category has one gap — not a distribution).
 /// Errors: no category reaches `min_failures`.
+Result<std::vector<CategoryTbf>> analyze_tbf_by_category(const data::LogIndex& index,
+                                                         std::size_t min_failures = 3);
 Result<std::vector<CategoryTbf>> analyze_tbf_by_category(const data::FailureLog& log,
                                                          std::size_t min_failures = 3);
 

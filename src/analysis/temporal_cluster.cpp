@@ -55,14 +55,10 @@ Result<TemporalClustering> analyze_event_clustering(std::vector<double> event_ho
 }
 
 Result<std::vector<CategoryBurstiness>> analyze_category_burstiness(
-    const data::FailureLog& log, std::size_t min_failures) {
+    const data::LogIndex& index, std::size_t min_failures) {
   std::vector<CategoryBurstiness> rows;
-  for (data::Category category : data::categories_for(log.machine())) {
-    std::vector<double> hours;
-    for (const auto& record : log.records()) {
-      if (record.category == category)
-        hours.push_back(hours_between(log.spec().log_start, record.time));
-    }
+  for (data::Category category : data::categories_for(index.machine())) {
+    std::vector<double> hours = index.hours_of(index.by_category(category));
     if (hours.size() < std::max<std::size_t>(min_failures, 3)) continue;
     auto clustering = analyze_event_clustering(std::move(hours));
     if (!clustering.ok()) continue;
@@ -78,16 +74,22 @@ Result<std::vector<CategoryBurstiness>> analyze_category_burstiness(
   return rows;
 }
 
-Result<TemporalClustering> analyze_multi_gpu_clustering(const data::FailureLog& log,
+Result<std::vector<CategoryBurstiness>> analyze_category_burstiness(
+    const data::FailureLog& log, std::size_t min_failures) {
+  return analyze_category_burstiness(data::LogIndex(log), min_failures);
+}
+
+Result<TemporalClustering> analyze_multi_gpu_clustering(const data::LogIndex& index,
                                                         double follow_window_hours) {
-  std::vector<double> hours;
-  for (const auto& record : log.records()) {
-    if (record.gpu_related() && record.multi_gpu())
-      hours.push_back(hours_between(log.spec().log_start, record.time));
-  }
-  auto result = analyze_event_clustering(std::move(hours), follow_window_hours);
+  auto result =
+      analyze_event_clustering(index.hours_of(index.multi_gpu()), follow_window_hours);
   if (!result.ok()) return result.error().with_context("multi-GPU failure stream");
   return result;
+}
+
+Result<TemporalClustering> analyze_multi_gpu_clustering(const data::FailureLog& log,
+                                                        double follow_window_hours) {
+  return analyze_multi_gpu_clustering(data::LogIndex(log), follow_window_hours);
 }
 
 }  // namespace tsufail::analysis

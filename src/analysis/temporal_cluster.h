@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 #include "stats/descriptive.h"
 
 namespace tsufail::analysis {
@@ -36,6 +37,8 @@ struct TemporalClustering {
 /// auto-selects half the stream's mean gap, capped at one week, so the
 /// follow-up probability is informative for dense and sparse streams
 /// alike.  Errors: fewer than 3 such events.
+Result<TemporalClustering> analyze_multi_gpu_clustering(const data::LogIndex& index,
+                                                        double follow_window_hours = 0.0);
 Result<TemporalClustering> analyze_multi_gpu_clustering(const data::FailureLog& log,
                                                         double follow_window_hours = 0.0);
 
@@ -56,6 +59,8 @@ struct CategoryBurstiness {
 /// Figure 7's "relative spread" observation.  Categories with fewer than
 /// `min_failures` events are skipped; sorted descending by burstiness.
 /// Errors: no category qualifies.
+Result<std::vector<CategoryBurstiness>> analyze_category_burstiness(
+    const data::LogIndex& index, std::size_t min_failures = 5);
 Result<std::vector<CategoryBurstiness>> analyze_category_burstiness(
     const data::FailureLog& log, std::size_t min_failures = 5);
 

@@ -11,14 +11,19 @@ Result<TtrResult> ttr_from_values(std::vector<double> values) {
   TtrResult result;
   result.ttr_hours = std::move(values);
   result.mttr_hours = stats::mean(result.ttr_hours);
-  auto summary = stats::summarize(result.ttr_hours);
+
+  // Sort once; summarize and the fitter's Ecdf both detect sorted input
+  // and skip their own O(n log n) passes.
+  std::vector<double> sorted = result.ttr_hours;
+  std::sort(sorted.begin(), sorted.end());
+  auto summary = stats::summarize(sorted);
   if (!summary.ok()) return summary.error();
   result.summary = summary.value();
 
-  std::vector<double> positive;
-  positive.reserve(result.ttr_hours.size());
-  for (double v : result.ttr_hours)
-    if (v > 0.0) positive.push_back(v);
+  // Family fitting requires positive support: the suffix past the
+  // zero-TTR records (repair times are non-negative).
+  const std::vector<double> positive(std::upper_bound(sorted.begin(), sorted.end(), 0.0),
+                                     sorted.end());
   if (positive.size() >= 8) {
     if (auto family = stats::select_family(positive); family.ok())
       result.best_family = family.value();
@@ -26,45 +31,51 @@ Result<TtrResult> ttr_from_values(std::vector<double> values) {
   return result;
 }
 
-std::vector<double> ttr_of(const std::vector<data::FailureRecord>& records) {
-  std::vector<double> values;
-  values.reserve(records.size());
-  for (const auto& record : records) values.push_back(record.ttr_hours);
-  return values;
-}
-
 }  // namespace
+
+Result<TtrResult> analyze_ttr(const data::LogIndex& index) {
+  const auto ttr = index.ttr();
+  return ttr_from_values(std::vector<double>(ttr.begin(), ttr.end()));
+}
 
 Result<TtrResult> analyze_ttr(const data::FailureLog& log) {
   return ttr_from_values(log.ttr_values());
 }
 
-Result<TtrResult> analyze_ttr_category(const data::FailureLog& log, data::Category category) {
-  auto result = ttr_from_values(ttr_of(log.by_category(category)));
+Result<TtrResult> analyze_ttr_category(const data::LogIndex& index, data::Category category) {
+  auto result = ttr_from_values(index.ttr_of(index.by_category(category)));
   if (!result.ok())
     return result.error().with_context("category " + std::string(data::to_string(category)));
   return result;
 }
 
-Result<TtrResult> analyze_ttr_class(const data::FailureLog& log, data::FailureClass cls) {
-  auto result = ttr_from_values(ttr_of(log.by_class(cls)));
+Result<TtrResult> analyze_ttr_category(const data::FailureLog& log, data::Category category) {
+  return analyze_ttr_category(data::LogIndex(log), category);
+}
+
+Result<TtrResult> analyze_ttr_class(const data::LogIndex& index, data::FailureClass cls) {
+  auto result = ttr_from_values(index.ttr_of(index.by_class(cls)));
   if (!result.ok())
     return result.error().with_context("class " + std::string(data::to_string(cls)));
   return result;
 }
 
-Result<std::vector<CategoryTtr>> analyze_ttr_by_category(const data::FailureLog& log,
+Result<TtrResult> analyze_ttr_class(const data::FailureLog& log, data::FailureClass cls) {
+  return analyze_ttr_class(data::LogIndex(log), cls);
+}
+
+Result<std::vector<CategoryTtr>> analyze_ttr_by_category(const data::LogIndex& index,
                                                          std::size_t min_failures) {
   std::vector<CategoryTtr> rows;
-  const double total = static_cast<double>(log.size());
-  for (data::Category category : data::categories_for(log.machine())) {
-    const auto records = log.by_category(category);
-    if (records.size() < std::max<std::size_t>(min_failures, 1)) continue;
-    const auto values = ttr_of(records);
+  const double total = static_cast<double>(index.size());
+  for (data::Category category : data::categories_for(index.machine())) {
+    const auto positions = index.by_category(category);
+    if (positions.size() < std::max<std::size_t>(min_failures, 1)) continue;
+    const auto values = index.ttr_of(positions);
     auto box = stats::box_stats(values);
     if (!box.ok()) continue;
-    rows.push_back({category, records.size(),
-                    100.0 * static_cast<double>(records.size()) / total, box.value(),
+    rows.push_back({category, positions.size(),
+                    100.0 * static_cast<double>(positions.size()) / total, box.value(),
                     stats::mean(values)});
   }
   if (rows.empty())
@@ -73,6 +84,11 @@ Result<std::vector<CategoryTtr>> analyze_ttr_by_category(const data::FailureLog&
     return a.mttr_hours < b.mttr_hours;
   });
   return rows;
+}
+
+Result<std::vector<CategoryTtr>> analyze_ttr_by_category(const data::FailureLog& log,
+                                                         std::size_t min_failures) {
+  return analyze_ttr_by_category(data::LogIndex(log), min_failures);
 }
 
 }  // namespace tsufail::analysis

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "data/log_index.h"
 #include "stats/descriptive.h"
 #include "stats/fit.h"
 
@@ -24,12 +25,15 @@ struct TtrResult {
 };
 
 /// System-wide TTR. Errors: empty log.
+Result<TtrResult> analyze_ttr(const data::LogIndex& index);
 Result<TtrResult> analyze_ttr(const data::FailureLog& log);
 
 /// TTR restricted to one category. Errors: no such failures.
+Result<TtrResult> analyze_ttr_category(const data::LogIndex& index, data::Category category);
 Result<TtrResult> analyze_ttr_category(const data::FailureLog& log, data::Category category);
 
 /// TTR restricted to one failure class. Errors: no such failures.
+Result<TtrResult> analyze_ttr_class(const data::LogIndex& index, data::FailureClass cls);
 Result<TtrResult> analyze_ttr_class(const data::FailureLog& log, data::FailureClass cls);
 
 struct CategoryTtr {
@@ -43,6 +47,8 @@ struct CategoryTtr {
 /// Per-category TTR boxes (Figure 10), ascending by mean TTR.
 /// Categories with fewer than `min_failures` records are skipped.
 /// Errors: no category reaches `min_failures`.
+Result<std::vector<CategoryTtr>> analyze_ttr_by_category(const data::LogIndex& index,
+                                                         std::size_t min_failures = 2);
 Result<std::vector<CategoryTtr>> analyze_ttr_by_category(const data::FailureLog& log,
                                                          std::size_t min_failures = 2);
 

@@ -67,6 +67,19 @@ OptionSpec strict_option() {
   return {"strict", "", "fail on the first malformed CSV row instead of skipping", {}};
 }
 
+OptionSpec jobs_option() {
+  return {"jobs", "N", "worker threads for the study's analyses (0 = all hardware threads)",
+          std::string("1")};
+}
+
+Result<analysis::StudyOptions> resolve_study_options(const ParsedArgs& args) {
+  auto jobs = args.get_int("jobs");
+  if (!jobs.ok()) return jobs.error();
+  if (jobs.value() < 0)
+    return Error(ErrorKind::kDomain, "--jobs must be >= 0");
+  return analysis::StudyOptions{static_cast<std::size_t>(jobs.value())};
+}
+
 // --- simulate -----------------------------------------------------------
 
 ArgParser make_simulate_parser() {
@@ -103,13 +116,16 @@ ArgParser make_analyze_parser() {
   ArgParser parser("analyze", "Run the full DSN'21 study on a failure log.");
   parser.positional({"log.csv", "failure log in tsufail CSV format", true});
   parser.option(strict_option());
+  parser.option(jobs_option());
   return parser;
 }
 
 Result<void> run_analyze(const ParsedArgs& args, std::ostream& out) {
   auto log = load_log(args);
   if (!log.ok()) return log.error();
-  auto study = analysis::run_study(log.value());
+  auto options = resolve_study_options(args);
+  if (!options.ok()) return options.error();
+  auto study = analysis::run_study(log.value(), options.value());
   if (!study.ok()) return study.error();
   const auto& s = study.value();
 
@@ -155,6 +171,9 @@ Result<void> run_analyze(const ParsedArgs& args, std::ostream& out) {
   out << "performance-error-proportionality: "
       << report::fmt(s.perf_error_prop.pflop_hours_per_failure_free_period, 0)
       << " PFlop-hours per failure-free period\n";
+  for (const auto& skipped : s.skipped) {
+    out << "skipped " << skipped.analysis << ": " << skipped.error.message() << "\n";
+  }
   return {};
 }
 
@@ -229,6 +248,7 @@ ArgParser make_figures_parser() {
   parser.positional({"log.csv", "failure log in tsufail CSV format", true});
   parser.option({"outdir", "DIR", "output directory", std::string("figures")});
   parser.option(strict_option());
+  parser.option(jobs_option());
   return parser;
 }
 
@@ -237,7 +257,9 @@ Result<void> run_figures(const ParsedArgs& args, std::ostream& out) {
   if (!log.ok()) return log.error();
   auto outdir = args.get("outdir");
   if (!outdir.ok()) return outdir.error();
-  auto study = analysis::run_study(log.value());
+  auto options = resolve_study_options(args);
+  if (!options.ok()) return options.error();
+  auto study = analysis::run_study(log.value(), options.value());
   if (!study.ok()) return study.error();
   const auto& s = study.value();
   std::size_t written = 0;
@@ -417,15 +439,19 @@ ArgParser make_report_parser() {
   parser.option({"title", "TEXT", "report title", {}});
   parser.option({"no-extensions", "", "omit survival/trends/racks sections", {}});
   parser.option(strict_option());
+  parser.option(jobs_option());
   return parser;
 }
 
 Result<void> run_report(const ParsedArgs& args, std::ostream& out) {
   auto log = load_log(args);
   if (!log.ok()) return log.error();
+  auto study_options = resolve_study_options(args);
+  if (!study_options.ok()) return study_options.error();
   report::MarkdownOptions options;
   if (args.has("title")) options.title = args.get("title").value();
   options.include_extensions = !args.flag("no-extensions");
+  options.jobs = study_options.value().jobs;
   auto markdown = report::render_markdown_report(log.value(), options);
   if (!markdown.ok()) return markdown.error();
   if (args.has("out")) {

@@ -1,0 +1,94 @@
+#include "data/log_index.h"
+
+namespace tsufail::data {
+
+LogIndex::LogIndex(const FailureLog& log) : log_(&log) {
+  const auto records = log.records();
+  const auto n = records.size();
+  hours_.reserve(n);
+  ttr_.reserve(n);
+
+  // Pass 1: dense per-record arrays, group sizes, and the month of each
+  // record (cached so pass 2 does not repeat the calendar conversion).
+  std::array<std::uint32_t, kCategories> category_sizes{};
+  std::array<std::uint32_t, kClasses> class_sizes{};
+  std::array<std::uint32_t, 12> month_sizes{};
+  std::uint32_t gpu_size = 0;
+  std::uint32_t multi_size = 0;
+  // Node ids are validated to [0, node_count), so dense counters beat a
+  // map: two O(log nodes) lookups per record would otherwise dominate the
+  // whole build.
+  std::vector<std::uint32_t> node_sizes(
+      static_cast<std::size_t>(log.spec().node_count), 0);
+  std::vector<std::uint8_t> month_of(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FailureRecord& record = records[i];
+    hours_.push_back(hours_between(log.spec().log_start, record.time));
+    ttr_.push_back(record.ttr_hours);
+    ++category_sizes[static_cast<std::size_t>(record.category)];
+    ++class_sizes[static_cast<std::size_t>(record.failure_class())];
+    month_of[i] = static_cast<std::uint8_t>(record.time.month() - 1);
+    ++month_sizes[month_of[i]];
+    ++node_sizes[static_cast<std::size_t>(record.node)];
+    if (record.gpu_related() && !record.gpu_slots.empty()) {
+      ++gpu_size;
+      if (record.multi_gpu()) ++multi_size;
+    }
+  }
+
+  // Lay the groups out back-to-back in one arena.
+  std::uint32_t offset = 0;
+  const auto reserve_range = [&offset](Range& range, std::uint32_t size) {
+    range.begin = offset;
+    range.count = 0;  // used as a write cursor in pass 2
+    offset += size;
+  };
+  for (std::size_t c = 0; c < kCategories; ++c) reserve_range(categories_[c], category_sizes[c]);
+  for (std::size_t c = 0; c < kClasses; ++c) reserve_range(classes_[c], class_sizes[c]);
+  for (std::size_t m = 0; m < 12; ++m) reserve_range(months_[m], month_sizes[m]);
+  reserve_range(gpu_attributed_, gpu_size);
+  reserve_range(multi_gpu_, multi_size);
+  std::vector<std::uint32_t> node_slot(node_sizes.size(), 0);
+  for (std::size_t node = 0; node < node_sizes.size(); ++node) {  // ascending node id
+    if (node_sizes[node] == 0) continue;
+    node_slot[node] = static_cast<std::uint32_t>(node_groups_.size());
+    node_groups_.push_back({static_cast<int>(node), offset, 0});
+    offset += node_sizes[node];
+  }
+  arena_.resize(offset);
+
+  // Pass 2: fill every group in record (= time) order, so each span is
+  // strictly ascending.
+  const auto push = [this](Range& range, std::uint32_t position) {
+    arena_[range.begin + range.count++] = position;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const FailureRecord& record = records[i];
+    const auto position = static_cast<std::uint32_t>(i);
+    push(categories_[static_cast<std::size_t>(record.category)], position);
+    push(classes_[static_cast<std::size_t>(record.failure_class())], position);
+    push(months_[month_of[i]], position);
+    NodeGroup& group = node_groups_[node_slot[static_cast<std::size_t>(record.node)]];
+    arena_[group.begin + group.count++] = position;
+    if (record.gpu_related() && !record.gpu_slots.empty()) {
+      push(gpu_attributed_, position);
+      if (record.multi_gpu()) push(multi_gpu_, position);
+    }
+  }
+}
+
+std::vector<double> LogIndex::hours_of(std::span<const std::uint32_t> positions) const {
+  std::vector<double> out;
+  out.reserve(positions.size());
+  for (std::uint32_t position : positions) out.push_back(hours_[position]);
+  return out;
+}
+
+std::vector<double> LogIndex::ttr_of(std::span<const std::uint32_t> positions) const {
+  std::vector<double> out;
+  out.reserve(positions.size());
+  for (std::uint32_t position : positions) out.push_back(ttr_[position]);
+  return out;
+}
+
+}  // namespace tsufail::data

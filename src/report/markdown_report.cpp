@@ -4,6 +4,7 @@
 #include "analysis/rack_distribution.h"
 #include "analysis/rolling.h"
 #include "analysis/tbf.h"
+#include "data/log_index.h"
 #include "report/table.h"
 
 namespace tsufail::report {
@@ -25,7 +26,7 @@ std::string md_rule(std::size_t columns) {
 
 Result<std::string> render_markdown_report(const data::FailureLog& log,
                                            const MarkdownOptions& options) {
-  auto study_result = analysis::run_study(log);
+  auto study_result = analysis::run_study(log, analysis::StudyOptions{options.jobs});
   if (!study_result.ok()) return study_result.error();
   const auto& s = study_result.value();
 
@@ -113,10 +114,20 @@ Result<std::string> render_markdown_report(const data::FailureLog& log,
     md += "(uniformity p = " + fmt(s.gpu_slots->uniformity_p_value, 4) + ")\n\n";
   }
 
+  // --- skipped analyses ----------------------------------------------------------
+  if (!s.skipped.empty()) {
+    md += "## Skipped analyses\n\n";
+    for (const auto& skipped : s.skipped) {
+      md += "- " + skipped.analysis + ": " + skipped.error.message() + "\n";
+    }
+    md += "\n";
+  }
+
   if (!options.include_extensions) return md;
 
   // --- extensions ------------------------------------------------------------------
-  if (auto survival = analysis::analyze_node_survival(log); survival.ok()) {
+  const data::LogIndex index(log);  // shared by the extension analyzers
+  if (auto survival = analysis::analyze_node_survival(index); survival.ok()) {
     md += "## Node survival\n\n";
     md += "- " + fmt_percent(100.0 * survival.value().fraction_never_failed, 1) +
           " of nodes never failed inside the window\n";
@@ -134,7 +145,7 @@ Result<std::string> render_markdown_report(const data::FailureLog& log,
     md += "\n";
   }
 
-  if (auto trends = analysis::analyze_rolling_trends(log); trends.ok()) {
+  if (auto trends = analysis::analyze_rolling_trends(index); trends.ok()) {
     md += "## Lifetime trends\n\n";
     md += "- failure-rate slope p = " + fmt(trends.value().rate_trend.slope_p_value, 3) +
           ", early/late quarter rate ratio " +
@@ -142,7 +153,7 @@ Result<std::string> render_markdown_report(const data::FailureLog& log,
     md += "- MTTR slope p = " + fmt(trends.value().mttr_trend.slope_p_value, 3) + "\n\n";
   }
 
-  if (auto racks = analysis::analyze_racks(log); racks.ok()) {
+  if (auto racks = analysis::analyze_racks(index); racks.ok()) {
     md += "## Rack distribution\n\n";
     md += "- " + std::to_string(racks.value().racks_with_failures) + " of " +
           std::to_string(racks.value().total_racks) + " racks saw failures; Gini " +

@@ -18,6 +18,9 @@ struct MarkdownOptions {
   bool include_extensions = true;  ///< survival / trends / racks sections
   std::size_t top_categories = 20;
   std::size_t top_loci = 10;
+  /// Worker threads for the underlying study (analysis::StudyOptions
+  /// semantics: 1 = serial, 0 = all hardware threads).
+  std::size_t jobs = 1;
 };
 
 /// Renders the full study as markdown.  Runs the extension analyzers

@@ -78,7 +78,9 @@ Result<Summary> summarize(std::span<const double> sample) {
   if (sample.empty())
     return Error(ErrorKind::kDomain, "summarize: empty sample");
   std::vector<double> sorted(sample.begin(), sample.end());
-  std::sort(sorted.begin(), sorted.end());
+  // Analyzers often pass already-ordered samples (LogIndex streams are
+  // time-sorted); an O(n) check dodges the O(n log n) re-sort then.
+  if (!std::is_sorted(sorted.begin(), sorted.end())) std::sort(sorted.begin(), sorted.end());
   Summary s;
   s.count = sorted.size();
   s.mean = mean(sorted);
@@ -96,7 +98,7 @@ Result<BoxStats> box_stats(std::span<const double> sample) {
   if (sample.empty())
     return Error(ErrorKind::kDomain, "box_stats: empty sample");
   std::vector<double> sorted(sample.begin(), sample.end());
-  std::sort(sorted.begin(), sorted.end());
+  if (!std::is_sorted(sorted.begin(), sorted.end())) std::sort(sorted.begin(), sorted.end());
   BoxStats b;
   b.count = sorted.size();
   b.q1 = quantile_sorted(sorted, 0.25).value();

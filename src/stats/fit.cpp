@@ -67,11 +67,13 @@ Result<Weibull> fit_weibull(std::span<const double> sample) {
   }
   mean_log /= static_cast<double>(sample.size());
 
+  // Scale x^k by exp(-k*max_log) implicitly via shifted logs to avoid
+  // overflow with large k.  The shift is invariant across Newton
+  // iterations, so it is computed once, not per g_and_slope call.
+  const double max_log = *std::max_element(logs.begin(), logs.end());
+
   const auto g_and_slope = [&](double k, double& g, double& slope) {
     double s0 = 0.0, s1 = 0.0, s2 = 0.0;
-    // Scale x^k by exp(-k*max_log) implicitly via shifted logs to avoid
-    // overflow with large k.
-    const double max_log = *std::max_element(logs.begin(), logs.end());
     for (std::size_t i = 0; i < sample.size(); ++i) {
       const double w = std::exp(k * (logs[i] - max_log));
       s0 += w;

@@ -1,0 +1,160 @@
+// Executor unit tests: dependency ordering, failure poisoning, exception
+// capture, and scheduling determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/executor.h"
+
+namespace tsufail::analysis {
+namespace {
+
+Result<void> ok() { return {}; }
+
+TEST(Executor, OutcomesComeBackInRegistrationOrder) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    Executor executor;
+    executor.add("first", ok);
+    executor.add("second", ok);
+    executor.add("third", ok);
+    const auto outcomes = executor.run(jobs);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].name, "first");
+    EXPECT_EQ(outcomes[1].name, "second");
+    EXPECT_EQ(outcomes[2].name, "third");
+    for (const auto& outcome : outcomes) EXPECT_TRUE(outcome.ok());
+  }
+}
+
+TEST(Executor, DependentSeesDependencyWrites) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+    Executor executor;
+    int value = 0;
+    const auto producer = executor.add("producer", [&]() -> Result<void> {
+      value = 42;
+      return {};
+    });
+    bool saw_value = false;
+    executor.add(
+        "consumer",
+        [&]() -> Result<void> {
+          saw_value = value == 42;
+          return {};
+        },
+        {producer});
+    const auto outcomes = executor.run(jobs);
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_TRUE(outcomes[1].ok());
+    EXPECT_TRUE(saw_value);
+  }
+}
+
+TEST(Executor, FailurePoisonsTransitiveDependentsOnly) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    Executor executor;
+    const auto failing = executor.add("failing", []() -> Result<void> {
+      return Error(ErrorKind::kDomain, "no data");
+    });
+    bool direct_ran = false;
+    const auto direct = executor.add(
+        "direct",
+        [&]() -> Result<void> {
+          direct_ran = true;
+          return {};
+        },
+        {failing});
+    bool transitive_ran = false;
+    executor.add(
+        "transitive",
+        [&]() -> Result<void> {
+          transitive_ran = true;
+          return {};
+        },
+        {direct});
+    bool independent_ran = false;
+    executor.add("independent", [&]() -> Result<void> {
+      independent_ran = true;
+      return {};
+    });
+
+    const auto outcomes = executor.run(jobs);
+    EXPECT_FALSE(outcomes[0].ok());
+    EXPECT_FALSE(outcomes[0].dependency_failed);
+    EXPECT_EQ(outcomes[0].error->kind(), ErrorKind::kDomain);
+
+    EXPECT_FALSE(outcomes[1].ok());
+    EXPECT_TRUE(outcomes[1].dependency_failed);
+    EXPECT_NE(outcomes[1].error->message().find("failing"), std::string::npos);
+    EXPECT_FALSE(direct_ran);
+
+    EXPECT_FALSE(outcomes[2].ok());
+    EXPECT_TRUE(outcomes[2].dependency_failed);
+    EXPECT_FALSE(transitive_ran);
+
+    EXPECT_TRUE(outcomes[3].ok());
+    EXPECT_TRUE(independent_ran);
+  }
+}
+
+TEST(Executor, ThrownExceptionsBecomeInternalErrors) {
+  Executor executor;
+  executor.add("thrower", []() -> Result<void> { throw std::runtime_error("boom"); });
+  const auto outcomes = executor.run(4);
+  ASSERT_FALSE(outcomes[0].ok());
+  EXPECT_FALSE(outcomes[0].dependency_failed);
+  EXPECT_EQ(outcomes[0].error->kind(), ErrorKind::kInternal);
+  EXPECT_NE(outcomes[0].error->message().find("boom"), std::string::npos);
+}
+
+TEST(Executor, DiamondGraphRunsEveryTaskOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{3}, std::size_t{0}}) {
+    Executor executor;
+    std::atomic<int> runs{0};
+    const auto count = [&]() -> Result<void> {
+      ++runs;
+      return {};
+    };
+    const auto root = executor.add("root", count);
+    const auto left = executor.add("left", count, {root});
+    const auto right = executor.add("right", count, {root});
+    executor.add("join", count, {left, right});
+    const auto outcomes = executor.run(jobs);
+    EXPECT_EQ(runs.load(), 4);
+    for (const auto& outcome : outcomes) EXPECT_TRUE(outcome.ok());
+  }
+}
+
+TEST(Executor, WideFanOutCompletesUnderContention) {
+  Executor executor;
+  std::atomic<int> runs{0};
+  const auto root = executor.add("root", ok);
+  for (int i = 0; i < 64; ++i) {
+    executor.add("task" + std::to_string(i),
+                 [&]() -> Result<void> {
+                   ++runs;
+                   return {};
+                 },
+                 {root});
+  }
+  const auto outcomes = executor.run(0);
+  EXPECT_EQ(runs.load(), 64);
+  EXPECT_EQ(outcomes.size(), 65u);
+}
+
+TEST(Executor, ForwardDependencyIsRejected) {
+  Executor executor;
+  executor.add("only", ok);
+  EXPECT_THROW(executor.add("bad", ok, {5}), std::logic_error);
+}
+
+TEST(Executor, SecondRunIsRejected) {
+  Executor executor;
+  executor.add("only", ok);
+  executor.run(1);
+  EXPECT_THROW(executor.run(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tsufail::analysis

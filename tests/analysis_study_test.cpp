@@ -2,6 +2,9 @@
 // optionals and empty vectors, never errors (except the empty log).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "analysis/study.h"
 #include "sim/generator.h"
 #include "sim/tsubame_models.h"
@@ -117,6 +120,61 @@ TEST(RunStudy, FullCalibratedLogPopulatesEverything) {
   EXPECT_FALSE(s.tbf_by_category.empty());
   EXPECT_TRUE(s.multi_gpu_clustering.has_value());
   EXPECT_FALSE(s.ttr_by_category.empty());
+  EXPECT_TRUE(s.skipped.empty());  // nothing was undefined for a full log
+}
+
+std::vector<std::string> skipped_names(const StudyReport& report) {
+  std::vector<std::string> names;
+  for (const auto& skipped : report.skipped) names.push_back(skipped.analysis);
+  return names;
+}
+
+TEST(RunStudy, SkippedListsGpuAnalysesWhenLogHasNoGpuFailures) {
+  auto study = run_study(t2_log({rec(1, Category::kCpu, "2012-06-01"),
+                                 rec(2, Category::kFan, "2012-06-02"),
+                                 rec(3, Category::kPbs, "2012-06-03")}));
+  ASSERT_TRUE(study.ok());
+  // Registration order, each with the analysis's own domain error.  The
+  // per-category boxes are skipped too: one failure per category is below
+  // both analyses' min_failures thresholds.
+  EXPECT_EQ(skipped_names(study.value()),
+            (std::vector<std::string>{"gpu_slots", "multi_gpu", "tbf_by_category",
+                                      "multi_gpu_clustering", "ttr_by_category"}));
+  for (const auto& skipped : study.value().skipped) {
+    EXPECT_EQ(skipped.error.kind(), ErrorKind::kDomain);
+    EXPECT_FALSE(skipped.error.message().empty());
+  }
+}
+
+TEST(RunStudy, SkippedListsUndefinedAnalysesForSingleRecord) {
+  auto study = run_study(t2_log({rec(1, Category::kGpu, "2012-06-01", 5.0, {0})}));
+  ASSERT_TRUE(study.ok());
+  EXPECT_EQ(skipped_names(study.value()),
+            (std::vector<std::string>{"software_loci", "tbf", "tbf_by_category",
+                                      "multi_gpu_clustering", "ttr_by_category"}));
+}
+
+TEST(RunStudy, SkippedListIsIdenticalAcrossThreadCounts) {
+  const auto log = t2_log({rec(1, Category::kCpu, "2012-06-01"),
+                           rec(2, Category::kFan, "2012-06-02"),
+                           rec(3, Category::kPbs, "2012-06-03")});
+  const auto serial = run_study(log, StudyOptions{1});
+  ASSERT_TRUE(serial.ok());
+  for (std::size_t jobs : {std::size_t{4}, std::size_t{0}}) {
+    const auto parallel = run_study(log, StudyOptions{jobs});
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(skipped_names(parallel.value()), skipped_names(serial.value()));
+  }
+}
+
+TEST(RunStudy, RequiredAnalysisFailureNamesTheAnalysis) {
+  // The empty log fails before any analysis; a log that defeats a required
+  // analysis but not the empty-log guard does not exist by construction
+  // (all required analyses accept any non-empty log), so the error path is
+  // exercised through the guard's message instead.
+  const auto study = run_study(t2_log({}));
+  ASSERT_FALSE(study.ok());
+  EXPECT_NE(study.error().message().find("empty log"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,191 @@
+// LogIndex invariant tests: the contract documented in data/log_index.h
+// (time-order preservation, bit-identical precomputed arrays, group
+// partitions, subset relations) on both calibrated machines plus
+// handcrafted edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "data/log_index.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+namespace tsufail::data {
+namespace {
+
+FailureLog generated(Machine machine) {
+  const auto model =
+      machine == Machine::kTsubame2 ? sim::tsubame2_model() : sim::tsubame3_model();
+  return sim::generate_log(model, 7).value();
+}
+
+bool strictly_ascending(std::span<const std::uint32_t> positions) {
+  return std::adjacent_find(positions.begin(), positions.end(),
+                            [](std::uint32_t a, std::uint32_t b) { return a >= b; }) ==
+         positions.end();
+}
+
+class LogIndexInvariants : public ::testing::TestWithParam<Machine> {};
+
+TEST_P(LogIndexInvariants, ArraysAlignWithRecordsBitIdentically) {
+  const auto log = generated(GetParam());
+  const LogIndex index(log);
+  ASSERT_EQ(index.size(), log.size());
+  ASSERT_EQ(index.hours().size(), log.size());
+  ASSERT_EQ(index.ttr().size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the arrays must be bit-identical
+    // to what the analyzers used to compute per record.
+    EXPECT_EQ(index.hours()[i], hours_between(log.spec().log_start, log.records()[i].time));
+    EXPECT_EQ(index.ttr()[i], log.records()[i].ttr_hours);
+  }
+  EXPECT_TRUE(std::is_sorted(index.hours().begin(), index.hours().end()));
+}
+
+TEST_P(LogIndexInvariants, CategoryGroupsPartitionPositions) {
+  const auto log = generated(GetParam());
+  const LogIndex index(log);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c <= static_cast<std::size_t>(Category::kUnknown); ++c) {
+    const auto category = static_cast<Category>(c);
+    const auto positions = index.by_category(category);
+    EXPECT_TRUE(strictly_ascending(positions));
+    EXPECT_EQ(index.count(category), positions.size());
+    for (std::uint32_t position : positions)
+      EXPECT_EQ(index.record(position).category, category);
+    total += positions.size();
+  }
+  EXPECT_EQ(total, index.size());
+}
+
+TEST_P(LogIndexInvariants, ClassGroupsPartitionPositions) {
+  const auto log = generated(GetParam());
+  const LogIndex index(log);
+  std::size_t total = 0;
+  for (FailureClass cls :
+       {FailureClass::kHardware, FailureClass::kSoftware, FailureClass::kUnknown}) {
+    const auto positions = index.by_class(cls);
+    EXPECT_TRUE(strictly_ascending(positions));
+    for (std::uint32_t position : positions)
+      EXPECT_EQ(index.record(position).failure_class(), cls);
+    total += positions.size();
+  }
+  EXPECT_EQ(total, index.size());
+}
+
+TEST_P(LogIndexInvariants, MonthGroupsPartitionPositions) {
+  const auto log = generated(GetParam());
+  const LogIndex index(log);
+  std::size_t total = 0;
+  for (int month = 1; month <= 12; ++month) {
+    const auto positions = index.by_month(month);
+    EXPECT_TRUE(strictly_ascending(positions));
+    for (std::uint32_t position : positions)
+      EXPECT_EQ(index.record(position).time.month(), month);
+    total += positions.size();
+  }
+  EXPECT_EQ(total, index.size());
+}
+
+TEST_P(LogIndexInvariants, NodeGroupsAscendAndPartitionPositions) {
+  const auto log = generated(GetParam());
+  const LogIndex index(log);
+  std::size_t total = 0;
+  int previous_node = -1;
+  for (const auto& group : index.nodes()) {
+    EXPECT_GT(group.node, previous_node);  // ascending node ids
+    previous_node = group.node;
+    const auto positions = index.positions_of(group);
+    ASSERT_EQ(positions.size(), group.count);
+    EXPECT_GT(group.count, 0u);
+    EXPECT_TRUE(strictly_ascending(positions));
+    for (std::uint32_t position : positions)
+      EXPECT_EQ(index.record(position).node, group.node);
+    total += positions.size();
+  }
+  EXPECT_EQ(total, index.size());
+}
+
+TEST_P(LogIndexInvariants, GpuGroupsMatchPredicatesAndNest) {
+  const auto log = generated(GetParam());
+  const LogIndex index(log);
+
+  std::vector<std::uint32_t> expected_attributed, expected_multi;
+  for (std::uint32_t i = 0; i < index.size(); ++i) {
+    const auto& record = log.records()[i];
+    if (record.gpu_related() && !record.gpu_slots.empty()) {
+      expected_attributed.push_back(i);
+      if (record.multi_gpu()) expected_multi.push_back(i);
+    }
+  }
+  const auto attributed = index.gpu_attributed();
+  const auto multi = index.multi_gpu();
+  EXPECT_TRUE(std::equal(attributed.begin(), attributed.end(), expected_attributed.begin(),
+                         expected_attributed.end()));
+  EXPECT_TRUE(std::equal(multi.begin(), multi.end(), expected_multi.begin(),
+                         expected_multi.end()));
+  // multi_gpu is a subset of gpu_attributed by construction.
+  EXPECT_TRUE(std::includes(attributed.begin(), attributed.end(), multi.begin(), multi.end()));
+}
+
+TEST_P(LogIndexInvariants, GatherHelpersPreserveOrder) {
+  const auto log = generated(GetParam());
+  const LogIndex index(log);
+  for (FailureClass cls : {FailureClass::kHardware, FailureClass::kSoftware}) {
+    const auto positions = index.by_class(cls);
+    const auto hours = index.hours_of(positions);
+    const auto ttr = index.ttr_of(positions);
+    ASSERT_EQ(hours.size(), positions.size());
+    ASSERT_EQ(ttr.size(), positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_EQ(hours[i], index.hours()[positions[i]]);
+      EXPECT_EQ(ttr[i], index.ttr()[positions[i]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMachines, LogIndexInvariants,
+                         ::testing::Values(Machine::kTsubame2, Machine::kTsubame3));
+
+TEST(LogIndex, EmptyLogYieldsEmptyGroups) {
+  const auto log = FailureLog::create(tsubame2_spec(), {}).value();
+  const LogIndex index(log);
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(index.hours().empty());
+  EXPECT_TRUE(index.nodes().empty());
+  EXPECT_TRUE(index.gpu_attributed().empty());
+  EXPECT_EQ(index.count(Category::kGpu), 0u);
+  EXPECT_TRUE(index.by_month(6).empty());
+}
+
+TEST(LogIndex, AbsentCategoryHasEmptySpan) {
+  FailureRecord record;
+  record.node = 3;
+  record.category = Category::kGpu;
+  record.time = parse_time("2012-06-01").value();
+  record.ttr_hours = 4.0;
+  record.gpu_slots = {0, 1};
+  const auto log = FailureLog::create(tsubame2_spec(), {record}).value();
+  const LogIndex index(log);
+  EXPECT_EQ(index.count(Category::kGpu), 1u);
+  EXPECT_EQ(index.count(Category::kCpu), 0u);
+  EXPECT_TRUE(index.by_category(Category::kCpu).empty());
+  ASSERT_EQ(index.multi_gpu().size(), 1u);
+  EXPECT_EQ(index.multi_gpu()[0], 0u);
+}
+
+TEST(LogIndex, CopyResolvesSpansIntoItsOwnArena) {
+  const auto log = generated(Machine::kTsubame3);
+  const LogIndex original(log);
+  const LogIndex copy = original;  // Range offsets, not spans: copy-safe
+  const auto a = original.by_class(FailureClass::kHardware);
+  const auto b = copy.by_class(FailureClass::kHardware);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_NE(a.data(), b.data());  // the copy owns its arena
+}
+
+}  // namespace
+}  // namespace tsufail::data
