@@ -1,0 +1,75 @@
+// Reference-vs-fast cost of the differential oracle, on testkit's
+// adversarial random logs: how much the naive O(n^2) references cost
+// relative to the production analyses, and what a full run_oracle() sweep
+// (every analysis x three code paths x three thread counts) costs per
+// log.  This bounds the iteration budget the property suites can afford.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/study.h"
+#include "data/log_index.h"
+#include "testkit/generator.h"
+#include "testkit/oracle.h"
+#include "testkit/reference.h"
+
+namespace {
+
+using namespace tsufail;
+
+constexpr std::uint64_t kSeed = 20210607;  // the repo-wide bench seed
+
+// One adversarial log per record count, cached across repetitions.
+const data::FailureLog& corpus(std::int64_t records) {
+  static std::map<std::int64_t, data::FailureLog> cache;
+  auto it = cache.find(records);
+  if (it == cache.end()) {
+    testkit::GenOptions options;
+    options.min_records = static_cast<std::size_t>(records);
+    options.max_records = static_cast<std::size_t>(records);
+    Rng rng(kSeed);
+    it = cache.emplace(records, testkit::random_log(options, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_GenerateRandomLog(benchmark::State& state) {
+  testkit::GenOptions options;
+  options.min_records = static_cast<std::size_t>(state.range(0));
+  options.max_records = options.min_records;
+  Rng rng(kSeed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::random_records(options, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateRandomLog)->Arg(64)->Arg(512);
+
+void BM_ReferenceStudy(benchmark::State& state) {
+  const auto& log = corpus(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::ref_run_study(log));
+  }
+}
+BENCHMARK(BM_ReferenceStudy)->Arg(64)->Arg(512);
+
+void BM_FastStudySerial(benchmark::State& state) {
+  const auto& log = corpus(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::run_study(log, analysis::StudyOptions{1}));
+  }
+}
+BENCHMARK(BM_FastStudySerial)->Arg(64)->Arg(512);
+
+void BM_FullOracle(benchmark::State& state) {
+  const auto& log = corpus(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testkit::run_oracle(log));
+  }
+}
+BENCHMARK(BM_FullOracle)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

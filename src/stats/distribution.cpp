@@ -10,7 +10,7 @@ namespace {
 /// Recipes formulation, accurate to ~1e-12 over this library's range.
 double reg_lower_gamma(double a, double x) {
   if (x <= 0.0) return 0.0;
-  const double log_prefix = a * std::log(x) - x - std::lgamma(a);
+  const double log_prefix = a * std::log(x) - x - detail::lgamma_threadsafe(a);
   if (x < a + 1.0) {
     // Series: P(a,x) = e^-x x^a / Gamma(a) * sum_{n>=0} x^n / (a (a+1)...(a+n))
     double term = 1.0 / a;

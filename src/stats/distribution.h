@@ -15,6 +15,20 @@
 
 namespace tsufail::stats {
 
+namespace detail {
+/// Thread-safe ln|Gamma(a)|.  glibc's lgamma() writes the process-global
+/// `signgam`, which is a data race when analyses fit distributions in
+/// parallel; lgamma_r() returns the sign through an out-parameter instead.
+inline double lgamma_threadsafe(double a) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
+}  // namespace detail
+
 /// Exponential(mean). Hazard is constant; the classic MTBF model.
 struct Exponential {
   double mean_value = 1.0;
@@ -88,8 +102,8 @@ struct Gamma {
   double pdf(double x) const noexcept {
     if (x < 0) return 0.0;
     if (x == 0) return shape < 1.0 ? 0.0 : (shape == 1.0 ? 1.0 / scale : 0.0);
-    return std::exp((shape - 1.0) * std::log(x) - x / scale - std::lgamma(shape) -
-                    shape * std::log(scale));
+    return std::exp((shape - 1.0) * std::log(x) - x / scale -
+                    detail::lgamma_threadsafe(shape) - shape * std::log(scale));
   }
   /// Regularized lower incomplete gamma, via series/continued fraction.
   double cdf(double x) const noexcept;

@@ -1,0 +1,198 @@
+#include "testkit/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "data/category.h"
+
+namespace tsufail::testkit {
+namespace {
+
+/// Root-locus vocabulary for software-class records: a few labels that
+/// exercise the GPU-driver matcher ("driver"/"cuda"), the "unknown"
+/// normalization, and case/whitespace folding.
+constexpr const char* kLoci[] = {
+    "GPU driver",  "cuda runtime", "  Lustre client ", "scheduler",
+    "unknown",     "firmware",     "MPI library",      "gpu direct rdma",
+};
+
+data::FailureRecord random_record(const GenOptions& options, const data::MachineSpec& spec,
+                                  const std::vector<int>& hot_nodes,
+                                  const data::FailureRecord* previous, Rng& rng) {
+  const auto vocabulary = data::categories_for(spec.machine);
+  data::FailureRecord record;
+  record.category = vocabulary[rng.uniform_index(vocabulary.size())];
+
+  const auto window_seconds =
+      static_cast<std::uint64_t>(spec.log_end.seconds_since_epoch() -
+                                 spec.log_start.seconds_since_epoch());
+  if (previous != nullptr && rng.bernoulli(options.duplicate_time_probability)) {
+    record.time = previous->time;  // exact tie: zero TBF gap
+  } else if (previous != nullptr && rng.bernoulli(options.burst_probability)) {
+    // Clustered arrival: within 72 hours of the previous draw, clamped
+    // into the window.
+    const auto delta = static_cast<std::int64_t>(rng.uniform_index(72 * 3600 + 1));
+    record.time = previous->time.plus_seconds(delta);
+    if (record.time > spec.log_end) record.time = spec.log_end;
+  } else {
+    record.time = spec.log_start.plus_seconds(
+        static_cast<std::int64_t>(rng.uniform_index(window_seconds + 1)));
+  }
+
+  if (!hot_nodes.empty() && rng.bernoulli(options.hot_node_probability)) {
+    record.node = hot_nodes[rng.uniform_index(hot_nodes.size())];
+  } else {
+    record.node = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(spec.node_count)));
+  }
+
+  record.ttr_hours =
+      rng.bernoulli(options.zero_ttr_probability) ? 0.0 : rng.lognormal(std::log(12.0), 1.2);
+
+  if (data::is_gpu_related(record.category)) {
+    const int per_node = spec.gpus_per_node;
+    int involved = 1;
+    if (per_node > 1 && rng.bernoulli(options.multi_gpu_probability))
+      involved = 2 + static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(per_node - 1)));
+    // Partial Fisher-Yates over the slot ids gives `involved` distinct slots.
+    std::vector<int> slots(static_cast<std::size_t>(per_node));
+    for (int s = 0; s < per_node; ++s) slots[static_cast<std::size_t>(s)] = s;
+    for (int k = 0; k < involved; ++k) {
+      const auto j = k + static_cast<int>(rng.uniform_index(
+                             static_cast<std::uint64_t>(per_node - k)));
+      std::swap(slots[static_cast<std::size_t>(k)], slots[static_cast<std::size_t>(j)]);
+    }
+    record.gpu_slots.assign(slots.begin(), slots.begin() + involved);
+  }
+
+  if (record.failure_class() == data::FailureClass::kSoftware &&
+      rng.bernoulli(options.root_locus_probability)) {
+    record.root_locus = kLoci[rng.uniform_index(std::size(kLoci))];
+  }
+  return record;
+}
+
+data::FailureLog must_create(const data::MachineSpec& spec,
+                             std::vector<data::FailureRecord> records) {
+  auto log = data::FailureLog::create(spec, std::move(records));
+  TSUFAIL_REQUIRE(log.ok(), "testkit generator produced an invalid log: " +
+                                (log.ok() ? std::string() : log.error().to_string()));
+  return std::move(log).value();
+}
+
+}  // namespace
+
+std::vector<data::FailureRecord> random_records(const GenOptions& options, Rng& rng) {
+  TSUFAIL_REQUIRE(options.min_records <= options.max_records,
+                  "GenOptions: min_records must be <= max_records");
+  const data::MachineSpec& spec = data::spec_for(options.machine);
+  const std::size_t count =
+      options.min_records +
+      rng.uniform_index(options.max_records - options.min_records + 1);
+
+  // A handful of "hot" nodes shared by the whole log, so repeat-failure
+  // nodes (Figure 4) and same-node bursts actually occur at small n.
+  std::vector<int> hot_nodes;
+  for (int k = 0; k < 3; ++k)
+    hot_nodes.push_back(
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(spec.node_count))));
+
+  std::vector<data::FailureRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const data::FailureRecord* previous = records.empty() ? nullptr : &records.back();
+    records.push_back(random_record(options, spec, hot_nodes, previous, rng));
+  }
+
+  // Hand the records over in random order: FailureLog::create must sort,
+  // and permutation-sensitive bugs downstream get a fighting chance to
+  // surface.
+  for (std::size_t i = records.size(); i > 1; --i)
+    std::swap(records[i - 1], records[rng.uniform_index(i)]);
+  return records;
+}
+
+data::FailureLog random_log(const GenOptions& options, Rng& rng) {
+  return must_create(data::spec_for(options.machine), random_records(options, rng));
+}
+
+std::vector<EdgeCase> edge_case_logs(data::Machine machine) {
+  const data::MachineSpec& spec = data::spec_for(machine);
+  const TimePoint mid = spec.log_start.plus_seconds(
+      (spec.log_end.seconds_since_epoch() - spec.log_start.seconds_since_epoch()) / 2);
+  const data::Category gpu = data::Category::kGpu;  // in both vocabularies
+  const data::Category cpu = data::Category::kCpu;
+
+  const auto rec = [&](TimePoint t, int node, data::Category c, double ttr,
+                       std::vector<int> slots = {}) {
+    data::FailureRecord r;
+    r.time = t;
+    r.node = node;
+    r.category = c;
+    r.ttr_hours = ttr;
+    r.gpu_slots = std::move(slots);
+    return r;
+  };
+
+  std::vector<EdgeCase> cases;
+  const auto add = [&](std::string name, std::vector<data::FailureRecord> records) {
+    cases.push_back({std::move(name), must_create(spec, std::move(records))});
+  };
+
+  add("empty", {});
+  add("single_record", {rec(mid, 0, gpu, 4.0, {0})});
+  add("two_simultaneous", {rec(mid, 0, gpu, 4.0, {0}), rec(mid, 1, cpu, 2.0)});
+  add("all_simultaneous", {rec(mid, 0, gpu, 1.0, {0}), rec(mid, 1, gpu, 2.0, {1}),
+                           rec(mid, 2, cpu, 3.0), rec(mid, 3, cpu, 4.0),
+                           rec(mid, 4, data::Category::kDisk, 5.0)});
+  // Interleaved duplicates handed over out of time order: create() must
+  // sort them, and tie groups keep hand-over order (stable sort).
+  add("duplicates_out_of_order",
+      {rec(mid.plus_hours(48.0), 5, cpu, 1.0), rec(mid, 6, gpu, 2.0, {0}),
+       rec(mid.plus_hours(48.0), 7, cpu, 3.0), rec(mid, 8, gpu, 4.0, {1}),
+       rec(mid.plus_hours(-48.0), 9, data::Category::kDisk, 5.0)});
+  add("one_hot_node", {rec(mid, 3, gpu, 1.0, {0}), rec(mid.plus_hours(1.0), 3, cpu, 2.0),
+                       rec(mid.plus_hours(2.0), 3, gpu, 3.0, {1}),
+                       rec(mid.plus_hours(3.0), 3, data::Category::kMemory, 4.0)});
+  add("all_zero_ttr", {rec(mid, 0, gpu, 0.0, {0}), rec(mid.plus_hours(5.0), 1, cpu, 0.0),
+                       rec(mid.plus_hours(9.0), 2, data::Category::kMemory, 0.0)});
+  add("window_edges", {rec(spec.log_start, 0, gpu, 1.0, {0}),
+                       rec(mid, 1, cpu, 2.0),
+                       rec(spec.log_end, 2, data::Category::kDisk, 3.0)});
+  // Dense multi-GPU burst: every record names every slot, minutes apart.
+  {
+    std::vector<int> all_slots;
+    for (int s = 0; s < spec.gpus_per_node; ++s) all_slots.push_back(s);
+    std::vector<data::FailureRecord> burst;
+    for (int i = 0; i < 6; ++i)
+      burst.push_back(rec(mid.plus_seconds(i * 600), i, gpu, 2.0, all_slots));
+    add("multi_gpu_burst", std::move(burst));
+  }
+  return cases;
+}
+
+std::string describe_records(const data::MachineSpec& spec,
+                             std::span<const data::FailureRecord> records) {
+  std::ostringstream out;
+  out << spec.name << ", " << records.size() << " record(s):\n";
+  for (const auto& record : records) {
+    out << "  " << format_time(record.time) << "  node=" << record.node << "  "
+        << data::to_string(record.category) << "  ttr=" << record.ttr_hours << "h";
+    if (!record.gpu_slots.empty()) {
+      out << "  slots=[";
+      for (std::size_t i = 0; i < record.gpu_slots.size(); ++i)
+        out << (i ? "," : "") << record.gpu_slots[i];
+      out << "]";
+    }
+    if (!record.root_locus.empty()) out << "  locus=\"" << record.root_locus << "\"";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string describe_log(const data::FailureLog& log) {
+  return describe_records(log.spec(), log.records());
+}
+
+}  // namespace tsufail::testkit

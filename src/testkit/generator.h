@@ -1,0 +1,84 @@
+// tsufail::testkit — seeded random-log generation for property testing.
+//
+// The fleet simulator (src/sim/) generates *calibrated* logs: realistic
+// category mixes pinned to the paper's numbers.  Property testing needs
+// the opposite: *arbitrary* logs that roam the whole input space the data
+// plane accepts — any category mix, clustered and simultaneous
+// timestamps, multi-GPU bursts, zero repair times, records piled onto one
+// node — plus the pathological shapes that hand-written tests forget
+// (empty logs, single-record logs, everything at the same instant).
+//
+// Generation is deterministic in (options, rng): the same seed always
+// yields the same log, which is what makes a red property run replayable
+// (see property.h for the TSUFAIL_TEST_SEED contract).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/log.h"
+#include "util/rng.h"
+
+namespace tsufail::testkit {
+
+/// Knobs for the random-log generator.  The defaults aim for adversarial
+/// coverage, not realism: every probability below is deliberately far
+/// above field rates so that small iteration counts still hit the
+/// interesting interactions (ties x multi-GPU, bursts x one node, ...).
+struct GenOptions {
+  data::Machine machine = data::Machine::kTsubame3;
+  std::size_t min_records = 0;    ///< inclusive; 0 admits the empty log
+  std::size_t max_records = 96;   ///< inclusive
+  /// Probability that a record reuses the previous record's timestamp
+  /// exactly (simultaneous failures -> zero TBF gaps).
+  double duplicate_time_probability = 0.10;
+  /// Probability that a record lands within a few hours of the previous
+  /// one instead of uniformly in the window (temporal clustering).
+  double burst_probability = 0.25;
+  /// Probability that a GPU-related record names >= 2 slots.
+  double multi_gpu_probability = 0.35;
+  /// Probability that a record repairs instantly (ttr == 0).
+  double zero_ttr_probability = 0.10;
+  /// Probability that a record lands on a small "hot" subset of nodes
+  /// (repeat-failure nodes for the Figure 4 analyses).
+  double hot_node_probability = 0.40;
+  /// Probability that a software-class record carries a root-locus label.
+  double root_locus_probability = 0.70;
+};
+
+/// Draws one random valid FailureLog.  Deterministic in (options, rng
+/// state); records are handed to FailureLog::create in *generation* order
+/// (not time order), so the constructor's sort path is exercised too.
+data::FailureLog random_log(const GenOptions& options, Rng& rng);
+
+/// The raw record draw behind random_log, exposed so shrinkers and tests
+/// can rebuild logs from record subsets.  Record count is drawn from
+/// [min_records, max_records].
+std::vector<data::FailureRecord> random_records(const GenOptions& options, Rng& rng);
+
+/// A named pathological log for corpus-style tests.
+struct EdgeCase {
+  std::string name;
+  data::FailureLog log;
+};
+
+/// Deterministic corpus of pathological-but-valid logs for one machine:
+/// empty, single record, two simultaneous records, all records at one
+/// instant, duplicate timestamps interleaved out of order, all failures
+/// on one node, all-zero repair times, records pinned to the window
+/// edges, and an all-multi-GPU burst.  Every log passes
+/// FailureLog::create validation; "invalid input" rejection is
+/// fuzz_robustness_test's job, not the corpus's.
+std::vector<EdgeCase> edge_case_logs(data::Machine machine);
+
+/// Renders a log as a compact one-record-per-line table (time, node,
+/// category, ttr, slots, locus) — the shape counterexamples print in.
+std::string describe_log(const data::FailureLog& log);
+
+/// Renders a record vector the same way (for shrink traces, where the
+/// subset is not a valid log yet).
+std::string describe_records(const data::MachineSpec& spec,
+                             std::span<const data::FailureRecord> records);
+
+}  // namespace tsufail::testkit

@@ -1,0 +1,161 @@
+#include "testkit/property.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace tsufail::testkit {
+namespace {
+
+std::uint64_t parse_seed_env(const char* text) {
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(text, &end, 0);  // base 0: decimal or 0x-hex
+  TSUFAIL_REQUIRE(end != text && *end == '\0',
+                  std::string("TSUFAIL_TEST_SEED is not a number: '") + text + "'");
+  return value;
+}
+
+/// Evaluates the property on a record subset; nullopt if the subset no
+/// longer fails (or no longer forms a valid log — a shrink step must
+/// never leave the input space).
+std::optional<std::string> failure_of(const data::MachineSpec& spec,
+                                      const std::vector<data::FailureRecord>& records,
+                                      const Property& property) {
+  auto log = data::FailureLog::create(spec, records);
+  if (!log.ok()) return std::nullopt;
+  return property(log.value());
+}
+
+}  // namespace
+
+std::uint64_t test_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("TSUFAIL_TEST_SEED");
+  return env != nullptr ? parse_seed_env(env) : fallback;
+}
+
+std::size_t scaled_iterations(std::size_t base) {
+  const char* env = std::getenv("TSUFAIL_TEST_ITERS");
+  if (env == nullptr) return base;
+  char* end = nullptr;
+  const unsigned long long factor = std::strtoull(env, &end, 10);
+  TSUFAIL_REQUIRE(end != env && *end == '\0' && factor >= 1,
+                  std::string("TSUFAIL_TEST_ITERS must be a positive integer, got '") + env +
+                      "'");
+  return base * static_cast<std::size_t>(factor);
+}
+
+std::string Counterexample::describe() const {
+  std::ostringstream out;
+  out << "property '" << property << "' falsified\n";
+  out << "  seed:      " << seed << " (0x" << std::hex << seed << std::dec << ")\n";
+  out << "  iteration: " << iteration << "\n";
+  out << "  shrink:    " << original_size << " record(s)";
+  for (std::size_t size : shrink_trace) out << " -> " << size;
+  out << "\n";
+  out << "  replay:    TSUFAIL_TEST_SEED=" << seed << " <re-run this test>\n";
+  out << "  failure:   " << message << "\n";
+  out << "  counterexample " << describe_records(spec, records);
+  return out.str();
+}
+
+Counterexample shrink_counterexample(const std::string& name, const data::MachineSpec& spec,
+                                     std::vector<data::FailureRecord> records,
+                                     const Property& property, std::size_t max_checks) {
+  Counterexample ce;
+  ce.property = name;
+  ce.spec = spec;
+  ce.original_size = records.size();
+
+  auto initial = failure_of(spec, records, property);
+  TSUFAIL_REQUIRE(initial.has_value(),
+                  "shrink_counterexample: property does not fail on the given records");
+  std::string message = *initial;
+
+  std::size_t checks = 0;
+  const auto try_accept = [&](std::vector<data::FailureRecord>& candidate) {
+    ++checks;
+    auto failure = failure_of(spec, candidate, property);
+    if (!failure) return false;
+    records.swap(candidate);
+    message = std::move(*failure);
+    ce.shrink_trace.push_back(records.size());
+    return true;
+  };
+
+  // Phase 1: ddmin-style chunk removal — halves first, then finer, then a
+  // record-at-a-time fixed point.
+  std::size_t chunk = std::max<std::size_t>(records.size() / 2, 1);
+  while (checks < max_checks && !records.empty()) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < records.size() && checks < max_checks) {
+      const std::size_t len = std::min(chunk, records.size() - start);
+      std::vector<data::FailureRecord> candidate;
+      candidate.reserve(records.size() - len);
+      candidate.insert(candidate.end(), records.begin(),
+                       records.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       records.begin() + static_cast<std::ptrdiff_t>(start + len),
+                       records.end());
+      if (try_accept(candidate)) {
+        removed_any = true;  // same start now names the next chunk
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;  // no single record can be removed: minimal
+    } else {
+      chunk /= 2;
+    }
+  }
+
+  // Phase 2: simplify surviving records — a multi-slot list shrinks to its
+  // first slot when the failure does not depend on the extra slots.
+  for (std::size_t i = 0; i < records.size() && checks < max_checks; ++i) {
+    if (records[i].gpu_slots.size() <= 1) continue;
+    std::vector<data::FailureRecord> candidate = records;
+    candidate[i].gpu_slots.resize(1);
+    try_accept(candidate);
+  }
+
+  ce.records = std::move(records);
+  ce.message = std::move(message);
+  return ce;
+}
+
+std::optional<Counterexample> check_property(const std::string& name,
+                                             const PropertyOptions& options,
+                                             const Property& property,
+                                             std::uint64_t seed_override) {
+  const std::uint64_t seed = seed_override;
+  const std::size_t iterations = scaled_iterations(options.iterations);
+  const Rng root(seed);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    Rng stream = root.fork(i);
+    auto records = random_records(options.gen, stream);
+    auto log = data::FailureLog::create(data::spec_for(options.gen.machine), records);
+    TSUFAIL_REQUIRE(log.ok(), "testkit generator produced an invalid log");
+    auto failure = property(log.value());
+    if (!failure) continue;
+    // Shrink from the log's (time-sorted) view so the trace is invariant
+    // to the generator's hand-over order.
+    std::vector<data::FailureRecord> sorted(log.value().records().begin(),
+                                            log.value().records().end());
+    Counterexample ce = shrink_counterexample(name, log.value().spec(), std::move(sorted),
+                                              property, options.max_shrink_checks);
+    ce.seed = seed;
+    ce.iteration = i;
+    return ce;
+  }
+  return std::nullopt;
+}
+
+std::optional<Counterexample> check_property(const std::string& name,
+                                             const PropertyOptions& options,
+                                             const Property& property) {
+  return check_property(name, options, property, test_seed());
+}
+
+}  // namespace tsufail::testkit

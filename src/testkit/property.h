@@ -1,0 +1,93 @@
+// tsufail::testkit — metamorphic-property runner with shrinking.
+//
+// A property is a predicate over a FailureLog: return std::nullopt if the
+// log satisfies it, or a failure message if it does not.  The runner
+// draws `iterations` random logs from one seeded stream, checks each, and
+// on the first failure *shrinks*: it greedily removes record chunks
+// (ddmin-style — halves, then quarters, ... then single records) while
+// the property keeps failing, ending at a minimal counterexample no
+// single removal can reduce further.
+//
+// Replay contract (one env var, verbatim):
+//   * every run derives from one base seed — kDefaultSeed unless the
+//     TSUFAIL_TEST_SEED environment variable overrides it;
+//   * a failure prints that seed, the iteration, the shrink trace, and
+//     the shrunk log, plus the exact TSUFAIL_TEST_SEED=... command that
+//     reproduces it locally;
+//   * the same seed always reaches the same counterexample: generation,
+//     checking, and shrinking are all deterministic.
+//
+// TSUFAIL_TEST_ITERS multiplies every suite's iteration count (the
+// nightly CI job sets it to 10) without touching the seed, so deep runs
+// replay under the same contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testkit/generator.h"
+
+namespace tsufail::testkit {
+
+/// Base seed shared by every property suite unless overridden.
+inline constexpr std::uint64_t kDefaultSeed = 0x75E5FA11ULL;  // "tsufail"
+
+/// The seed properties run from: TSUFAIL_TEST_SEED if set (decimal or
+/// 0x-hex), else `fallback`.  A malformed value is a test-setup bug and
+/// throws via TSUFAIL_REQUIRE rather than silently testing the wrong seed.
+std::uint64_t test_seed(std::uint64_t fallback = kDefaultSeed);
+
+/// `base` scaled by the TSUFAIL_TEST_ITERS multiplier (>= 1; unset = 1).
+std::size_t scaled_iterations(std::size_t base);
+
+/// A property over one log: nullopt = holds, message = violated.
+using Property = std::function<std::optional<std::string>(const data::FailureLog&)>;
+
+/// A shrunk failing input, with everything needed to replay it.
+struct Counterexample {
+  std::uint64_t seed = 0;          ///< base seed of the run that failed
+  std::size_t iteration = 0;       ///< which draw failed (0-based)
+  std::string property;            ///< property name
+  std::string message;             ///< failure message on the shrunk log
+  std::vector<data::FailureRecord> records;  ///< the shrunk record set
+  data::MachineSpec spec;
+  std::size_t original_size = 0;   ///< records before shrinking
+  /// Record counts after each successful shrink step, e.g. {40, 20, 19}.
+  std::vector<std::size_t> shrink_trace;
+
+  /// Human-readable report: seed, replay command, trace, and the shrunk
+  /// log rendered record-per-line.
+  std::string describe() const;
+};
+
+struct PropertyOptions {
+  GenOptions gen;
+  std::size_t iterations = 64;   ///< before TSUFAIL_TEST_ITERS scaling
+  /// Upper bound on predicate evaluations while shrinking (safety valve;
+  /// the greedy pass almost always finishes far below it).
+  std::size_t max_shrink_checks = 4096;
+};
+
+/// Runs `property` over random logs.  Returns the shrunk counterexample
+/// of the first failing draw, or nullopt if every draw passed.  The base
+/// seed is test_seed(); pass `seed_override` to pin it programmatically
+/// (tests of the runner itself do this).
+std::optional<Counterexample> check_property(const std::string& name,
+                                             const PropertyOptions& options,
+                                             const Property& property);
+std::optional<Counterexample> check_property(const std::string& name,
+                                             const PropertyOptions& options,
+                                             const Property& property,
+                                             std::uint64_t seed_override);
+
+/// Shrinks `records` against `property` directly (exposed for tests of
+/// the shrinker and for callers with a non-generated failing input).
+/// Precondition: the property fails on the full record set.
+Counterexample shrink_counterexample(const std::string& name, const data::MachineSpec& spec,
+                                     std::vector<data::FailureRecord> records,
+                                     const Property& property, std::size_t max_checks = 4096);
+
+}  // namespace tsufail::testkit

@@ -1,0 +1,80 @@
+// Differential verification: every analysis recomputed with the naive
+// O(n^2) reference and diffed against both the FailureLog and LogIndex
+// fast paths, plus run_study at 1/2/8 executor threads — over the edge
+// corpus, calibrated simulator logs, and random adversarial logs (ctest
+// label: property; TSUFAIL_TEST_SEED replays, TSUFAIL_TEST_ITERS deepens).
+#include <gtest/gtest.h>
+
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+#include "testkit/oracle.h"
+#include "testkit/property.h"
+
+namespace tsufail::testkit {
+namespace {
+
+TEST(DifferentialOracle, EdgeCaseCorpus) {
+  for (data::Machine machine : {data::Machine::kTsubame2, data::Machine::kTsubame3}) {
+    for (const EdgeCase& ec : edge_case_logs(machine)) {
+      const OracleReport report = run_oracle(ec.log);
+      EXPECT_TRUE(report.ok()) << "edge case '" << ec.name << "' ("
+                               << data::to_string(machine) << "):\n"
+                               << report.str() << describe_log(ec.log);
+    }
+  }
+}
+
+TEST(DifferentialOracle, CalibratedTsubamePresets) {
+  const std::uint64_t seed = test_seed();
+  for (data::Machine machine : {data::Machine::kTsubame2, data::Machine::kTsubame3}) {
+    const sim::MachineModel& model = machine == data::Machine::kTsubame2
+                                         ? sim::tsubame2_model()
+                                         : sim::tsubame3_model();
+    auto log = sim::generate_log(model, seed);
+    ASSERT_TRUE(log.ok()) << log.error().to_string();
+    const OracleReport report = run_oracle(log.value());
+    EXPECT_TRUE(report.ok()) << data::to_string(machine) << " (seed " << seed << "):\n"
+                             << report.str();
+  }
+}
+
+TEST(DifferentialOracle, RandomLogsBothMachines) {
+  for (data::Machine machine : {data::Machine::kTsubame2, data::Machine::kTsubame3}) {
+    PropertyOptions options;
+    options.gen.machine = machine;
+    options.iterations = 24;  // each iteration runs every analysis x 3 paths
+    const auto ce = check_property("differential-oracle", options, oracle_property);
+    if (ce.has_value()) FAIL() << data::to_string(machine) << ":\n" << ce->describe();
+  }
+}
+
+TEST(DifferentialOracle, DenseTieHeavyLogs) {
+  // Crank the adversarial knobs: everything simultaneous, clustered, and
+  // multi-GPU — the regime where index spans, tie-breaking, and executor
+  // scheduling are most likely to diverge.
+  PropertyOptions options;
+  options.gen.min_records = 32;
+  options.gen.duplicate_time_probability = 0.45;
+  options.gen.burst_probability = 0.45;
+  options.gen.multi_gpu_probability = 0.7;
+  options.gen.hot_node_probability = 0.8;
+  options.iterations = 12;
+  const auto ce = check_property("differential-oracle-dense", options, oracle_property);
+  if (ce.has_value()) FAIL() << ce->describe();
+}
+
+TEST(DifferentialOracle, WideThreadSweep) {
+  // The acceptance criterion pins >= 3 thread counts; sweep a wider set
+  // on one log, including 0 (= hardware concurrency).
+  PropertyOptions gen_options;
+  gen_options.gen.min_records = 48;
+  Rng rng(test_seed());
+  const data::FailureLog log = random_log(gen_options.gen, rng);
+  OracleOptions options;
+  options.thread_counts = {1, 2, 3, 4, 8, 0};
+  const OracleReport report = run_oracle(log, options);
+  EXPECT_TRUE(report.ok()) << report.str() << describe_log(log);
+}
+
+}  // namespace
+}  // namespace tsufail::testkit

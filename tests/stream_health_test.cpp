@@ -1,0 +1,147 @@
+// Direct unit tests for stream::HealthMonitor: snapshot counters and
+// class splits, the empty-monitor snapshot, burst-window expiry, slot
+// skew, rolling-window completion/finish, and trends preconditions.
+#include "stream/health.h"
+
+#include <gtest/gtest.h>
+
+#include "data/machine.h"
+
+namespace tsufail::stream {
+namespace {
+
+const data::MachineSpec& spec() { return data::tsubame3_spec(); }
+
+data::FailureRecord record_at(double hours_after_start, data::Category category,
+                              double ttr_hours = 1.0, std::vector<int> slots = {},
+                              int node = 0) {
+  data::FailureRecord record;
+  record.time = spec().log_start.plus_hours(hours_after_start);
+  record.node = node;
+  record.category = category;
+  record.ttr_hours = ttr_hours;
+  record.gpu_slots = std::move(slots);
+  return record;
+}
+
+TEST(HealthMonitor, RejectsBadConfig) {
+  MonitorConfig config;
+  config.rate_tau_hours = 0.0;
+  EXPECT_FALSE(HealthMonitor::create(spec(), config).ok());
+  config = {};
+  config.burst_window_hours = -1.0;
+  EXPECT_FALSE(HealthMonitor::create(spec(), config).ok());
+  config = {};
+  config.window_days = 0.0;
+  EXPECT_FALSE(HealthMonitor::create(spec(), config).ok());
+}
+
+TEST(HealthMonitor, EmptyMonitorSnapshot) {
+  auto monitor = HealthMonitor::create(spec()).value();
+  const HealthSnapshot snapshot = monitor.snapshot();
+  EXPECT_EQ(snapshot.events, 0u);
+  EXPECT_EQ(snapshot.hardware_events, 0u);
+  EXPECT_EQ(snapshot.software_events, 0u);
+  EXPECT_EQ(snapshot.slot_attributed_events, 0u);
+  EXPECT_EQ(snapshot.multi_gpu_burst_size, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.ewma_failures_per_day, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.mean_ttr_hours, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.slot_skew, 0.0);
+  EXPECT_FALSE(snapshot.window.has_value()) << "no window can close before any record";
+  EXPECT_TRUE(monitor.windows().empty());
+}
+
+TEST(HealthMonitor, CountsEventsAndClassSplit) {
+  auto monitor = HealthMonitor::create(spec()).value();
+  monitor.observe(record_at(1.0, data::Category::kGpu, 2.0, {0}));
+  monitor.observe(record_at(2.0, data::Category::kCpu, 4.0));
+  monitor.observe(record_at(3.0, data::Category::kSoftware, 6.0));
+  const HealthSnapshot snapshot = monitor.snapshot();
+  EXPECT_EQ(snapshot.events, 3u);
+  EXPECT_EQ(snapshot.hardware_events + snapshot.software_events, 3u);
+  EXPECT_GE(snapshot.hardware_events, 2u) << "GPU and CPU failures are hardware-class";
+  EXPECT_DOUBLE_EQ(snapshot.mean_ttr_hours, 4.0);
+  EXPECT_EQ(snapshot.as_of, spec().log_start.plus_hours(3.0));
+}
+
+TEST(HealthMonitor, BurstWindowCountsAndExpires) {
+  MonitorConfig config;
+  config.burst_window_hours = 72.0;
+  auto monitor = HealthMonitor::create(spec(), config).value();
+  // Three multi-GPU failures within the window...
+  monitor.observe(record_at(0.0, data::Category::kGpu, 1.0, {0, 1}));
+  monitor.observe(record_at(10.0, data::Category::kGpu, 1.0, {1, 2}));
+  monitor.observe(record_at(20.0, data::Category::kGpu, 1.0, {0, 3}));
+  EXPECT_EQ(monitor.snapshot().multi_gpu_burst_size, 3u);
+  // ...a single-GPU failure does not count toward the burst...
+  monitor.observe(record_at(21.0, data::Category::kGpu, 1.0, {0}));
+  EXPECT_EQ(monitor.snapshot().multi_gpu_burst_size, 3u);
+  // ...and far enough in the future the old burst has aged out.
+  monitor.observe(record_at(500.0, data::Category::kGpu, 1.0, {0, 1}));
+  EXPECT_EQ(monitor.snapshot().multi_gpu_burst_size, 1u);
+}
+
+TEST(HealthMonitor, SlotSkewTracksTheHottestSlot) {
+  auto monitor = HealthMonitor::create(spec()).value();
+  EXPECT_DOUBLE_EQ(monitor.snapshot().slot_skew, 0.0);
+  // All attributions on slot 0 of a 4-GPU node: skew = gpus_per_node.
+  monitor.observe(record_at(1.0, data::Category::kGpu, 1.0, {0}));
+  monitor.observe(record_at(2.0, data::Category::kGpu, 1.0, {0}));
+  const HealthSnapshot hot = monitor.snapshot();
+  EXPECT_EQ(hot.slot_attributed_events, 2u);
+  EXPECT_DOUBLE_EQ(hot.slot_skew, static_cast<double>(spec().gpus_per_node));
+  // Evening out the involvements drives the skew back toward 1.
+  monitor.observe(record_at(3.0, data::Category::kGpu, 1.0, {1}));
+  monitor.observe(record_at(4.0, data::Category::kGpu, 1.0, {2}));
+  monitor.observe(record_at(5.0, data::Category::kGpu, 1.0, {3}));
+  EXPECT_LT(monitor.snapshot().slot_skew, static_cast<double>(spec().gpus_per_node));
+  EXPECT_GE(monitor.snapshot().slot_skew, 1.0);
+}
+
+TEST(HealthMonitor, RateEstimateRisesWithArrivals) {
+  auto monitor = HealthMonitor::create(spec()).value();
+  for (int i = 0; i < 20; ++i) monitor.observe(record_at(i * 6.0, data::Category::kGpu));
+  EXPECT_GT(monitor.snapshot().ewma_failures_per_day, 0.0);
+}
+
+TEST(HealthMonitor, WindowsCompleteAsTheStreamAdvances) {
+  MonitorConfig config;  // 60-day windows, 30-day steps
+  auto monitor = HealthMonitor::create(spec(), config).value();
+  // No window can complete before the stream crosses the first right edge.
+  monitor.observe(record_at(24.0, data::Category::kGpu));
+  EXPECT_FALSE(monitor.snapshot().window.has_value());
+  // Advance past several window edges.
+  for (int day = 2; day <= 200; day += 2)
+    monitor.observe(record_at(day * 24.0, data::Category::kCpu, 0.5));
+  const HealthSnapshot snapshot = monitor.snapshot();
+  ASSERT_TRUE(snapshot.window.has_value());
+  EXPECT_GT(snapshot.window->failures, 0u);
+  EXPECT_GT(snapshot.window->failures_per_day, 0.0);
+  EXPECT_FALSE(monitor.windows().empty());
+}
+
+TEST(HealthMonitor, FinishFlushesOpenWindowsAndEnablesTrends) {
+  auto monitor = HealthMonitor::create(spec()).value();
+  for (int day = 0; day < 365; day += 3)
+    monitor.observe(record_at(day * 24.0, data::Category::kGpu, 1.0));
+  const std::size_t before = monitor.windows().size();
+  monitor.finish();
+  EXPECT_GE(monitor.windows().size(), before);
+  auto trends = monitor.trends();
+  ASSERT_TRUE(trends.ok()) << trends.error().to_string();
+  EXPECT_EQ(trends.value().windows.size(), monitor.windows().size());
+  EXPECT_GT(trends.value().early_late_rate_ratio, 0.0);
+}
+
+TEST(HealthMonitor, ObservationsDoNotLeakAcrossMonitors) {
+  // Each monitor owns its own estimator state: a fresh monitor starts
+  // from zero even after another one has seen a long stream.
+  auto first = HealthMonitor::create(spec()).value();
+  for (int i = 0; i < 50; ++i) first.observe(record_at(i * 12.0, data::Category::kGpu));
+  auto second = HealthMonitor::create(spec()).value();
+  EXPECT_EQ(second.snapshot().events, 0u);
+  EXPECT_DOUBLE_EQ(second.snapshot().ewma_failures_per_day, 0.0);
+}
+
+}  // namespace
+}  // namespace tsufail::stream

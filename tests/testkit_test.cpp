@@ -1,0 +1,346 @@
+// Tests of the testkit itself: generator determinism, the edge-case
+// corpus, the TSUFAIL_TEST_SEED/TSUFAIL_TEST_ITERS replay contract, the
+// shrinker, and the golden-file diff renderer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "testkit/generator.h"
+#include "testkit/golden.h"
+#include "testkit/property.h"
+
+namespace tsufail::testkit {
+namespace {
+
+/// Scoped environment-variable override (restores the prior value).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+bool same_records(const std::vector<data::FailureRecord>& a,
+                  const std::vector<data::FailureRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].node != b[i].node ||
+        a[i].category != b[i].category || a[i].ttr_hours != b[i].ttr_hours ||
+        a[i].gpu_slots != b[i].gpu_slots || a[i].root_locus != b[i].root_locus)
+      return false;
+  }
+  return true;
+}
+
+// --- generator -----------------------------------------------------------
+
+TEST(TestkitGenerator, SameSeedSameLog) {
+  GenOptions options;
+  Rng a(42), b(42);
+  EXPECT_TRUE(same_records(random_records(options, a), random_records(options, b)));
+}
+
+TEST(TestkitGenerator, DifferentSeedsDiffer) {
+  GenOptions options;
+  options.min_records = 16;  // the empty log would compare equal
+  Rng a(1), b(2);
+  EXPECT_FALSE(same_records(random_records(options, a), random_records(options, b)));
+}
+
+TEST(TestkitGenerator, RespectsRecordBounds) {
+  GenOptions options;
+  options.min_records = 3;
+  options.max_records = 7;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto records = random_records(options, rng);
+    EXPECT_GE(records.size(), 3u);
+    EXPECT_LE(records.size(), 7u);
+  }
+}
+
+TEST(TestkitGenerator, ProducesValidLogsForBothMachines) {
+  for (data::Machine machine : {data::Machine::kTsubame2, data::Machine::kTsubame3}) {
+    GenOptions options;
+    options.machine = machine;
+    Rng rng(99);
+    for (int i = 0; i < 20; ++i) {
+      const data::FailureLog log = random_log(options, rng);  // REQUIREs validity inside
+      const auto records = log.records();
+      for (std::size_t r = 1; r < records.size(); ++r)
+        EXPECT_LE(records[r - 1].time, records[r].time) << "log not time-sorted";
+    }
+  }
+}
+
+TEST(TestkitGenerator, CoversTheInterestingShapes) {
+  // With the default adversarial probabilities, a modest number of draws
+  // must exhibit every shape the properties rely on.
+  GenOptions options;
+  options.min_records = 8;
+  Rng rng(11);
+  bool saw_duplicate_time = false, saw_multi_gpu = false, saw_zero_ttr = false,
+       saw_locus = false;
+  for (int i = 0; i < 40; ++i) {
+    const auto records = random_records(options, rng);
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      if (records[r].multi_gpu()) saw_multi_gpu = true;
+      if (records[r].ttr_hours == 0.0) saw_zero_ttr = true;
+      if (!records[r].root_locus.empty()) saw_locus = true;
+      for (std::size_t s = 0; s < records.size(); ++s)
+        if (s != r && records[s].time == records[r].time) saw_duplicate_time = true;
+    }
+  }
+  EXPECT_TRUE(saw_duplicate_time);
+  EXPECT_TRUE(saw_multi_gpu);
+  EXPECT_TRUE(saw_zero_ttr);
+  EXPECT_TRUE(saw_locus);
+}
+
+TEST(TestkitGenerator, EdgeCaseCorpus) {
+  for (data::Machine machine : {data::Machine::kTsubame2, data::Machine::kTsubame3}) {
+    const auto corpus = edge_case_logs(machine);
+    ASSERT_GE(corpus.size(), 8u);
+    bool has_empty = false, has_single = false, has_all_simultaneous = false;
+    for (const EdgeCase& ec : corpus) {
+      EXPECT_FALSE(ec.name.empty());
+      if (ec.name == "empty") {
+        has_empty = true;
+        EXPECT_EQ(ec.log.size(), 0u);
+      }
+      if (ec.name == "single_record") {
+        has_single = true;
+        EXPECT_EQ(ec.log.size(), 1u);
+      }
+      if (ec.name == "all_simultaneous") {
+        has_all_simultaneous = true;
+        const auto records = ec.log.records();
+        ASSERT_GE(records.size(), 3u);
+        for (const auto& r : records) EXPECT_EQ(r.time, records.front().time);
+      }
+    }
+    EXPECT_TRUE(has_empty);
+    EXPECT_TRUE(has_single);
+    EXPECT_TRUE(has_all_simultaneous);
+  }
+}
+
+TEST(TestkitGenerator, DescribeLogRendersEveryRecord) {
+  GenOptions options;
+  options.min_records = 5;
+  options.max_records = 5;
+  Rng rng(3);
+  const data::FailureLog log = random_log(options, rng);
+  const std::string text = describe_log(log);
+  EXPECT_NE(text.find("5 record"), std::string::npos) << text;
+}
+
+// --- seed / iteration env contract ---------------------------------------
+
+TEST(TestkitSeed, DefaultsWithoutEnv) {
+  ScopedEnv guard("TSUFAIL_TEST_SEED", nullptr);
+  EXPECT_EQ(test_seed(), kDefaultSeed);
+  EXPECT_EQ(test_seed(123), 123u);
+}
+
+TEST(TestkitSeed, EnvOverridesDecimalAndHex) {
+  {
+    ScopedEnv guard("TSUFAIL_TEST_SEED", "12345");
+    EXPECT_EQ(test_seed(), 12345u);
+  }
+  {
+    ScopedEnv guard("TSUFAIL_TEST_SEED", "0xDEADBEEF");
+    EXPECT_EQ(test_seed(), 0xDEADBEEFu);
+  }
+}
+
+TEST(TestkitSeed, MalformedEnvThrows) {
+  ScopedEnv guard("TSUFAIL_TEST_SEED", "not-a-seed");
+  EXPECT_THROW(test_seed(), std::logic_error);
+}
+
+TEST(TestkitSeed, ItersMultiplier) {
+  {
+    ScopedEnv guard("TSUFAIL_TEST_ITERS", nullptr);
+    EXPECT_EQ(scaled_iterations(64), 64u);
+  }
+  {
+    ScopedEnv guard("TSUFAIL_TEST_ITERS", "10");
+    EXPECT_EQ(scaled_iterations(64), 640u);
+  }
+  {
+    ScopedEnv guard("TSUFAIL_TEST_ITERS", "0");
+    EXPECT_THROW(scaled_iterations(64), std::logic_error);
+  }
+}
+
+// --- property runner + shrinker ------------------------------------------
+
+TEST(TestkitProperty, PassingPropertyReturnsNullopt) {
+  PropertyOptions options;
+  options.iterations = 16;
+  const auto ce = check_property(
+      "always-holds", options, [](const data::FailureLog&) { return std::nullopt; }, 1);
+  EXPECT_FALSE(ce.has_value());
+}
+
+TEST(TestkitProperty, ShrinksToMinimalCounterexample) {
+  // "No log contains a GPU failure" is falsified by any log with one; the
+  // minimal counterexample is exactly one GPU record.
+  const Property no_gpu = [](const data::FailureLog& log) -> std::optional<std::string> {
+    for (const auto& r : log.records())
+      if (r.category == data::Category::kGpu) return "log contains a GPU failure";
+    return std::nullopt;
+  };
+  PropertyOptions options;
+  options.gen.min_records = 16;
+  const auto ce = check_property("no-gpu", options, no_gpu, 5);
+  ASSERT_TRUE(ce.has_value());
+  EXPECT_EQ(ce->records.size(), 1u);
+  EXPECT_EQ(ce->records[0].category, data::Category::kGpu);
+  EXPECT_GT(ce->original_size, 1u);
+  EXPECT_FALSE(ce->shrink_trace.empty());
+}
+
+TEST(TestkitProperty, ShrinkIsSizeMinimalForCountProperties) {
+  const Property under_three = [](const data::FailureLog& log) -> std::optional<std::string> {
+    if (log.size() >= 3) return "log has >= 3 records";
+    return std::nullopt;
+  };
+  PropertyOptions options;
+  options.gen.min_records = 10;
+  const auto ce = check_property("under-three", options, under_three, 17);
+  ASSERT_TRUE(ce.has_value());
+  EXPECT_EQ(ce->records.size(), 3u);
+}
+
+TEST(TestkitProperty, ShrinkTruncatesSlotLists) {
+  const Property no_gpu_attributed =
+      [](const data::FailureLog& log) -> std::optional<std::string> {
+    for (const auto& r : log.records())
+      if (!r.gpu_slots.empty()) return "log contains a slot-attributed failure";
+    return std::nullopt;
+  };
+  PropertyOptions options;
+  options.gen.min_records = 24;
+  options.gen.multi_gpu_probability = 1.0;  // force multi-slot records
+  const auto ce = check_property("no-slots", options, no_gpu_attributed, 29);
+  ASSERT_TRUE(ce.has_value());
+  ASSERT_EQ(ce->records.size(), 1u);
+  EXPECT_EQ(ce->records[0].gpu_slots.size(), 1u) << "slot list should shrink to one entry";
+}
+
+TEST(TestkitProperty, SeededFailureReplaysToSameCounterexample) {
+  // The acceptance criterion: the same seed reaches the same shrunk
+  // counterexample, byte for byte.
+  const Property no_gpu = [](const data::FailureLog& log) -> std::optional<std::string> {
+    for (const auto& r : log.records())
+      if (r.category == data::Category::kGpu) return "log contains a GPU failure";
+    return std::nullopt;
+  };
+  PropertyOptions options;
+  options.gen.min_records = 16;
+  const auto first = check_property("replay", options, no_gpu, 5);
+  const auto second = check_property("replay", options, no_gpu, 5);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->iteration, second->iteration);
+  EXPECT_EQ(first->shrink_trace, second->shrink_trace);
+  EXPECT_TRUE(same_records(first->records, second->records));
+  EXPECT_EQ(first->describe(), second->describe());
+}
+
+TEST(TestkitProperty, EnvSeedDrivesTheRun) {
+  const Property no_gpu = [](const data::FailureLog& log) -> std::optional<std::string> {
+    for (const auto& r : log.records())
+      if (r.category == data::Category::kGpu) return "log contains a GPU failure";
+    return std::nullopt;
+  };
+  PropertyOptions options;
+  options.gen.min_records = 16;
+  const auto pinned = check_property("env-replay", options, no_gpu, 5);
+  ASSERT_TRUE(pinned.has_value());
+
+  ScopedEnv guard("TSUFAIL_TEST_SEED", "5");
+  const auto via_env = check_property("env-replay", options, no_gpu);  // reads the env
+  ASSERT_TRUE(via_env.has_value());
+  EXPECT_EQ(via_env->seed, 5u);
+  EXPECT_TRUE(same_records(pinned->records, via_env->records));
+}
+
+TEST(TestkitProperty, DescribePrintsSeedAndReplayCommand) {
+  const Property no_gpu = [](const data::FailureLog& log) -> std::optional<std::string> {
+    for (const auto& r : log.records())
+      if (r.category == data::Category::kGpu) return "log contains a GPU failure";
+    return std::nullopt;
+  };
+  PropertyOptions options;
+  options.gen.min_records = 16;
+  const auto ce = check_property("printable", options, no_gpu, 5);
+  ASSERT_TRUE(ce.has_value());
+  const std::string text = ce->describe();
+  EXPECT_NE(text.find("seed:"), std::string::npos) << text;
+  EXPECT_NE(text.find("TSUFAIL_TEST_SEED=5"), std::string::npos) << text;
+  EXPECT_NE(text.find("printable"), std::string::npos) << text;
+  EXPECT_NE(text.find("log contains a GPU failure"), std::string::npos) << text;
+}
+
+TEST(TestkitProperty, ShrinkRequiresAFailingInput) {
+  const auto spec = data::tsubame3_spec();
+  std::vector<data::FailureRecord> records;
+  EXPECT_THROW(shrink_counterexample(
+                   "never-fails", spec, records,
+                   [](const data::FailureLog&) { return std::nullopt; }),
+               std::logic_error);
+}
+
+// --- golden diff renderer ------------------------------------------------
+
+TEST(TestkitGolden, EqualTextsProduceEmptyDiff) {
+  EXPECT_EQ(diff_lines("a\nb\nc\n", "a\nb\nc\n"), "");
+}
+
+TEST(TestkitGolden, DiffMarksChangedRegionOnly) {
+  const std::string expected = "one\ntwo\nthree\nfour\nfive\n";
+  const std::string actual = "one\ntwo\nTHREE\nfour\nfive\n";
+  const std::string diff = diff_lines(expected, actual);
+  EXPECT_NE(diff.find("- three"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("+ THREE"), std::string::npos) << diff;
+  EXPECT_EQ(diff.find("- one"), std::string::npos) << diff;
+}
+
+TEST(TestkitGolden, UpdateFlagParsing) {
+  {
+    ScopedEnv guard("TSUFAIL_UPDATE_GOLDEN", nullptr);
+    EXPECT_FALSE(update_golden_requested());
+  }
+  {
+    ScopedEnv guard("TSUFAIL_UPDATE_GOLDEN", "0");
+    EXPECT_FALSE(update_golden_requested());
+  }
+  {
+    ScopedEnv guard("TSUFAIL_UPDATE_GOLDEN", "1");
+    EXPECT_TRUE(update_golden_requested());
+  }
+}
+
+}  // namespace
+}  // namespace tsufail::testkit
