@@ -1,6 +1,8 @@
 #include "bench_common.h"
 
+#include <cinttypes>
 #include <cstdio>
+#include <fstream>
 
 #include "sim/generator.h"
 
@@ -34,5 +36,43 @@ void print_comparisons(const report::ComparisonSet& set) {
 }
 
 int exit_code() { return g_mismatches == 0 ? 0 : 1; }
+
+void PerfJson::set(const std::string& key, double value) { fields_.emplace_back(key, value); }
+void PerfJson::set(const std::string& key, std::int64_t value) { fields_.emplace_back(key, value); }
+void PerfJson::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, value);
+}
+
+std::string PerfJson::render() const {
+  std::string json = "{\n";
+  json += "  \"bench\": \"" + name_ + "\"";
+  char buffer[64];
+  for (const auto& [key, value] : fields_) {
+    json += ",\n  \"" + key + "\": ";
+    if (const auto* num = std::get_if<double>(&value)) {
+      std::snprintf(buffer, sizeof buffer, "%.17g", *num);
+      json += buffer;
+    } else if (const auto* integer = std::get_if<std::int64_t>(&value)) {
+      std::snprintf(buffer, sizeof buffer, "%" PRId64, *integer);
+      json += buffer;
+    } else {
+      json += "\"" + std::get<std::string>(value) + "\"";
+    }
+  }
+  json += "\n}\n";
+  return json;
+}
+
+bool PerfJson::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream file(path, std::ios::binary);
+  if (file) file << render();
+  if (!file || !file.flush()) {
+    std::printf("perf json: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("perf json: wrote %s\n", path.c_str());
+  return true;
+}
 
 }  // namespace tsufail::bench

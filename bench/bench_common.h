@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <variant>
+#include <vector>
 
 #include "data/log.h"
 #include "report/compare.h"
@@ -31,5 +34,30 @@ void print_comparisons(const report::ComparisonSet& set);
 /// 0 if every printed comparison matched, 1 otherwise.  Benches return
 /// this from main() so CI can gate on reproduction quality.
 int exit_code();
+
+/// Machine-readable perf record: collects named numeric/string fields and
+/// writes them as `BENCH_<name>.json` next to the printed tables, so the
+/// perf trajectory (wall time, replicates/sec, thread count) is trackable
+/// across commits.  Field order is preserved; numbers are emitted with
+/// full round-trip precision.
+class PerfJson {
+ public:
+  explicit PerfJson(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, const std::string& value);
+
+  /// The serialized JSON object (one field per line).
+  std::string render() const;
+
+  /// Writes `<dir>/BENCH_<name>.json`; prints the path on success.
+  /// Returns false (and prints the error) if the file cannot be written.
+  bool write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::variant<double, std::int64_t, std::string>>> fields_;
+};
 
 }  // namespace tsufail::bench

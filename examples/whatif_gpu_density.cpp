@@ -6,14 +6,15 @@
 // two regimes: Tsubame-2-style correlated multi-GPU failures vs
 // Tsubame-3-style independent ones.
 //
+// All five machines run through one sim::run_sweep call: every variant
+// replays the same 5-replicate seed set (common random numbers), so the
+// deltas between rows are model effects, not sampling noise.
+//
 //   $ ./whatif_gpu_density
 #include <cstdio>
 
-#include "analysis/multi_gpu.h"
-#include "analysis/node_counts.h"
-#include "analysis/tbf.h"
 #include "report/table.h"
-#include "sim/generator.h"
+#include "sim/montecarlo.h"
 #include "sim/scaling.h"
 #include "sim/tsubame_models.h"
 
@@ -31,53 +32,37 @@ sim::MachineModel dense_machine(int gpus_per_node, bool correlated_failures) {
   return std::move(scaled.value());
 }
 
-struct Row {
-  std::string name;
-  double mtbf = 0.0;
-  double gpu_mtbf = 0.0;
-  double multi_gpu_percent = 0.0;
-  double multi_failure_nodes = 0.0;
-};
-
-Row measure(const sim::MachineModel& model) {
-  Row row;
-  row.name = model.spec.name;
-  const int seeds = 5;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    const auto log = sim::generate_log(model, seed).value();
-    row.mtbf += analysis::analyze_tbf(log).value().exposure_mtbf_hours / seeds;
-    row.gpu_mtbf += analysis::analyze_tbf_category(log, data::Category::kGpu)
-                        .value().exposure_mtbf_hours / seeds;
-    if (auto mg = analysis::analyze_multi_gpu(log); mg.ok())
-      row.multi_gpu_percent += mg.value().percent_multi / seeds;
-    row.multi_failure_nodes +=
-        analysis::analyze_node_counts(log).value().percent_multi_failure / seeds;
-  }
-  return row;
-}
-
 }  // namespace
 
 int main() {
-  std::printf("what-if: scaling GPUs per node beyond Tsubame-3 (5-seed averages)\n\n");
-  std::vector<Row> rows;
-  rows.push_back(measure(sim::tsubame3_model()));
+  std::printf("what-if: scaling GPUs per node beyond Tsubame-3 (5-replicate sweep)\n\n");
+
+  std::vector<sim::SweepVariant> variants;
+  variants.push_back({sim::tsubame3_model().spec.name, sim::tsubame3_model()});
   for (int gpus : {6, 8}) {
     for (bool correlated : {false, true}) {
       auto model = dense_machine(gpus, correlated);
-      model.spec.name += correlated ? " (correlated)" : " (independent)";
-      rows.push_back(measure(model));
+      variants.push_back(
+          {model.spec.name + (correlated ? " (correlated)" : " (independent)"),
+           std::move(model)});
     }
   }
+
+  sim::SweepOptions options;
+  options.base_seed = 1;
+  options.replicates = 5;
+  options.jobs = 0;  // all hardware threads; results identical to serial
+  const auto sweep = sim::run_sweep(variants, options).value();
 
   report::Table table({"Machine", "System MTBF", "GPU MTBF", "multi-GPU failures",
                        "multi-failure nodes"});
   table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
                        report::Align::kRight, report::Align::kRight});
-  for (const auto& row : rows) {
-    table.add_row({row.name, report::fmt(row.mtbf, 1) + " h", report::fmt(row.gpu_mtbf, 1) + " h",
-                   report::fmt_percent(row.multi_gpu_percent, 1),
-                   report::fmt_percent(row.multi_failure_nodes, 1)});
+  for (const auto& row : sweep.variants) {
+    table.add_row({row.label, report::fmt(row.mean_of("mtbf_hours"), 1) + " h",
+                   report::fmt(row.mean_of("mtbf_gpu_hours"), 1) + " h",
+                   report::fmt_percent(row.mean_of("multi_gpu_percent"), 1),
+                   report::fmt_percent(row.mean_of("percent_multi_failure_nodes"), 1)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("reading: denser nodes erode system MTBF through sheer GPU count, and if\n"

@@ -22,6 +22,8 @@
 #include "report/markdown_report.h"
 #include "report/table.h"
 #include "sim/generator.h"
+#include "sim/montecarlo.h"
+#include "sim/scaling.h"
 #include "sim/tsubame_models.h"
 #include "stats/ecdf.h"
 #include "stream/alerts.h"
@@ -173,6 +175,127 @@ Result<void> run_analyze(const ParsedArgs& args, std::ostream& out) {
       << " PFlop-hours per failure-free period\n";
   for (const auto& skipped : s.skipped) {
     out << "skipped " << skipped.analysis << ": " << skipped.error.message() << "\n";
+  }
+  return {};
+}
+
+// --- sweep ------------------------------------------------------------------
+
+ArgParser make_sweep_parser() {
+  ArgParser parser("sweep",
+                   "Monte Carlo sweep: run many seeded replicates of a calibrated (optionally "
+                   "rescaled) machine model and aggregate the study metrics with bootstrap CIs.");
+  parser.option({"machine", "NAME", "tsubame-2 or tsubame-3", std::string("tsubame-3")});
+  parser.option({"replicates", "N", "replicates (seeds) per variant", std::string("20")});
+  parser.option({"jobs", "N",
+                 "worker threads across replicates (0 = all hardware threads); aggregates are "
+                 "bit-identical for every value",
+                 std::string("1")});
+  parser.option({"seed", "N", "base seed; replicate r runs on a deterministic (seed, r) fork",
+                 std::string("1")});
+  parser.option({"gpus-per-node", "N", "add a what-if variant rescaled to N GPUs per node", {}});
+  parser.option({"correlated", "",
+                 "use the Tsubame-2-like correlated multi-GPU regime for --gpus-per-node", {}});
+  parser.option({"nodes", "N", "add a what-if variant rescaled to an N-node fleet", {}});
+  parser.option({"failures", "N", "override the calibrated failure count", {}});
+  parser.option({"level", "P", "confidence level for the aggregate CIs", std::string("0.95")});
+  parser.option({"all-metrics", "", "print every aggregate, including per-category ones", {}});
+  parser.option({"no-bursts", "", "disable temporal burst clustering", {}});
+  parser.option({"no-heterogeneity", "", "disable the lemon-node hazard mix", {}});
+  parser.option({"no-slot-weights", "", "disable non-uniform GPU slot selection", {}});
+  parser.option({"no-seasonal", "", "disable monthly intensity/TTR modulation", {}});
+  return parser;
+}
+
+Result<void> run_sweep_command(const ParsedArgs& args, std::ostream& out) {
+  auto model = resolve_model(args);
+  if (!model.ok()) return model.error();
+  auto replicates = args.get_int("replicates");
+  if (!replicates.ok()) return replicates.error();
+  if (replicates.value() <= 0)
+    return Error(ErrorKind::kDomain, "--replicates must be positive");
+  auto jobs = args.get_int("jobs");
+  if (!jobs.ok()) return jobs.error();
+  if (jobs.value() < 0)
+    return Error(ErrorKind::kDomain, "--jobs must be >= 0");
+  auto seed = args.get_int("seed");
+  if (!seed.ok()) return seed.error();
+  auto level = args.get_double("level");
+  if (!level.ok()) return level.error();
+
+  std::vector<sim::SweepVariant> variants;
+  variants.push_back({model.value().spec.name + " (baseline)", model.value()});
+  if (args.has("gpus-per-node") || args.has("nodes")) {
+    sim::MachineModel scaled = model.value();
+    std::string label = "what-if:";
+    if (args.has("gpus-per-node")) {
+      auto gpus = args.get_int("gpus-per-node");
+      if (!gpus.ok()) return gpus.error();
+      const auto regime = args.flag("correlated") ? sim::InvolvementRegime::kCorrelated
+                                                  : sim::InvolvementRegime::kIndependent;
+      auto dense = sim::scale_gpu_density(scaled, static_cast<int>(gpus.value()), regime);
+      if (!dense.ok()) return dense.error().with_context("--gpus-per-node");
+      scaled = std::move(dense.value());
+      label += " " + std::to_string(gpus.value()) + " GPUs/node" +
+               (args.flag("correlated") ? " (correlated)" : "");
+    }
+    if (args.has("nodes")) {
+      auto nodes = args.get_int("nodes");
+      if (!nodes.ok()) return nodes.error();
+      auto fleet = sim::scale_fleet_size(scaled, static_cast<int>(nodes.value()));
+      if (!fleet.ok()) return fleet.error().with_context("--nodes");
+      scaled = std::move(fleet.value());
+      label += " " + std::to_string(nodes.value()) + " nodes";
+    }
+    variants.push_back({label, std::move(scaled)});
+  }
+
+  sim::SweepOptions options;
+  options.base_seed = static_cast<std::uint64_t>(seed.value());
+  options.replicates = static_cast<std::size_t>(replicates.value());
+  options.jobs = static_cast<std::size_t>(jobs.value());
+  options.ci_level = level.value();
+  auto sweep = sim::run_sweep(variants, options);
+  if (!sweep.ok()) return sweep.error();
+
+  // The headline metrics and their display names, in print order.
+  // Per-category aggregates stay behind --all-metrics.
+  static constexpr std::pair<const char*, const char*> kHeadlines[] = {
+      {"failures", "failures"},
+      {"mtbf_hours", "MTBF (h)"},
+      {"mttr_hours", "MTTR (h)"},
+      {"gpu_share_percent", "GPU share %"},
+      {"software_share_percent", "software share %"},
+      {"percent_multi_failure_nodes", "multi-failure nodes %"},
+      {"multi_gpu_percent", "multi-GPU failures %"},
+      {"slot_max_relative_excess", "slot imbalance"},
+      {"multi_gpu_gap_cv", "multi-GPU gap CV"},
+      {"h2_h1_ttr_ratio", "H2/H1 TTR"},
+      {"pflop_hours_per_failure_free_period", "PFlop-h per failure-free period"},
+  };
+
+  out << "sweep: " << replicates.value() << " replicates per variant, base seed "
+      << seed.value() << ", " << report::fmt_percent(100.0 * level.value(), 0)
+      << " bootstrap CIs\n";
+  for (const auto& variant : sweep.value().variants) {
+    out << "\n== " << variant.label << " ==\n";
+    report::Table table({"Metric", "n", "Mean", "Stddev", "CI low", "CI high"});
+    table.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
+                         report::Align::kRight, report::Align::kRight, report::Align::kRight});
+    const auto add_metric = [&table](const std::string& display,
+                                     const sim::MetricAggregate& aggregate) {
+      table.add_row({display, std::to_string(aggregate.n), report::fmt(aggregate.mean, 3),
+                     report::fmt(aggregate.stddev, 3), report::fmt(aggregate.mean_ci.low, 3),
+                     report::fmt(aggregate.mean_ci.high, 3)});
+    };
+    if (args.flag("all-metrics")) {
+      for (const auto& aggregate : variant.aggregates) add_metric(aggregate.name, aggregate);
+    } else {
+      for (const auto& [name, display] : kHeadlines) {
+        if (const auto* aggregate = variant.find(name)) add_metric(display, *aggregate);
+      }
+    }
+    out << table.render();
   }
   return {};
 }
@@ -821,6 +944,8 @@ const std::vector<Command>& commands() {
   static const std::vector<Command> kCommands = {
       {"simulate", "generate a calibrated synthetic log", make_simulate_parser, run_simulate},
       {"analyze", "run the full DSN'21 study on a log", make_analyze_parser, run_analyze},
+      {"sweep", "multi-replicate Monte Carlo study with aggregate CIs", make_sweep_parser,
+       run_sweep_command},
       {"triage", "operator impact report", make_triage_parser, run_triage},
       {"report", "full study as markdown", make_report_parser, run_report},
       {"figures", "export figure series as CSV", make_figures_parser, run_figures},

@@ -5,6 +5,7 @@
 //
 //   tsufail simulate   generate a calibrated synthetic log as CSV
 //   tsufail analyze    run the full DSN'21 study on a log
+//   tsufail sweep      multi-replicate Monte Carlo study with aggregate CIs
 //   tsufail triage     operator report: impact ranking, repeat nodes
 //   tsufail figures    export all figure series as CSV
 //   tsufail checkpoint Young/Daly checkpoint plan from measured MTBF

@@ -63,6 +63,13 @@ class FailureLog {
   /// Used to derive per-category sub-logs.
   Result<FailureLog> sublog(std::vector<FailureRecord> records) const;
 
+  /// Moves the record storage out of a finished log, so batch drivers
+  /// (sim::run_sweep) can recycle one allocation across many generated
+  /// logs instead of reallocating per replicate.  The log is left empty.
+  static std::vector<FailureRecord> take_records(FailureLog&& log) noexcept {
+    return std::move(log.records_);
+  }
+
  private:
   FailureLog(MachineSpec spec, std::vector<FailureRecord> records)
       : spec_(std::move(spec)), records_(std::move(records)) {}

@@ -133,7 +133,8 @@ class LocusSampler {
 
 }  // namespace
 
-Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t seed) {
+Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t seed,
+                                      std::vector<data::FailureRecord>&& buffer) {
   if (auto valid = validate_model(model); !valid.ok()) return valid.error();
 
   const auto flat_intensity = std::array<double, 12>{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
@@ -152,7 +153,8 @@ Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t s
   for (const auto& cat : model.categories) shares.push_back(cat.share_percent);
   const auto counts = apportion(model.total_failures, shares);
 
-  std::vector<data::FailureRecord> records;
+  std::vector<data::FailureRecord> records = std::move(buffer);
+  records.clear();
   records.reserve(model.total_failures);
 
   const auto month_of = [&](double hours) {
@@ -232,6 +234,10 @@ Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t s
   }
 
   return data::FailureLog::create(model.spec, std::move(records), /*slack_hours=*/1.0);
+}
+
+Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t seed) {
+  return generate_log(model, seed, {});
 }
 
 }  // namespace tsufail::sim

@@ -16,4 +16,12 @@ namespace tsufail::sim {
 /// Errors: invalid model (see validate_model) or degenerate window.
 Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t seed);
 
+/// Same, but recycles `buffer`'s allocation for the record storage (the
+/// buffer is cleared first; its contents are irrelevant).  Batch drivers
+/// generating thousands of replicates pair this with
+/// data::FailureLog::take_records to keep one warm allocation per worker
+/// instead of reallocating every log.
+Result<data::FailureLog> generate_log(const MachineModel& model, std::uint64_t seed,
+                                      std::vector<data::FailureRecord>&& buffer);
+
 }  // namespace tsufail::sim

@@ -1,0 +1,260 @@
+#include "sim/montecarlo.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/generator.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace tsufail::sim {
+namespace {
+
+/// Metric-name fragment for a category: the Table II display name
+/// lowercased with every non-alphanumeric run mapped to '_'
+/// ("Power-Board" -> "power_board").
+std::string metric_slug(data::Category category) {
+  std::string slug;
+  for (const char c : data::to_string(category)) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  return slug;
+}
+
+/// The seed stream used for aggregate bootstraps, kept disjoint from the
+/// replicate stream by a fixed salt.
+std::uint64_t aggregate_seed(std::uint64_t base_seed, std::size_t variant,
+                             std::size_t metric) noexcept {
+  return replicate_seed(replicate_seed(base_seed, 0xA66B005EEDULL + variant),
+                        static_cast<std::uint64_t>(metric));
+}
+
+/// Aggregates one variant's replicate metrics (first-appearance order).
+Result<std::vector<MetricAggregate>> aggregate_metrics(
+    std::span<const ReplicateResult> replicates, std::size_t variant,
+    const SweepOptions& options) {
+  std::vector<std::string> order;
+  std::unordered_map<std::string, std::vector<double>> values;
+  for (const auto& replicate : replicates) {
+    for (const auto& metric : replicate.metrics) {
+      auto [it, inserted] = values.try_emplace(metric.name);
+      if (inserted) order.push_back(metric.name);
+      it->second.push_back(metric.value);
+    }
+  }
+
+  std::vector<MetricAggregate> aggregates;
+  aggregates.reserve(order.size());
+  for (std::size_t m = 0; m < order.size(); ++m) {
+    const std::vector<double>& sample = values[order[m]];
+    MetricAggregate aggregate;
+    aggregate.name = order[m];
+    aggregate.n = sample.size();
+    aggregate.mean = stats::mean(sample);
+    aggregate.stddev = stats::stddev(sample);
+    Rng rng(aggregate_seed(options.base_seed, variant, m));
+    auto ci = stats::bootstrap_mean_ci(sample, rng, options.bootstrap_replicates,
+                                       options.ci_level);
+    if (!ci.ok()) return ci.error().with_context("aggregate '" + aggregate.name + "'");
+    aggregate.mean_ci = ci.value();
+    aggregates.push_back(std::move(aggregate));
+  }
+  return aggregates;
+}
+
+}  // namespace
+
+std::uint64_t replicate_seed(std::uint64_t base_seed, std::uint64_t replicate_index) noexcept {
+  // Golden-ratio stride over the index, then a splitmix64 finalizer: the
+  // same forking shape the generator uses for category streams.
+  std::uint64_t state = base_seed ^ ((replicate_index + 1) * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(state);
+}
+
+const MetricAggregate* VariantSweep::find(std::string_view name) const noexcept {
+  for (const auto& aggregate : aggregates) {
+    if (aggregate.name == name) return &aggregate;
+  }
+  return nullptr;
+}
+
+double VariantSweep::mean_of(std::string_view name, double fallback) const noexcept {
+  const MetricAggregate* aggregate = find(name);
+  return aggregate == nullptr ? fallback : aggregate->mean;
+}
+
+const VariantSweep* SweepResult::find(std::string_view label) const noexcept {
+  for (const auto& variant : variants) {
+    if (variant.label == label) return &variant;
+  }
+  return nullptr;
+}
+
+std::vector<MetricSample> study_metrics(const analysis::StudyReport& report) {
+  std::vector<MetricSample> metrics;
+  const auto emit = [&metrics](std::string name, double value) {
+    metrics.push_back({std::move(name), value});
+  };
+
+  emit("failures", static_cast<double>(report.categories.total_failures));
+  emit("gpu_share_percent", report.categories.percent_of(data::Category::kGpu));
+  emit("cpu_share_percent", report.categories.percent_of(data::Category::kCpu));
+  emit("software_share_percent", report.categories.percent_of(data::Category::kSoftware));
+
+  if (report.tbf.has_value()) {
+    emit("mtbf_hours", report.tbf->exposure_mtbf_hours);
+    emit("mean_gap_hours", report.tbf->mtbf_hours);
+    emit("tbf_p75_hours", report.tbf->p75_hours);
+  }
+  emit("mttr_hours", report.ttr.mttr_hours);
+  emit("median_ttr_hours", report.ttr.summary.median);
+  emit("p95_ttr_hours", report.ttr.summary.p95);
+
+  emit("percent_single_failure_nodes", report.node_counts.percent_single_failure);
+  emit("percent_multi_failure_nodes", report.node_counts.percent_multi_failure);
+  emit("max_failures_on_one_node",
+       static_cast<double>(report.node_counts.max_failures_on_one_node));
+
+  if (report.gpu_slots.has_value())
+    emit("slot_max_relative_excess", report.gpu_slots->max_relative_excess);
+  if (report.multi_gpu.has_value())
+    emit("multi_gpu_percent", report.multi_gpu->percent_multi);
+  if (report.multi_gpu_clustering.has_value()) {
+    emit("multi_gpu_gap_cv", report.multi_gpu_clustering->cv);
+    emit("multi_gpu_burstiness", report.multi_gpu_clustering->burstiness);
+  }
+  if (report.seasonal.first_half_median_ttr > 0.0) {
+    emit("h2_h1_ttr_ratio",
+         report.seasonal.second_half_median_ttr / report.seasonal.first_half_median_ttr);
+  }
+  emit("pflop_hours_per_failure_free_period",
+       report.perf_error_prop.pflop_hours_per_failure_free_period);
+
+  for (const auto& row : report.tbf_by_category)
+    emit("mtbf_" + metric_slug(row.category) + "_hours", row.exposure_mtbf_hours);
+  for (const auto& row : report.ttr_by_category) {
+    const std::string slug = metric_slug(row.category);
+    emit("mttr_" + slug + "_hours", row.mttr_hours);
+    emit("share_" + slug + "_percent", row.share_percent);
+  }
+  return metrics;
+}
+
+Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
+                              const SweepOptions& options) {
+  if (variants.empty())
+    return Error(ErrorKind::kDomain, "run_sweep: no variants");
+  if (options.replicates == 0)
+    return Error(ErrorKind::kDomain, "run_sweep: need at least one replicate");
+  if (!(options.ci_level > 0.0 && options.ci_level < 1.0))
+    return Error(ErrorKind::kDomain, "run_sweep: ci_level must be in (0,1)");
+  if (options.bootstrap_replicates == 0)
+    return Error(ErrorKind::kDomain, "run_sweep: need at least one bootstrap replicate");
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    for (std::size_t j = i + 1; j < variants.size(); ++j) {
+      if (variants[i].label == variants[j].label)
+        return Error(ErrorKind::kValidation,
+                     "run_sweep: duplicate variant label '" + variants[i].label + "'");
+    }
+  }
+  for (const auto& variant : variants) {
+    if (auto valid = validate_model(variant.model); !valid.ok())
+      return valid.error().with_context("run_sweep: variant '" + variant.label + "'");
+  }
+
+  // One cell per (variant, replicate), flattened variant-major.  Workers
+  // claim cells off an atomic cursor but write only their own slot, so
+  // the assembled result is independent of scheduling.
+  const std::size_t total = variants.size() * options.replicates;
+  std::vector<std::optional<ReplicateResult>> cells(total);
+  std::vector<std::optional<Error>> cell_errors(total);
+  std::atomic<std::size_t> next_cell{0};
+
+  const auto worker = [&]() {
+    // Recycled across this worker's replicates: the record storage flows
+    // generate_log -> FailureLog -> take_records and back.
+    std::vector<data::FailureRecord> buffer;
+    for (std::size_t cell = next_cell.fetch_add(1); cell < total;
+         cell = next_cell.fetch_add(1)) {
+      const std::size_t variant = cell / options.replicates;
+      const std::size_t replicate = cell % options.replicates;
+      try {
+        ReplicateResult result;
+        result.replicate = replicate;
+        result.seed = replicate_seed(options.base_seed, replicate);
+        auto log = generate_log(variants[variant].model, result.seed, std::move(buffer));
+        if (!log.ok()) {
+          buffer = {};
+          cell_errors[cell] = log.error();
+          continue;
+        }
+        result.failures = log.value().size();
+        auto study = analysis::run_study(log.value(), analysis::StudyOptions{1});
+        buffer = data::FailureLog::take_records(std::move(log).value());
+        if (!study.ok()) {
+          cell_errors[cell] = study.error();
+          continue;
+        }
+        result.metrics = study_metrics(study.value());
+        if (options.keep_reports) result.report = std::move(study.value());
+        cells[cell] = std::move(result);
+      } catch (const std::exception& e) {
+        buffer = {};
+        cell_errors[cell] =
+            Error(ErrorKind::kInternal, std::string("uncaught exception: ") + e.what());
+      }
+    }
+  };
+
+  std::size_t workers =
+      options.jobs == 0 ? std::max(1u, std::thread::hardware_concurrency()) : options.jobs;
+  workers = std::min(workers, total);
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+  }
+
+  // First failing cell in deterministic (variant, replicate) order wins.
+  for (std::size_t cell = 0; cell < total; ++cell) {
+    if (!cell_errors[cell].has_value()) continue;
+    return cell_errors[cell]->with_context(
+        "run_sweep: variant '" + variants[cell / options.replicates].label + "' replicate " +
+        std::to_string(cell % options.replicates));
+  }
+
+  SweepResult result;
+  result.variants.reserve(variants.size());
+  for (std::size_t variant = 0; variant < variants.size(); ++variant) {
+    VariantSweep sweep;
+    sweep.label = variants[variant].label;
+    sweep.replicates.reserve(options.replicates);
+    for (std::size_t replicate = 0; replicate < options.replicates; ++replicate) {
+      sweep.replicates.push_back(std::move(*cells[variant * options.replicates + replicate]));
+    }
+    auto aggregates = aggregate_metrics(sweep.replicates, variant, options);
+    if (!aggregates.ok())
+      return aggregates.error().with_context("run_sweep: variant '" + sweep.label + "'");
+    sweep.aggregates = std::move(aggregates.value());
+    result.variants.push_back(std::move(sweep));
+  }
+  return result;
+}
+
+Result<SweepResult> run_sweep(const MachineModel& model, const SweepOptions& options) {
+  const SweepVariant variant{model.spec.name, model};
+  return run_sweep(std::span<const SweepVariant>(&variant, 1), options);
+}
+
+}  // namespace tsufail::sim

@@ -1,0 +1,131 @@
+// sim::montecarlo — deterministic sharded Monte Carlo engine for
+// multi-replicate fleet studies.
+//
+// Every multi-replicate workload (ablation benches, what-if scaling
+// sweeps, calibration checks) wants the same loop: generate a log per
+// seed, run the full study, and average scalar metrics across replicates.
+// run_sweep fuses that loop and fans it across a thread pool:
+//
+//   * Determinism contract.  Replicate r of every variant is generated
+//     from replicate_seed(base_seed, r) — a splitmix-style fork of
+//     (base_seed, r) — and each (variant, replicate) cell writes only its
+//     own result slot, so the SweepResult is bit-identical at any `jobs`
+//     count.  All variants share the same per-replicate seed set (common
+//     random numbers), which cancels sampling noise out of cross-variant
+//     deltas — exactly what the ablation bench compares.
+//
+//   * Fused pipeline.  Each worker generates, indexes, analyzes, and
+//     reduces a replicate in one pass on one thread, recycling the record
+//     allocation between replicates (generate_log's buffer overload +
+//     FailureLog::take_records).  Full StudyReports are only kept when
+//     SweepOptions::keep_reports asks for them; aggregate-only sweeps
+//     carry scalar metrics and drop everything else per replicate.
+//
+//   * Cross-replicate aggregates.  Per metric: mean, sample stddev, and
+//     a percentile-bootstrap CI of the mean from the deterministic
+//     sharded stats::bootstrap_ci (same bounds at any thread count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/study.h"
+#include "sim/models.h"
+#include "stats/bootstrap.h"
+
+namespace tsufail::sim {
+
+/// The RNG stream seed for replicate `replicate_index` of a sweep with
+/// `base_seed`.  A splitmix64 fork: stable across releases (tests pin
+/// it), uncorrelated between adjacent indices, and never identical to
+/// the base seed itself.
+std::uint64_t replicate_seed(std::uint64_t base_seed, std::uint64_t replicate_index) noexcept;
+
+/// One model variant of a sweep (e.g. an ablation arm or a scaled
+/// machine).  Labels must be unique within one run_sweep call.
+struct SweepVariant {
+  std::string label;
+  MachineModel model;
+};
+
+struct SweepOptions {
+  std::uint64_t base_seed = 1;
+  std::size_t replicates = 10;  ///< seeds per variant
+  /// Worker threads across (variant, replicate) cells: 1 = serial on the
+  /// calling thread, 0 = one per hardware thread.  Results are
+  /// bit-identical for every value.
+  std::size_t jobs = 1;
+  /// Keep the full per-replicate StudyReport (markdown-ready layer).
+  /// Off by default: aggregate-only sweeps skip materializing it.
+  bool keep_reports = false;
+  double ci_level = 0.95;                  ///< aggregate bootstrap CI level
+  std::size_t bootstrap_replicates = 1000; ///< aggregate bootstrap resamples
+};
+
+/// One named scalar pulled out of a StudyReport (see study_metrics).
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One generated-and-analyzed replicate of one variant.
+struct ReplicateResult {
+  std::size_t replicate = 0;   ///< index within the variant
+  std::uint64_t seed = 0;      ///< replicate_seed(base_seed, replicate)
+  std::size_t failures = 0;    ///< generated log size
+  std::vector<MetricSample> metrics;
+  /// Present only when SweepOptions::keep_reports.
+  std::optional<analysis::StudyReport> report;
+};
+
+/// Cross-replicate aggregate of one metric.
+struct MetricAggregate {
+  std::string name;
+  std::size_t n = 0;       ///< replicates where the metric was defined
+  double mean = 0.0;
+  double stddev = 0.0;     ///< sample standard deviation (0 when n == 1)
+  stats::ConfidenceInterval mean_ci;  ///< percentile bootstrap of the mean
+};
+
+struct VariantSweep {
+  std::string label;
+  std::vector<ReplicateResult> replicates;
+  /// One entry per metric name, in first-appearance order across the
+  /// replicates.
+  std::vector<MetricAggregate> aggregates;
+
+  /// Aggregate by metric name, or nullptr if no replicate produced it.
+  const MetricAggregate* find(std::string_view name) const noexcept;
+  /// Mean of a metric, or `fallback` if absent.
+  double mean_of(std::string_view name, double fallback = 0.0) const noexcept;
+};
+
+struct SweepResult {
+  std::vector<VariantSweep> variants;  ///< in input order
+
+  const VariantSweep* find(std::string_view label) const noexcept;
+};
+
+/// The scalar metrics extracted from one study report, with stable names
+/// ("mtbf_hours", "mttr_hours", "percent_multi_failure_nodes",
+/// "mtbf_gpu_hours", ...).  Metrics undefined for the log (absent
+/// optional analyses, categories below the reporting threshold) are
+/// simply not emitted.
+std::vector<MetricSample> study_metrics(const analysis::StudyReport& report);
+
+/// Runs `options.replicates` seeds of every variant and aggregates.
+/// Errors: no variants, zero replicates, duplicate labels, or any
+/// replicate failing to generate/analyze (the error names the variant
+/// and replicate; the first failing cell in deterministic order wins).
+Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
+                              const SweepOptions& options);
+
+/// Single-variant convenience: sweeps `model` under the label of its
+/// spec name.
+Result<SweepResult> run_sweep(const MachineModel& model, const SweepOptions& options);
+
+}  // namespace tsufail::sim

@@ -3,6 +3,13 @@
 // The logs are single realizations (897 and 338 failures); every headline
 // number (MTBF, MTTR, category shares) deserves an uncertainty estimate.
 // We use the percentile bootstrap, adequate at these sample sizes.
+//
+// Determinism contract: the resamples are drawn in fixed-size shards,
+// each from its own child RNG forked off the caller's generator, and the
+// shard partition depends only on `replicates` — never on `jobs`.  The
+// returned interval is therefore bit-identical at any thread count, and
+// the caller's generator advances exactly once per call (so consecutive
+// calls still see fresh resamples).
 #pragma once
 
 #include <functional>
@@ -21,17 +28,23 @@ struct ConfidenceInterval {
 };
 
 /// Percentile-bootstrap CI of an arbitrary statistic.
-/// `statistic` must accept any resample of the original length.
+/// `statistic` must accept any resample of the original length, and must
+/// be safe to call concurrently when jobs != 1 (pure functions are).
+/// `jobs` shards the replicate loop across worker threads: 1 (default)
+/// stays on the calling thread, 0 uses one worker per hardware thread;
+/// the bounds are identical for every value.
 /// Errors: empty sample, replicates == 0, level outside (0, 1).
 Result<ConfidenceInterval> bootstrap_ci(
     std::span<const double> sample,
     const std::function<double(std::span<const double>)>& statistic, Rng& rng,
-    std::size_t replicates = 1000, double level = 0.95);
+    std::size_t replicates = 1000, double level = 0.95, std::size_t jobs = 1);
 
 /// Convenience wrappers for the two statistics the benches report.
 Result<ConfidenceInterval> bootstrap_mean_ci(std::span<const double> sample, Rng& rng,
-                                             std::size_t replicates = 1000, double level = 0.95);
+                                             std::size_t replicates = 1000, double level = 0.95,
+                                             std::size_t jobs = 1);
 Result<ConfidenceInterval> bootstrap_median_ci(std::span<const double> sample, Rng& rng,
-                                               std::size_t replicates = 1000, double level = 0.95);
+                                               std::size_t replicates = 1000, double level = 0.95,
+                                               std::size_t jobs = 1);
 
 }  // namespace tsufail::stats

@@ -97,6 +97,49 @@ TEST(Commands, AnalyzeMissingFileFails) {
   EXPECT_NE(result.err.find("error:"), std::string::npos);
 }
 
+TEST(Commands, SweepHelpListsTheKnobs) {
+  const auto result = run({"sweep", "--help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("usage: tsufail sweep"), std::string::npos);
+  for (const char* flag : {"--replicates", "--jobs", "--gpus-per-node", "--nodes"})
+    EXPECT_NE(result.out.find(flag), std::string::npos) << flag;
+}
+
+TEST(Commands, SweepPrintsAggregateTable) {
+  const auto result = run({"sweep", "--replicates", "3", "--machine", "t3"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("3 replicates per variant"), std::string::npos);
+  EXPECT_NE(result.out.find("Tsubame-3 (baseline)"), std::string::npos);
+  EXPECT_NE(result.out.find("MTBF (h)"), std::string::npos);
+  EXPECT_NE(result.out.find("CI low"), std::string::npos);
+}
+
+TEST(Commands, SweepOutputIndependentOfJobs) {
+  // The determinism contract, end to end: the printed report must be
+  // byte-identical whether the replicates ran serially or on 4 workers.
+  const auto serial = run({"sweep", "--replicates", "4", "--jobs", "1", "--seed", "9"});
+  const auto threaded = run({"sweep", "--replicates", "4", "--jobs", "4", "--seed", "9"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(threaded.code, 0) << threaded.err;
+  EXPECT_EQ(serial.out, threaded.out);
+}
+
+TEST(Commands, SweepWhatIfVariantAndAllMetrics) {
+  const auto result = run({"sweep", "--replicates", "2", "--gpus-per-node", "6",
+                           "--correlated", "--all-metrics"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("what-if"), std::string::npos);
+  EXPECT_NE(result.out.find("6 GPUs/node"), std::string::npos);
+  EXPECT_NE(result.out.find("mtbf_gpu_hours"), std::string::npos);
+}
+
+TEST(Commands, SweepRejectsBadArguments) {
+  EXPECT_EQ(run({"sweep", "--replicates", "0"}).code, 1);
+  EXPECT_EQ(run({"sweep", "--level", "1.5"}).code, 1);
+  EXPECT_EQ(run({"sweep", "--machine", "cray"}).code, 1);
+  EXPECT_EQ(run({"sweep", "--gpus-per-node", "-3"}).code, 1);
+}
+
 TEST(Commands, TriageReportsImpactAndPolicy) {
   const std::string path = temp_log_path("cli_triage.csv");
   ASSERT_EQ(run({"simulate", path, "--machine", "t3", "--seed", "4"}).code, 0);

@@ -7,6 +7,7 @@
 
 #include "analysis/study.h"
 #include "sim/generator.h"
+#include "sim/montecarlo.h"
 #include "sim/tsubame_models.h"
 
 namespace tsufail {
@@ -239,15 +240,15 @@ TEST(CalibrationFig8, Tsubame3SparseStreamStillClustered) {
 // ---- Figure 9: time to recovery -----------------------------------------
 
 TEST(CalibrationFig9, MttrNearFiftyFiveOnBothSystems) {
-  // Single-realization MTTR is noisy under lognormal tails; average seeds.
+  // Single-realization MTTR is noisy under lognormal tails; average a
+  // multi-replicate sweep instead of a single seed.
   for (const auto* model : {&sim::tsubame2_model(), &sim::tsubame3_model()}) {
-    double mttr = 0.0;
-    const int seeds = 6;
-    for (std::uint64_t seed = 100; seed < 100 + seeds; ++seed) {
-      auto log = sim::generate_log(*model, seed).value();
-      mttr += analysis::analyze_ttr(log).value().mttr_hours / seeds;
-    }
-    EXPECT_NEAR(mttr, 55.0, 7.0) << model->spec.name;
+    sim::SweepOptions options;
+    options.base_seed = 100;
+    options.replicates = 6;
+    options.jobs = 0;  // aggregates are jobs-invariant
+    const auto sweep = sim::run_sweep(*model, options).value();
+    EXPECT_NEAR(sweep.variants[0].mean_of("mttr_hours"), 55.0, 7.0) << model->spec.name;
   }
 }
 
@@ -295,23 +296,17 @@ TEST(CalibrationFig10, HardwareSpreadExceedsSoftwareSpread) {
 TEST(CalibrationFig10, InfrequentCategoriesCanHaveHighRecoveryCost) {
   // The paper's point: power board is ~1% of failures yet repairs are the
   // longest.  Only 3-4 such events exist per realization; average the
-  // category MTTR across seeds before comparing against the system MTTR.
-  double power_board_mttr = 0.0, system_mttr = 0.0, share = 0.0;
-  const int seeds = 8;
-  for (std::uint64_t seed = 600; seed < 600 + seeds; ++seed) {
-    auto log = sim::generate_log(sim::tsubame3_model(), seed).value();
-    auto rows = analysis::analyze_ttr_by_category(log).value();
-    for (const auto& row : rows) {
-      if (row.category == Category::kPowerBoard) {
-        power_board_mttr += row.mttr_hours / seeds;
-        share += row.share_percent / seeds;
-      }
-    }
-    system_mttr += analysis::analyze_ttr(log).value().mttr_hours / seeds;
-  }
-  ASSERT_GT(power_board_mttr, 0.0);
-  EXPECT_LT(share, 2.0);
-  EXPECT_GT(power_board_mttr, system_mttr);
+  // category MTTR across sweep replicates before comparing against the
+  // system MTTR.
+  sim::SweepOptions options;
+  options.base_seed = 600;
+  options.replicates = 8;
+  options.jobs = 0;
+  const auto sweep = sim::run_sweep(sim::tsubame3_model(), options).value();
+  const auto& variant = sweep.variants[0];
+  ASSERT_NE(variant.find("mttr_power_board_hours"), nullptr);
+  EXPECT_LT(variant.mean_of("share_power_board_percent"), 2.0);
+  EXPECT_GT(variant.mean_of("mttr_power_board_hours"), variant.mean_of("mttr_hours"));
 }
 
 // ---- Figures 11-12: seasonality ------------------------------------------

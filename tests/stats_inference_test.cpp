@@ -101,6 +101,55 @@ TEST(Bootstrap, DeterministicGivenSeed) {
   EXPECT_DOUBLE_EQ(ca.value().high, cb.value().high);
 }
 
+TEST(Bootstrap, SameBoundsAtAnyJobsCount) {
+  // The sharded scheme partitions replicates by count alone, so the
+  // interval is bit-identical whether the shards run serially or on a
+  // thread pool (including jobs=0 = all hardware threads).
+  Rng data_rng(37);
+  std::vector<double> sample(250);
+  for (auto& x : sample) x = data_rng.lognormal(3.5, 0.8);
+  Rng serial_rng(41);
+  const auto serial = bootstrap_mean_ci(sample, serial_rng, 700, 0.95, 1);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}, std::size_t{0}}) {
+    Rng rng(41);
+    const auto threaded = bootstrap_mean_ci(sample, rng, 700, 0.95, jobs);
+    ASSERT_TRUE(threaded.ok()) << "jobs=" << jobs;
+    EXPECT_EQ(serial.value().point, threaded.value().point) << "jobs=" << jobs;
+    EXPECT_EQ(serial.value().low, threaded.value().low) << "jobs=" << jobs;
+    EXPECT_EQ(serial.value().high, threaded.value().high) << "jobs=" << jobs;
+  }
+}
+
+TEST(Bootstrap, ConsecutiveCallsDrawFreshResamples) {
+  // The caller's generator advances once per call, so back-to-back CIs
+  // from one rng must differ (fresh randomness), at every jobs count.
+  Rng data_rng(43);
+  std::vector<double> sample(120);
+  for (auto& x : sample) x = data_rng.exponential(20.0);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    Rng rng(47);
+    const auto first = bootstrap_mean_ci(sample, rng, 400, 0.95, jobs);
+    const auto second = bootstrap_mean_ci(sample, rng, 400, 0.95, jobs);
+    ASSERT_TRUE(first.ok() && second.ok());
+    EXPECT_TRUE(first.value().low != second.value().low ||
+                first.value().high != second.value().high)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(Bootstrap, MedianCiAlsoJobsInvariant) {
+  Rng data_rng(53);
+  std::vector<double> sample(180);
+  for (auto& x : sample) x = data_rng.weibull(1.1, 40.0);
+  Rng a(59), b(59);
+  const auto serial = bootstrap_median_ci(sample, a, 500, 0.9, 1);
+  const auto threaded = bootstrap_median_ci(sample, b, 500, 0.9, 8);
+  ASSERT_TRUE(serial.ok() && threaded.ok());
+  EXPECT_EQ(serial.value().low, threaded.value().low);
+  EXPECT_EQ(serial.value().high, threaded.value().high);
+}
+
 TEST(KolmogorovSf, Limits) {
   EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
   EXPECT_NEAR(kolmogorov_sf(0.5), 0.9639, 5e-4);
