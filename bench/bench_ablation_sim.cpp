@@ -13,10 +13,10 @@
 // replays the same per-replicate seed set (common random numbers), so the
 // off/full ratios below compare like with like, and the replicate fan-out
 // uses every hardware thread while staying bit-identical to a serial run.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/obs.h"
 #include "report/table.h"
 #include "sim/montecarlo.h"
 
@@ -51,10 +51,9 @@ int main() {
   options.base_seed = bench::kBenchSeed;
   options.replicates = kReplicates;
   options.jobs = 0;  // all hardware threads; aggregates identical to jobs=1
-  const auto start = std::chrono::steady_clock::now();
+  const obs::Stopwatch watch;
   const auto sweep = sim::run_sweep(variants, options).value();
-  const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double wall_s = watch.seconds();
 
   report::Table table({"Variant", "multi-failure nodes %", "slot imbalance",
                        "multi-GPU gap CV", "H2/H1 TTR"});

@@ -75,4 +75,19 @@ bool PerfJson::write(const std::string& dir) const {
   return true;
 }
 
+void add_span_aggregates(PerfJson& perf, const std::vector<obs::ProfileEntry>& entries,
+                         std::size_t top) {
+  std::size_t added = 0;
+  for (const auto& entry : entries) {
+    if (added++ >= top) break;
+    std::string key = "span_" + entry.name;
+    for (char& c : key) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    perf.set(key + "_count", static_cast<std::int64_t>(entry.count));
+    perf.set(key + "_total_s", static_cast<double>(entry.total_ns) * 1e-9);
+    perf.set(key + "_self_s", static_cast<double>(entry.self_ns) * 1e-9);
+  }
+}
+
 }  // namespace tsufail::bench

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "data/log.h"
+#include "obs/trace.h"
 #include "report/compare.h"
 #include "sim/tsubame_models.h"
 
@@ -59,5 +60,11 @@ class PerfJson {
   std::string name_;
   std::vector<std::pair<std::string, std::variant<double, std::int64_t, std::string>>> fields_;
 };
+
+/// Folds the top `top` spans (by self time) of a trace profile into a
+/// perf record as `span_<name>_{count,total_s,self_s}` fields, so the
+/// per-phase breakdown rides in the same BENCH_*.json as the wall times.
+void add_span_aggregates(PerfJson& perf, const std::vector<obs::ProfileEntry>& entries,
+                         std::size_t top = 8);
 
 }  // namespace tsufail::bench

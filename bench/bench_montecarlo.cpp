@@ -13,7 +13,6 @@
 // for cross-commit perf tracking.  The >= 4x speedup expectation is only
 // enforced when the host actually has >= 8 hardware threads.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +21,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "report/table.h"
 #include "sim/montecarlo.h"
 
@@ -89,11 +90,9 @@ int main(int argc, char** argv) {
     options.base_seed = bench::kBenchSeed;
     options.replicates = replicates;
     options.jobs = jobs;
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Stopwatch watch;
     const auto sweep = sim::run_sweep(sim::tsubame3_model(), options).value();
-    const double wall_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    timings.push_back({jobs, wall_s, fingerprint(sweep)});
+    timings.push_back({jobs, watch.seconds(), fingerprint(sweep)});
   }
 
   report::Table table({"jobs", "wall (s)", "replicates/s", "speedup"});
@@ -134,6 +133,22 @@ int main(int argc, char** argv) {
   }
   perf.set("speedup_jobs8", speedup8);
   perf.set("deterministic", static_cast<std::int64_t>(identical ? 1 : 0));
+
+  // One extra traced sweep (outside the timings above, which stay
+  // instrumentation-dormant) for the per-phase generate/index/analyze
+  // breakdown in the perf record.
+  {
+    obs::reset_trace();
+    obs::set_enabled(true);
+    sim::SweepOptions options;
+    options.base_seed = bench::kBenchSeed;
+    options.replicates = std::min<std::size_t>(replicates, 8);
+    options.jobs = 2;
+    (void)sim::run_sweep(sim::tsubame3_model(), options).value();
+    obs::set_enabled(false);
+    bench::add_span_aggregates(perf, obs::profile(obs::collect_trace()));
+  }
+
   perf.write();
   return bench::exit_code();
 }

@@ -7,8 +7,36 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace tsufail::analysis {
 namespace {
+
+obs::Counter& tasks_run_counter() {
+  static obs::Counter c = obs::counter("study.tasks_run");
+  return c;
+}
+
+obs::Counter& tasks_failed_counter() {
+  static obs::Counter c = obs::counter("study.tasks_failed");
+  return c;
+}
+
+/// Time a ready task waited before a worker picked it up.  Timing-valued,
+/// so (per the obs determinism contract) exempt from jobs-invariance.
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram h =
+      obs::histogram("study.queue_wait_seconds", obs::time_buckets_seconds());
+  return h;
+}
+
+/// Span name for one executor task ("study.tbf").  Interned only while
+/// obs is enabled, so the disabled path never allocates.
+const char* task_span_name(const std::string& task) {
+  if (!obs::enabled()) return nullptr;
+  return obs::intern(("study." + task).c_str());
+}
 
 /// Runs one task function, downgrading anything it throws to an Error so
 /// a worker thread can never escape via an exception.  (Not named
@@ -64,7 +92,12 @@ std::vector<TaskOutcome> Executor::run_serial() {
         break;
       }
     }
-    if (!outcome.dependency_failed) outcome.error = run_task(tasks_[id].fn);
+    if (!outcome.dependency_failed) {
+      obs::SpanScope span(task_span_name(tasks_[id].name));
+      outcome.error = run_task(tasks_[id].fn);
+      tasks_run_counter().add();
+      if (outcome.error.has_value()) tasks_failed_counter().add();
+    }
   }
   return outcomes;
 }
@@ -79,10 +112,18 @@ std::vector<TaskOutcome> Executor::run_parallel(std::size_t jobs) {
   std::deque<TaskId> ready;
   std::size_t completed = 0;
 
+  // When obs is enabled, ready_at_ns[id] stamps the instant a task became
+  // runnable so the pickup delay lands in study.queue_wait_seconds.
+  const bool traced = obs::enabled();
+  std::vector<std::uint64_t> ready_at_ns(traced ? tasks_.size() : 0, 0);
+
   for (TaskId id = 0; id < tasks_.size(); ++id) {
     outcomes[id].name = tasks_[id].name;
     pending_deps[id] = tasks_[id].deps.size();
-    if (pending_deps[id] == 0) ready.push_back(id);
+    if (pending_deps[id] == 0) {
+      ready.push_back(id);
+      if (traced) ready_at_ns[id] = obs::now_ns();
+    }
   }
 
   // Called under the lock when `id` has finished (ran or was skipped):
@@ -94,7 +135,10 @@ std::vector<TaskOutcome> Executor::run_parallel(std::size_t jobs) {
     for (TaskId dependent : tasks_[id].dependents) {
       if (!outcomes[id].ok() && poisoned_by[dependent] == tasks_.size())
         poisoned_by[dependent] = id;
-      if (--pending_deps[dependent] == 0) ready.push_back(dependent);
+      if (--pending_deps[dependent] == 0) {
+        ready.push_back(dependent);
+        if (traced) ready_at_ns[dependent] = obs::now_ns();
+      }
     }
     ready_cv.notify_all();
   };
@@ -113,7 +157,16 @@ std::vector<TaskOutcome> Executor::run_parallel(std::size_t jobs) {
         continue;
       }
       lock.unlock();
-      auto error = run_task(tasks_[id].fn);
+      if (traced)
+        queue_wait_histogram().observe(
+            static_cast<double>(obs::now_ns() - ready_at_ns[id]) * 1e-9);
+      std::optional<Error> error;
+      {
+        obs::SpanScope span(task_span_name(tasks_[id].name));
+        error = run_task(tasks_[id].fn);
+        tasks_run_counter().add();
+        if (error.has_value()) tasks_failed_counter().add();
+      }
       lock.lock();
       outcomes[id].error = std::move(error);
       complete(id);

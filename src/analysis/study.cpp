@@ -5,12 +5,18 @@
 
 #include "analysis/executor.h"
 #include "data/log_index.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace tsufail::analysis {
 
 Result<StudyReport> run_study(const data::FailureLog& log, const StudyOptions& options) {
   if (log.empty())
     return Error(ErrorKind::kDomain, "run_study: empty log");
+
+  OBS_SPAN("study.run");
+  static obs::Counter runs = obs::counter("study.runs");
+  runs.add();
 
   StudyReport report;
 

@@ -1,8 +1,20 @@
 #include "cli/args.h"
 
+#include <fstream>
+
 #include "util/strings.h"
 
 namespace tsufail::cli {
+
+Result<void> validate_writable_path(const std::string& path) {
+  if (path.empty())
+    return Error(ErrorKind::kValidation, "output path is empty");
+  // Append mode creates a missing file but leaves an existing one intact.
+  std::ofstream probe(path, std::ios::binary | std::ios::app);
+  if (!probe)
+    return Error(ErrorKind::kIo, "cannot open '" + path + "' for writing");
+  return {};
+}
 
 Result<std::string> ParsedArgs::get(const std::string& name) const {
   const auto it = values_.find(name);

@@ -54,6 +54,12 @@ class ParsedArgs {
   std::vector<std::string> positionals_;
 };
 
+/// Checks that `path` can be opened for writing *now*, without
+/// truncating an existing file.  Commands that produce a file at the end
+/// of a long run (--trace, --metrics) call this up front so a typo'd
+/// directory fails in milliseconds, not after the sweep.
+Result<void> validate_writable_path(const std::string& path);
+
 class ArgParser {
  public:
   ArgParser(std::string command, std::string description)

@@ -12,6 +12,9 @@
 #include "analysis/study.h"
 #include "data/legacy_import.h"
 #include "data/log_io.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "ops/availability.h"
 #include "ops/capacity.h"
 #include "ops/checkpoint.h"
@@ -74,6 +77,93 @@ OptionSpec jobs_option() {
           std::string("1")};
 }
 
+// --- observability plumbing -------------------------------------------
+//
+// Commands that can run long accept --trace FILE (Chrome-trace JSON for
+// Perfetto) and --metrics FILE (.json -> JSON, anything else ->
+// Prometheus text).  resolve_obs() validates both paths up front and, if
+// either was given, clears the recorders and flips the runtime switch;
+// write_obs_outputs() snapshots and writes after the run.
+
+OptionSpec trace_option() {
+  return {"trace", "FILE",
+          "record spans and write a Chrome-trace JSON (open in ui.perfetto.dev)", {}};
+}
+
+OptionSpec metrics_option() {
+  return {"metrics", "FILE",
+          "write a metrics snapshot (.json extension = JSON, otherwise Prometheus text)", {}};
+}
+
+struct ObsRequest {
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
+  bool any() const noexcept { return trace_path.has_value() || metrics_path.has_value(); }
+};
+
+Result<ObsRequest> resolve_obs(const ParsedArgs& args) {
+  ObsRequest request;
+  if (args.has("trace")) request.trace_path = args.get("trace").value();
+  if (args.has("metrics")) request.metrics_path = args.get("metrics").value();
+  if (request.trace_path.has_value()) {
+    if (auto ok = validate_writable_path(*request.trace_path); !ok.ok())
+      return ok.error().with_context("--trace");
+  }
+  if (request.metrics_path.has_value()) {
+    if (auto ok = validate_writable_path(*request.metrics_path); !ok.ok())
+      return ok.error().with_context("--metrics");
+  }
+  if (request.any()) {
+    if (!obs::kCompiledIn)
+      return Error(ErrorKind::kInternal,
+                   "this build has TSUFAIL_OBS_DISABLE: --trace/--metrics cannot record");
+    obs::reset_trace();
+    obs::reset_metrics();
+    obs::set_enabled(true);
+  }
+  return request;
+}
+
+Result<void> write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file)
+    return Error(ErrorKind::kIo, "cannot open '" + path + "' for writing");
+  file << text;
+  if (!file.flush())
+    return Error(ErrorKind::kIo, "write error on '" + path + "'");
+  return {};
+}
+
+bool has_json_extension(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+Result<void> write_obs_outputs(const ObsRequest& request, std::ostream& out) {
+  if (!request.any()) return {};
+  if (request.trace_path.has_value()) {
+    const auto snapshot = obs::collect_trace();
+    if (auto w = write_text_file(*request.trace_path, obs::chrome_trace_json(snapshot));
+        !w.ok())
+      return w.error().with_context("--trace");
+    out << "wrote trace (" << snapshot.span_count() << " spans, "
+        << snapshot.threads.size() << " threads";
+    if (snapshot.dropped_total() > 0) out << ", " << snapshot.dropped_total() << " dropped";
+    out << ") to " << *request.trace_path << "\n";
+  }
+  if (request.metrics_path.has_value()) {
+    const auto snapshot = obs::collect_metrics();
+    const std::string text = has_json_extension(*request.metrics_path)
+                                 ? obs::metrics_json(snapshot)
+                                 : obs::prometheus_text(snapshot);
+    if (auto w = write_text_file(*request.metrics_path, text); !w.ok())
+      return w.error().with_context("--metrics");
+    out << "wrote metrics (" << snapshot.counters.size() << " counters, "
+        << snapshot.gauges.size() << " gauges, " << snapshot.histograms.size()
+        << " histograms) to " << *request.metrics_path << "\n";
+  }
+  return {};
+}
+
 Result<analysis::StudyOptions> resolve_study_options(const ParsedArgs& args) {
   auto jobs = args.get_int("jobs");
   if (!jobs.ok()) return jobs.error();
@@ -119,10 +209,15 @@ ArgParser make_analyze_parser() {
   parser.positional({"log.csv", "failure log in tsufail CSV format", true});
   parser.option(strict_option());
   parser.option(jobs_option());
+  parser.option(trace_option());
+  parser.option(metrics_option());
   return parser;
 }
 
 Result<void> run_analyze(const ParsedArgs& args, std::ostream& out) {
+  auto obs_request = resolve_obs(args);
+  if (!obs_request.ok()) return obs_request.error();
+  obs::SpanScope cli_span("cli.analyze");
   auto log = load_log(args);
   if (!log.ok()) return log.error();
   auto options = resolve_study_options(args);
@@ -176,7 +271,8 @@ Result<void> run_analyze(const ParsedArgs& args, std::ostream& out) {
   for (const auto& skipped : s.skipped) {
     out << "skipped " << skipped.analysis << ": " << skipped.error.message() << "\n";
   }
-  return {};
+  cli_span.stop();
+  return write_obs_outputs(obs_request.value(), out);
 }
 
 // --- sweep ------------------------------------------------------------------
@@ -199,7 +295,10 @@ ArgParser make_sweep_parser() {
   parser.option({"nodes", "N", "add a what-if variant rescaled to an N-node fleet", {}});
   parser.option({"failures", "N", "override the calibrated failure count", {}});
   parser.option({"level", "P", "confidence level for the aggregate CIs", std::string("0.95")});
+  parser.option({"quick", "", "smoke preset: 4 replicates (overrides --replicates)", {}});
   parser.option({"all-metrics", "", "print every aggregate, including per-category ones", {}});
+  parser.option(trace_option());
+  parser.option(metrics_option());
   parser.option({"no-bursts", "", "disable temporal burst clustering", {}});
   parser.option({"no-heterogeneity", "", "disable the lemon-node hazard mix", {}});
   parser.option({"no-slot-weights", "", "disable non-uniform GPU slot selection", {}});
@@ -208,11 +307,15 @@ ArgParser make_sweep_parser() {
 }
 
 Result<void> run_sweep_command(const ParsedArgs& args, std::ostream& out) {
+  auto obs_request = resolve_obs(args);
+  if (!obs_request.ok()) return obs_request.error();
+  obs::SpanScope cli_span("cli.sweep");
   auto model = resolve_model(args);
   if (!model.ok()) return model.error();
-  auto replicates = args.get_int("replicates");
-  if (!replicates.ok()) return replicates.error();
-  if (replicates.value() <= 0)
+  auto replicates_arg = args.get_int("replicates");
+  if (!replicates_arg.ok()) return replicates_arg.error();
+  const long long replicates = args.flag("quick") ? 4 : replicates_arg.value();
+  if (replicates <= 0)
     return Error(ErrorKind::kDomain, "--replicates must be positive");
   auto jobs = args.get_int("jobs");
   if (!jobs.ok()) return jobs.error();
@@ -252,7 +355,7 @@ Result<void> run_sweep_command(const ParsedArgs& args, std::ostream& out) {
 
   sim::SweepOptions options;
   options.base_seed = static_cast<std::uint64_t>(seed.value());
-  options.replicates = static_cast<std::size_t>(replicates.value());
+  options.replicates = static_cast<std::size_t>(replicates);
   options.jobs = static_cast<std::size_t>(jobs.value());
   options.ci_level = level.value();
   auto sweep = sim::run_sweep(variants, options);
@@ -274,7 +377,7 @@ Result<void> run_sweep_command(const ParsedArgs& args, std::ostream& out) {
       {"pflop_hours_per_failure_free_period", "PFlop-h per failure-free period"},
   };
 
-  out << "sweep: " << replicates.value() << " replicates per variant, base seed "
+  out << "sweep: " << replicates << " replicates per variant, base seed "
       << seed.value() << ", " << report::fmt_percent(100.0 * level.value(), 0)
       << " bootstrap CIs\n";
   for (const auto& variant : sweep.value().variants) {
@@ -297,7 +400,8 @@ Result<void> run_sweep_command(const ParsedArgs& args, std::ostream& out) {
     }
     out << table.render();
   }
-  return {};
+  cli_span.stop();
+  return write_obs_outputs(obs_request.value(), out);
 }
 
 // --- triage -----------------------------------------------------------------
@@ -563,10 +667,15 @@ ArgParser make_report_parser() {
   parser.option({"no-extensions", "", "omit survival/trends/racks sections", {}});
   parser.option(strict_option());
   parser.option(jobs_option());
+  parser.option(trace_option());
+  parser.option(metrics_option());
   return parser;
 }
 
 Result<void> run_report(const ParsedArgs& args, std::ostream& out) {
+  auto obs_request = resolve_obs(args);
+  if (!obs_request.ok()) return obs_request.error();
+  obs::SpanScope cli_span("cli.report");
   auto log = load_log(args);
   if (!log.ok()) return log.error();
   auto study_options = resolve_study_options(args);
@@ -589,7 +698,8 @@ Result<void> run_report(const ParsedArgs& args, std::ostream& out) {
   } else {
     out << markdown.value();
   }
-  return {};
+  cli_span.stop();
+  return write_obs_outputs(obs_request.value(), out);
 }
 
 // --- import ----------------------------------------------------------------
@@ -775,10 +885,15 @@ ArgParser make_watch_parser() {
   parser.option({"pace-ms", "MS", "replay delay per event in milliseconds (0 = instant)",
                  std::string("0")});
   parser.option(strict_option());
+  parser.option(trace_option());
+  parser.option(metrics_option());
   return parser;
 }
 
 Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
+  auto obs_request = resolve_obs(args);
+  if (!obs_request.ok()) return obs_request.error();
+  obs::SpanScope cli_span("cli.watch");
   auto log = load_log(args);
   if (!log.ok()) return log.error();
   auto reorder = args.get_double("reorder-hours");
@@ -847,12 +962,30 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
         << " burst=" << health.multi_gpu_burst_size << "\n";
   };
 
+  // Current estimator values mirrored as gauges, so `watch --metrics`
+  // exports the monitor's live state next to the stream/alert counters.
+  static obs::Gauge rate_gauge = obs::gauge("health.ewma_failures_per_day");
+  static obs::Gauge p95_gauge = obs::gauge("health.ttr_p95_hours");
+  static obs::Gauge burst_gauge = obs::gauge("health.multi_gpu_burst_size");
+  static obs::Gauge skew_gauge = obs::gauge("health.slot_skew");
+  static obs::Gauge events_gauge = obs::gauge("health.events");
+  static obs::Gauge active_gauge = obs::gauge("alerts.active");
+
   std::uint64_t processed = 0;
   const auto consume = [&](const data::FailureRecord& record) {
+    OBS_SPAN("watch.consume");
     monitor.value().observe(record);
     const auto health = monitor.value().snapshot();
     for (const auto& alert : engine.value().evaluate(health))
       out << stream::format_alert(alert) << "\n";
+    if (obs::enabled()) {
+      rate_gauge.set(health.ewma_failures_per_day);
+      p95_gauge.set(health.ttr_p95_hours);
+      burst_gauge.set(static_cast<double>(health.multi_gpu_burst_size));
+      skew_gauge.set(health.slot_skew);
+      events_gauge.set(static_cast<double>(health.events));
+      active_gauge.set(static_cast<double>(engine.value().active().size()));
+    }
     ++processed;
     if (summary_every.value() > 0 &&
         processed % static_cast<std::uint64_t>(summary_every.value()) == 0)
@@ -880,20 +1013,85 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
       << " duplicates=" << stats.rejected_duplicates << "\n";
   for (const auto& entry : events.value().quarantine())
     out << "quarantined: " << entry.error.to_string() << "\n";
-  out << "alerts raised: " << engine.value().raised_total();
+  out << "alerts raised: " << engine.value().raised_total() << ", cleared "
+      << engine.value().cleared_total();
   const auto active = engine.value().active();
   if (!active.empty()) {
     out << "; still active:";
     for (const auto& name : active) out << " " << name;
   }
   out << "\n";
+  const auto rules_view = engine.value().rules();
+  const auto activity = engine.value().activity();
+  for (std::size_t i = 0; i < rules_view.size(); ++i) {
+    if (activity[i].fired == 0 && activity[i].cleared == 0) continue;
+    out << "  rule " << rules_view[i].name << ": fired " << activity[i].fired << ", cleared "
+        << activity[i].cleared << "\n";
+  }
   if (auto trends = monitor.value().trends(); trends.ok()) {
     out << "failure-rate trend: "
         << report::fmt(trends.value().rate_trend.slope * 24.0 * 365.0, 3)
         << " failures/day per year (p = "
         << report::fmt(trends.value().rate_trend.slope_p_value, 3) << ")\n";
   }
-  return {};
+  cli_span.stop();
+  return write_obs_outputs(obs_request.value(), out);
+}
+
+// --- profile ----------------------------------------------------------------
+
+ArgParser make_profile_parser() {
+  ArgParser parser("profile",
+                   "Run the study under tracing and print the top spans by self time "
+                   "(where the pipeline actually spends its wall clock).");
+  parser.positional({"log.csv", "failure log in tsufail CSV format", true});
+  parser.option(jobs_option());
+  parser.option({"runs", "N", "study repetitions to aggregate", std::string("1")});
+  parser.option({"top", "N", "rows in the self-time table", std::string("15")});
+  parser.option(strict_option());
+  parser.option(trace_option());
+  parser.option(metrics_option());
+  return parser;
+}
+
+Result<void> run_profile(const ParsedArgs& args, std::ostream& out) {
+  auto obs_request = resolve_obs(args);
+  if (!obs_request.ok()) return obs_request.error();
+  auto runs = args.get_int("runs");
+  if (!runs.ok()) return runs.error();
+  auto top = args.get_int("top");
+  if (!top.ok()) return top.error();
+  if (runs.value() <= 0 || top.value() <= 0)
+    return Error(ErrorKind::kDomain, "--runs and --top must be positive");
+  if (!obs::kCompiledIn)
+    return Error(ErrorKind::kInternal,
+                 "this build has TSUFAIL_OBS_DISABLE: profile cannot record spans");
+
+  // profile records even without --trace/--metrics: the table *is* the
+  // product here, so always reset and enable.
+  if (!obs_request.value().any()) {
+    obs::reset_trace();
+    obs::reset_metrics();
+    obs::set_enabled(true);
+  }
+  obs::SpanScope cli_span("cli.profile");
+
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  auto options = resolve_study_options(args);
+  if (!options.ok()) return options.error();
+  for (long long run = 0; run < runs.value(); ++run) {
+    auto study = analysis::run_study(log.value(), options.value());
+    if (!study.ok()) return study.error();
+  }
+  cli_span.stop();
+
+  const auto snapshot = obs::collect_trace();
+  out << "profile: " << log.value().size() << " failures, " << runs.value() << " run"
+      << (runs.value() == 1 ? "" : "s") << ", jobs " << options.value().jobs << ", "
+      << snapshot.span_count() << " spans\n\n";
+  out << obs::profile_table(obs::profile(snapshot), static_cast<std::size_t>(top.value()));
+  return write_obs_outputs(obs_request.value(), out);
 }
 
 // --- compare --------------------------------------------------------------
@@ -956,6 +1154,8 @@ const std::vector<Command>& commands() {
       {"import", "convert a legacy-v1 log to canonical CSV", make_import_parser, run_import},
       {"trends", "rolling MTBF/MTTR trends over lifetime", make_trends_parser, run_trends},
       {"watch", "live-replay a log through the streaming monitor", make_watch_parser, run_watch},
+      {"profile", "span self-time profile of the study pipeline", make_profile_parser,
+       run_profile},
       {"racks", "rack-level spatial distribution", make_racks_parser, run_racks},
       {"couplings", "cross-category lead-lag couplings", make_couplings_parser, run_couplings},
       {"compare", "cross-generation comparison", make_compare_parser, run_compare},
@@ -972,6 +1172,9 @@ int dispatch(const std::vector<std::string>& argv, std::ostream& out, std::ostre
       stream << std::string(command.name.size() < 12 ? 12 - command.name.size() : 1, ' ');
       stream << command.summary << "\n";
     }
+    stream << "\nprofiling: analyze/report/sweep/watch/profile accept --trace FILE "
+              "(Chrome-trace JSON\nfor ui.perfetto.dev) and --metrics FILE (.json = JSON, "
+              "otherwise Prometheus text).\n";
     stream << "\nrun 'tsufail <command> --help' for per-command options.\n";
   };
 

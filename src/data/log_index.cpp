@@ -1,13 +1,23 @@
 #include "data/log_index.h"
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace tsufail::data {
 
 LogIndex::LogIndex(const FailureLog& log) : log_(&log) {
+  OBS_SPAN("index.build");
+  static obs::Counter builds = obs::counter("index.builds");
+  static obs::Counter indexed = obs::counter("index.records");
+  builds.add();
+  indexed.add(log.size());
+
   const auto records = log.records();
   const auto n = records.size();
   hours_.reserve(n);
   ttr_.reserve(n);
 
+  obs::SpanScope pass1("index.count");
   // Pass 1: dense per-record arrays, group sizes, and the month of each
   // record (cached so pass 2 does not repeat the calendar conversion).
   std::array<std::uint32_t, kCategories> category_sizes{};
@@ -35,7 +45,9 @@ LogIndex::LogIndex(const FailureLog& log) : log_(&log) {
       if (record.multi_gpu()) ++multi_size;
     }
   }
+  pass1.stop();
 
+  obs::SpanScope pass2("index.fill");
   // Lay the groups out back-to-back in one arena.
   std::uint32_t offset = 0;
   const auto reserve_range = [&offset](Range& range, std::uint32_t size) {

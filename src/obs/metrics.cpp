@@ -1,0 +1,477 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace tsufail::obs {
+namespace {
+
+/// Relaxed add on an atomic double (shards are single-writer, so the CAS
+/// loop converges immediately; it only guards against torn reads from a
+/// concurrent snapshot).
+void atomic_add(std::atomic<double>& cell, double delta) noexcept {
+  double seen = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(seen, seen + delta, std::memory_order_relaxed)) {
+  }
+}
+
+struct HistogramSpec {
+  std::string name;
+  std::vector<double> bounds;
+};
+
+/// Per-thread cells for one histogram: bounds.size() + 1 buckets, plus
+/// the running count/sum.  `bounds` points into the registry's
+/// stable-address spec, so the hot path never takes the registry lock.
+struct HistogramCells {
+  explicit HistogramCells(const std::vector<double>* spec_bounds)
+      : bounds(spec_bounds), counts(spec_bounds->size() + 1) {}
+  const std::vector<double>* bounds;
+  std::deque<std::atomic<std::uint64_t>> counts;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+/// One thread's slice of every counter/histogram.  Single writer (the
+/// owning thread); the mutex serializes growth against snapshot/reset
+/// readers — plain adds go lock-free on the atomics.
+struct Shard {
+  std::mutex mutex;
+  std::deque<std::atomic<std::uint64_t>> counters;
+  std::deque<std::unique_ptr<HistogramCells>> histograms;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::unordered_map<std::string, std::uint32_t> counter_ids;
+  std::vector<std::string> gauge_names;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids;
+  // Gauges are global (last write wins), not sharded: merging per-thread
+  // last-writes would need timestamps for no benefit.
+  std::deque<std::atomic<double>> gauge_values;
+  std::deque<std::atomic<bool>> gauge_set;
+  // unique_ptr: HistogramCells caches a pointer to the bounds vector, so
+  // spec addresses must survive later registrations.
+  std::vector<std::unique_ptr<HistogramSpec>> histogram_specs;
+  std::unordered_map<std::string, std::uint32_t> histogram_ids;
+  std::vector<std::shared_ptr<Shard>> shards;
+};
+
+// Leaked on purpose: metric handles may fire from detached threads
+// during shutdown, and a destructed registry would turn them into UB.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Shard& local_shard() {
+  thread_local Shard* shard = [] {
+    auto owned = std::make_shared<Shard>();
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    r.shards.push_back(owned);
+    return owned.get();
+  }();
+  return *shard;
+}
+
+/// Grows `cells` under the shard lock until `id` is addressable.
+void ensure_counter(Shard& shard, std::uint32_t id) {
+  std::lock_guard lock(shard.mutex);
+  while (shard.counters.size() <= id) shard.counters.emplace_back(0);
+}
+
+void ensure_histogram(Shard& shard, std::uint32_t id) {
+  const std::vector<double>* bounds = nullptr;
+  {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    bounds = &r.histogram_specs[id]->bounds;
+  }
+  std::lock_guard lock(shard.mutex);
+  while (shard.histograms.size() <= id) shard.histograms.push_back(nullptr);
+  if (shard.histograms[id] == nullptr)
+    shard.histograms[id] = std::make_unique<HistogramCells>(bounds);
+}
+
+void append_double(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+  out += buffer;
+}
+
+/// tsufail metric names are dot-separated; Prometheus wants [a-zA-Z0-9_:].
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+namespace detail {
+
+void counter_add(std::uint32_t id, std::uint64_t n) noexcept {
+  Shard& shard = local_shard();
+  if (shard.counters.size() <= id) ensure_counter(shard, id);
+  shard.counters[id].fetch_add(n, std::memory_order_relaxed);
+}
+
+void gauge_set(std::uint32_t id, double value) noexcept {
+  Registry& r = registry();
+  // Gauge ids are handed out only after the deques grew (under the
+  // registry lock), so this indexing never races with growth.
+  r.gauge_values[id].store(value, std::memory_order_relaxed);
+  r.gauge_set[id].store(true, std::memory_order_relaxed);
+}
+
+void histogram_observe(std::uint32_t id, double value) noexcept {
+  Shard& shard = local_shard();
+  if (shard.histograms.size() <= id || shard.histograms[id] == nullptr)
+    ensure_histogram(shard, id);
+  HistogramCells& cells = *shard.histograms[id];
+  const std::vector<double>& bounds = *cells.bounds;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  cells.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  cells.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(cells.sum, value);
+}
+
+}  // namespace detail
+
+Counter counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto [it, inserted] = r.counter_ids.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(r.counter_names.size()));
+  if (inserted) r.counter_names.emplace_back(name);
+  return Counter(it->second);
+}
+
+Gauge gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto [it, inserted] = r.gauge_ids.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(r.gauge_names.size()));
+  if (inserted) {
+    r.gauge_names.emplace_back(name);
+    r.gauge_values.emplace_back(0.0);
+    r.gauge_set.emplace_back(false);
+  }
+  return Gauge(it->second);
+}
+
+Histogram histogram(std::string_view name, std::span<const double> bounds) {
+  TSUFAIL_REQUIRE(!bounds.empty(), "obs::histogram: empty bucket bounds");
+  TSUFAIL_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()) &&
+                      std::adjacent_find(bounds.begin(), bounds.end()) == bounds.end(),
+                  "obs::histogram: bounds must be strictly increasing");
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto [it, inserted] = r.histogram_ids.try_emplace(
+      std::string(name), static_cast<std::uint32_t>(r.histogram_specs.size()));
+  if (inserted) {
+    r.histogram_specs.push_back(std::make_unique<HistogramSpec>(
+        HistogramSpec{std::string(name), {bounds.begin(), bounds.end()}}));
+  }
+  return Histogram(it->second);
+}
+
+std::span<const double> time_buckets_seconds() noexcept {
+  static constexpr std::array<double, 9> kBuckets = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                                     0.1,  1.0,  10.0, 100.0};
+  return kBuckets;
+}
+
+std::uint64_t HistogramValue::cumulative(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < counts.size(); ++b) total += counts[b];
+  return total;
+}
+
+const CounterValue* MetricsSnapshot::find_counter(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeValue* MetricsSnapshot::find_gauge(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramValue* MetricsSnapshot::find_histogram(std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot collect_metrics() {
+  Registry& r = registry();
+  std::lock_guard registry_lock(r.mutex);
+
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(r.counter_names.size());
+  for (const auto& name : r.counter_names) snapshot.counters.push_back({name, 0});
+  for (std::size_t g = 0; g < r.gauge_names.size(); ++g) {
+    if (r.gauge_set[g].load(std::memory_order_relaxed))
+      snapshot.gauges.push_back({r.gauge_names[g], r.gauge_values[g].load(std::memory_order_relaxed)});
+  }
+  snapshot.histograms.reserve(r.histogram_specs.size());
+  for (const auto& spec : r.histogram_specs) {
+    HistogramValue value;
+    value.name = spec->name;
+    value.bounds = spec->bounds;
+    value.counts.assign(spec->bounds.size() + 1, 0);
+    snapshot.histograms.push_back(std::move(value));
+  }
+
+  for (const auto& shard : r.shards) {
+    std::lock_guard shard_lock(shard->mutex);
+    for (std::size_t c = 0; c < shard->counters.size() && c < snapshot.counters.size(); ++c)
+      snapshot.counters[c].value += shard->counters[c].load(std::memory_order_relaxed);
+    for (std::size_t h = 0; h < shard->histograms.size() && h < snapshot.histograms.size(); ++h) {
+      if (shard->histograms[h] == nullptr) continue;
+      const HistogramCells& cells = *shard->histograms[h];
+      HistogramValue& merged = snapshot.histograms[h];
+      for (std::size_t b = 0; b < merged.counts.size() && b < cells.counts.size(); ++b)
+        merged.counts[b] += cells.counts[b].load(std::memory_order_relaxed);
+      merged.count += cells.count.load(std::memory_order_relaxed);
+      merged.sum += cells.sum.load(std::memory_order_relaxed);
+    }
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard registry_lock(r.mutex);
+  for (std::size_t g = 0; g < r.gauge_names.size(); ++g) {
+    r.gauge_set[g].store(false, std::memory_order_relaxed);
+    r.gauge_values[g].store(0.0, std::memory_order_relaxed);
+  }
+  for (const auto& shard : r.shards) {
+    std::lock_guard shard_lock(shard->mutex);
+    for (auto& cell : shard->counters) cell.store(0, std::memory_order_relaxed);
+    for (auto& cells : shard->histograms) {
+      if (cells == nullptr) continue;
+      for (auto& bucket : cells->counts) bucket.store(0, std::memory_order_relaxed);
+      cells->count.store(0, std::memory_order_relaxed);
+      cells->sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::string json = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    json += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(json, snapshot.counters[i].name);
+    json += ": ";
+    append_u64(json, snapshot.counters[i].value);
+  }
+  json += "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    json += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(json, snapshot.gauges[i].name);
+    json += ": ";
+    append_double(json, snapshot.gauges[i].value);
+  }
+  json += "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramValue& h = snapshot.histograms[i];
+    json += i == 0 ? "\n    " : ",\n    ";
+    append_json_string(json, h.name);
+    json += ": {\"count\": ";
+    append_u64(json, h.count);
+    json += ", \"sum\": ";
+    append_double(json, h.sum);
+    json += ", \"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b != 0) json += ", ";
+      append_double(json, h.bounds[b]);
+    }
+    json += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b != 0) json += ", ";
+      append_u64(json, h.counts[b]);
+    }
+    json += "]}";
+  }
+  json += "\n  }\n}\n";
+  return json;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out += "# HELP " + name + " tsufail counter " + c.name + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    append_u64(out, c.value);
+    out += "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# HELP " + name + " tsufail gauge " + g.name + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    append_double(out, g.value);
+    out += "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# HELP " + name + " tsufail histogram " + h.name + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out += name + "_bucket{le=\"";
+      append_double(out, h.bounds[b]);
+      out += "\"} ";
+      append_u64(out, h.cumulative(b));
+      out += "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += "\n" + name + "_sum ";
+    append_double(out, h.sum);
+    out += "\n" + name + "_count ";
+    append_u64(out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<PrometheusCheck> check_prometheus_text(std::string_view text) {
+  PrometheusCheck check;
+  // name -> declared type; histogram series must resolve through their
+  // _bucket/_sum/_count suffixes.
+  std::unordered_map<std::string, std::string> types;
+  std::unordered_map<std::string, std::uint64_t> last_bucket;  ///< cumulative monotonicity
+  std::size_t line_number = 0;
+  std::size_t position = 0;
+  while (position < text.size()) {
+    std::size_t end = text.find('\n', position);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(position, end - position);
+    position = end + 1;
+    ++line_number;
+    const auto fail = [&](const std::string& why) {
+      return Error(ErrorKind::kValidation,
+                   "prometheus line " + std::to_string(line_number) + ": " + why);
+    };
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::vector<std::string_view> parts = split(line, ' ');
+      if (parts.size() >= 4 && parts[1] == "TYPE") {
+        const std::string family(parts[2]);
+        const std::string type(parts[3]);
+        if (type != "counter" && type != "gauge" && type != "histogram")
+          return fail("unknown TYPE '" + type + "'");
+        if (types.contains(family)) return fail("duplicate TYPE for " + family);
+        types[family] = type;
+        ++check.families;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos || space + 1 >= line.size())
+      return fail("sample line has no value");
+    const std::string value_text(line.substr(space + 1));
+    auto value = parse_double(value_text);
+    if (!value.ok()) return fail("unparseable value '" + value_text + "'");
+    std::string series(line.substr(0, space));
+    std::string labels;
+    if (const std::size_t brace = series.find('{'); brace != std::string::npos) {
+      if (series.back() != '}') return fail("unterminated label set");
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series.resize(brace);
+    }
+    std::string family = series;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string_view sv(suffix);
+      if (family.size() > sv.size() && family.ends_with(sv)) {
+        const std::string candidate = family.substr(0, family.size() - sv.size());
+        if (types.contains(candidate) && types[candidate] == "histogram") {
+          family = candidate;
+          break;
+        }
+      }
+    }
+    const auto type = types.find(family);
+    if (type == types.end()) return fail("series '" + series + "' has no TYPE declaration");
+    if (type->second == "histogram" && series.ends_with("_bucket")) {
+      if (labels.find("le=\"") == std::string::npos)
+        return fail("histogram bucket without le label");
+      auto& previous = last_bucket[family];
+      const auto count = static_cast<std::uint64_t>(value.value());
+      if (count < previous) return fail("bucket counts for " + family + " not cumulative");
+      previous = count;
+    }
+    for (char c : family) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) return fail("invalid character in metric name '" + family + "'");
+    }
+    ++check.samples;
+  }
+  if (check.families == 0)
+    return Error(ErrorKind::kValidation, "prometheus text has no TYPE declarations");
+  return check;
+}
+
+}  // namespace tsufail::obs

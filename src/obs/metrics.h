@@ -1,0 +1,157 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms with
+// per-thread shards merged on snapshot.
+//
+// Hot-path contract: every update is one relaxed enabled() load and a
+// predictable branch while obs is disabled; when enabled, a counter add
+// is a thread-local lookup plus one relaxed atomic add on a cell no
+// other thread writes.  Shards are never unregistered, so a snapshot
+// taken after worker threads exit still sees their contributions.
+//
+// Determinism: counters and histogram observation counts accumulate in
+// integers, so any interleaving of semantic events produces the same
+// totals — a sweep's counter snapshot is bit-identical at --jobs 1/2/8.
+// Histogram *sums* (and timing-valued observations generally) are the
+// documented floating-point exception.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace tsufail::obs {
+
+namespace detail {
+void counter_add(std::uint32_t id, std::uint64_t n) noexcept;
+void gauge_set(std::uint32_t id, double value) noexcept;
+void histogram_observe(std::uint32_t id, double value) noexcept;
+}  // namespace detail
+
+/// Monotone event counter handle.  Cheap to copy; obtain via counter().
+/// The canonical call-site idiom registers once per site:
+///   static obs::Counter cells = obs::counter("sweep.cells");
+///   cells.add();
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (enabled()) detail::counter_add(id_, n);
+  }
+  void increment() noexcept { add(1); }
+
+ private:
+  friend Counter counter(std::string_view name);
+  explicit Counter(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Registers (or finds) the counter `name`.  Names are process-lifetime;
+/// registration is idempotent and may happen while obs is disabled.
+Counter counter(std::string_view name);
+
+/// Last-write-wins instantaneous value (worker count, pending queue
+/// depth, current estimator value).  Unset gauges are omitted from
+/// snapshots.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    if (enabled()) detail::gauge_set(id_, value);
+  }
+
+ private:
+  friend Gauge gauge(std::string_view name);
+  explicit Gauge(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+Gauge gauge(std::string_view name);
+
+/// Fixed-bucket histogram.  Bucket `i` counts observations with
+/// value <= bounds[i] (Prometheus "le" semantics, first matching
+/// bucket); an implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  void observe(double value) noexcept {
+    if (enabled()) detail::histogram_observe(id_, value);
+  }
+
+ private:
+  friend Histogram histogram(std::string_view name, std::span<const double> bounds);
+  explicit Histogram(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Registers (or finds) the histogram `name`.  `bounds` must be strictly
+/// increasing and non-empty; a re-registration keeps the first bounds
+/// (the name identifies the metric, not the call site).
+Histogram histogram(std::string_view name, std::span<const double> bounds);
+
+/// Shared log-spaced duration buckets (seconds): 1us .. 100s.
+std::span<const double> time_buckets_seconds() noexcept;
+
+// --- snapshots --------------------------------------------------------
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramValue {
+  std::string name;
+  std::vector<double> bounds;        ///< upper bounds, ascending
+  std::vector<std::uint64_t> counts; ///< per-bucket, size bounds.size() + 1 (+Inf last)
+  std::uint64_t count = 0;           ///< total observations
+  double sum = 0.0;                  ///< FP merge order is unspecified
+
+  /// Cumulative count through bucket `i` (Prometheus exposition shape).
+  std::uint64_t cumulative(std::size_t i) const noexcept;
+};
+
+/// Immutable merged view of every shard, each section ascending by name.
+/// Metrics that were registered but never updated report zero/empty;
+/// unset gauges are omitted.
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  const CounterValue* find_counter(std::string_view name) const noexcept;
+  const GaugeValue* find_gauge(std::string_view name) const noexcept;
+  const HistogramValue* find_histogram(std::string_view name) const noexcept;
+};
+
+/// Merges every thread's shard (live and exited) into a snapshot.
+MetricsSnapshot collect_metrics();
+
+/// Zeroes every counter/histogram cell and clears every gauge.  Handles
+/// stay registered and valid.
+void reset_metrics();
+
+/// JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+/// with full round-trip precision on doubles.
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition (version 0.0.4): HELP/TYPE headers,
+/// cumulative `_bucket{le="..."}` series, `_sum`/`_count`.  Metric names
+/// are sanitized ('.' and '-' map to '_').
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Structural validation of a Prometheus text exposition: every sample
+/// line parses, every series was declared by a preceding TYPE line, and
+/// histogram bucket series are cumulative.  Used by tests and the
+/// `obs_check` CI tool.
+struct PrometheusCheck {
+  std::size_t samples = 0;
+  std::size_t families = 0;
+};
+Result<PrometheusCheck> check_prometheus_text(std::string_view text);
+
+}  // namespace tsufail::obs

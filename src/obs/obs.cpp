@@ -1,0 +1,39 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace tsufail::obs {
+
+#if !defined(TSUFAIL_OBS_DISABLE)
+namespace {
+// The runtime kill switch.  Relaxed is enough: enabling observability is
+// advisory (a span straddling the flip may or may not be recorded), and
+// all real synchronization happens on the buffer/registry mutexes.
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+#endif
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* intern(const char* name) {
+  static std::mutex mutex;
+  // Node-based set: element addresses survive rehashing, so the returned
+  // pointer is stable for the life of the process.
+  static std::unordered_set<std::string> names;
+  std::lock_guard lock(mutex);
+  return names.emplace(name).first->c_str();
+}
+
+}  // namespace tsufail::obs

@@ -1,0 +1,111 @@
+// tsufail::obs — low-overhead tracing and metrics for the analysis,
+// sweep, and stream pipelines.
+//
+// Design contract (DESIGN.md section 12):
+//
+//   * Two kill switches.  Compile-time: building with
+//     -DTSUFAIL_OBS_DISABLE turns OBS_SPAN into nothing and folds
+//     enabled() to a constant false.  Runtime (the default build):
+//     instrumentation is compiled in but dormant — every instrumented
+//     site costs one relaxed atomic load and a predictable branch until
+//     obs::set_enabled(true).  bench_run_study gates the dormant cost at
+//     < 1% of a study run.
+//
+//   * Scoped RAII tracing.  OBS_SPAN("name") records a completed span
+//     (name, start, end) into a per-thread lock-free-in-spirit ring
+//     buffer (one uncontended mutex per thread, never shared on the hot
+//     path).  Span names must be string literals or obs::intern()ed —
+//     the buffer stores the pointer, not a copy.
+//
+//   * Deterministic metrics.  Counters count semantic events (cells
+//     analyzed, records quarantined), not scheduling accidents, so
+//     snapshots are count-exact at any worker-thread count.  Timing
+//     histograms are the documented exception.
+//
+// obs depends only on util; every other subsystem may depend on obs.
+#pragma once
+
+#include <cstdint>
+
+namespace tsufail::obs {
+
+#if defined(TSUFAIL_OBS_DISABLE)
+/// False when the instrumentation layer was compiled out.
+inline constexpr bool kCompiledIn = false;
+inline bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#else
+inline constexpr bool kCompiledIn = true;
+/// Runtime kill switch: one relaxed atomic load.  Off by default.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+#endif
+
+/// Monotonic nanoseconds (steady_clock).  The single clock path shared
+/// by spans, benches, and the CLI — no other component reads a clock.
+std::uint64_t now_ns() noexcept;
+
+/// Wall-clock stopwatch over now_ns(); replaces the hand-rolled
+/// steady_clock arithmetic the benches used to carry.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(now_ns()) {}
+  void restart() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double seconds() const noexcept { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Interns a dynamic string as a process-lifetime span name.  Idempotent
+/// per content; costs one lock + hash lookup, so call it outside hot
+/// loops (or only when enabled()).  Literals need no interning.
+const char* intern(const char* name);
+
+namespace detail {
+/// Records one completed span into this thread's ring buffer.
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept;
+}  // namespace detail
+
+/// RAII span: captures the clock on construction when obs is enabled
+/// (and `name` is non-null), records on destruction.  A null name is an
+/// explicit no-op, which lets call sites skip intern() while disabled:
+///   SpanScope span(obs::enabled() ? obs::intern(name) : nullptr);
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) noexcept {
+    if (name != nullptr && enabled()) {
+      name_ = name;
+      start_ = now_ns();
+    }
+  }
+  ~SpanScope() { stop(); }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Ends the span before scope exit (for phases that do not map onto a
+  /// C++ block).  Idempotent; the destructor becomes a no-op.
+  void stop() noexcept {
+    if (name_ != nullptr) detail::record_span(name_, start_, now_ns());
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+#define TSUFAIL_OBS_CAT2(a, b) a##b
+#define TSUFAIL_OBS_CAT(a, b) TSUFAIL_OBS_CAT2(a, b)
+
+#if defined(TSUFAIL_OBS_DISABLE)
+#define OBS_SPAN(name)
+#else
+/// Scoped trace span: OBS_SPAN("sweep.cell"); lives to the end of the
+/// enclosing block.  `name` must be a string literal or intern()ed.
+#define OBS_SPAN(name) \
+  ::tsufail::obs::SpanScope TSUFAIL_OBS_CAT(obs_span_, __COUNTER__)(name)
+#endif
+
+}  // namespace tsufail::obs

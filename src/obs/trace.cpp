@@ -1,0 +1,570 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace tsufail::obs {
+namespace {
+
+/// One thread's bounded span ring.  Single writer (the owning thread);
+/// the mutex is uncontended on the hot path and only ever shared with a
+/// collect/reset pass.
+struct Ring {
+  explicit Ring(std::uint32_t id, std::size_t cap) : tid(id), capacity(cap), spans(cap) {}
+
+  std::mutex mutex;
+  const std::uint32_t tid;
+  const std::size_t capacity;
+  std::vector<Span> spans;  ///< circular; oldest at (next + capacity - count) % capacity
+  std::size_t next = 0;
+  std::size_t count = 0;
+  std::uint64_t dropped = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::atomic<std::size_t> capacity{std::size_t{1} << 17};
+  std::uint32_t next_tid = 1;
+};
+
+// Leaked on purpose: spans may be recorded from threads that outlive
+// static destruction order.
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+Ring& local_ring() {
+  thread_local Ring* ring = [] {
+    TraceRegistry& r = registry();
+    std::lock_guard lock(r.mutex);
+    auto owned = std::make_shared<Ring>(r.next_tid++,
+                                        std::max<std::size_t>(1, r.capacity.load()));
+    r.rings.push_back(owned);
+    return owned.get();
+  }();
+  return *ring;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Indices of `spans` in nesting preorder: start ascending, longer span
+/// first on ties, completion order last (zero-duration stability).
+std::vector<std::size_t> preorder(const std::vector<Span>& spans) {
+  std::vector<std::size_t> order(spans.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&spans](std::size_t a, std::size_t b) {
+    if (spans[a].start_ns != spans[b].start_ns) return spans[a].start_ns < spans[b].start_ns;
+    if (spans[a].end_ns != spans[b].end_ns) return spans[a].end_ns > spans[b].end_ns;
+    return a < b;
+  });
+  return order;
+}
+
+struct Event {
+  std::uint64_t ts_ns = 0;
+  bool begin = true;
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+};
+
+/// Expands one thread's completed spans into a properly nested B/E event
+/// sequence, non-decreasing in ts.  RAII spans on one thread are always
+/// properly nested, and ring eviction only removes whole spans, so the
+/// interval set is nested-or-disjoint by construction.
+void emit_thread_events(const ThreadTrace& thread, std::vector<Event>& out) {
+  const auto order = preorder(thread.spans);
+  std::vector<const Span*> stack;
+  for (std::size_t index : order) {
+    const Span& span = thread.spans[index];
+    while (!stack.empty() && stack.back()->end_ns <= span.start_ns) {
+      out.push_back({stack.back()->end_ns, false, stack.back()->name, thread.tid});
+      stack.pop_back();
+    }
+    out.push_back({span.start_ns, true, span.name, thread.tid});
+    stack.push_back(&span);
+  }
+  while (!stack.empty()) {
+    out.push_back({stack.back()->end_ns, false, stack.back()->name, thread.tid});
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept {
+  Ring& ring = local_ring();
+  std::lock_guard lock(ring.mutex);
+  ring.spans[ring.next] = {name, start_ns, end_ns};
+  ring.next = (ring.next + 1) % ring.capacity;
+  if (ring.count < ring.capacity) {
+    ++ring.count;
+  } else {
+    ++ring.dropped;
+  }
+}
+
+}  // namespace detail
+
+std::size_t TraceSnapshot::span_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& thread : threads) total += thread.spans.size();
+  return total;
+}
+
+std::uint64_t TraceSnapshot::dropped_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& thread : threads) total += thread.dropped;
+  return total;
+}
+
+std::uint64_t TraceSnapshot::epoch_ns() const noexcept {
+  std::uint64_t epoch = 0;
+  bool any = false;
+  for (const auto& thread : threads) {
+    for (const auto& span : thread.spans) {
+      if (!any || span.start_ns < epoch) epoch = span.start_ns;
+      any = true;
+    }
+  }
+  return epoch;
+}
+
+void set_trace_capacity(std::size_t spans) {
+  registry().capacity.store(std::max<std::size_t>(1, spans));
+}
+
+TraceSnapshot collect_trace() {
+  TraceRegistry& r = registry();
+  std::lock_guard registry_lock(r.mutex);
+  TraceSnapshot snapshot;
+  snapshot.threads.reserve(r.rings.size());
+  for (const auto& ring : r.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    ThreadTrace thread;
+    thread.tid = ring->tid;
+    thread.dropped = ring->dropped;
+    thread.spans.reserve(ring->count);
+    const std::size_t first = (ring->next + ring->capacity - ring->count) % ring->capacity;
+    for (std::size_t i = 0; i < ring->count; ++i)
+      thread.spans.push_back(ring->spans[(first + i) % ring->capacity]);
+    snapshot.threads.push_back(std::move(thread));
+  }
+  std::sort(snapshot.threads.begin(), snapshot.threads.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) { return a.tid < b.tid; });
+  return snapshot;
+}
+
+void reset_trace() {
+  TraceRegistry& r = registry();
+  std::lock_guard registry_lock(r.mutex);
+  for (const auto& ring : r.rings) {
+    std::lock_guard ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->count = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string chrome_trace_json(const TraceSnapshot& snapshot) {
+  std::vector<Event> events;
+  events.reserve(2 * snapshot.span_count());
+  for (const auto& thread : snapshot.threads) {
+    std::vector<Event> thread_events;
+    thread_events.reserve(2 * thread.spans.size());
+    emit_thread_events(thread, thread_events);
+    events.insert(events.end(), thread_events.begin(), thread_events.end());
+  }
+  // Each thread's sequence is non-decreasing in ts, so a stable sort on
+  // (ts, tid) yields a globally non-decreasing stream that preserves
+  // every thread's B/E nesting order.
+  std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.tid < b.tid;
+  });
+
+  const std::uint64_t epoch = snapshot.epoch_ns();
+  std::string json = "{\"traceEvents\":[";
+  char buffer[64];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& event = events[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "{\"name\":";
+    append_json_string(json, event.name == nullptr ? "(null)" : event.name);
+    json += event.begin ? ",\"ph\":\"B\"" : ",\"ph\":\"E\"";
+    // Microseconds relative to the snapshot epoch, at ns resolution.
+    std::snprintf(buffer, sizeof buffer, ",\"ts\":%.3f",
+                  static_cast<double>(event.ts_ns - epoch) / 1000.0);
+    json += buffer;
+    std::snprintf(buffer, sizeof buffer, ",\"pid\":1,\"tid\":%u}", event.tid);
+    json += buffer;
+  }
+  json += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"exporter\":\"tsufail::obs\"";
+  std::snprintf(buffer, sizeof buffer, ",\"dropped_spans\":%llu}}\n",
+                static_cast<unsigned long long>(snapshot.dropped_total()));
+  json += buffer;
+  return json;
+}
+
+std::vector<ProfileEntry> profile(const TraceSnapshot& snapshot) {
+  std::map<std::string, ProfileEntry> by_name;
+  for (const auto& thread : snapshot.threads) {
+    const auto order = preorder(thread.spans);
+    // child_ns[i]: total duration of span i's direct children, found by
+    // walking the preorder with an enclosing-span stack.
+    std::vector<std::uint64_t> child_ns(thread.spans.size(), 0);
+    std::vector<std::size_t> stack;
+    for (std::size_t index : order) {
+      const Span& span = thread.spans[index];
+      while (!stack.empty() && thread.spans[stack.back()].end_ns <= span.start_ns)
+        stack.pop_back();
+      if (!stack.empty()) child_ns[stack.back()] += span.duration_ns();
+      stack.push_back(index);
+    }
+    for (std::size_t i = 0; i < thread.spans.size(); ++i) {
+      const Span& span = thread.spans[i];
+      const std::string name = span.name == nullptr ? "(null)" : span.name;
+      auto [it, inserted] = by_name.try_emplace(name);
+      ProfileEntry& entry = it->second;
+      if (inserted) {
+        entry.name = name;
+        entry.min_ns = span.duration_ns();
+      }
+      ++entry.count;
+      entry.total_ns += span.duration_ns();
+      entry.self_ns += span.duration_ns() - std::min(span.duration_ns(), child_ns[i]);
+      entry.min_ns = std::min(entry.min_ns, span.duration_ns());
+      entry.max_ns = std::max(entry.max_ns, span.duration_ns());
+    }
+  }
+  std::vector<ProfileEntry> entries;
+  entries.reserve(by_name.size());
+  for (auto& [name, entry] : by_name) entries.push_back(std::move(entry));
+  std::sort(entries.begin(), entries.end(), [](const ProfileEntry& a, const ProfileEntry& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return a.name < b.name;
+  });
+  return entries;
+}
+
+std::string profile_table(const std::vector<ProfileEntry>& entries, std::size_t top) {
+  std::uint64_t self_total = 0;
+  for (const auto& entry : entries) self_total += entry.self_ns;
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-28s %10s %12s %12s %7s %10s %10s\n", "span", "count",
+                "total ms", "self ms", "self%", "min ms", "max ms");
+  out += line;
+  const std::size_t shown = std::min(top, entries.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const ProfileEntry& entry = entries[i];
+    std::snprintf(line, sizeof line, "%-28s %10llu %12.3f %12.3f %6.1f%% %10.3f %10.3f\n",
+                  entry.name.c_str(), static_cast<unsigned long long>(entry.count),
+                  static_cast<double>(entry.total_ns) * 1e-6,
+                  static_cast<double>(entry.self_ns) * 1e-6,
+                  self_total == 0 ? 0.0
+                                  : 100.0 * static_cast<double>(entry.self_ns) /
+                                        static_cast<double>(self_total),
+                  static_cast<double>(entry.min_ns) * 1e-6,
+                  static_cast<double>(entry.max_ns) * 1e-6);
+    out += line;
+  }
+  if (entries.size() > shown) {
+    std::snprintf(line, sizeof line, "... and %zu more span name(s)\n", entries.size() - shown);
+    out += line;
+  }
+  return out;
+}
+
+// --- Chrome-trace validation ------------------------------------------
+//
+// A deliberately small recursive-descent JSON reader: enough to verify
+// well-formedness and pull out the event fields the checker needs,
+// without growing a dependency.
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(std::string_view key) const noexcept {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_space();
+    if (position_ != text_.size())
+      return fail("trailing characters after top-level value");
+    return value;
+  }
+
+ private:
+  Error fail(const std::string& why) const {
+    return Error(ErrorKind::kParse, "json offset " + std::to_string(position_) + ": " + why);
+  }
+
+  void skip_space() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_])))
+      ++position_;
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (position_ < text_.size() && text_[position_] == c) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value() {
+    skip_space();
+    if (position_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[position_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_keyword();
+    if (c == 'n') return parse_keyword();
+    return parse_number();
+  }
+
+  Result<JsonValue> parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    consume('{');
+    if (consume('}')) return value;
+    for (;;) {
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      if (!consume(':')) return fail("expected ':' in object");
+      auto member = parse_value();
+      if (!member.ok()) return member.error();
+      value.members.emplace_back(std::move(key.value().text), std::move(member.value()));
+      if (consume(',')) continue;
+      if (consume('}')) return value;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    consume('[');
+    if (consume(']')) return value;
+    for (;;) {
+      auto item = parse_value();
+      if (!item.ok()) return item.error();
+      value.items.push_back(std::move(item.value()));
+      if (consume(',')) continue;
+      if (consume(']')) return value;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> parse_string() {
+    skip_space();
+    if (position_ >= text_.size() || text_[position_] != '"')
+      return fail("expected string");
+    ++position_;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (position_ < text_.size()) {
+      const char c = text_[position_++];
+      if (c == '"') return value;
+      if (c == '\\') {
+        if (position_ >= text_.size()) return fail("dangling escape");
+        const char escape = text_[position_++];
+        switch (escape) {
+          case '"': value.text.push_back('"'); break;
+          case '\\': value.text.push_back('\\'); break;
+          case '/': value.text.push_back('/'); break;
+          case 'b': value.text.push_back('\b'); break;
+          case 'f': value.text.push_back('\f'); break;
+          case 'n': value.text.push_back('\n'); break;
+          case 'r': value.text.push_back('\r'); break;
+          case 't': value.text.push_back('\t'); break;
+          case 'u': {
+            if (position_ + 4 > text_.size()) return fail("truncated \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[position_ + i])))
+                return fail("bad \\u escape");
+            }
+            position_ += 4;
+            value.text.push_back('?');  // checker never reads escaped names
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char in string");
+      value.text.push_back(c);
+    }
+    return fail("unterminated string");
+  }
+
+  Result<JsonValue> parse_keyword() {
+    const auto match = [&](std::string_view keyword) {
+      return text_.substr(position_, keyword.size()) == keyword;
+    };
+    JsonValue value;
+    if (match("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      position_ += 4;
+      return value;
+    }
+    if (match("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      position_ += 5;
+      return value;
+    }
+    if (match("null")) {
+      position_ += 4;
+      return value;
+    }
+    return fail("unknown keyword");
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = position_;
+    if (position_ < text_.size() && (text_[position_] == '-' || text_[position_] == '+'))
+      ++position_;
+    bool digits = false;
+    while (position_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
+            text_[position_] == '.' || text_[position_] == 'e' || text_[position_] == 'E' ||
+            text_[position_] == '-' || text_[position_] == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(text_[position_]));
+      ++position_;
+    }
+    if (!digits) return fail("expected number");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::strtod(std::string(text_.substr(start, position_ - start)).c_str(),
+                               nullptr);
+    if (!std::isfinite(value.number)) return fail("non-finite number");
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace
+
+Result<ChromeTraceCheck> check_chrome_trace(std::string_view json) {
+  auto parsed = JsonParser(json).parse();
+  if (!parsed.ok()) return parsed.error().with_context("chrome trace");
+  const JsonValue& root = parsed.value();
+  if (root.kind != JsonValue::Kind::kObject)
+    return Error(ErrorKind::kValidation, "chrome trace: top level is not an object");
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray)
+    return Error(ErrorKind::kValidation, "chrome trace: missing traceEvents array");
+
+  ChromeTraceCheck check;
+  double last_ts = -1.0;
+  // tid -> stack of open "B" names.
+  std::map<std::uint32_t, std::vector<std::string>> open;
+  std::map<std::string, std::size_t> spans_by_name;
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& event = events->items[i];
+    const auto fail = [&](const std::string& why) {
+      return Error(ErrorKind::kValidation,
+                   "chrome trace event " + std::to_string(i) + ": " + why);
+    };
+    if (event.kind != JsonValue::Kind::kObject) return fail("not an object");
+    const JsonValue* name = event.find("name");
+    const JsonValue* phase = event.find("ph");
+    const JsonValue* ts = event.find("ts");
+    const JsonValue* pid = event.find("pid");
+    const JsonValue* tid = event.find("tid");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) return fail("missing name");
+    if (phase == nullptr || phase->kind != JsonValue::Kind::kString) return fail("missing ph");
+    if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) return fail("missing ts");
+    if (pid == nullptr || pid->kind != JsonValue::Kind::kNumber) return fail("missing pid");
+    if (tid == nullptr || tid->kind != JsonValue::Kind::kNumber) return fail("missing tid");
+    if (ts->number < 0.0) return fail("negative ts");
+    if (ts->number < last_ts) return fail("ts went backwards");
+    last_ts = ts->number;
+    const auto thread = static_cast<std::uint32_t>(tid->number);
+    if (phase->text == "B") {
+      open[thread].push_back(name->text);
+      ++check.begin_events;
+    } else if (phase->text == "E") {
+      auto& stack = open[thread];
+      if (stack.empty()) return fail("E without open B on tid " + std::to_string(thread));
+      if (stack.back() != name->text)
+        return fail("E for '" + name->text + "' but innermost open span is '" + stack.back() +
+                    "'");
+      stack.pop_back();
+      ++spans_by_name[name->text];
+    } else {
+      return fail("unexpected phase '" + phase->text + "'");
+    }
+    ++check.events;
+  }
+  for (const auto& [thread, stack] : open) {
+    if (!stack.empty())
+      return Error(ErrorKind::kValidation, "chrome trace: tid " + std::to_string(thread) +
+                                               " has " + std::to_string(stack.size()) +
+                                               " unclosed span(s)");
+  }
+  check.threads = open.size();
+  check.spans_by_name.assign(spans_by_name.begin(), spans_by_name.end());
+  return check;
+}
+
+}  // namespace tsufail::obs

@@ -1,0 +1,99 @@
+// Trace collection and export: per-thread span ring buffers, merged
+// snapshots, Chrome-trace/Perfetto JSON, and a self-time profile.
+//
+// Recording (obs.h's OBS_SPAN) pushes completed spans into a bounded
+// per-thread ring; when the ring is full the oldest span is dropped and
+// counted, so a long traced run degrades to "most recent window" instead
+// of growing without bound.  collect_trace() merges every thread's ring
+// into one immutable snapshot; export and aggregation run on snapshots,
+// never on live buffers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace tsufail::obs {
+
+/// One completed span.  `name` points at a string literal or interned
+/// string (process lifetime), never at freed storage.
+struct Span {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+
+  std::uint64_t duration_ns() const noexcept { return end_ns - start_ns; }
+};
+
+/// One thread's recorded spans, oldest first (completion order).
+struct ThreadTrace {
+  std::uint32_t tid = 0;          ///< sequential id, assigned at first span
+  std::vector<Span> spans;
+  std::uint64_t dropped = 0;      ///< spans evicted by ring overflow
+};
+
+/// Immutable merged view of every thread's ring buffer.
+struct TraceSnapshot {
+  std::vector<ThreadTrace> threads;  ///< ascending by tid
+
+  std::size_t span_count() const noexcept;
+  std::uint64_t dropped_total() const noexcept;
+  /// Earliest start across all spans (the export epoch); 0 when empty.
+  std::uint64_t epoch_ns() const noexcept;
+};
+
+/// Capacity (in spans) of each newly created per-thread ring buffer.
+/// Existing buffers keep their size.  Default: 1 << 17 spans per thread.
+void set_trace_capacity(std::size_t spans);
+
+/// Merges every thread's ring into a snapshot (live threads included;
+/// each buffer is locked briefly).
+TraceSnapshot collect_trace();
+
+/// Clears every ring buffer and drop counter.  Buffers stay registered,
+/// so recording threads are unaffected beyond losing history.
+void reset_trace();
+
+/// Chrome-trace ("Trace Event Format") JSON: paired "B"/"E" events per
+/// span with microsecond `ts` relative to the snapshot epoch, globally
+/// non-decreasing in `ts`, properly nested per `tid`.  Loads in Perfetto
+/// (ui.perfetto.dev) and chrome://tracing.
+std::string chrome_trace_json(const TraceSnapshot& snapshot);
+
+/// Per-name aggregate over a snapshot.  Self time is wall time not
+/// covered by same-thread child spans — the quantity "where does the
+/// pipeline actually spend its time" wants.
+struct ProfileEntry {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;  ///< sum of span durations
+  std::uint64_t self_ns = 0;   ///< total minus same-thread child time
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Aggregates a snapshot by span name, sorted by self time descending
+/// (ties broken by name, so output is deterministic).
+std::vector<ProfileEntry> profile(const TraceSnapshot& snapshot);
+
+/// Renders a profile as the CLI's summary table (top `top` rows by self
+/// time, header included).
+std::string profile_table(const std::vector<ProfileEntry>& entries, std::size_t top = 15);
+
+/// Structural validation of a Chrome-trace export: the string is valid
+/// JSON, `traceEvents` exists, every event has name/ph/ts/pid/tid, `ts`
+/// is globally non-decreasing, and per tid every "B" pairs with a
+/// same-name "E" (LIFO).  Used by tests and the `obs_check` CI tool.
+struct ChromeTraceCheck {
+  std::size_t events = 0;       ///< total trace events
+  std::size_t begin_events = 0; ///< "B" count (== "E" count when valid)
+  std::size_t threads = 0;      ///< distinct tids
+  /// Completed-span count per name, ascending by name.
+  std::vector<std::pair<std::string, std::size_t>> spans_by_name;
+};
+Result<ChromeTraceCheck> check_chrome_trace(std::string_view json);
+
+}  // namespace tsufail::obs

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "sim/generator.h"
 #include "stats/descriptive.h"
 #include "util/rng.h"
@@ -170,6 +172,8 @@ Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
       return valid.error().with_context("run_sweep: variant '" + variant.label + "'");
   }
 
+  OBS_SPAN("sweep.run");
+
   // One cell per (variant, replicate), flattened variant-major.  Workers
   // claim cells off an atomic cursor but write only their own slot, so
   // the assembled result is independent of scheduling.
@@ -177,6 +181,10 @@ Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
   std::vector<std::optional<ReplicateResult>> cells(total);
   std::vector<std::optional<Error>> cell_errors(total);
   std::atomic<std::size_t> next_cell{0};
+
+  static obs::Counter cells_counter = obs::counter("sweep.cells");
+  static obs::Histogram cell_seconds =
+      obs::histogram("sweep.cell_seconds", obs::time_buckets_seconds());
 
   const auto worker = [&]() {
     // Recycled across this worker's replicates: the record storage flows
@@ -186,18 +194,26 @@ Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
          cell = next_cell.fetch_add(1)) {
       const std::size_t variant = cell / options.replicates;
       const std::size_t replicate = cell % options.replicates;
+      OBS_SPAN("sweep.cell");
+      const obs::Stopwatch cell_watch;
       try {
         ReplicateResult result;
         result.replicate = replicate;
         result.seed = replicate_seed(options.base_seed, replicate);
-        auto log = generate_log(variants[variant].model, result.seed, std::move(buffer));
+        auto log = [&] {
+          OBS_SPAN("sweep.generate");
+          return generate_log(variants[variant].model, result.seed, std::move(buffer));
+        }();
         if (!log.ok()) {
           buffer = {};
           cell_errors[cell] = log.error();
           continue;
         }
         result.failures = log.value().size();
-        auto study = analysis::run_study(log.value(), analysis::StudyOptions{1});
+        auto study = [&] {
+          OBS_SPAN("sweep.analyze");
+          return analysis::run_study(log.value(), analysis::StudyOptions{1});
+        }();
         buffer = data::FailureLog::take_records(std::move(log).value());
         if (!study.ok()) {
           cell_errors[cell] = study.error();
@@ -206,6 +222,8 @@ Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
         result.metrics = study_metrics(study.value());
         if (options.keep_reports) result.report = std::move(study.value());
         cells[cell] = std::move(result);
+        cells_counter.add();
+        if (obs::enabled()) cell_seconds.observe(cell_watch.seconds());
       } catch (const std::exception& e) {
         buffer = {};
         cell_errors[cell] =
@@ -217,6 +235,8 @@ Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
   std::size_t workers =
       options.jobs == 0 ? std::max(1u, std::thread::hardware_concurrency()) : options.jobs;
   workers = std::min(workers, total);
+  static obs::Gauge workers_gauge = obs::gauge("sweep.workers");
+  workers_gauge.set(static_cast<double>(workers));
   if (workers <= 1) {
     worker();
   } else {
@@ -243,6 +263,7 @@ Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
     for (std::size_t replicate = 0; replicate < options.replicates; ++replicate) {
       sweep.replicates.push_back(std::move(*cells[variant * options.replicates + replicate]));
     }
+    OBS_SPAN("sweep.reduce");
     auto aggregates = aggregate_metrics(sweep.replicates, variant, options);
     if (!aggregates.ok())
       return aggregates.error().with_context("run_sweep: variant '" + sweep.label + "'");

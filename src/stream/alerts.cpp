@@ -4,6 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace tsufail::stream {
 namespace {
 
@@ -100,7 +103,7 @@ std::string format_alert(const Alert& alert) {
 }
 
 AlertEngine::AlertEngine(std::vector<AlertRule> rules)
-    : rules_(std::move(rules)), raised_(rules_.size(), false) {}
+    : rules_(std::move(rules)), raised_(rules_.size(), false), activity_(rules_.size()) {}
 
 Result<AlertEngine> AlertEngine::create(std::vector<AlertRule> rules) {
   std::set<std::string> names;
@@ -137,14 +140,25 @@ std::vector<Alert> AlertEngine::evaluate(const HealthSnapshot& snapshot) {
     const bool recovered = below ? signal.value >= rule.threshold * (1.0 + rule.hysteresis)
                                  : signal.value <= rule.threshold * (1.0 - rule.hysteresis);
 
+    // Transitions are rare (steady state emits nothing), so registering
+    // the per-rule obs counter by name on each one is off the hot path.
     const bool was_raised = raised_[i];
     if (!was_raised && breach) {
       raised_[i] = true;
       ++raised_total_;
+      ++activity_[i].fired;
+      static obs::Counter fired = obs::counter("alerts.fired");
+      fired.add();
+      if (obs::enabled()) obs::counter("alerts.fired." + rule.name).add();
       transitions.push_back({rule.name, rule.kind, rule.severity, true, snapshot.as_of,
                              signal.value, rule.threshold, describe(rule, signal.value)});
     } else if (was_raised && recovered) {
       raised_[i] = false;
+      ++cleared_total_;
+      ++activity_[i].cleared;
+      static obs::Counter cleared = obs::counter("alerts.cleared");
+      cleared.add();
+      if (obs::enabled()) obs::counter("alerts.cleared." + rule.name).add();
       transitions.push_back({rule.name, rule.kind, rule.severity, false, snapshot.as_of,
                              signal.value, rule.threshold, describe(rule, signal.value)});
     }

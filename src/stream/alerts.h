@@ -66,6 +66,12 @@ struct Alert {
 /// Formats as "RAISED [warning] low-mtbf: ..." for logs and the CLI.
 std::string format_alert(const Alert& alert);
 
+/// Lifetime raise/clear totals for one rule (parallel to rules()).
+struct RuleActivity {
+  std::uint64_t fired = 0;
+  std::uint64_t cleared = 0;
+};
+
 class AlertEngine {
  public:
   /// Errors: duplicate rule names, empty name, threshold/hysteresis out
@@ -80,14 +86,21 @@ class AlertEngine {
   std::vector<std::string> active() const;
 
   std::span<const AlertRule> rules() const noexcept { return {rules_.data(), rules_.size()}; }
+  /// Per-rule fired/cleared counts, parallel to rules().
+  std::span<const RuleActivity> activity() const noexcept {
+    return {activity_.data(), activity_.size()};
+  }
   std::uint64_t raised_total() const noexcept { return raised_total_; }
+  std::uint64_t cleared_total() const noexcept { return cleared_total_; }
 
  private:
   explicit AlertEngine(std::vector<AlertRule> rules);
 
   std::vector<AlertRule> rules_;
   std::vector<bool> raised_;       ///< parallel to rules_
+  std::vector<RuleActivity> activity_;  ///< parallel to rules_
   std::uint64_t raised_total_ = 0;
+  std::uint64_t cleared_total_ = 0;
 };
 
 /// Paper-informed default rule set for a machine: window MTBF collapsing

@@ -2,7 +2,48 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace tsufail::stream {
+namespace {
+
+// Mirrors of StreamStats as obs counters, so `tsufail watch --metrics`
+// exports ingest accounting without threading the stream through the
+// exporter.  Counting the same semantic events keeps them jobs-invariant.
+obs::Counter& offered_counter() {
+  static obs::Counter c = obs::counter("stream.offered");
+  return c;
+}
+obs::Counter& accepted_counter() {
+  static obs::Counter c = obs::counter("stream.accepted");
+  return c;
+}
+obs::Counter& released_counter() {
+  static obs::Counter c = obs::counter("stream.released");
+  return c;
+}
+obs::Counter& quarantined_invalid_counter() {
+  static obs::Counter c = obs::counter("stream.quarantined_invalid");
+  return c;
+}
+obs::Counter& quarantined_late_counter() {
+  static obs::Counter c = obs::counter("stream.quarantined_late");
+  return c;
+}
+obs::Counter& duplicates_counter() {
+  static obs::Counter c = obs::counter("stream.rejected_duplicates");
+  return c;
+}
+obs::Gauge& pending_gauge() {
+  static obs::Gauge g = obs::gauge("stream.pending");
+  return g;
+}
+obs::Gauge& quarantine_gauge() {
+  static obs::Gauge g = obs::gauge("stream.quarantine_size");
+  return g;
+}
+
+}  // namespace
 
 const char* to_string(IngestOutcome outcome) noexcept {
   switch (outcome) {
@@ -28,26 +69,31 @@ Result<IngestOutcome> EventStream::offer(const data::FailureRecord& record) {
   if (finished_)
     return Error(ErrorKind::kInternal, "EventStream: offer after finish");
   const std::uint64_t index = stats_.offered++;
+  offered_counter().add();
 
   if (auto valid = data::validate_record(record, spec_, config_.slack_hours); !valid.ok()) {
     ++stats_.quarantined_invalid;
+    quarantined_invalid_counter().add();
     QuarantinedRecord entry{record, valid.error(), index};
     if (quarantine_.size() >= config_.quarantine_capacity && !quarantine_.empty()) {
       quarantine_.erase(quarantine_.begin());
       ++stats_.quarantine_dropped;
     }
     if (config_.quarantine_capacity > 0) quarantine_.push_back(std::move(entry));
+    quarantine_gauge().set(static_cast<double>(quarantine_.size()));
     return IngestOutcome::kQuarantinedInvalid;
   }
 
   if (watermark_.has_value() && record.time < *watermark_) {
     ++stats_.quarantined_late;
+    quarantined_late_counter().add();
     quarantine_record(record,
                       Error(ErrorKind::kValidation,
                             "record at " + format_time(record.time) +
                                 " arrived behind the watermark " + format_time(*watermark_) +
                                 " (reorder horizon " +
                                 std::to_string(config_.reorder_horizon_hours) + " h)"));
+    quarantine_gauge().set(static_cast<double>(quarantine_.size()));
     return IngestOutcome::kQuarantinedLate;
   }
 
@@ -56,15 +102,18 @@ Result<IngestOutcome> EventStream::offer(const data::FailureRecord& record) {
         std::make_tuple(record.time.seconds_since_epoch(), record.node, record.category);
     if (!fingerprints_.insert(fingerprint).second) {
       ++stats_.rejected_duplicates;
+      duplicates_counter().add();
       return IngestOutcome::kRejectedDuplicate;
     }
   }
 
   pending_.push(record);
   ++stats_.accepted;
+  accepted_counter().add();
   if (stats_.accepted == 1 || record.time > max_time_) max_time_ = record.time;
   watermark_ = max_time_.plus_hours(-config_.reorder_horizon_hours);
   release_ready();
+  pending_gauge().set(static_cast<double>(pending_.size()));
   return IngestOutcome::kAccepted;
 }
 
@@ -83,6 +132,7 @@ void EventStream::release_ready() {
     released_.push_back(pending_.top());
     pending_.pop();
     ++stats_.released;
+    released_counter().add();
   }
   // Fingerprints older than the watermark can no longer collide with an
   // acceptable record (anything that old is quarantined as late), so the
@@ -106,8 +156,10 @@ void EventStream::finish() {
     released_.push_back(pending_.top());
     pending_.pop();
     ++stats_.released;
+    released_counter().add();
   }
   fingerprints_.clear();
+  pending_gauge().set(0.0);
 }
 
 }  // namespace tsufail::stream

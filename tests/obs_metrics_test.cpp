@@ -1,0 +1,186 @@
+// Tests for obs::metrics — the sharded counter/gauge/histogram registry.
+// Load-bearing claims: updates while disabled are dropped, counters are
+// count-exact under multi-threaded hammering, histogram bucketing follows
+// Prometheus "le" semantics exactly at the bucket edges, reset zeroes
+// without invalidating handles, and both export formats pass their own
+// structural validators.
+//
+// The registry is process-global, so every test starts from
+// reset_metrics() and leaves obs disabled.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace tsufail::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_metrics();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset_metrics();
+  }
+};
+
+TEST_F(MetricsTest, CounterCountsOnlyWhileEnabled) {
+  Counter hits = counter("test.hits");
+  hits.add();
+  hits.add(4);
+  set_enabled(false);
+  hits.add(100);  // dropped: obs is off
+  set_enabled(true);
+  hits.increment();
+
+  const auto snapshot = collect_metrics();
+  const auto* value = snapshot.find_counter("test.hits");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->value, 6u);
+}
+
+TEST_F(MetricsTest, RegistrationIsIdempotentAcrossHandles) {
+  Counter a = counter("test.same");
+  Counter b = counter("test.same");
+  a.add(2);
+  b.add(3);
+  const auto snapshot = collect_metrics();
+  ASSERT_NE(snapshot.find_counter("test.same"), nullptr);
+  EXPECT_EQ(snapshot.find_counter("test.same")->value, 5u);
+}
+
+TEST_F(MetricsTest, UnsetGaugesAreOmittedAndSetGaugesLastWriteWins) {
+  Gauge set_gauge = gauge("test.depth");
+  (void)gauge("test.never_set");
+  set_gauge.set(3.0);
+  set_gauge.set(7.5);
+
+  const auto snapshot = collect_metrics();
+  ASSERT_NE(snapshot.find_gauge("test.depth"), nullptr);
+  EXPECT_EQ(snapshot.find_gauge("test.depth")->value, 7.5);
+  EXPECT_EQ(snapshot.find_gauge("test.never_set"), nullptr);
+}
+
+TEST_F(MetricsTest, HistogramBucketEdgesFollowLeSemantics) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  Histogram h = histogram("test.edges", bounds);
+  // A value exactly on a bound lands in that bound's bucket (v <= bound).
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(0.5);                       // below everything -> bucket 0
+  h.observe(4.0000001);                 // above the last bound -> +Inf
+  h.observe(1.5);                       // interior -> bucket 1
+
+  const auto snapshot = collect_metrics();
+  const auto* value = snapshot.find_histogram("test.edges");
+  ASSERT_NE(value, nullptr);
+  ASSERT_EQ(value->bounds, bounds);
+  ASSERT_EQ(value->counts.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(value->counts[0], 2u);      // 0.5, 1.0
+  EXPECT_EQ(value->counts[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(value->counts[2], 1u);      // 4.0
+  EXPECT_EQ(value->counts[3], 1u);      // 4.0000001
+  EXPECT_EQ(value->count, 6u);
+  EXPECT_EQ(value->cumulative(0), 2u);
+  EXPECT_EQ(value->cumulative(1), 4u);
+  EXPECT_EQ(value->cumulative(2), 5u);
+  EXPECT_EQ(value->cumulative(3), 6u);
+  EXPECT_DOUBLE_EQ(value->sum, 1.0 + 2.0 + 4.0 + 0.5 + 4.0000001 + 1.5);
+}
+
+TEST_F(MetricsTest, CountersAreExactUnderThreads) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 20'000;
+
+  Counter hammered = counter("test.hammered");
+  Histogram h = histogram("test.hammered_values", std::vector<double>{0.5});
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&hammered, &h] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) {
+        hammered.add();
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+
+  // Exited threads' shards must still be visible in the snapshot.
+  const auto snapshot = collect_metrics();
+  ASSERT_NE(snapshot.find_counter("test.hammered"), nullptr);
+  EXPECT_EQ(snapshot.find_counter("test.hammered")->value, kThreads * kAddsPerThread);
+  ASSERT_NE(snapshot.find_histogram("test.hammered_values"), nullptr);
+  EXPECT_EQ(snapshot.find_histogram("test.hammered_values")->count,
+            kThreads * kAddsPerThread);
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsHandlesValid) {
+  Counter hits = counter("test.reset_me");
+  hits.add(9);
+  reset_metrics();
+  const auto zeroed = collect_metrics();
+  ASSERT_NE(zeroed.find_counter("test.reset_me"), nullptr);
+  EXPECT_EQ(zeroed.find_counter("test.reset_me")->value, 0u);
+
+  hits.add(2);  // the pre-reset handle still works
+  const auto after = collect_metrics();
+  EXPECT_EQ(after.find_counter("test.reset_me")->value, 2u);
+}
+
+TEST_F(MetricsTest, JsonExportContainsEverySection) {
+  counter("test.json_counter").add(3);
+  gauge("test.json_gauge").set(1.25);
+  histogram("test.json_hist", std::vector<double>{1.0}).observe(0.5);
+
+  const std::string json = metrics_json(collect_metrics());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, PrometheusExportPassesItsOwnValidator) {
+  counter("test.prom-counter").add(2);
+  gauge("test.prom_gauge").set(4.0);
+  Histogram h = histogram("test.prom_hist", std::vector<double>{0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = prometheus_text(collect_metrics());
+  // '.' and '-' both sanitize to '_' in the exposition names.
+  EXPECT_NE(text.find("test_prom_counter 2"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+  auto check = check_prometheus_text(text);
+  ASSERT_TRUE(check.ok()) << check.error().to_string();
+  EXPECT_GT(check.value().samples, 0u);
+  EXPECT_GE(check.value().families, 3u);
+}
+
+TEST_F(MetricsTest, ValidatorRejectsUndeclaredAndNonCumulative) {
+  EXPECT_FALSE(check_prometheus_text("undeclared_metric 1\n").ok());
+  const std::string non_cumulative =
+      "# HELP bad_hist h\n"
+      "# TYPE bad_hist histogram\n"
+      "bad_hist_bucket{le=\"1\"} 5\n"
+      "bad_hist_bucket{le=\"+Inf\"} 3\n"
+      "bad_hist_sum 1\n"
+      "bad_hist_count 3\n";
+  EXPECT_FALSE(check_prometheus_text(non_cumulative).ok());
+}
+
+}  // namespace
+}  // namespace tsufail::obs

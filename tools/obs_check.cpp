@@ -1,0 +1,89 @@
+// obs_check: structural validator for tsufail::obs exports, used by the
+// CI bench-smoke job and handy interactively.
+//
+//   $ obs_check --trace trace.json        # Chrome-trace structure
+//   $ obs_check --metrics metrics.prom    # Prometheus exposition
+//
+// Checks are the library's own (obs::check_chrome_trace /
+// obs::check_prometheus_text), so the tool, the tests, and CI agree on
+// what "well-formed" means.  Exit 0 when every given file validates.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace tsufail;
+
+Result<std::string> slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file)
+    return Error(ErrorKind::kIo, "cannot open '" + path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  return std::move(text).str();
+}
+
+int check_trace(const std::string& path) {
+  auto text = slurp(path);
+  if (!text.ok()) {
+    std::printf("FAIL %s: %s\n", path.c_str(), text.error().to_string().c_str());
+    return 1;
+  }
+  auto check = obs::check_chrome_trace(text.value());
+  if (!check.ok()) {
+    std::printf("FAIL %s: %s\n", path.c_str(), check.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("OK   %s: %zu events (%zu spans) on %zu threads\n", path.c_str(),
+              check.value().events, check.value().begin_events, check.value().threads);
+  for (const auto& [name, count] : check.value().spans_by_name)
+    std::printf("       %-28s %zu\n", name.c_str(), count);
+  return 0;
+}
+
+int check_metrics(const std::string& path) {
+  auto text = slurp(path);
+  if (!text.ok()) {
+    std::printf("FAIL %s: %s\n", path.c_str(), text.error().to_string().c_str());
+    return 1;
+  }
+  auto check = obs::check_prometheus_text(text.value());
+  if (!check.ok()) {
+    std::printf("FAIL %s: %s\n", path.c_str(), check.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("OK   %s: %zu samples across %zu metric families\n", path.c_str(),
+              check.value().samples, check.value().families);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<bool, std::string>> jobs;  // (is_trace, path)
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      jobs.emplace_back(true, argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      jobs.emplace_back(false, argv[++i]);
+    } else {
+      std::printf("usage: obs_check [--trace FILE]... [--metrics FILE]...\n");
+      return 2;
+    }
+  }
+  if (jobs.empty()) {
+    std::printf("usage: obs_check [--trace FILE]... [--metrics FILE]...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const auto& [is_trace, path] : jobs)
+    failures += is_trace ? check_trace(path) : check_metrics(path);
+  return failures == 0 ? 0 : 1;
+}
