@@ -3,8 +3,17 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
+#include "obs/obs.h"
 #include "sim/generator.h"
+
+#ifndef TSUFAIL_BENCH_FLAGS
+#define TSUFAIL_BENCH_FLAGS "unknown"
+#endif
+#ifndef TSUFAIL_BENCH_BUILD_TYPE
+#define TSUFAIL_BENCH_BUILD_TYPE "unknown"
+#endif
 
 namespace tsufail::bench {
 namespace {
@@ -12,6 +21,29 @@ namespace {
 int g_mismatches = 0;
 
 }  // namespace
+
+double single_core_ops_per_s() {
+  static const double kOpsPerSecond = [] {
+    // splitmix64 mixing: integer-only, branch-free, not vectorizable into
+    // triviality, and the final fold keeps the optimizer honest.
+    constexpr std::uint64_t kIterations = 1u << 25;
+    std::uint64_t state = kBenchSeed;
+    obs::Stopwatch timer;
+    std::uint64_t fold = 0;
+    for (std::uint64_t i = 0; i < kIterations; ++i) {
+      state += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      fold ^= z ^ (z >> 31);
+    }
+    const double seconds = timer.seconds();
+    // The fold must escape, or the loop is dead code.
+    if (fold == 0x5ca1ab1e) std::printf("\n");
+    return seconds > 0.0 ? static_cast<double>(kIterations) / seconds : 0.0;
+  }();
+  return kOpsPerSecond;
+}
 
 const data::FailureLog& bench_log(data::Machine machine) {
   static const data::FailureLog t2 =
@@ -59,6 +91,15 @@ std::string PerfJson::render() const {
       json += "\"" + std::get<std::string>(value) + "\"";
     }
   }
+  // Environment block: present in every record so perf numbers are never
+  // compared across machines or build flavors without noticing.
+  json += ",\n  \"env_hw_threads\": " + std::to_string(std::thread::hardware_concurrency());
+  json += ",\n  \"env_compiler\": \"" + std::string(__VERSION__) + "\"";
+  json += ",\n  \"env_build_type\": \"" TSUFAIL_BENCH_BUILD_TYPE "\"";
+  json += ",\n  \"env_flags\": \"" TSUFAIL_BENCH_FLAGS "\"";
+  std::snprintf(buffer, sizeof buffer, "%.17g", single_core_ops_per_s());
+  json += ",\n  \"env_single_core_ops_per_s\": ";
+  json += buffer;
   json += "\n}\n";
   return json;
 }

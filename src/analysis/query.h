@@ -1,0 +1,42 @@
+// Cacheable analysis queries: a stable key vocabulary over the indexed
+// analyses, each rendering a deterministic plain-text fragment.
+//
+// The fleet service caches query results by (tenant, epoch, key), so two
+// contracts matter here: the key set is append-only and spelled once
+// (query_keys()), and run_query is a pure function of the index — the
+// same snapshot and key always produce the same bytes, making a cached
+// fragment indistinguishable from a recomputed one.  Analyses that are
+// undefined for a log (e.g. TBF with < 2 failures) return their domain
+// error; the service maps that to an error response rather than caching
+// it.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "data/log_index.h"
+#include "util/error.h"
+
+namespace tsufail::analysis {
+
+/// One cacheable query: the cache-key token plus a help one-liner.
+struct QueryKey {
+  std::string_view key;
+  std::string_view summary;
+};
+
+/// The stable vocabulary, in help order.  "study" (the full analyze
+/// text) is handled one layer up, in the serve query engine, because its
+/// rendering lives in tsufail_report; everything here depends only on
+/// the analysis layer.
+std::span<const QueryKey> query_keys() noexcept;
+
+/// True iff `key` is in query_keys().
+bool is_query_key(std::string_view key) noexcept;
+
+/// Runs one keyed analysis over an indexed log.  Errors: unknown key
+/// (kNotFound) or the analysis's own domain error for this log.
+Result<std::string> run_query(std::string_view key, const data::LogIndex& index);
+
+}  // namespace tsufail::analysis

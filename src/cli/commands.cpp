@@ -1,6 +1,8 @@
 #include "cli/commands.h"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <ostream>
 #include <thread>
@@ -23,7 +25,10 @@
 #include "predict/evaluate.h"
 #include "report/figure_export.h"
 #include "report/markdown_report.h"
+#include "report/study_text.h"
 #include "report/table.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "sim/generator.h"
 #include "sim/montecarlo.h"
 #include "sim/scaling.h"
@@ -224,53 +229,7 @@ Result<void> run_analyze(const ParsedArgs& args, std::ostream& out) {
   if (!options.ok()) return options.error();
   auto study = analysis::run_study(log.value(), options.value());
   if (!study.ok()) return study.error();
-  const auto& s = study.value();
-
-  out << "== " << log.value().spec().name << ": " << log.value().size() << " failures over "
-      << report::fmt(log.value().spec().window_hours() / 24.0, 0) << " days ==\n\n";
-
-  report::Table categories({"Category", "Count", "Share", "Class"});
-  categories.set_alignment({report::Align::kLeft, report::Align::kRight, report::Align::kRight,
-                            report::Align::kLeft});
-  for (const auto& share : s.categories.categories) {
-    if (share.count == 0) continue;
-    categories.add_row({std::string(data::to_string(share.category)),
-                        std::to_string(share.count), report::fmt_percent(share.percent),
-                        std::string(data::to_string(data::classify(share.category)))});
-  }
-  out << categories.render() << "\n";
-
-  if (s.tbf.has_value()) {
-    out << "MTBF: " << report::fmt(s.tbf->exposure_mtbf_hours, 1) << " h (mean gap "
-        << report::fmt(s.tbf->mtbf_hours, 1) << " h, p75 " << report::fmt(s.tbf->p75_hours, 1)
-        << " h)\n";
-  }
-  out << "MTTR: " << report::fmt(s.ttr.mttr_hours, 1) << " h (median "
-      << report::fmt(s.ttr.summary.median, 1) << " h, p95 "
-      << report::fmt(s.ttr.summary.p95, 1) << " h)\n";
-  out << "failed nodes: " << s.node_counts.failed_nodes << " of " << s.node_counts.total_nodes
-      << " (" << report::fmt_percent(s.node_counts.percent_multi_failure, 1)
-      << " with repeat failures)\n";
-  if (s.multi_gpu.has_value()) {
-    out << "multi-GPU failures: " << report::fmt_percent(s.multi_gpu->percent_multi, 1) << " of "
-        << s.multi_gpu->attributed_failures << " attributed GPU failures\n";
-  }
-  if (s.software_loci.has_value()) {
-    out << "software loci: " << report::fmt_percent(s.software_loci->gpu_driver_percent, 1)
-        << " GPU-driver-related, " << report::fmt_percent(s.software_loci->unknown_percent, 1)
-        << " unknown\n";
-  }
-  if (s.multi_gpu_clustering.has_value()) {
-    out << "multi-GPU temporal clustering: CV "
-        << report::fmt(s.multi_gpu_clustering->cv, 2)
-        << (s.multi_gpu_clustering->clustered ? " (clustered)" : " (not clustered)") << "\n";
-  }
-  out << "performance-error-proportionality: "
-      << report::fmt(s.perf_error_prop.pflop_hours_per_failure_free_period, 0)
-      << " PFlop-hours per failure-free period\n";
-  for (const auto& skipped : s.skipped) {
-    out << "skipped " << skipped.analysis << ": " << skipped.error.message() << "\n";
-  }
+  out << report::render_study_text(log.value(), study.value());
   cli_span.stop();
   return write_obs_outputs(obs_request.value(), out);
 }
@@ -918,8 +877,7 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
     return Error(ErrorKind::kDomain, "--summary-every and --pace-ms must be >= 0");
 
   const data::MachineSpec& spec = log.value().spec();
-  std::size_t expected_failures =
-      spec.machine == data::Machine::kTsubame2 ? 897 : 338;  // the paper's counts
+  std::size_t expected_failures = stream::paper_expected_failures(spec);
   if (args.has("expected-failures")) {
     auto expected = args.get_int("expected-failures");
     if (!expected.ok()) return expected.error();
@@ -941,12 +899,8 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
   auto monitor = stream::HealthMonitor::create(spec, monitor_config);
   if (!monitor.ok()) return monitor.error();
 
-  auto rules = stream::default_rules(spec, expected_failures);
-  for (auto& rule : rules) {
-    if (rule.kind == stream::AlertKind::kMultiGpuBurst)
-      rule.threshold = static_cast<double>(burst_size.value());
-  }
-  auto engine = stream::AlertEngine::create(std::move(rules));
+  auto engine = stream::AlertEngine::create(stream::default_rules(
+      spec, {expected_failures, static_cast<double>(burst_size.value())}));
   if (!engine.ok()) return engine.error();
 
   out << "watching " << spec.name << ": " << log.value().size() << " failures, reorder horizon "
@@ -1094,6 +1048,99 @@ Result<void> run_profile(const ParsedArgs& args, std::ostream& out) {
   return write_obs_outputs(obs_request.value(), out);
 }
 
+// --- serve ------------------------------------------------------------------
+
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+ArgParser make_serve_parser() {
+  ArgParser parser("serve",
+                   "Run the multi-tenant fleet service: line-protocol + HTTP ingest/query "
+                   "daemon with epoch-indexed snapshots and a shared result cache.");
+  parser.option({"host", "ADDR", "listen address", std::string("127.0.0.1")});
+  parser.option({"port", "N", "TCP port (0 = kernel-assigned, printed on startup)",
+                 std::string("0")});
+  parser.option({"cache-capacity", "N", "query-cache entries across all tenants (0 = off)",
+                 std::string("256")});
+  parser.option({"epoch-every", "N",
+                 "auto-seal a tenant once N released records are pending (0 = manual SEAL)",
+                 std::string("0")});
+  parser.option({"reorder-hours", "H", "reorder horizon for every tenant's event stream",
+                 std::string("24")});
+  parser.option({"slack-hours", "H", "validation slack for ingested records",
+                 std::string("0")});
+  parser.option(jobs_option());
+  parser.option({"max-line-bytes", "N", "longest accepted protocol line",
+                 std::string("1048576")});
+  parser.option({"no-alerts", "", "disable the per-tenant alert engines", {}});
+  return parser;
+}
+
+Result<void> run_serve(const ParsedArgs& args, std::ostream& out) {
+  auto port = args.get_int("port");
+  if (!port.ok()) return port.error();
+  auto host = args.get("host");
+  if (!host.ok()) return host.error();
+  auto cache_capacity = args.get_int("cache-capacity");
+  if (!cache_capacity.ok()) return cache_capacity.error();
+  auto epoch_every = args.get_int("epoch-every");
+  if (!epoch_every.ok()) return epoch_every.error();
+  auto reorder = args.get_double("reorder-hours");
+  if (!reorder.ok()) return reorder.error();
+  auto slack = args.get_double("slack-hours");
+  if (!slack.ok()) return slack.error();
+  auto jobs = args.get_int("jobs");
+  if (!jobs.ok()) return jobs.error();
+  auto max_line = args.get_int("max-line-bytes");
+  if (!max_line.ok()) return max_line.error();
+  if (port.value() < 0 || port.value() > 65535)
+    return Error(ErrorKind::kDomain, "--port must be in [0, 65535]");
+  if (cache_capacity.value() < 0 || epoch_every.value() < 0 || jobs.value() < 0)
+    return Error(ErrorKind::kDomain,
+                 "--cache-capacity, --epoch-every and --jobs must be >= 0");
+  if (max_line.value() <= 0) return Error(ErrorKind::kDomain, "--max-line-bytes must be positive");
+
+  // The metrics endpoint is part of the product, so serve always runs
+  // with obs enabled (unlike the one-shot commands' --metrics opt-in).
+  obs::set_enabled(true);
+
+  serve::ServiceConfig config;
+  config.cache_capacity = static_cast<std::size_t>(cache_capacity.value());
+  config.study_jobs = static_cast<std::size_t>(jobs.value());
+  config.tenant.stream.reorder_horizon_hours = reorder.value();
+  config.tenant.slack_hours = slack.value();
+  config.tenant.auto_epoch_events = static_cast<std::uint64_t>(epoch_every.value());
+  config.tenant.alerts = !args.flag("no-alerts");
+  serve::FleetService service(config);
+
+  serve::ServerConfig server_config;
+  server_config.host = host.value();
+  server_config.port = static_cast<std::uint16_t>(port.value());
+  server_config.protocol.max_line_bytes = static_cast<std::size_t>(max_line.value());
+  auto server = serve::Server::start(service, server_config);
+  if (!server.ok()) return server.error();
+
+  out << "tsufail serve listening on " << host.value() << ":" << server.value()->port() << "\n"
+      << "line protocol: OPEN/EVENT/SEAL/QUERY/STATS/ALERTS/TENANTS/KEYS/METRICS/PING/QUIT\n"
+      << "http: /metrics /tenants /stats/<tenant> /query/<tenant>/<key>\n"
+      << std::flush;
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (!g_serve_stop.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  server.value()->stop();
+  const auto cache = service.cache_stats();
+  out << "\nshutting down: " << service.tenant_names().size() << " tenants, cache hits "
+      << cache.hits << " / misses " << cache.misses << "\n";
+  return {};
+}
+
 // --- compare --------------------------------------------------------------
 
 ArgParser make_compare_parser() {
@@ -1154,6 +1201,8 @@ const std::vector<Command>& commands() {
       {"import", "convert a legacy-v1 log to canonical CSV", make_import_parser, run_import},
       {"trends", "rolling MTBF/MTTR trends over lifetime", make_trends_parser, run_trends},
       {"watch", "live-replay a log through the streaming monitor", make_watch_parser, run_watch},
+      {"serve", "multi-tenant fleet service (ingest + cached queries)", make_serve_parser,
+       run_serve},
       {"profile", "span self-time profile of the study pipeline", make_profile_parser,
        run_profile},
       {"racks", "rack-level spatial distribution", make_racks_parser, run_racks},

@@ -15,6 +15,25 @@ Result<FailureLog> FailureLog::create(MachineSpec spec, std::vector<FailureRecor
   return FailureLog(std::move(spec), std::move(records));
 }
 
+Result<FailureLog> FailureLog::append(const FailureLog& base, std::vector<FailureRecord> suffix,
+                                      double slack_hours) {
+  std::stable_sort(suffix.begin(), suffix.end(),
+                   [](const FailureRecord& a, const FailureRecord& b) { return a.time < b.time; });
+  if (!base.empty() && !suffix.empty() && suffix.front().time < base.records_.back().time)
+    return Error(ErrorKind::kValidation,
+                 "append: suffix record predates the base log's last record");
+  for (std::size_t i = 0; i < suffix.size(); ++i) {
+    if (auto valid = validate_record(suffix[i], base.spec_, slack_hours); !valid.ok())
+      return valid.error().with_context("suffix record " + std::to_string(i));
+  }
+  std::vector<FailureRecord> records;
+  records.reserve(base.records_.size() + suffix.size());
+  records.insert(records.end(), base.records_.begin(), base.records_.end());
+  records.insert(records.end(), std::make_move_iterator(suffix.begin()),
+                 std::make_move_iterator(suffix.end()));
+  return FailureLog(base.spec_, std::move(records));
+}
+
 std::vector<FailureRecord> FailureLog::filter(
     const std::function<bool(const FailureRecord&)>& predicate) const {
   std::vector<FailureRecord> out;

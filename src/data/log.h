@@ -63,6 +63,16 @@ class FailureLog {
   /// Used to derive per-category sub-logs.
   Result<FailureLog> sublog(std::vector<FailureRecord> records) const;
 
+  /// A new log holding `base`'s records followed by `suffix` — the
+  /// append-only shape a sealed stream epoch produces.  Only the suffix
+  /// is sorted and validated; the base records ride along untouched, so
+  /// the result is value-identical to re-creating the log from the full
+  /// concatenation while doing O(suffix) new work (plus the prefix
+  /// copy).  Errors: a suffix record fails validation, or the earliest
+  /// suffix record predates `base`'s last record.
+  static Result<FailureLog> append(const FailureLog& base, std::vector<FailureRecord> suffix,
+                                   double slack_hours = 0.0);
+
   /// Moves the record storage out of a finished log, so batch drivers
   /// (sim::run_sweep) can recycle one allocation across many generated
   /// logs instead of reallocating per replicate.  The log is left empty.

@@ -1,25 +1,49 @@
 #include "data/log_index.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace tsufail::data {
 
-LogIndex::LogIndex(const FailureLog& log) : log_(&log) {
-  OBS_SPAN("index.build");
-  static obs::Counter builds = obs::counter("index.builds");
-  static obs::Counter indexed = obs::counter("index.records");
-  builds.add();
-  indexed.add(log.size());
+LogIndex::LogIndex(const FailureLog& log) : log_(&log) { build_from(nullptr); }
 
-  const auto records = log.records();
+LogIndex LogIndex::extend(const LogIndex& base, const FailureLog& log) {
+  TSUFAIL_REQUIRE(log.size() >= base.size(),
+                  "LogIndex::extend: log must contain the base records as a prefix");
+  TSUFAIL_REQUIRE(log.spec().machine == base.spec().machine &&
+                      log.spec().node_count == base.spec().node_count,
+                  "LogIndex::extend: base and extended log disagree on the machine spec");
+  LogIndex index(log, ExtendTag{});
+  index.build_from(&base);
+  return index;
+}
+
+void LogIndex::build_from(const LogIndex* base) {
+  OBS_SPAN(base == nullptr ? "index.build" : "index.merge");
+  static obs::Counter builds = obs::counter("index.builds");
+  static obs::Counter merges = obs::counter("index.merges");
+  static obs::Counter indexed = obs::counter("index.records");
+  const auto records = log_->records();
   const auto n = records.size();
+  const std::size_t from = base == nullptr ? 0 : base->size();
+  (base == nullptr ? builds : merges).add();
+  indexed.add(n - from);
+
   hours_.reserve(n);
   ttr_.reserve(n);
+  if (base != nullptr) {
+    // The prefix's derived values are position-for-position identical to
+    // what a batch build would recompute, so copy instead of recompute.
+    hours_.assign(base->hours_.begin(), base->hours_.end());
+    ttr_.assign(base->ttr_.begin(), base->ttr_.end());
+  }
 
   obs::SpanScope pass1("index.count");
-  // Pass 1: dense per-record arrays, group sizes, and the month of each
-  // record (cached so pass 2 does not repeat the calendar conversion).
+  // Pass 1 over the new records only: dense per-record arrays, group
+  // sizes, and the month of each record (cached so pass 2 does not
+  // repeat the calendar conversion).
   std::array<std::uint32_t, kCategories> category_sizes{};
   std::array<std::uint32_t, kClasses> class_sizes{};
   std::array<std::uint32_t, 12> month_sizes{};
@@ -29,21 +53,32 @@ LogIndex::LogIndex(const FailureLog& log) : log_(&log) {
   // map: two O(log nodes) lookups per record would otherwise dominate the
   // whole build.
   std::vector<std::uint32_t> node_sizes(
-      static_cast<std::size_t>(log.spec().node_count), 0);
-  std::vector<std::uint8_t> month_of(n);
-  for (std::size_t i = 0; i < n; ++i) {
+      static_cast<std::size_t>(log_->spec().node_count), 0);
+  std::vector<std::uint8_t> month_of(n - from);
+  for (std::size_t i = from; i < n; ++i) {
     const FailureRecord& record = records[i];
-    hours_.push_back(hours_between(log.spec().log_start, record.time));
+    hours_.push_back(hours_between(log_->spec().log_start, record.time));
     ttr_.push_back(record.ttr_hours);
     ++category_sizes[static_cast<std::size_t>(record.category)];
     ++class_sizes[static_cast<std::size_t>(record.failure_class())];
-    month_of[i] = static_cast<std::uint8_t>(record.time.month() - 1);
-    ++month_sizes[month_of[i]];
+    month_of[i - from] = static_cast<std::uint8_t>(record.time.month() - 1);
+    ++month_sizes[month_of[i - from]];
     ++node_sizes[static_cast<std::size_t>(record.node)];
     if (record.gpu_related() && !record.gpu_slots.empty()) {
       ++gpu_size;
       if (record.multi_gpu()) ++multi_size;
     }
+  }
+  // Fold the base group sizes in, so the layout below sees totals.
+  if (base != nullptr) {
+    for (std::size_t c = 0; c < kCategories; ++c)
+      category_sizes[c] += base->categories_[c].count;
+    for (std::size_t c = 0; c < kClasses; ++c) class_sizes[c] += base->classes_[c].count;
+    for (std::size_t m = 0; m < 12; ++m) month_sizes[m] += base->months_[m].count;
+    gpu_size += base->gpu_attributed_.count;
+    multi_size += base->multi_gpu_.count;
+    for (const NodeGroup& group : base->node_groups_)
+      node_sizes[static_cast<std::size_t>(group.node)] += group.count;
   }
   pass1.stop();
 
@@ -69,17 +104,39 @@ LogIndex::LogIndex(const FailureLog& log) : log_(&log) {
   }
   arena_.resize(offset);
 
-  // Pass 2: fill every group in record (= time) order, so each span is
-  // strictly ascending.
+  // Seed each span with the base's contents: prefix positions are
+  // unchanged by an append, and every span fills in time order, so the
+  // base entries are exactly the first base->count entries a batch build
+  // would have written.
+  if (base != nullptr) {
+    const auto copy_range = [this, base](Range& dst, const Range& src) {
+      std::copy_n(base->arena_.data() + src.begin, src.count, arena_.data() + dst.begin);
+      dst.count = src.count;  // the pass-2 cursor resumes after the prefix
+    };
+    for (std::size_t c = 0; c < kCategories; ++c)
+      copy_range(categories_[c], base->categories_[c]);
+    for (std::size_t c = 0; c < kClasses; ++c) copy_range(classes_[c], base->classes_[c]);
+    for (std::size_t m = 0; m < 12; ++m) copy_range(months_[m], base->months_[m]);
+    copy_range(gpu_attributed_, base->gpu_attributed_);
+    copy_range(multi_gpu_, base->multi_gpu_);
+    for (const NodeGroup& group : base->node_groups_) {
+      NodeGroup& dst = node_groups_[node_slot[static_cast<std::size_t>(group.node)]];
+      std::copy_n(base->arena_.data() + group.begin, group.count, arena_.data() + dst.begin);
+      dst.count = group.count;
+    }
+  }
+
+  // Pass 2: fill every group with the new positions in record (= time)
+  // order, so each span stays strictly ascending.
   const auto push = [this](Range& range, std::uint32_t position) {
     arena_[range.begin + range.count++] = position;
   };
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = from; i < n; ++i) {
     const FailureRecord& record = records[i];
     const auto position = static_cast<std::uint32_t>(i);
     push(categories_[static_cast<std::size_t>(record.category)], position);
     push(classes_[static_cast<std::size_t>(record.failure_class())], position);
-    push(months_[month_of[i]], position);
+    push(months_[month_of[i - from]], position);
     NodeGroup& group = node_groups_[node_slot[static_cast<std::size_t>(record.node)]];
     arena_[group.begin + group.count++] = position;
     if (record.gpu_related() && !record.gpu_slots.empty()) {

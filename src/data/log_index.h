@@ -35,6 +35,16 @@ class LogIndex {
   /// conversion per record for the month groups).
   explicit LogIndex(const FailureLog& log);
 
+  /// Delta-merge: indexes `log` — which must hold `base.log()`'s records
+  /// as an identical prefix (the append-only shape a sealed epoch
+  /// produces) — by copying `base`'s derived arrays and computing only
+  /// the appended suffix.  The result is bit-identical to
+  /// `LogIndex(log)` built from scratch (asserted by
+  /// tests/data_index_test.cpp and the differential oracle); both paths
+  /// run through the same builder.  Precondition (REQUIREd):
+  /// log.size() >= base.size() and the logs share a machine spec.
+  static LogIndex extend(const LogIndex& base, const FailureLog& log);
+
   const FailureLog& log() const noexcept { return *log_; }
   const MachineSpec& spec() const noexcept { return log_->spec(); }
   Machine machine() const noexcept { return log_->machine(); }
@@ -95,6 +105,15 @@ class LogIndex {
   std::vector<double> ttr_of(std::span<const std::uint32_t> positions) const;
 
  private:
+  struct ExtendTag {};
+  LogIndex(const FailureLog& log, ExtendTag) : log_(&log) {}
+
+  /// The one builder behind both construction paths: computes derived
+  /// arrays for records [base->size(), n) and lays every group out in
+  /// the canonical arena order, seeding the prefix from `base` (nullptr
+  /// = batch build from record 0).
+  void build_from(const LogIndex* base);
+
   struct Range {
     std::uint32_t begin = 0;
     std::uint32_t count = 0;

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "util/csv.h"
@@ -14,14 +15,11 @@ namespace {
 constexpr const char* kColumns[] = {"machine",   "timestamp", "node",      "category",
                                     "ttr_hours", "gpu_slots", "root_locus"};
 
-/// Parses one CSV record into a FailureRecord; also reports the machine
-/// declared on the row so the caller can enforce uniformity.
-Result<std::pair<Machine, FailureRecord>> parse_row(const CsvDocument& doc,
-                                                    const CsvRecord& row) {
-  const auto get = [&](const char* column) -> Result<std::string> {
-    return doc.field(row, column);
-  };
-
+/// Parses the seven canonical field strings into a record (shared by the
+/// header-driven document reader and the headerless single-row parser).
+/// `get(column)` resolves one canonical column name to its text.
+template <typename FieldFn>
+Result<std::pair<Machine, FailureRecord>> parse_record_from_fields(const FieldFn& get) {
   auto machine_text = get("machine");
   if (!machine_text.ok()) return machine_text.error();
   auto machine = parse_machine(machine_text.value());
@@ -66,6 +64,49 @@ Result<std::pair<Machine, FailureRecord>> parse_row(const CsvDocument& doc,
   return std::pair<Machine, FailureRecord>(machine.value(), std::move(record));
 }
 
+/// Parses one CSV record into a FailureRecord; also reports the machine
+/// declared on the row so the caller can enforce uniformity.
+Result<std::pair<Machine, FailureRecord>> parse_row(const CsvDocument& doc,
+                                                    const CsvRecord& row) {
+  return parse_record_from_fields(
+      [&](const char* column) -> Result<std::string> { return doc.field(row, column); });
+}
+
+/// Splits one line into RFC-4180 fields (quoted fields may hold commas
+/// and doubled quotes; embedded newlines cannot occur in a single line).
+Result<std::vector<std::string>> split_row_fields(std::string_view row) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const char c = row[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < row.size() && row[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty())
+        return Error(ErrorKind::kParse, "stray quote in unquoted field");
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) return Error(ErrorKind::kParse, "unterminated quote");
+  fields.push_back(std::move(field));
+  return fields;
+}
+
 std::string format_ttr(double ttr_hours) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.4f", ttr_hours);
@@ -73,6 +114,23 @@ std::string format_ttr(double ttr_hours) {
 }
 
 }  // namespace
+
+Result<std::pair<Machine, FailureRecord>> parse_record_row(std::string_view row) {
+  if (!row.empty() && row.back() == '\r') row.remove_suffix(1);
+  auto fields = split_row_fields(row);
+  if (!fields.ok()) return fields.error();
+  constexpr std::size_t kColumnCount = std::size(kColumns);
+  if (fields.value().size() != kColumnCount)
+    return Error(ErrorKind::kParse, "expected " + std::to_string(kColumnCount) +
+                                        " fields, got " +
+                                        std::to_string(fields.value().size()));
+  return parse_record_from_fields([&](const char* column) -> Result<std::string> {
+    for (std::size_t i = 0; i < kColumnCount; ++i) {
+      if (std::string_view(kColumns[i]) == column) return fields.value()[i];
+    }
+    return Error(ErrorKind::kNotFound, "unknown column '" + std::string(column) + "'");
+  });
+}
 
 std::string format_gpu_slots(const std::vector<int>& slots) {
   std::string out;

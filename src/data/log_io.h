@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/log.h"
@@ -50,6 +51,13 @@ std::string write_log_csv(const FailureLog& log);
 
 /// Writes a log to a file.
 Result<void> write_log_file(const std::string& path, const FailureLog& log);
+
+/// Parses one headerless data row in the canonical column order
+/// (machine,timestamp,node,category,ttr_hours,gpu_slots,root_locus) —
+/// the shape write_log_csv emits row-for-row and the serve ingest
+/// protocol accepts one event at a time.  RFC-4180 quoting is honored;
+/// embedded newlines are not (a row is one line by definition here).
+Result<std::pair<Machine, FailureRecord>> parse_record_row(std::string_view row);
 
 /// Formats a slot list as the on-disk "0|2" form.
 std::string format_gpu_slots(const std::vector<int>& slots);

@@ -1,0 +1,27 @@
+#include "data/snapshot.h"
+
+#include <utility>
+
+namespace tsufail::data {
+
+Result<SnapshotPtr> LogSnapshot::build(FailureLog log, std::uint64_t epoch) {
+  // Two-phase: the index borrows the log member, so it can only be built
+  // once the log has its final (heap) address.
+  std::shared_ptr<LogSnapshot> snapshot(new LogSnapshot(std::move(log), epoch));
+  snapshot->index_ = std::make_unique<LogIndex>(snapshot->log_);
+  return SnapshotPtr(std::move(snapshot));
+}
+
+Result<SnapshotPtr> LogSnapshot::extend(const LogSnapshot& base,
+                                        std::vector<FailureRecord> appended,
+                                        double slack_hours) {
+  auto merged = FailureLog::append(base.log_, std::move(appended), slack_hours);
+  if (!merged.ok()) return merged.error().with_context("snapshot extend");
+  std::shared_ptr<LogSnapshot> snapshot(
+      new LogSnapshot(std::move(merged).value(), base.epoch_ + 1));
+  snapshot->index_ =
+      std::make_unique<LogIndex>(LogIndex::extend(base.index(), snapshot->log_));
+  return SnapshotPtr(std::move(snapshot));
+}
+
+}  // namespace tsufail::data

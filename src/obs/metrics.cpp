@@ -233,6 +233,27 @@ std::uint64_t HistogramValue::cumulative(std::size_t i) const noexcept {
   return total;
 }
 
+double histogram_quantile(const HistogramValue& histogram, double q) {
+  if (histogram.count == 0 || histogram.bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(histogram.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+    const std::uint64_t next = cumulative + histogram.counts[b];
+    if (static_cast<double>(next) >= rank && histogram.counts[b] > 0) {
+      if (b >= histogram.bounds.size()) return histogram.bounds.back();  // +Inf bucket
+      const double lower = b == 0 ? 0.0 : histogram.bounds[b - 1];
+      const double upper = histogram.bounds[b];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(histogram.counts[b]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative = next;
+  }
+  return histogram.bounds.back();
+}
+
 const CounterValue* MetricsSnapshot::find_counter(std::string_view name) const noexcept {
   for (const auto& c : counters) {
     if (c.name == name) return &c;

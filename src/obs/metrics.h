@@ -115,6 +115,12 @@ struct HistogramValue {
   std::uint64_t cumulative(std::size_t i) const noexcept;
 };
 
+/// Quantile estimate from a fixed-bucket histogram, linearly
+/// interpolated inside the owning bucket (the Prometheus
+/// histogram_quantile model).  `q` is clamped to [0, 1]; observations in
+/// the +Inf bucket report the highest finite bound.  0 when empty.
+double histogram_quantile(const HistogramValue& histogram, double q);
+
 /// Immutable merged view of every shard, each section ascending by name.
 /// Metrics that were registered but never updated report zero/empty;
 /// unset gauges are omitted.

@@ -1,0 +1,75 @@
+#include "serve/cache.h"
+
+namespace tsufail::serve {
+
+std::string QueryCache::make_key(std::string_view tenant, std::uint64_t epoch,
+                                 std::string_view key) {
+  // '\x1f' (unit separator) cannot appear in tenant names or query keys,
+  // so the concatenation is injective.
+  std::string out;
+  out.reserve(tenant.size() + key.size() + 24);
+  out.append(tenant).push_back('\x1f');
+  out.append(std::to_string(epoch)).push_back('\x1f');
+  out.append(key);
+  return out;
+}
+
+std::optional<std::string> QueryCache::get(std::string_view tenant, std::uint64_t epoch,
+                                           std::string_view key) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(make_key(tenant, epoch, key));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // refresh to MRU
+  return it->second.value;
+}
+
+void QueryCache::put(std::string_view tenant, std::uint64_t epoch, std::string_view key,
+                     std::string value) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  std::string cache_key = make_key(tenant, epoch, key);
+  auto it = entries_.find(cache_key);
+  if (it != entries_.end()) {
+    it->second.value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(cache_key);
+  entries_.emplace(std::move(cache_key),
+                   Entry{std::string(tenant), epoch, std::move(value), lru_.begin()});
+  ++stats_.insertions;
+}
+
+std::size_t QueryCache::invalidate_before(std::string_view tenant, std::uint64_t epoch) {
+  std::lock_guard lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.tenant == tenant && it->second.epoch < epoch) {
+      lru_.erase(it->second.lru);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidated += dropped;
+  return dropped;
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace tsufail::serve

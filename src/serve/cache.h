@@ -1,0 +1,73 @@
+// QueryCache: a bounded, thread-safe result cache keyed by
+// (tenant, epoch, query key).
+//
+// Correctness leans entirely on the key shape: a query result is a pure
+// function of the snapshot it was computed from, and the snapshot is
+// named by (tenant, epoch).  An epoch bump therefore *is* the
+// invalidation — new lookups carry the new epoch and can never see a
+// stale entry.  invalidate_before() additionally reclaims dead entries
+// eagerly (the serve layer calls it on every seal) so one noisy tenant
+// cannot hold the whole capacity hostage until LRU eviction catches up.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tsufail::serve {
+
+class QueryCache {
+ public:
+  /// `capacity` = maximum resident entries; the least recently used
+  /// entry is evicted on overflow.  Capacity 0 disables caching (every
+  /// get misses, puts are dropped).
+  explicit QueryCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The cached fragment, refreshing its LRU position; nullopt on miss.
+  std::optional<std::string> get(std::string_view tenant, std::uint64_t epoch,
+                                 std::string_view key);
+
+  /// Inserts (or refreshes) one fragment.
+  void put(std::string_view tenant, std::uint64_t epoch, std::string_view key,
+           std::string value);
+
+  /// Drops every entry of `tenant` with an epoch below `epoch`; returns
+  /// how many were dropped.
+  std::size_t invalidate_before(std::string_view tenant, std::uint64_t epoch);
+
+  /// Lifetime counters (monotone) plus the current entry count.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidated = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string tenant;
+    std::uint64_t epoch = 0;
+    std::string value;
+    std::list<std::string>::iterator lru;  ///< position in lru_ (MRU front)
+  };
+
+  static std::string make_key(std::string_view tenant, std::uint64_t epoch,
+                              std::string_view key);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< cache keys, most recently used first
+  Stats stats_;
+};
+
+}  // namespace tsufail::serve

@@ -1,0 +1,80 @@
+// Line protocol for the fleet service, as a pure state machine.
+//
+// One Connection wraps one client.  feed() consumes an arbitrary slice
+// of bytes — a whole session, one keystroke, a partial line split at any
+// boundary — and appends whatever responses became due.  There is no
+// socket in sight, which is the point: the robustness properties the
+// serve layer promises (oversized lines, partial writes, abrupt
+// disconnects, garbage) are tested on this class directly, and the TCP
+// server is a dumb byte pump around it.
+//
+// Commands (one per line; responses are single `OK ...`/`ERR ...` lines
+// unless noted):
+//
+//   OPEN <tenant> <machine>     open a tenant for "tsubame-2"/"tsubame-3"
+//   EVENT <tenant> <csv-row>    ingest one canonical CSV row; silent on
+//                               success so bulk replay is not chatty,
+//                               ERR on a bad row (pipeline unharmed)
+//   SEAL <tenant>               merge pending records -> "OK epoch <n>"
+//   QUERY <tenant> <key>        framed: "OK query ... bytes <n>" + n bytes
+//   STATS <tenant>              framed key/value block
+//   ALERTS <tenant>             framed recent alert transitions
+//   TENANTS                     framed open-tenant list
+//   KEYS                        framed query-key vocabulary
+//   METRICS                     framed Prometheus exposition
+//   PING                        "OK pong"
+//   QUIT                        "OK bye", connection closes
+//
+// Framing: a header line ending in "bytes <n>" is followed by exactly n
+// payload bytes (fragments end in '\n' themselves, so netcat output
+// stays readable).
+//
+// A connection whose first line starts with "GET " switches to minimal
+// HTTP/1.0: /metrics, /tenants, /stats/<tenant>, /query/<tenant>/<key>
+// answer one request with Content-Length and close.
+//
+// A line longer than max_line_bytes earns one ERR and is discarded up to
+// the next '\n'; the connection (and every tenant) keeps working.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/service.h"
+
+namespace tsufail::serve {
+
+struct ProtocolConfig {
+  /// Longest accepted command line (bytes, excluding the newline).
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Connection {
+ public:
+  explicit Connection(FleetService& service, ProtocolConfig config = {})
+      : service_(&service), config_(config) {}
+
+  /// Consumes `bytes`, appending any responses to `out`.  Returns false
+  /// once the connection should close (QUIT, or an HTTP exchange
+  /// completed); further feeds are no-ops.
+  bool feed(std::string_view bytes, std::string& out);
+
+  bool wants_close() const noexcept { return close_; }
+
+ private:
+  void handle_line(std::string_view line, std::string& out);
+  void handle_command(std::string_view line, std::string& out);
+  void handle_http_request(std::string_view path, std::string& out);
+
+  FleetService* service_;
+  ProtocolConfig config_;
+  std::string buffer_;       ///< bytes of the current (incomplete) line
+  bool discarding_ = false;  ///< inside an oversized line, eating to '\n'
+  bool http_ = false;        ///< HTTP mode: consuming headers
+  std::string http_path_;
+  bool saw_input_ = false;   ///< first line decides line-protocol vs HTTP
+  bool close_ = false;
+};
+
+}  // namespace tsufail::serve

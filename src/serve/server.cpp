@@ -1,0 +1,159 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace tsufail::serve {
+namespace {
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Writes all of `data`, tolerating partial sends.  False on any error
+/// (peer gone); MSG_NOSIGNAL keeps EPIPE a return value, not a signal.
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t sent = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (sent < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  FleetService* service = nullptr;
+  ServerConfig config;
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> running{false};
+
+  std::thread acceptor;
+  std::mutex mutex;  // guards clients + threads
+  std::unordered_set<int> clients;
+  std::vector<std::thread> threads;
+
+  void accept_loop() {
+    while (running.load()) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener closed by stop()
+      }
+      std::lock_guard lock(mutex);
+      if (!running.load()) {
+        ::close(fd);
+        break;
+      }
+      clients.insert(fd);
+      threads.emplace_back([this, fd] { serve_client(fd); });
+    }
+  }
+
+  void serve_client(int fd) {
+    Connection connection(*service, config.protocol);
+    std::string out;
+    char buffer[4096];
+    bool open = true;
+    while (open && running.load()) {
+      ssize_t got = ::recv(fd, buffer, sizeof buffer, 0);
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) break;  // disconnect (abrupt or orderly) — just stop
+      out.clear();
+      open = connection.feed({buffer, static_cast<std::size_t>(got)}, out);
+      if (!out.empty() && !send_all(fd, out)) break;
+    }
+    // Erase and close under one lock so stop()'s shutdown sweep can
+    // never touch a just-recycled descriptor.
+    std::lock_guard lock(mutex);
+    clients.erase(fd);
+    ::close(fd);
+  }
+};
+
+Result<std::unique_ptr<Server>> Server::start(FleetService& service, ServerConfig config) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error(ErrorKind::kIo, errno_text("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Error(ErrorKind::kValidation, "bad listen address '" + config.host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Error error(ErrorKind::kIo, errno_text("bind " + config.host + ":" +
+                                           std::to_string(config.port)));
+    ::close(fd);
+    return error;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    Error error(ErrorKind::kIo, errno_text("listen"));
+    ::close(fd);
+    return error;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Error error(ErrorKind::kIo, errno_text("getsockname"));
+    ::close(fd);
+    return error;
+  }
+
+  std::unique_ptr<Server> server(new Server());
+  server->impl_ = std::make_unique<Impl>();
+  server->impl_->service = &service;
+  server->impl_->config = std::move(config);
+  server->impl_->listen_fd = fd;
+  server->impl_->bound_port = ntohs(bound.sin_port);
+  server->impl_->running.store(true);
+  server->impl_->acceptor = std::thread([impl = server->impl_.get()] { impl->accept_loop(); });
+  return server;
+}
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+void Server::stop() {
+  if (impl_ == nullptr || !impl_->running.exchange(false)) return;
+  // Closing the listener unblocks accept(); closing clients unblocks
+  // their recv()s (and fails any in-flight send to a stalled peer).
+  ::shutdown(impl_->listen_fd, SHUT_RDWR);
+  ::close(impl_->listen_fd);
+  {
+    std::lock_guard lock(impl_->mutex);
+    for (int fd : impl_->clients) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  // Connection threads remove themselves from `clients` but append to
+  // `threads` only under the acceptor; after the acceptor joined, the
+  // vector is stable.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(impl_->mutex);
+    threads.swap(impl_->threads);
+  }
+  for (auto& thread : threads)
+    if (thread.joinable()) thread.join();
+}
+
+Server::~Server() { stop(); }
+
+}  // namespace tsufail::serve

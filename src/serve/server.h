@@ -1,0 +1,54 @@
+// Blocking POSIX TCP front-end for the fleet service.
+//
+// Deliberately dumb: one acceptor thread plus one thread per connection,
+// each pumping recv() bytes through a protocol Connection and send()ing
+// whatever it emits.  All protocol logic, framing, and robustness lives
+// in Connection (where it is unit-tested without sockets); the server
+// adds only lifecycle — bind/listen (port 0 = kernel-assigned, reported
+// via port()), fd tracking so stop() can unblock every thread, and
+// EPIPE-safe writes so an abruptly vanished client kills its own thread
+// and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "util/error.h"
+
+namespace tsufail::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral one (see port()).
+  std::uint16_t port = 0;
+  ProtocolConfig protocol;
+};
+
+class Server {
+ public:
+  /// Binds, listens, and starts accepting.  Errors: bad host, bind or
+  /// listen failure (message carries errno text).
+  static Result<std::unique_ptr<Server>> start(FleetService& service, ServerConfig config = {});
+
+  /// Stops accepting, closes every connection, joins every thread.
+  ~Server();
+
+  /// The bound port (the kernel's choice when config.port was 0).
+  std::uint16_t port() const noexcept;
+
+  /// Idempotent shutdown; after it returns no thread is running.
+  void stop();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+ private:
+  Server() = default;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tsufail::serve

@@ -1,0 +1,172 @@
+#include "serve/service.h"
+
+#include <mutex>
+#include <utility>
+
+#include "analysis/study.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "report/study_text.h"
+
+namespace tsufail::serve {
+namespace {
+
+obs::Counter& query_requests() {
+  static obs::Counter c = obs::counter("serve.query.requests");
+  return c;
+}
+obs::Counter& query_cache_hits() {
+  static obs::Counter c = obs::counter("serve.query.cache_hits");
+  return c;
+}
+obs::Counter& query_cache_misses() {
+  static obs::Counter c = obs::counter("serve.query.cache_misses");
+  return c;
+}
+obs::Counter& query_errors() {
+  static obs::Counter c = obs::counter("serve.query.errors");
+  return c;
+}
+obs::Histogram& query_seconds() {
+  static obs::Histogram h =
+      obs::histogram("serve.query.seconds", obs::time_buckets_seconds());
+  return h;
+}
+obs::Gauge& tenants_gauge() {
+  static obs::Gauge g = obs::gauge("serve.tenants");
+  return g;
+}
+
+constexpr std::string_view kStudyKey = "study";
+constexpr std::string_view kStudySummary =
+    "full analyze report (byte-identical to `tsufail analyze`)";
+
+}  // namespace
+
+FleetService::FleetService(ServiceConfig config)
+    : config_(config), cache_(config.cache_capacity) {}
+
+Result<void> FleetService::open_tenant(const std::string& name, const data::MachineSpec& spec) {
+  return open_tenant(name, spec, config_.tenant);
+}
+
+Result<void> FleetService::open_tenant(const std::string& name, const data::MachineSpec& spec,
+                                       const TenantConfig& config) {
+  auto tenant = Tenant::open(name, spec, config);
+  if (!tenant.ok()) return tenant.error().with_context("open tenant");
+  // The callback outlives nothing: tenants are owned by (and die with)
+  // this service, and QueryCache is internally synchronized.
+  tenant.value()->set_epoch_callback([this](const std::string& who, std::uint64_t epoch) {
+    cache_.invalidate_before(who, epoch);
+  });
+  std::unique_lock lock(tenants_mutex_);
+  auto [it, inserted] = tenants_.emplace(name, std::move(tenant).value());
+  if (!inserted)
+    return Error(ErrorKind::kValidation, "tenant '" + name + "' is already open");
+  tenants_gauge().set(static_cast<double>(tenants_.size()));
+  return {};
+}
+
+Tenant* FleetService::find(const std::string& name) const {
+  std::shared_lock lock(tenants_mutex_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+Result<stream::IngestOutcome> FleetService::ingest_row(const std::string& tenant,
+                                                       std::string_view row) {
+  Tenant* t = find(tenant);
+  if (t == nullptr) return Error(ErrorKind::kNotFound, "unknown tenant '" + tenant + "'");
+  return t->ingest_row(row);
+}
+
+Result<std::uint64_t> FleetService::seal(const std::string& tenant) {
+  Tenant* t = find(tenant);
+  if (t == nullptr) return Error(ErrorKind::kNotFound, "unknown tenant '" + tenant + "'");
+  return t->seal();
+}
+
+Result<FleetService::QueryResponse> FleetService::query(const std::string& tenant,
+                                                        std::string_view key) {
+  OBS_SPAN("serve.query");
+  obs::Stopwatch timer;
+  query_requests().add();
+
+  Tenant* t = find(tenant);
+  if (t == nullptr) {
+    query_errors().add();
+    return Error(ErrorKind::kNotFound, "unknown tenant '" + tenant + "'");
+  }
+  if (!is_key(key)) {
+    query_errors().add();
+    return Error(ErrorKind::kNotFound,
+                 "unknown query key '" + std::string(key) + "' (see KEYS)");
+  }
+
+  data::SnapshotPtr snapshot = t->snapshot();
+  const std::uint64_t epoch = snapshot->epoch();
+
+  if (auto hit = cache_.get(tenant, epoch, key)) {
+    query_cache_hits().add();
+    query_seconds().observe(timer.seconds());
+    return QueryResponse{epoch, true, std::move(*hit)};
+  }
+  query_cache_misses().add();
+
+  Result<std::string> text = [&]() -> Result<std::string> {
+    if (key == kStudyKey) {
+      auto study = analysis::run_study(snapshot->log(), {config_.study_jobs});
+      if (!study.ok()) return study.error();
+      return report::render_study_text(snapshot->log(), study.value());
+    }
+    return analysis::run_query(key, snapshot->index());
+  }();
+  if (!text.ok()) {
+    query_errors().add();
+    query_seconds().observe(timer.seconds());
+    return text.error().with_context("query '" + std::string(key) + "' on '" + tenant + "'");
+  }
+
+  cache_.put(tenant, epoch, key, text.value());
+  query_seconds().observe(timer.seconds());
+  return QueryResponse{epoch, false, std::move(text).value()};
+}
+
+Result<TenantStats> FleetService::tenant_stats(const std::string& tenant) const {
+  Tenant* t = find(tenant);
+  if (t == nullptr) return Error(ErrorKind::kNotFound, "unknown tenant '" + tenant + "'");
+  return t->stats();
+}
+
+Result<std::vector<stream::Alert>> FleetService::recent_alerts(const std::string& tenant) const {
+  Tenant* t = find(tenant);
+  if (t == nullptr) return Error(ErrorKind::kNotFound, "unknown tenant '" + tenant + "'");
+  return t->recent_alerts();
+}
+
+std::vector<std::string> FleetService::tenant_names() const {
+  std::shared_lock lock(tenants_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;  // std::map keeps them ascending
+}
+
+std::vector<analysis::QueryKey> FleetService::keys() {
+  std::vector<analysis::QueryKey> out;
+  auto base = analysis::query_keys();
+  out.reserve(base.size() + 1);
+  out.push_back({kStudyKey, kStudySummary});
+  out.insert(out.end(), base.begin(), base.end());
+  return out;
+}
+
+bool FleetService::is_key(std::string_view key) noexcept {
+  return key == kStudyKey || analysis::is_query_key(key);
+}
+
+std::string FleetService::metrics_text() {
+  return obs::prometheus_text(obs::collect_metrics());
+}
+
+}  // namespace tsufail::serve

@@ -1,0 +1,98 @@
+// FleetService: the multi-tenant core of `tsufail serve`.
+//
+// One service owns many tenants (fleets) concurrently, each running the
+// full EventStream -> epoch merge -> LogSnapshot pipeline, plus the one
+// shared QueryCache.  The protocol and HTTP layers are thin translators
+// over this API, so everything observable over a socket is testable here
+// without one.
+//
+// Concurrency: the tenant map is guarded by a shared_mutex (opens are
+// rare, lookups constant); per-tenant synchronization lives inside
+// Tenant; the cache carries its own lock.  A query therefore touches
+// three short critical sections and computes on an immutable snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/query.h"
+#include "serve/cache.h"
+#include "serve/tenant.h"
+
+namespace tsufail::serve {
+
+struct ServiceConfig {
+  /// Shared query-cache capacity (entries across all tenants; 0 = off).
+  std::size_t cache_capacity = 256;
+  /// Defaults applied to tenants opened without an explicit config.
+  TenantConfig tenant;
+  /// Worker threads for "study" queries (see analysis::StudyOptions).
+  std::size_t study_jobs = 1;
+};
+
+class FleetService {
+ public:
+  explicit FleetService(ServiceConfig config = {});
+
+  /// Opens a tenant with the service-default tenant config.  Errors:
+  /// duplicate name or Tenant::open failures.
+  Result<void> open_tenant(const std::string& name, const data::MachineSpec& spec);
+  Result<void> open_tenant(const std::string& name, const data::MachineSpec& spec,
+                           const TenantConfig& config);
+
+  /// Ingests one canonical CSV row into a tenant.
+  Result<stream::IngestOutcome> ingest_row(const std::string& tenant, std::string_view row);
+
+  /// Seals the tenant's pending records into a new epoch (see
+  /// Tenant::seal); the cache drops the tenant's stale epochs.
+  Result<std::uint64_t> seal(const std::string& tenant);
+
+  /// One answered query: which epoch it reflects, whether the cache
+  /// served it, and the rendered fragment.
+  struct QueryResponse {
+    std::uint64_t epoch = 0;
+    bool cached = false;
+    std::string text;
+  };
+
+  /// Answers one keyed query against the tenant's current snapshot.
+  /// Keys: "study" (the full `tsufail analyze` text) plus everything in
+  /// analysis::query_keys().  Errors (unknown tenant/key, analysis
+  /// domain errors) are never cached.
+  Result<QueryResponse> query(const std::string& tenant, std::string_view key);
+
+  Result<TenantStats> tenant_stats(const std::string& tenant) const;
+  Result<std::vector<stream::Alert>> recent_alerts(const std::string& tenant) const;
+
+  /// Open tenant names, ascending.
+  std::vector<std::string> tenant_names() const;
+
+  /// The full query vocabulary ("study" first, then the analysis keys).
+  static std::vector<analysis::QueryKey> keys();
+  /// True iff `key` is servable by query().
+  static bool is_key(std::string_view key) noexcept;
+
+  QueryCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Prometheus text exposition of the whole obs registry (global
+  /// serve.* aggregates plus per-tenant series).
+  static std::string metrics_text();
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  Tenant* find(const std::string& name) const;
+
+  ServiceConfig config_;
+  QueryCache cache_;
+  mutable std::shared_mutex tenants_mutex_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace tsufail::serve

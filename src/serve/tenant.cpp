@@ -1,0 +1,226 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "data/log_io.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace tsufail::serve {
+namespace {
+
+// Global aggregates across every tenant (the per-tenant series are
+// registered dynamically per Tenant when enabled).
+obs::Counter& ingest_events() {
+  static obs::Counter c = obs::counter("serve.ingest.events");
+  return c;
+}
+obs::Counter& ingest_quarantined() {
+  static obs::Counter c = obs::counter("serve.ingest.quarantined");
+  return c;
+}
+obs::Counter& ingest_bad_rows() {
+  static obs::Counter c = obs::counter("serve.ingest.bad_rows");
+  return c;
+}
+obs::Counter& epoch_merges() {
+  static obs::Counter c = obs::counter("serve.epoch.merges");
+  return c;
+}
+obs::Counter& epoch_merged_records() {
+  static obs::Counter c = obs::counter("serve.epoch.merged_records");
+  return c;
+}
+obs::Histogram& epoch_merge_seconds() {
+  static obs::Histogram h =
+      obs::histogram("serve.epoch.merge_seconds", obs::time_buckets_seconds());
+  return h;
+}
+obs::Counter& alerts_fired_total() {
+  static obs::Counter c = obs::counter("serve.alerts.fired");
+  return c;
+}
+obs::Counter& alerts_cleared_total() {
+  static obs::Counter c = obs::counter("serve.alerts.cleared");
+  return c;
+}
+
+}  // namespace
+
+Tenant::Tenant(std::string name, data::MachineSpec spec, const TenantConfig& config)
+    : name_(std::move(name)), spec_(std::move(spec)), config_(config) {
+  if (config_.per_tenant_metrics) {
+    const std::string prefix = "serve.tenant." + name_ + ".";
+    ingested_counter_ = obs::counter(prefix + "ingested");
+    quarantined_counter_ = obs::counter(prefix + "quarantined");
+    fired_counter_ = obs::counter(prefix + "alerts.fired");
+    cleared_counter_ = obs::counter(prefix + "alerts.cleared");
+    epoch_gauge_ = obs::gauge(prefix + "epoch");
+    records_gauge_ = obs::gauge(prefix + "records");
+  }
+}
+
+Result<std::unique_ptr<Tenant>> Tenant::open(std::string name, const data::MachineSpec& spec,
+                                             const TenantConfig& config) {
+  if (name.empty() || name.find_first_of(" \t\r\n\x1f") != std::string::npos)
+    return Error(ErrorKind::kValidation,
+                 "tenant name must be non-empty and contain no whitespace");
+  auto events = stream::EventStream::create(spec, config.stream);
+  if (!events.ok()) return events.error().with_context("tenant '" + name + "'");
+
+  std::unique_ptr<Tenant> tenant(new Tenant(std::move(name), spec, config));
+  tenant->events_.emplace(std::move(events).value());
+
+  if (config.alerts) {
+    auto monitor = stream::HealthMonitor::create(spec);
+    if (!monitor.ok()) return monitor.error().with_context("tenant monitor");
+    const std::size_t expected = config.expected_failures > 0
+                                     ? config.expected_failures
+                                     : stream::paper_expected_failures(spec);
+    auto engine = stream::AlertEngine::create(
+        stream::default_rules(spec, {expected, config.burst_threshold}));
+    if (!engine.ok()) return engine.error().with_context("tenant alert engine");
+    tenant->monitor_.emplace(std::move(monitor).value());
+    tenant->engine_.emplace(std::move(engine).value());
+  }
+
+  auto empty = data::FailureLog::create(spec, {});
+  if (!empty.ok()) return empty.error().with_context("tenant epoch 0");
+  auto snapshot = data::LogSnapshot::build(std::move(empty).value());
+  if (!snapshot.ok()) return snapshot.error();
+  tenant->snapshot_ = std::move(snapshot).value();
+  if (tenant->epoch_gauge_.has_value()) tenant->epoch_gauge_->set(0.0);
+  if (tenant->records_gauge_.has_value()) tenant->records_gauge_->set(0.0);
+  return tenant;
+}
+
+Result<stream::IngestOutcome> Tenant::ingest_row(std::string_view row) {
+  auto parsed = data::parse_record_row(row);
+  if (!parsed.ok()) {
+    std::lock_guard lock(ingest_mutex_);
+    ++bad_rows_;
+    ingest_bad_rows().add();
+    if (quarantined_counter_.has_value()) quarantined_counter_->add();
+    return parsed.error().with_context("ingest row");
+  }
+  if (parsed.value().first != spec_.machine) {
+    std::lock_guard lock(ingest_mutex_);
+    ++bad_rows_;
+    ingest_bad_rows().add();
+    if (quarantined_counter_.has_value()) quarantined_counter_->add();
+    return Error(ErrorKind::kValidation,
+                 "row machine '" + std::string(data::to_string(parsed.value().first)) +
+                     "' does not match tenant machine '" +
+                     std::string(data::to_string(spec_.machine)) + "'");
+  }
+  return ingest(parsed.value().second);
+}
+
+Result<stream::IngestOutcome> Tenant::ingest(const data::FailureRecord& record) {
+  bool want_seal = false;
+  Result<stream::IngestOutcome> outcome = [&]() -> Result<stream::IngestOutcome> {
+    std::lock_guard lock(ingest_mutex_);
+    auto offered = events_->offer(record);
+    if (!offered.ok()) return offered;
+    ingest_events().add();
+    if (offered.value() == stream::IngestOutcome::kAccepted) {
+      if (ingested_counter_.has_value()) ingested_counter_->add();
+    } else {
+      ingest_quarantined().add();
+      if (quarantined_counter_.has_value()) quarantined_counter_->add();
+    }
+    consume_released();
+    want_seal = config_.auto_epoch_events > 0 &&
+                sealed_pending_.size() >= config_.auto_epoch_events;
+    return offered;
+  }();
+  if (outcome.ok() && want_seal) {
+    if (auto sealed = seal(); !sealed.ok()) return sealed.error();
+  }
+  return outcome;
+}
+
+void Tenant::consume_released() {
+  while (auto record = events_->poll()) {
+    if (monitor_.has_value()) {
+      monitor_->observe(*record);
+      for (auto& alert : engine_->evaluate(monitor_->snapshot())) {
+        if (alert.raised) {
+          ++alerts_fired_;
+          alerts_fired_total().add();
+          if (fired_counter_.has_value()) fired_counter_->add();
+        } else {
+          ++alerts_cleared_;
+          alerts_cleared_total().add();
+          if (cleared_counter_.has_value()) cleared_counter_->add();
+        }
+        alert_history_.push_back(std::move(alert));
+        while (alert_history_.size() > config_.alert_history) alert_history_.pop_front();
+      }
+    }
+    sealed_pending_.push_back(std::move(*record));
+  }
+}
+
+Result<std::uint64_t> Tenant::seal() {
+  std::lock_guard seal_lock(seal_mutex_);
+  std::vector<data::FailureRecord> pending;
+  {
+    std::lock_guard lock(ingest_mutex_);
+    pending.swap(sealed_pending_);
+  }
+  data::SnapshotPtr base = snapshot();
+  if (pending.empty()) return base->epoch();
+
+  OBS_SPAN("serve.epoch.merge");
+  obs::Stopwatch timer;
+  const double slack = std::max(config_.slack_hours, config_.stream.slack_hours);
+  auto merged = data::LogSnapshot::extend(*base, std::move(pending), slack);
+  if (!merged.ok()) {
+    // Released records always re-validate cleanly in practice; if the
+    // merge ever refuses, the records are dropped and the error surfaces
+    // to the caller rather than wedging the pipeline.
+    return merged.error().with_context("seal tenant '" + name_ + "'");
+  }
+  const auto& snapshot = merged.value();
+  epoch_merges().add();
+  epoch_merged_records().add(snapshot->size() - base->size());
+  epoch_merge_seconds().observe(static_cast<double>(timer.elapsed_ns()) * 1e-9);
+  {
+    std::lock_guard lock(snapshot_mutex_);
+    snapshot_ = snapshot;
+  }
+  if (epoch_gauge_.has_value()) epoch_gauge_->set(static_cast<double>(snapshot->epoch()));
+  if (records_gauge_.has_value()) records_gauge_->set(static_cast<double>(snapshot->size()));
+  if (epoch_callback_) epoch_callback_(name_, snapshot->epoch());
+  return snapshot->epoch();
+}
+
+data::SnapshotPtr Tenant::snapshot() const {
+  std::lock_guard lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+TenantStats Tenant::stats() const {
+  TenantStats out;
+  {
+    std::lock_guard lock(ingest_mutex_);
+    out.stream = events_->stats();
+    out.sealed_pending = sealed_pending_.size();
+    out.bad_rows = bad_rows_;
+    out.alerts_fired = alerts_fired_;
+    out.alerts_cleared = alerts_cleared_;
+  }
+  data::SnapshotPtr current = snapshot();
+  out.epoch = current->epoch();
+  out.records = current->size();
+  return out;
+}
+
+std::vector<stream::Alert> Tenant::recent_alerts() const {
+  std::lock_guard lock(ingest_mutex_);
+  return {alert_history_.begin(), alert_history_.end()};
+}
+
+}  // namespace tsufail::serve

@@ -175,13 +175,16 @@ std::vector<std::string> AlertEngine::active() const {
 }
 
 std::vector<AlertRule> default_rules(const data::MachineSpec& spec,
-                                     std::size_t expected_failures) {
-  TSUFAIL_REQUIRE(expected_failures > 0, "default_rules: expected_failures must be positive");
+                                     const RuleSetOptions& options) {
+  TSUFAIL_REQUIRE(options.expected_failures > 0,
+                  "default_rules: expected_failures must be positive");
+  TSUFAIL_REQUIRE(options.burst_threshold > 0.0,
+                  "default_rules: burst_threshold must be positive");
   const double window_days = spec.window_hours() / 24.0;
   const double baseline_mtbf_hours =
-      spec.window_hours() / static_cast<double>(expected_failures);
+      spec.window_hours() / static_cast<double>(options.expected_failures);
   const double baseline_rate_per_day =
-      static_cast<double>(expected_failures) / window_days;
+      static_cast<double>(options.expected_failures) / window_days;
 
   std::vector<AlertRule> rules;
   rules.push_back({"low-window-mtbf", AlertKind::kWindowMtbfBelow, baseline_mtbf_hours / 4.0,
@@ -189,9 +192,19 @@ std::vector<AlertRule> default_rules(const data::MachineSpec& spec,
   rules.push_back({"rate-surge", AlertKind::kRateAbove, 4.0 * baseline_rate_per_day,
                    Severity::kCritical, 0.1, 10});
   rules.push_back({"repair-blowup", AlertKind::kMttrP95Above, 168.0, Severity::kWarning, 0.1, 20});
-  rules.push_back({"multi-gpu-burst", AlertKind::kMultiGpuBurst, 3.0, Severity::kCritical, 0.1, 0});
+  rules.push_back({"multi-gpu-burst", AlertKind::kMultiGpuBurst, options.burst_threshold,
+                   Severity::kCritical, 0.1, 0});
   rules.push_back({"slot-skew", AlertKind::kSlotSkewAbove, 2.0, Severity::kWarning, 0.1, 30});
   return rules;
+}
+
+std::vector<AlertRule> default_rules(const data::MachineSpec& spec,
+                                     std::size_t expected_failures) {
+  return default_rules(spec, RuleSetOptions{expected_failures, 3.0});
+}
+
+std::size_t paper_expected_failures(const data::MachineSpec& spec) noexcept {
+  return spec.machine == data::Machine::kTsubame2 ? 897 : 338;
 }
 
 }  // namespace tsufail::stream

@@ -103,13 +103,31 @@ class AlertEngine {
   std::uint64_t cleared_total_ = 0;
 };
 
+/// Knobs for the shared default rule set.  One definition serves both
+/// consumers — `tsufail watch` and the serve layer's per-tenant
+/// engines — so the fleet daemon and the one-shot monitor can never
+/// drift apart on what "the default alerts" means.
+struct RuleSetOptions {
+  /// Historical failure count calibrating the MTBF/rate baselines
+  /// (e.g. the paper's counts: 897 for Tsubame-2, 338 for Tsubame-3).
+  std::size_t expected_failures = 0;
+  /// Multi-GPU events inside the burst window that raise the burst rule.
+  double burst_threshold = 3.0;
+};
+
 /// Paper-informed default rule set for a machine: window MTBF collapsing
 /// below a quarter of the spec-wide expectation, EWMA rate above 4x the
 /// long-run average, multi-GPU bursts (Figure 8), p95 repair blow-ups,
 /// and per-slot skew beyond the paper's Figure 5 imbalance.
-/// `expected_failures` calibrates the MTBF/rate baselines (e.g. the
-/// machine's historical count: 897 for Tsubame-2, 338 for Tsubame-3).
+std::vector<AlertRule> default_rules(const data::MachineSpec& spec,
+                                     const RuleSetOptions& options);
+
+/// Convenience overload with the default burst threshold.
 std::vector<AlertRule> default_rules(const data::MachineSpec& spec,
                                      std::size_t expected_failures);
+
+/// The paper's historical failure count for a machine — the default
+/// `expected_failures` calibration when the operator gives none.
+std::size_t paper_expected_failures(const data::MachineSpec& spec) noexcept;
 
 }  // namespace tsufail::stream

@@ -480,6 +480,101 @@ void cmp_result(Differ& d, const Result<T>& ref, const Result<T>& got) {
   cmp(d, "value", ref.value(), got.value());
 }
 
+// --- incremental-merge equivalence ---------------------------------------
+
+/// Bitwise double-span comparison: the delta-merge contract is *identity*,
+/// not ULP agreement, so even -0.0 vs +0.0 must be flagged.
+void cmp_bits(Differ& d, const std::string& p, std::span<const double> ref,
+              std::span<const double> got) {
+  d.eq(p + ".size", static_cast<std::uint64_t>(ref.size()),
+       static_cast<std::uint64_t>(got.size()));
+  if (ref.size() != got.size()) return;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(ref[i]) != std::bit_cast<std::uint64_t>(got[i])) {
+      d.fail(p + "[" + std::to_string(i) + "]",
+             "reference=" + repr(ref[i]) + " got=" + repr(got[i]) + " (bitwise tier)");
+      return;  // first divergence only; the rest is usually the same shift
+    }
+  }
+}
+
+void cmp_positions(Differ& d, const std::string& p, std::span<const std::uint32_t> ref,
+                   std::span<const std::uint32_t> got) {
+  d.eq(p + ".size", static_cast<std::uint64_t>(ref.size()),
+       static_cast<std::uint64_t>(got.size()));
+  if (ref.size() != got.size()) return;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i] != got[i]) {
+      d.fail(p + "[" + std::to_string(i) + "]",
+             "reference=" + std::to_string(ref[i]) + " got=" + std::to_string(got[i]));
+      return;
+    }
+  }
+}
+
+/// Re-derives the full index via the delta-merge path (index a prefix,
+/// then LogIndex::extend over the appended remainder — the shape a sealed
+/// serve epoch produces) and demands bit-identity with the from-scratch
+/// index, at several split points.  Both paths share one builder, so any
+/// divergence here is a builder regression, not a tolerance question.
+void check_index_merge(Differ& d, const data::FailureLog& log, const data::LogIndex& full) {
+  const auto records = log.records();
+  const std::size_t n = records.size();
+  std::size_t previous = n + 1;  // dedup splits on tiny logs
+  for (const std::size_t split : {std::size_t{0}, n / 2, n == 0 ? 0 : n - 1, n}) {
+    if (split == previous) continue;
+    previous = split;
+    d.set_tag("index_merge[split=" + std::to_string(split) + "]");
+    auto base = data::FailureLog::create(
+        log.spec(), {records.begin(), records.begin() + static_cast<std::ptrdiff_t>(split)});
+    if (!base.ok()) {
+      d.fail("base", base.error().to_string());
+      continue;
+    }
+    const data::LogIndex base_index(base.value());
+    auto merged_log = data::FailureLog::append(
+        base.value(), {records.begin() + static_cast<std::ptrdiff_t>(split), records.end()});
+    if (!merged_log.ok()) {
+      d.fail("append", merged_log.error().to_string());
+      continue;
+    }
+    const data::LogIndex merged = data::LogIndex::extend(base_index, merged_log.value());
+
+    cmp_bits(d, "hours", full.hours(), merged.hours());
+    cmp_bits(d, "ttr", full.ttr(), merged.ttr());
+    for (std::size_t c = 0; c <= static_cast<std::size_t>(data::Category::kUnknown); ++c) {
+      const auto category = static_cast<data::Category>(c);
+      cmp_positions(d, "by_category[" + std::string(data::to_string(category)) + "]",
+                    full.by_category(category), merged.by_category(category));
+    }
+    for (std::size_t c = 0; c <= static_cast<std::size_t>(data::FailureClass::kUnknown); ++c) {
+      const auto cls = static_cast<data::FailureClass>(c);
+      cmp_positions(d, "by_class[" + std::string(data::to_string(cls)) + "]",
+                    full.by_class(cls), merged.by_class(cls));
+    }
+    for (int month = 1; month <= 12; ++month) {
+      cmp_positions(d, "by_month[" + std::to_string(month) + "]", full.by_month(month),
+                    merged.by_month(month));
+    }
+    cmp_positions(d, "gpu_attributed", full.gpu_attributed(), merged.gpu_attributed());
+    cmp_positions(d, "multi_gpu", full.multi_gpu(), merged.multi_gpu());
+
+    const auto ref_nodes = full.nodes();
+    const auto got_nodes = merged.nodes();
+    d.eq("nodes.size", static_cast<std::uint64_t>(ref_nodes.size()),
+         static_cast<std::uint64_t>(got_nodes.size()));
+    if (ref_nodes.size() == got_nodes.size()) {
+      for (std::size_t i = 0; i < ref_nodes.size(); ++i) {
+        const std::string p = "nodes[" + std::to_string(i) + "]";
+        d.eq(p + ".node", static_cast<std::int64_t>(ref_nodes[i].node),
+             static_cast<std::int64_t>(got_nodes[i].node));
+        cmp_positions(d, p + ".positions", full.positions_of(ref_nodes[i]),
+                      merged.positions_of(got_nodes[i]));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string OracleReport::str(std::size_t max_lines) const {
@@ -497,6 +592,9 @@ OracleReport run_oracle(const data::FailureLog& log, const OracleOptions& option
   OracleReport report;
   Differ d(report.mismatches);
   const data::LogIndex index(log);
+
+  // The serve delta-merge path must reproduce this index bit-for-bit.
+  check_index_merge(d, log, index);
 
   // One analysis, three ways: reference vs FailureLog wrapper vs LogIndex
   // overload.

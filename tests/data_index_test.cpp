@@ -1,14 +1,18 @@
 // LogIndex invariant tests: the contract documented in data/log_index.h
 // (time-order preservation, bit-identical precomputed arrays, group
 // partitions, subset relations) on both calibrated machines plus
-// handcrafted edge cases.
+// handcrafted edge cases — and the delta-merge equivalence gate: an
+// index grown via LogIndex::extend (one epoch or many) is bit-identical
+// to one built from scratch over the same records.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <vector>
 
 #include "data/log_index.h"
+#include "data/snapshot.h"
 #include "sim/generator.h"
 #include "sim/tsubame_models.h"
 
@@ -146,8 +150,132 @@ TEST_P(LogIndexInvariants, GatherHelpersPreserveOrder) {
   }
 }
 
+// Asserts every precomputed array and group layout of `merged` is
+// bit-identical to `full` — the delta-merge contract (shared builder,
+// canonical arena order) is identity, not approximate agreement.
+void expect_bit_identical(const LogIndex& full, const LogIndex& merged) {
+  ASSERT_EQ(full.size(), merged.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full.hours()[i], merged.hours()[i]) << "hours[" << i << "]";
+    EXPECT_EQ(full.ttr()[i], merged.ttr()[i]) << "ttr[" << i << "]";
+  }
+  for (std::size_t c = 0; c <= static_cast<std::size_t>(Category::kUnknown); ++c) {
+    const auto category = static_cast<Category>(c);
+    const auto a = full.by_category(category);
+    const auto b = merged.by_category(category);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "by_category " << to_string(category);
+  }
+  for (std::size_t c = 0; c <= static_cast<std::size_t>(FailureClass::kUnknown); ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    const auto a = full.by_class(cls);
+    const auto b = merged.by_class(cls);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "by_class " << to_string(cls);
+  }
+  for (int month = 1; month <= 12; ++month) {
+    const auto a = full.by_month(month);
+    const auto b = merged.by_month(month);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << "month " << month;
+  }
+  {
+    const auto a = full.gpu_attributed();
+    const auto b = merged.gpu_attributed();
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << "gpu_attributed";
+  }
+  {
+    const auto a = full.multi_gpu();
+    const auto b = merged.multi_gpu();
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << "multi_gpu";
+  }
+  const auto full_nodes = full.nodes();
+  const auto merged_nodes = merged.nodes();
+  ASSERT_EQ(full_nodes.size(), merged_nodes.size());
+  for (std::size_t i = 0; i < full_nodes.size(); ++i) {
+    EXPECT_EQ(full_nodes[i].node, merged_nodes[i].node) << "nodes[" << i << "]";
+    const auto a = full.positions_of(full_nodes[i]);
+    const auto b = merged.positions_of(merged_nodes[i]);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "positions of node " << full_nodes[i].node;
+  }
+}
+
+TEST_P(LogIndexInvariants, ExtendMatchesFullRebuildAtEverySplit) {
+  const auto log = generated(GetParam());
+  const LogIndex full(log);
+  const auto records = log.records();
+  const std::size_t n = records.size();
+  ASSERT_GT(n, 2u);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, n / 3, n / 2, n - 1, n}) {
+    SCOPED_TRACE("split=" + std::to_string(split));
+    auto base = FailureLog::create(
+        log.spec(), {records.begin(), records.begin() + static_cast<std::ptrdiff_t>(split)});
+    ASSERT_TRUE(base.ok()) << base.error().to_string();
+    const LogIndex base_index(base.value());
+    auto merged_log = FailureLog::append(
+        base.value(), {records.begin() + static_cast<std::ptrdiff_t>(split), records.end()});
+    ASSERT_TRUE(merged_log.ok()) << merged_log.error().to_string();
+    const LogIndex merged = LogIndex::extend(base_index, merged_log.value());
+    expect_bit_identical(full, merged);
+  }
+}
+
+TEST_P(LogIndexInvariants, RepeatedExtendsMatchFullRebuild) {
+  // The serve shape: many small sealed epochs chained onto each other,
+  // each extend seeded from the previous incremental index.
+  const auto log = generated(GetParam());
+  const LogIndex full(log);
+  const auto records = log.records();
+  const std::size_t n = records.size();
+
+  // Deques: every LogIndex borrows the FailureLog it was built against,
+  // so each epoch's log needs a stable address for the chain's lifetime.
+  std::deque<FailureLog> chain;
+  chain.push_back(FailureLog::create(log.spec(), {}).value());
+  std::deque<LogIndex> indexes;
+  indexes.emplace_back(chain.back());
+  constexpr std::size_t kEpoch = 37;  // deliberately not a divisor of n
+  for (std::size_t at = 0; at < n; at += kEpoch) {
+    const std::size_t end = std::min(at + kEpoch, n);
+    auto next = FailureLog::append(
+        chain.back(), {records.begin() + static_cast<std::ptrdiff_t>(at),
+                       records.begin() + static_cast<std::ptrdiff_t>(end)});
+    ASSERT_TRUE(next.ok()) << next.error().to_string();
+    chain.push_back(std::move(next.value()));
+    indexes.push_back(LogIndex::extend(indexes.back(), chain.back()));
+  }
+  EXPECT_EQ(indexes.size(), 1 + (n + kEpoch - 1) / kEpoch);
+  expect_bit_identical(full, indexes.back());
+}
+
 INSTANTIATE_TEST_SUITE_P(BothMachines, LogIndexInvariants,
                          ::testing::Values(Machine::kTsubame2, Machine::kTsubame3));
+
+TEST(LogSnapshot, ExtendBumpsEpochAndMatchesFullBuild) {
+  const auto log = generated(Machine::kTsubame2);
+  const auto records = log.records();
+  const std::size_t split = records.size() / 2;
+
+  auto base = LogSnapshot::build(
+      FailureLog::create(log.spec(), {records.begin(),
+                                      records.begin() + static_cast<std::ptrdiff_t>(split)})
+          .value());
+  ASSERT_TRUE(base.ok()) << base.error().to_string();
+  EXPECT_EQ(base.value()->epoch(), 0u);
+
+  auto extended = LogSnapshot::extend(
+      *base.value(), {records.begin() + static_cast<std::ptrdiff_t>(split), records.end()});
+  ASSERT_TRUE(extended.ok()) << extended.error().to_string();
+  EXPECT_EQ(extended.value()->epoch(), 1u);
+  ASSERT_EQ(extended.value()->size(), log.size());
+
+  const LogIndex full(log);
+  expect_bit_identical(full, extended.value()->index());
+
+  // The base snapshot is untouched: readers holding it keep their view.
+  EXPECT_EQ(base.value()->size(), split);
+  EXPECT_EQ(base.value()->index().size(), split);
+}
 
 TEST(LogIndex, EmptyLogYieldsEmptyGroups) {
   const auto log = FailureLog::create(tsubame2_spec(), {}).value();

@@ -170,6 +170,39 @@ TEST_F(MetricsTest, PrometheusExportPassesItsOwnValidator) {
   EXPECT_GE(check.value().families, 3u);
 }
 
+TEST(HistogramQuantile, InterpolatesWithinTheOwningBucket) {
+  HistogramValue h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {10, 10, 0, 0};  // 20 observations, none past 2.0
+  h.count = 20;
+  // p50 sits exactly at the first bucket's upper bound; p75 is halfway
+  // through the second bucket [1, 2].
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 2.0);
+  // The first bucket interpolates from 0.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.25), 0.5);
+  // Out-of-range quantiles clamp instead of misbehaving.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, -1.0), histogram_quantile(h, 0.0));
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 2.0), histogram_quantile(h, 1.0));
+}
+
+TEST(HistogramQuantile, OverflowBucketReportsTheHighestFiniteBound) {
+  HistogramValue h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {1, 0, 9};  // most observations beyond every finite bound
+  h.count = 10;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 2.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  HistogramValue h;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+  h.bounds = {1.0};
+  h.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+}
+
 TEST_F(MetricsTest, ValidatorRejectsUndeclaredAndNonCumulative) {
   EXPECT_FALSE(check_prometheus_text("undeclared_metric 1\n").ok());
   const std::string non_cumulative =

@@ -1,0 +1,274 @@
+// Connection (the serve line protocol as a pure state machine): framing,
+// partial writes, oversized-line resync, malformed input, and the HTTP
+// fallback — all without a socket, which is exactly the point of the
+// design (the TCP server is a dumb byte pump around this class).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/study.h"
+#include "data/log_io.h"
+#include "report/study_text.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+namespace tsufail::serve {
+namespace {
+
+data::FailureLog generated_t2() {
+  return sim::generate_log(sim::tsubame2_model(), 7).value();
+}
+
+std::vector<std::string> csv_rows(const data::FailureLog& log) {
+  const std::string csv = data::write_log_csv(log);
+  std::vector<std::string> rows;
+  std::size_t at = 0;
+  while (at < csv.size()) {
+    const std::size_t end = csv.find('\n', at);
+    rows.push_back(csv.substr(at, end - at));
+    at = end == std::string::npos ? csv.size() : end + 1;
+  }
+  rows.erase(rows.begin());  // header
+  return rows;
+}
+
+ServiceConfig replay_service_config() {
+  ServiceConfig config;
+  config.tenant.stream.reorder_horizon_hours = 0.0;
+  config.tenant.per_tenant_metrics = false;
+  config.tenant.alerts = false;
+  return config;
+}
+
+std::size_t count_lines_starting(const std::string& text, std::string_view prefix) {
+  std::size_t count = 0;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    if (text.compare(at, prefix.size(), prefix) == 0) ++count;
+    const std::size_t newline = text.find('\n', at);
+    if (newline == std::string::npos) break;
+    at = newline + 1;
+  }
+  return count;
+}
+
+/// Parses one "OK <header> bytes <n>\n<payload>" frame starting at `at`;
+/// returns the payload and advances `at` past it.
+std::string read_frame(const std::string& out, std::size_t& at, const std::string& header) {
+  const std::string expected = "OK " + header;
+  EXPECT_EQ(out.compare(at, expected.size(), expected), 0)
+      << "at byte " << at << ": " << out.substr(at, 80);
+  const std::size_t newline = out.find('\n', at);
+  EXPECT_NE(newline, std::string::npos);
+  const std::string head = out.substr(at, newline - at);
+  const std::size_t marker = head.rfind(" bytes ");
+  EXPECT_NE(marker, std::string::npos) << head;
+  const std::size_t n = std::stoul(head.substr(marker + 7));
+  std::string payload = out.substr(newline + 1, n);
+  EXPECT_EQ(payload.size(), n) << "frame truncated";
+  at = newline + 1 + n;
+  return payload;
+}
+
+TEST(Protocol, SessionRoundTripMatchesBatchAnalyze) {
+  const auto log = generated_t2();
+  const auto rows = csv_rows(log);
+  FleetService service(replay_service_config());
+  Connection connection(service);
+
+  std::string session = "PING\nOPEN t2 tsubame-2\n";
+  for (const auto& row : rows) session += "EVENT t2 " + row + "\n";
+  session += "SEAL t2\nQUERY t2 study\nQUIT\n";
+
+  std::string out;
+  EXPECT_FALSE(connection.feed(session, out));  // QUIT closes
+  EXPECT_TRUE(connection.wants_close());
+
+  std::size_t at = 0;
+  EXPECT_EQ(out.compare(at, 8, "OK pong\n"), 0);
+  at += 8;
+  const std::string open_line = "OK tenant t2 machine Tsubame-2\n";
+  EXPECT_EQ(out.compare(at, open_line.size(), open_line), 0);
+  at += open_line.size();
+  // EVENT is silent on success: the next byte is already SEAL's reply.
+  const std::string seal_line = "OK epoch 1\n";
+  EXPECT_EQ(out.compare(at, seal_line.size(), seal_line), 0) << out.substr(at, 80);
+  at += seal_line.size();
+
+  const std::string study = read_frame(out, at, "query t2 study epoch 1 cached 0");
+  // Judge byte-identity against the rows the daemon actually parsed
+  // (write_log_csv keeps ttr_hours only to 4 decimals).
+  const auto replayed = data::read_log_csv(data::write_log_csv(log)).value().log;
+  const auto expected =
+      report::render_study_text(replayed, analysis::run_study(replayed, {}).value());
+  EXPECT_EQ(study, expected);
+
+  EXPECT_EQ(out.substr(at), "OK bye\n");
+}
+
+TEST(Protocol, ByteAtATimeFeedIsEquivalentToOneFeed) {
+  const auto rows = csv_rows(generated_t2());
+  std::string session = "PING\nOPEN t2 tsubame-2\n";
+  for (std::size_t i = 0; i < 5; ++i) session += "EVENT t2 " + rows[i] + "\n";
+  session += "SEAL t2\nSTATS t2\nQUERY t2 summary\nQUIT\n";
+
+  std::string whole;
+  {
+    FleetService service(replay_service_config());
+    Connection connection(service);
+    connection.feed(session, whole);
+  }
+  std::string dribbled;
+  {
+    FleetService service(replay_service_config());
+    Connection connection(service);
+    bool open = true;
+    for (char byte : session) {
+      // Feeding past close must be a harmless no-op.
+      const bool now = connection.feed(std::string_view(&byte, 1), dribbled);
+      open = open && now;
+    }
+    EXPECT_FALSE(open);
+  }
+  EXPECT_EQ(whole, dribbled);
+}
+
+TEST(Protocol, OversizedLineErrsOnceAndResyncs) {
+  FleetService service(replay_service_config());
+  ProtocolConfig config;
+  config.max_line_bytes = 64;
+  Connection connection(service, config);
+
+  std::string out;
+  // The flood arrives in several writes with no newline in sight: one
+  // ERR when the limit trips, then silence until the line finally ends.
+  EXPECT_TRUE(connection.feed(std::string(100, 'x'), out));
+  EXPECT_TRUE(connection.feed(std::string(500, 'x'), out));
+  EXPECT_EQ(count_lines_starting(out, "ERR "), 1u);
+  EXPECT_TRUE(connection.feed("xxx\nPING\n", out));  // line ends; resync
+  EXPECT_EQ(count_lines_starting(out, "ERR "), 1u);
+  EXPECT_NE(out.find("OK pong\n"), std::string::npos);
+
+  // And the service is unharmed: tenants still open and ingest.
+  EXPECT_TRUE(connection.feed("OPEN t2 tsubame-2\n", out));
+  EXPECT_NE(out.find("OK tenant t2"), std::string::npos);
+}
+
+TEST(Protocol, MalformedCommandsErrWithoutPoisoningTenants) {
+  const auto rows = csv_rows(generated_t2());
+  FleetService service(replay_service_config());
+  Connection connection(service);
+
+  std::string out;
+  connection.feed("OPEN t2 tsubame-2\n", out);
+  out.clear();
+
+  connection.feed("FROB t2\n", out);                  // unknown command
+  connection.feed("OPEN\n", out);                     // usage
+  connection.feed("OPEN t9 tsubame-9\n", out);        // bad machine
+  connection.feed("EVENT t2 not,a,row\n", out);       // bad row
+  connection.feed("EVENT ghost " + rows[0] + "\n", out);  // unknown tenant
+  connection.feed("QUERY t2 no-such-key\n", out);     // bad key
+  connection.feed("SEAL\n", out);                     // usage
+  EXPECT_EQ(count_lines_starting(out, "ERR "), 7u);
+  EXPECT_EQ(count_lines_starting(out, "OK "), 0u);
+
+  // The tenant still works and its stream never saw the garbage.
+  out.clear();
+  connection.feed("EVENT t2 " + rows[0] + "\nSEAL t2\nSTATS t2\n", out);
+  EXPECT_EQ(count_lines_starting(out, "ERR "), 0u);
+  EXPECT_NE(out.find("OK epoch 1\n"), std::string::npos);
+  EXPECT_NE(out.find("records: 1\n"), std::string::npos);
+  EXPECT_NE(out.find("bad_rows: 1\n"), std::string::npos);
+  EXPECT_NE(out.find("offered: 1\n"), std::string::npos);
+}
+
+TEST(Protocol, BlankLinesAndCrLfAreTolerated) {
+  FleetService service;
+  Connection connection(service);
+  std::string out;
+  EXPECT_TRUE(connection.feed("\n\r\nPING\r\n\n", out));
+  EXPECT_EQ(out, "OK pong\n");
+}
+
+TEST(Protocol, QuitClosesAndFurtherFeedsAreNoOps) {
+  FleetService service;
+  Connection connection(service);
+  std::string out;
+  EXPECT_FALSE(connection.feed("QUIT\nPING\n", out));
+  EXPECT_EQ(out, "OK bye\n");  // PING after QUIT is never processed
+  std::string more;
+  EXPECT_FALSE(connection.feed("PING\n", more));
+  EXPECT_TRUE(more.empty());
+}
+
+TEST(Protocol, FramedListsAreWellFormed) {
+  FleetService service(replay_service_config());
+  ASSERT_TRUE(service.open_tenant("a", data::tsubame2_spec()).ok());
+  ASSERT_TRUE(service.open_tenant("b", data::tsubame3_spec()).ok());
+  Connection connection(service);
+  std::string out;
+  connection.feed("TENANTS\nKEYS\nPING\n", out);
+
+  std::size_t at = 0;
+  EXPECT_EQ(read_frame(out, at, "tenants"), "a\nb\n");
+  const std::string keys = read_frame(out, at, "keys");
+  EXPECT_EQ(keys.compare(0, 8, "study - "), 0) << keys.substr(0, 40);
+  EXPECT_EQ(count_lines_starting(keys, ""), FleetService::keys().size());
+  // Byte-exact framing: the terminator lands exactly after the payload.
+  EXPECT_EQ(out.substr(at), "OK pong\n");
+}
+
+TEST(Protocol, HttpGetServesMetricsAndQueries) {
+  const auto rows = csv_rows(generated_t2());
+  FleetService service(replay_service_config());
+  ASSERT_TRUE(service.open_tenant("t2", data::tsubame2_spec()).ok());
+  for (std::size_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(service.ingest_row("t2", rows[i]).ok());
+  ASSERT_TRUE(service.seal("t2").ok());
+
+  {
+    Connection connection(service);
+    std::string out;
+    // Dribble the request to prove header buffering: no response until
+    // the blank line arrives.
+    connection.feed("GET /query/t2/summary HTTP/1.0\r\n", out);
+    connection.feed("Host: localhost\r\nUser-Agent: test\r\n", out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(connection.feed("\r\n", out));  // request complete: close
+    EXPECT_EQ(out.compare(0, 15, "HTTP/1.0 200 OK"), 0) << out.substr(0, 40);
+    const std::size_t body_at = out.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    const std::string body = out.substr(body_at + 4);
+    EXPECT_EQ(body, service.query("t2", "summary").value().text);
+    const std::string length = "Content-Length: " + std::to_string(body.size());
+    EXPECT_NE(out.find(length), std::string::npos);
+  }
+  {
+    Connection connection(service);
+    std::string out;
+    EXPECT_FALSE(connection.feed("GET /metrics HTTP/1.0\r\n\r\n", out));
+    EXPECT_EQ(out.compare(0, 15, "HTTP/1.0 200 OK"), 0);
+    const std::size_t body_at = out.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    EXPECT_EQ(out.substr(body_at + 4), FleetService::metrics_text());
+  }
+  {
+    Connection connection(service);
+    std::string out;
+    EXPECT_FALSE(connection.feed("GET /no/such/route HTTP/1.0\r\n\r\n", out));
+    EXPECT_EQ(out.compare(0, 22, "HTTP/1.0 404 Not Found"), 0) << out.substr(0, 40);
+  }
+  {
+    Connection connection(service);
+    std::string out;
+    EXPECT_FALSE(connection.feed("GET /stats/ghost HTTP/1.0\r\n\r\n", out));
+    EXPECT_EQ(out.compare(0, 22, "HTTP/1.0 404 Not Found"), 0);
+  }
+}
+
+}  // namespace
+}  // namespace tsufail::serve
