@@ -7,13 +7,7 @@
 
 #include "obs/obs.h"
 #include "sim/generator.h"
-
-#ifndef TSUFAIL_BENCH_FLAGS
-#define TSUFAIL_BENCH_FLAGS "unknown"
-#endif
-#ifndef TSUFAIL_BENCH_BUILD_TYPE
-#define TSUFAIL_BENCH_BUILD_TYPE "unknown"
-#endif
+#include "util/build_info.h"
 
 namespace tsufail::bench {
 namespace {
@@ -93,10 +87,11 @@ std::string PerfJson::render() const {
   }
   // Environment block: present in every record so perf numbers are never
   // compared across machines or build flavors without noticing.
+  const util::BuildInfo& build = util::build_info();
   json += ",\n  \"env_hw_threads\": " + std::to_string(std::thread::hardware_concurrency());
-  json += ",\n  \"env_compiler\": \"" + std::string(__VERSION__) + "\"";
-  json += ",\n  \"env_build_type\": \"" TSUFAIL_BENCH_BUILD_TYPE "\"";
-  json += ",\n  \"env_flags\": \"" TSUFAIL_BENCH_FLAGS "\"";
+  json += ",\n  \"env_compiler\": \"" + build.compiler + "\"";
+  json += ",\n  \"env_build_type\": \"" + build.build_type + "\"";
+  json += ",\n  \"env_flags\": \"" + build.flags + "\"";
   std::snprintf(buffer, sizeof buffer, "%.17g", single_core_ops_per_s());
   json += ",\n  \"env_single_core_ops_per_s\": ";
   json += buffer;

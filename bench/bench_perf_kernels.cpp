@@ -3,12 +3,16 @@
 // Tsubame's (multi-year exascale logs reach millions of records).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "analysis/study.h"
 #include "data/log_io.h"
 #include "sim/generator.h"
 #include "sim/tsubame_models.h"
 #include "stats/ecdf.h"
 #include "stats/fit.h"
+#include "stats/kernels.h"
 #include "util/rng.h"
 
 namespace {
@@ -42,6 +46,45 @@ void BM_QuantileSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QuantileSweep)->Range(1 << 10, 1 << 20);
+
+void BM_AdjacentDeltas(benchmark::State& state) {
+  auto sample = random_sample(static_cast<std::size_t>(state.range(0)));
+  std::sort(sample.begin(), sample.end());
+  for (auto _ : state) {
+    auto deltas = stats::adjacent_deltas(sample);
+    benchmark::DoNotOptimize(deltas.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AdjacentDeltas)->Range(1 << 10, 1 << 20);
+
+void BM_Gather(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto sample = random_sample(n);
+  Rng rng(99);
+  std::vector<std::uint32_t> indices(n);
+  for (auto& i : indices) i = static_cast<std::uint32_t>(rng.uniform_index(n));
+  std::vector<double> out;
+  for (auto _ : state) {
+    stats::gather_into(sample, indices, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Gather)->Range(1 << 10, 1 << 20);
+
+void BM_KsDistanceSorted(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto a = random_sample(n);
+  auto b = random_sample(n + n / 3);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_distance_sorted(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KsDistanceSorted)->Range(1 << 10, 1 << 20);
 
 void BM_WeibullFit(benchmark::State& state) {
   Rng rng(7);

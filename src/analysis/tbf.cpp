@@ -3,17 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "stats/kernels.h"
+
 namespace tsufail::analysis {
 namespace {
 
-/// Differences an ascending event-hour sequence into gaps.
+/// Differences an ascending event-hour sequence into gaps (one indexed
+/// store per element; see stats::adjacent_deltas).
 std::vector<double> gaps_of(const std::vector<double>& event_hours) {
-  std::vector<double> gaps;
-  if (event_hours.size() < 2) return gaps;
-  gaps.reserve(event_hours.size() - 1);
-  for (std::size_t i = 1; i < event_hours.size(); ++i)
-    gaps.push_back(event_hours[i] - event_hours[i - 1]);
-  return gaps;
+  return stats::adjacent_deltas(event_hours);
 }
 
 /// Core TBF computation over an event-hour sample.  Takes ownership of

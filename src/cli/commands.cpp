@@ -12,7 +12,9 @@
 #include "analysis/rack_distribution.h"
 #include "analysis/rolling.h"
 #include "analysis/study.h"
+#include "data/columnar.h"
 #include "data/legacy_import.h"
+#include "data/log_index.h"
 #include "data/log_io.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -37,14 +39,33 @@
 #include "stream/alerts.h"
 #include "stream/event_stream.h"
 #include "stream/health.h"
+#include "util/build_info.h"
 
 namespace tsufail::cli {
 namespace {
 
 // --- shared helpers ---------------------------------------------------
 
+/// True iff `path` starts with the columnar-snapshot magic (cheap
+/// 8-byte sniff; unreadable files report false and fall through to the
+/// CSV reader's richer error).
+bool is_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char prefix[8] = {};
+  if (!in.read(prefix, sizeof prefix)) return false;
+  return data::ColumnarSnapshot::sniff({prefix, sizeof prefix});
+}
+
+/// Loads a failure log from either accepted on-disk form — the canonical
+/// CSV schema or a packed columnar snapshot (detected by magic, not
+/// extension) — so every command takes .csv and .tsnap interchangeably.
 Result<data::FailureLog> load_log(const ParsedArgs& args, std::size_t position = 0) {
   const std::string& path = args.positionals()[position];
+  if (is_snapshot_file(path)) {
+    auto snapshot = data::ColumnarSnapshot::open(path);
+    if (!snapshot.ok()) return snapshot.error();
+    return snapshot.value()->to_log();
+  }
   const auto policy = args.flag("strict") ? data::ReadPolicy::kStrict : data::ReadPolicy::kLenient;
   auto report = data::read_log_file(path, policy);
   if (!report.ok()) return report.error();
@@ -690,6 +711,80 @@ Result<void> run_import(const ParsedArgs& args, std::ostream& out) {
   return {};
 }
 
+// --- pack / unpack ---------------------------------------------------------
+
+ArgParser make_pack_parser() {
+  ArgParser parser("pack",
+                   "Pack a failure log into a columnar .tsnap snapshot: an mmap-able binary "
+                   "with per-section checksums that loads orders of magnitude faster than "
+                   "CSV and (by default) carries the precomputed analysis index "
+                   "(DESIGN.md section 14).");
+  parser.positional({"log.csv", "input log: canonical CSV (or an existing snapshot)", true});
+  parser.positional({"out.tsnap", "snapshot output path (written atomically)", true});
+  parser.option({"no-index", "", "omit the precomputed index sections (records only)", {}});
+  parser.option(
+      {"verify", "", "re-open the written file and require a byte-identical re-pack", {}});
+  parser.option(strict_option());
+  return parser;
+}
+
+Result<void> run_pack(const ParsedArgs& args, std::ostream& out) {
+  const std::string& out_path = args.positionals()[1];
+  if (auto ok = validate_writable_path(out_path); !ok.ok()) return ok.error();
+  auto log = load_log(args);
+  if (!log.ok()) return log.error();
+  const bool with_index = !args.flag("no-index");
+  std::string bytes;
+  if (with_index) {
+    const data::LogIndex index(log.value());
+    bytes = data::pack_columnar(log.value(), &index);
+  } else {
+    bytes = data::pack_columnar(log.value());
+  }
+  if (auto written = data::write_columnar_file(out_path, bytes); !written.ok())
+    return written.error();
+  out << "packed " << log.value().size() << " failures ("
+      << (with_index ? "records + index" : "records only") << ", " << bytes.size()
+      << " bytes) -> " << out_path << "\n";
+  if (args.flag("verify")) {
+    auto reloaded = data::ColumnarSnapshot::open(out_path);
+    if (!reloaded.ok()) return reloaded.error().with_context("verify");
+    const data::FailureLog roundtrip = reloaded.value()->to_log();
+    std::string repacked;
+    if (with_index) {
+      const data::LogIndex index(roundtrip);
+      repacked = data::pack_columnar(roundtrip, &index);
+    } else {
+      repacked = data::pack_columnar(roundtrip);
+    }
+    if (repacked != bytes)
+      return Error(ErrorKind::kInternal,
+                   "verify: re-packing the loaded snapshot did not reproduce the file");
+    out << "verify: OK (load -> re-pack is byte-identical, "
+        << (reloaded.value()->mapped() ? "mmap" : "stream") << " load)\n";
+  }
+  return {};
+}
+
+ArgParser make_unpack_parser() {
+  ArgParser parser("unpack",
+                   "Expand a columnar .tsnap snapshot back to the canonical CSV schema.");
+  parser.positional({"in.tsnap", "packed snapshot", true});
+  parser.positional({"out.csv", "CSV output path", true});
+  return parser;
+}
+
+Result<void> run_unpack(const ParsedArgs& args, std::ostream& out) {
+  if (auto ok = validate_writable_path(args.positionals()[1]); !ok.ok()) return ok.error();
+  auto snapshot = data::ColumnarSnapshot::open(args.positionals()[0]);
+  if (!snapshot.ok()) return snapshot.error();
+  const data::FailureLog log = snapshot.value()->to_log();
+  if (auto written = data::write_log_file(args.positionals()[1], log); !written.ok())
+    return written.error();
+  out << "unpacked " << log.size() << " failures -> " << args.positionals()[1] << "\n";
+  return {};
+}
+
 // --- trends ----------------------------------------------------------------
 
 ArgParser make_trends_parser() {
@@ -1074,6 +1169,10 @@ ArgParser make_serve_parser() {
   parser.option({"max-line-bytes", "N", "longest accepted protocol line",
                  std::string("1048576")});
   parser.option({"no-alerts", "", "disable the per-tenant alert engines", {}});
+  parser.option({"data-dir", "DIR",
+                 "persist sealed epochs as columnar segments under DIR/<tenant>/ and "
+                 "re-mount any fleets already there on startup",
+                 std::string("")});
   return parser;
 }
 
@@ -1112,7 +1211,18 @@ Result<void> run_serve(const ParsedArgs& args, std::ostream& out) {
   config.tenant.slack_hours = slack.value();
   config.tenant.auto_epoch_events = static_cast<std::uint64_t>(epoch_every.value());
   config.tenant.alerts = !args.flag("no-alerts");
+  auto data_dir = args.get("data-dir");
+  if (!data_dir.ok()) return data_dir.error();
+  config.tenant.data_dir = data_dir.value();
   serve::FleetService service(config);
+
+  if (!config.tenant.data_dir.empty()) {
+    auto restored = service.restore_tenants();
+    if (!restored.ok()) return restored.error();
+    if (restored.value() > 0)
+      out << "re-mounted " << restored.value() << " tenant"
+          << (restored.value() == 1 ? "" : "s") << " from " << config.tenant.data_dir << "\n";
+  }
 
   serve::ServerConfig server_config;
   server_config.host = host.value();
@@ -1199,6 +1309,8 @@ const std::vector<Command>& commands() {
       {"spares", "spare-pool sizing", make_spares_parser, run_spares},
       {"predict", "node-failure prediction backtest", make_predict_parser, run_predict},
       {"import", "convert a legacy-v1 log to canonical CSV", make_import_parser, run_import},
+      {"pack", "pack a log into a columnar snapshot (.tsnap)", make_pack_parser, run_pack},
+      {"unpack", "expand a snapshot back to canonical CSV", make_unpack_parser, run_unpack},
       {"trends", "rolling MTBF/MTTR trends over lifetime", make_trends_parser, run_trends},
       {"watch", "live-replay a log through the streaming monitor", make_watch_parser, run_watch},
       {"serve", "multi-tenant fleet service (ingest + cached queries)", make_serve_parser,
@@ -1230,6 +1342,11 @@ int dispatch(const std::vector<std::string>& argv, std::ostream& out, std::ostre
   if (argv.empty() || argv[0] == "help" || argv[0] == "--help") {
     print_overview(out);
     return argv.empty() ? 1 : 0;
+  }
+
+  if (argv[0] == "--version" || argv[0] == "version") {
+    out << util::build_info_text();
+    return 0;
   }
 
   for (const auto& command : commands()) {

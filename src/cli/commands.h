@@ -13,6 +13,12 @@
 //   tsufail predict    node-failure prediction backtest
 //   tsufail compare    two-generation comparison of two logs
 //   tsufail watch      live-replay a log through the streaming monitor
+//   tsufail pack       pack a log into a columnar .tsnap snapshot
+//   tsufail unpack     expand a snapshot back to canonical CSV
+//
+// Every log-consuming command accepts .csv and .tsnap inputs
+// interchangeably (sniffed by magic, not extension), and
+// `tsufail --version` prints the build-info block (util/build_info.h).
 #pragma once
 
 #include <iosfwd>

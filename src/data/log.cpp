@@ -15,6 +15,14 @@ Result<FailureLog> FailureLog::create(MachineSpec spec, std::vector<FailureRecor
   return FailureLog(std::move(spec), std::move(records));
 }
 
+FailureLog FailureLog::from_sorted(MachineSpec spec, std::vector<FailureRecord> records) {
+  TSUFAIL_REQUIRE(
+      std::is_sorted(records.begin(), records.end(),
+                     [](const FailureRecord& a, const FailureRecord& b) { return a.time < b.time; }),
+      "FailureLog::from_sorted: records must be ascending by time");
+  return FailureLog(std::move(spec), std::move(records));
+}
+
 Result<FailureLog> FailureLog::append(const FailureLog& base, std::vector<FailureRecord> suffix,
                                       double slack_hours) {
   std::stable_sort(suffix.begin(), suffix.end(),

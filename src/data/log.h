@@ -73,6 +73,14 @@ class FailureLog {
   static Result<FailureLog> append(const FailureLog& base, std::vector<FailureRecord> suffix,
                                    double slack_hours = 0.0);
 
+  /// Adopts records that are already time-sorted and already validated —
+  /// the shape a checksummed columnar snapshot materializes — skipping
+  /// create()'s stable_sort and per-record checks.  Record order is
+  /// preserved exactly (ties included), so a snapshot round-trip is
+  /// order-identical to the log it was packed from.  Precondition
+  /// (REQUIREd): records ascending by time.
+  static FailureLog from_sorted(MachineSpec spec, std::vector<FailureRecord> records);
+
   /// Moves the record storage out of a finished log, so batch drivers
   /// (sim::run_sweep) can recycle one allocation across many generated
   /// logs instead of reallocating per replicate.  The log is left empty.

@@ -1,9 +1,12 @@
 #include "data/log_index.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "data/columnar.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "stats/kernels.h"
 
 namespace tsufail::data {
 
@@ -20,6 +23,42 @@ LogIndex LogIndex::extend(const LogIndex& base, const FailureLog& log) {
   return index;
 }
 
+Result<LogIndex> LogIndex::from_columnar(const FailureLog& log,
+                                         std::shared_ptr<const ColumnarSnapshot> snapshot) {
+  if (snapshot == nullptr || !snapshot->has_index())
+    return Error(ErrorKind::kValidation,
+                 "LogIndex::from_columnar: snapshot carries no index sections");
+  if (snapshot->size() != log.size())
+    return Error(ErrorKind::kValidation,
+                 "LogIndex::from_columnar: snapshot and log disagree on record count");
+  OBS_SPAN("index.adopt");
+  static obs::Counter adopts = obs::counter("index.adopts");
+  adopts.add();
+
+  LogIndex index(log, ExtendTag{});
+  // Zero-copy: the hot arrays are the snapshot's own (validated,
+  // checksummed) sections; only the small range tables are re-derived.
+  index.hours_ = snapshot->hours();
+  index.ttr_ = snapshot->ttr();
+  index.arena_ = snapshot->index_arena();
+  const auto ranges = snapshot->index_ranges();
+  std::size_t cursor = 0;
+  const auto next_range = [&ranges, &cursor]() {
+    Range range{ranges[cursor], ranges[cursor + 1]};
+    cursor += 2;
+    return range;
+  };
+  for (std::size_t c = 0; c < kCategories; ++c) index.categories_[c] = next_range();
+  for (std::size_t c = 0; c < kClasses; ++c) index.classes_[c] = next_range();
+  for (std::size_t m = 0; m < 12; ++m) index.months_[m] = next_range();
+  index.gpu_attributed_ = next_range();
+  index.multi_gpu_ = next_range();
+  const auto groups = snapshot->node_groups();
+  index.node_groups_.assign(groups.begin(), groups.end());
+  index.backing_ = std::move(snapshot);
+  return index;
+}
+
 void LogIndex::build_from(const LogIndex* base) {
   OBS_SPAN(base == nullptr ? "index.build" : "index.merge");
   static obs::Counter builds = obs::counter("index.builds");
@@ -31,13 +70,19 @@ void LogIndex::build_from(const LogIndex* base) {
   (base == nullptr ? builds : merges).add();
   indexed.add(n - from);
 
-  hours_.reserve(n);
-  ttr_.reserve(n);
+  // Build into a fresh Arrays, then publish it behind the shared backing
+  // (the spans the accessors read are set once at the end).
+  Arrays arrays;
+  std::vector<double>& hours = arrays.hours;
+  std::vector<double>& ttr = arrays.ttr;
+  std::vector<std::uint32_t>& arena = arrays.arena;
+  hours.reserve(n);
+  ttr.reserve(n);
   if (base != nullptr) {
     // The prefix's derived values are position-for-position identical to
     // what a batch build would recompute, so copy instead of recompute.
-    hours_.assign(base->hours_.begin(), base->hours_.end());
-    ttr_.assign(base->ttr_.begin(), base->ttr_.end());
+    hours.assign(base->hours_.begin(), base->hours_.end());
+    ttr.assign(base->ttr_.begin(), base->ttr_.end());
   }
 
   obs::SpanScope pass1("index.count");
@@ -57,8 +102,8 @@ void LogIndex::build_from(const LogIndex* base) {
   std::vector<std::uint8_t> month_of(n - from);
   for (std::size_t i = from; i < n; ++i) {
     const FailureRecord& record = records[i];
-    hours_.push_back(hours_between(log_->spec().log_start, record.time));
-    ttr_.push_back(record.ttr_hours);
+    hours.push_back(hours_between(log_->spec().log_start, record.time));
+    ttr.push_back(record.ttr_hours);
     ++category_sizes[static_cast<std::size_t>(record.category)];
     ++class_sizes[static_cast<std::size_t>(record.failure_class())];
     month_of[i - from] = static_cast<std::uint8_t>(record.time.month() - 1);
@@ -102,15 +147,15 @@ void LogIndex::build_from(const LogIndex* base) {
     node_groups_.push_back({static_cast<int>(node), offset, 0});
     offset += node_sizes[node];
   }
-  arena_.resize(offset);
+  arena.resize(offset);
 
   // Seed each span with the base's contents: prefix positions are
   // unchanged by an append, and every span fills in time order, so the
   // base entries are exactly the first base->count entries a batch build
   // would have written.
   if (base != nullptr) {
-    const auto copy_range = [this, base](Range& dst, const Range& src) {
-      std::copy_n(base->arena_.data() + src.begin, src.count, arena_.data() + dst.begin);
+    const auto copy_range = [&arena, base](Range& dst, const Range& src) {
+      std::copy_n(base->arena_.data() + src.begin, src.count, arena.data() + dst.begin);
       dst.count = src.count;  // the pass-2 cursor resumes after the prefix
     };
     for (std::size_t c = 0; c < kCategories; ++c)
@@ -121,15 +166,15 @@ void LogIndex::build_from(const LogIndex* base) {
     copy_range(multi_gpu_, base->multi_gpu_);
     for (const NodeGroup& group : base->node_groups_) {
       NodeGroup& dst = node_groups_[node_slot[static_cast<std::size_t>(group.node)]];
-      std::copy_n(base->arena_.data() + group.begin, group.count, arena_.data() + dst.begin);
+      std::copy_n(base->arena_.data() + group.begin, group.count, arena.data() + dst.begin);
       dst.count = group.count;
     }
   }
 
   // Pass 2: fill every group with the new positions in record (= time)
   // order, so each span stays strictly ascending.
-  const auto push = [this](Range& range, std::uint32_t position) {
-    arena_[range.begin + range.count++] = position;
+  const auto push = [&arena](Range& range, std::uint32_t position) {
+    arena[range.begin + range.count++] = position;
   };
   for (std::size_t i = from; i < n; ++i) {
     const FailureRecord& record = records[i];
@@ -138,26 +183,27 @@ void LogIndex::build_from(const LogIndex* base) {
     push(classes_[static_cast<std::size_t>(record.failure_class())], position);
     push(months_[month_of[i - from]], position);
     NodeGroup& group = node_groups_[node_slot[static_cast<std::size_t>(record.node)]];
-    arena_[group.begin + group.count++] = position;
+    arena[group.begin + group.count++] = position;
     if (record.gpu_related() && !record.gpu_slots.empty()) {
       push(gpu_attributed_, position);
       if (record.multi_gpu()) push(multi_gpu_, position);
     }
   }
+  pass2.stop();
+
+  auto owned = std::make_shared<const Arrays>(std::move(arrays));
+  hours_ = owned->hours;
+  ttr_ = owned->ttr;
+  arena_ = owned->arena;
+  backing_ = std::move(owned);
 }
 
 std::vector<double> LogIndex::hours_of(std::span<const std::uint32_t> positions) const {
-  std::vector<double> out;
-  out.reserve(positions.size());
-  for (std::uint32_t position : positions) out.push_back(hours_[position]);
-  return out;
+  return stats::gather(hours_, positions);
 }
 
 std::vector<double> LogIndex::ttr_of(std::span<const std::uint32_t> positions) const {
-  std::vector<double> out;
-  out.reserve(positions.size());
-  for (std::uint32_t position : positions) out.push_back(ttr_[position]);
-  return out;
+  return stats::gather(ttr_, positions);
 }
 
 }  // namespace tsufail::data

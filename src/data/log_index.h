@@ -22,12 +22,16 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "data/log.h"
+#include "util/error.h"
 
 namespace tsufail::data {
+
+class ColumnarSnapshot;
 
 class LogIndex {
  public:
@@ -44,6 +48,18 @@ class LogIndex {
   /// run through the same builder.  Precondition (REQUIREd):
   /// log.size() >= base.size() and the logs share a machine spec.
   static LogIndex extend(const LogIndex& base, const FailureLog& log);
+
+  /// Adopts the precomputed index sections of a loaded columnar
+  /// snapshot: the hours/TTR/arena spans point straight into the
+  /// snapshot's (checksummed, structurally validated) memory — zero
+  /// copy — while the small range tables are re-derived from its flat
+  /// ranges stream.  `log` must be the snapshot's materialized log and
+  /// must outlive the index; the snapshot itself is retained by
+  /// refcount.  The result is bit-identical to `LogIndex(log)` (gated by
+  /// the differential oracle's snapshot_roundtrip check).  Errors: the
+  /// snapshot has no index sections or disagrees with `log` on size.
+  static Result<LogIndex> from_columnar(const FailureLog& log,
+                                        std::shared_ptr<const ColumnarSnapshot> snapshot);
 
   const FailureLog& log() const noexcept { return *log_; }
   const MachineSpec& spec() const noexcept { return log_->spec(); }
@@ -125,12 +141,25 @@ class LogIndex {
   static constexpr std::size_t kCategories = static_cast<std::size_t>(Category::kUnknown) + 1;
   static constexpr std::size_t kClasses = static_cast<std::size_t>(FailureClass::kUnknown) + 1;
 
+  /// The dense arrays a from-scratch (or extend) build produces.  They
+  /// live behind `backing_` so the hot accessors are plain spans whether
+  /// the storage is owned here or borrowed zero-copy from a mapped
+  /// ColumnarSnapshot.
+  struct Arrays {
+    std::vector<double> hours;
+    std::vector<double> ttr;
+    std::vector<std::uint32_t> arena;
+  };
+
   const FailureLog* log_;
-  std::vector<double> hours_;
-  std::vector<double> ttr_;
-  /// One arena for all groups: ranges index into it, so copying the
-  /// index stays cheap and never invalidates accessors.
-  std::vector<std::uint32_t> arena_;
+  /// Keeps the bytes behind the spans alive: an owned Arrays built here,
+  /// or an adopted ColumnarSnapshot.  Copying the index bumps one
+  /// refcount, so accessors never dangle and copies stay cheap.
+  std::shared_ptr<const void> backing_;
+  std::span<const double> hours_;
+  std::span<const double> ttr_;
+  /// One arena for all groups: ranges index into it.
+  std::span<const std::uint32_t> arena_;
   std::array<Range, kCategories> categories_{};
   std::array<Range, kClasses> classes_{};
   std::array<Range, 12> months_{};

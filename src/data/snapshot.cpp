@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "data/columnar.h"
+
 namespace tsufail::data {
 
 Result<SnapshotPtr> LogSnapshot::build(FailureLog log, std::uint64_t epoch) {
@@ -9,6 +11,21 @@ Result<SnapshotPtr> LogSnapshot::build(FailureLog log, std::uint64_t epoch) {
   // once the log has its final (heap) address.
   std::shared_ptr<LogSnapshot> snapshot(new LogSnapshot(std::move(log), epoch));
   snapshot->index_ = std::make_unique<LogIndex>(snapshot->log_);
+  return SnapshotPtr(std::move(snapshot));
+}
+
+Result<SnapshotPtr> LogSnapshot::from_columnar(
+    std::shared_ptr<const ColumnarSnapshot> columnar, std::uint64_t epoch) {
+  if (columnar == nullptr)
+    return Error(ErrorKind::kValidation, "LogSnapshot::from_columnar: null snapshot");
+  std::shared_ptr<LogSnapshot> snapshot(new LogSnapshot(columnar->to_log(), epoch));
+  if (columnar->has_index()) {
+    auto index = LogIndex::from_columnar(snapshot->log_, std::move(columnar));
+    if (!index.ok()) return index.error().with_context("snapshot from_columnar");
+    snapshot->index_ = std::make_unique<LogIndex>(std::move(index).value());
+  } else {
+    snapshot->index_ = std::make_unique<LogIndex>(snapshot->log_);
+  }
   return SnapshotPtr(std::move(snapshot));
 }
 

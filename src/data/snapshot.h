@@ -25,6 +25,7 @@
 
 namespace tsufail::data {
 
+class ColumnarSnapshot;
 class LogSnapshot;
 
 /// How snapshots are passed around: immutable and refcounted.
@@ -42,6 +43,14 @@ class LogSnapshot {
   static Result<SnapshotPtr> extend(const LogSnapshot& base,
                                     std::vector<FailureRecord> appended,
                                     double slack_hours = 0.0);
+
+  /// Re-mounts a packed snapshot at `epoch`: materializes the log from
+  /// the columns and — when the snapshot carries index sections — adopts
+  /// the index zero-copy (LogIndex::from_columnar) instead of rebuilding
+  /// it.  The columnar snapshot is retained by refcount for as long as
+  /// the adopted spans need it.
+  static Result<SnapshotPtr> from_columnar(std::shared_ptr<const ColumnarSnapshot> columnar,
+                                           std::uint64_t epoch = 0);
 
   const FailureLog& log() const noexcept { return log_; }
   const LogIndex& index() const noexcept { return *index_; }

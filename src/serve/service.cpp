@@ -1,9 +1,13 @@
 #include "serve/service.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <mutex>
+#include <system_error>
 #include <utility>
 
 #include "analysis/study.h"
+#include "data/columnar.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "report/study_text.h"
@@ -65,6 +69,50 @@ Result<void> FleetService::open_tenant(const std::string& name, const data::Mach
     return Error(ErrorKind::kValidation, "tenant '" + name + "' is already open");
   tenants_gauge().set(static_cast<double>(tenants_.size()));
   return {};
+}
+
+Result<std::size_t> FleetService::restore_tenants() {
+  namespace fs = std::filesystem;
+  if (config_.tenant.data_dir.empty()) return std::size_t{0};
+  const fs::path root(config_.tenant.data_dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return std::size_t{0};
+
+  // Collect candidate tenant names first so restores happen in a
+  // deterministic (ascending) order regardless of directory iteration.
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory()) names.push_back(entry.path().filename().string());
+  }
+  if (ec)
+    return Error(ErrorKind::kIo,
+                 "cannot list data directory " + root.string() + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+
+  std::size_t restored = 0;
+  for (const auto& name : names) {
+    if (find(name) != nullptr) continue;
+    // The newest segment carries the tenant's machine spec; directories
+    // with no segments are not tenants and are skipped.
+    fs::path newest;
+    std::uint64_t newest_epoch = 0;
+    for (const auto& entry : fs::directory_iterator(root / name, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const auto epoch = segment_epoch(entry.path().filename().string());
+      if (!epoch.has_value()) continue;
+      if (newest.empty() || *epoch > newest_epoch) {
+        newest = entry.path();
+        newest_epoch = *epoch;
+      }
+    }
+    if (newest.empty()) continue;
+    auto segment = data::ColumnarSnapshot::open(newest.string());
+    if (!segment.ok()) return segment.error().with_context("restore tenant '" + name + "'");
+    auto opened = open_tenant(name, segment.value()->spec());
+    if (!opened.ok()) return opened.error().with_context("restore tenant '" + name + "'");
+    ++restored;
+  }
+  return restored;
 }
 
 Tenant* FleetService::find(const std::string& name) const {

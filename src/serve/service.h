@@ -46,6 +46,13 @@ class FleetService {
   Result<void> open_tenant(const std::string& name, const data::MachineSpec& spec,
                            const TenantConfig& config);
 
+  /// Re-opens every tenant persisted under the default tenant config's
+  /// data_dir (each subdirectory holding epoch-*.tsnap segments becomes
+  /// one tenant, its spec read from the newest segment).  Tenants whose
+  /// names are already open are skipped.  Returns how many were
+  /// restored; a no-op when data_dir is empty or missing.
+  Result<std::size_t> restore_tenants();
+
   /// Ingests one canonical CSV row into a tenant.
   Result<stream::IngestOutcome> ingest_row(const std::string& tenant, std::string_view row);
 

@@ -1,8 +1,12 @@
 #include "serve/tenant.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
+#include "data/columnar.h"
 #include "data/log_io.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -45,8 +49,32 @@ obs::Counter& alerts_cleared_total() {
   static obs::Counter c = obs::counter("serve.alerts.cleared");
   return c;
 }
+obs::Counter& segments_written() {
+  static obs::Counter c = obs::counter("serve.segments.written");
+  return c;
+}
+obs::Counter& segments_mounted() {
+  static obs::Counter c = obs::counter("serve.segments.mounted");
+  return c;
+}
 
 }  // namespace
+
+std::optional<std::uint64_t> segment_epoch(const std::string& filename) {
+  constexpr std::string_view kPrefix = "epoch-";
+  constexpr std::string_view kSuffix = ".tsnap";
+  if (filename.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (filename.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (filename.substr(filename.size() - kSuffix.size()) != kSuffix) return std::nullopt;
+  const std::string digits =
+      filename.substr(kPrefix.size(), filename.size() - kPrefix.size() - kSuffix.size());
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
 
 Tenant::Tenant(std::string name, data::MachineSpec spec, const TenantConfig& config)
     : name_(std::move(name)), spec_(std::move(spec)), config_(config) {
@@ -63,9 +91,11 @@ Tenant::Tenant(std::string name, data::MachineSpec spec, const TenantConfig& con
 
 Result<std::unique_ptr<Tenant>> Tenant::open(std::string name, const data::MachineSpec& spec,
                                              const TenantConfig& config) {
-  if (name.empty() || name.find_first_of(" \t\r\n\x1f") != std::string::npos)
+  // '/' and '\\' are rejected because the name doubles as the segment
+  // directory name under data_dir.
+  if (name.empty() || name.find_first_of(" \t\r\n\x1f/\\") != std::string::npos)
     return Error(ErrorKind::kValidation,
-                 "tenant name must be non-empty and contain no whitespace");
+                 "tenant name must be non-empty and contain no whitespace or path separators");
   auto events = stream::EventStream::create(spec, config.stream);
   if (!events.ok()) return events.error().with_context("tenant '" + name + "'");
 
@@ -90,9 +120,88 @@ Result<std::unique_ptr<Tenant>> Tenant::open(std::string name, const data::Machi
   auto snapshot = data::LogSnapshot::build(std::move(empty).value());
   if (!snapshot.ok()) return snapshot.error();
   tenant->snapshot_ = std::move(snapshot).value();
-  if (tenant->epoch_gauge_.has_value()) tenant->epoch_gauge_->set(0.0);
-  if (tenant->records_gauge_.has_value()) tenant->records_gauge_->set(0.0);
+
+  if (!config.data_dir.empty()) {
+    auto restored = tenant->remount_segments();
+    if (!restored.ok())
+      return restored.error().with_context("remount tenant '" + tenant->name_ + "'");
+  }
+  const auto& current = tenant->snapshot_;
+  if (tenant->epoch_gauge_.has_value())
+    tenant->epoch_gauge_->set(static_cast<double>(current->epoch()));
+  if (tenant->records_gauge_.has_value())
+    tenant->records_gauge_->set(static_cast<double>(current->size()));
   return tenant;
+}
+
+Result<std::uint64_t> Tenant::remount_segments() {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(config_.data_dir) / name_;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    return Error(ErrorKind::kIo, "cannot create segment directory " + dir.string() + ": " +
+                                     ec.message());
+
+  std::vector<std::pair<std::uint64_t, fs::path>> segments;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (auto epoch = segment_epoch(entry.path().filename().string()); epoch.has_value())
+      segments.emplace_back(*epoch, entry.path());
+  }
+  if (ec)
+    return Error(ErrorKind::kIo, "cannot list segment directory " + dir.string() + ": " +
+                                     ec.message());
+  if (segments.empty()) return 0;
+  std::sort(segments.begin(), segments.end());
+
+  // Segments are sealed-epoch suffixes: each is internally time-sorted
+  // and starts at or after the previous epoch's last record, so the
+  // ascending concatenation is the full sorted log.
+  std::vector<data::FailureRecord> records;
+  for (const auto& [epoch, path] : segments) {
+    auto segment = data::ColumnarSnapshot::open(path.string());
+    if (!segment.ok()) return segment.error().with_context("segment epoch " + std::to_string(epoch));
+    const auto& snap = *segment.value();
+    if (snap.spec().machine != spec_.machine || snap.spec().node_count != spec_.node_count)
+      return Error(ErrorKind::kValidation,
+                   "segment " + path.string() + " was packed for machine '" +
+                       std::string(data::to_string(snap.spec().machine)) +
+                       "' (" + std::to_string(snap.spec().node_count) +
+                       " nodes); tenant expects '" +
+                       std::string(data::to_string(spec_.machine)) + "' (" +
+                       std::to_string(spec_.node_count) + " nodes)");
+    records.reserve(records.size() + snap.size());
+    for (std::uint32_t i = 0; i < snap.size(); ++i) records.push_back(snap.record_at(i));
+    segments_mounted().add();
+  }
+
+  const double slack = std::max(config_.slack_hours, config_.stream.slack_hours);
+  auto log = data::FailureLog::create(spec_, std::move(records), slack);
+  if (!log.ok()) return log.error();
+  auto mounted = data::LogSnapshot::build(std::move(log).value(), segments.back().first);
+  if (!mounted.ok()) return mounted.error();
+  snapshot_ = std::move(mounted).value();
+  return snapshot_->epoch();
+}
+
+Result<void> Tenant::persist_segment(std::uint64_t epoch,
+                                     std::span<const data::FailureRecord> suffix) const {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(config_.data_dir) / name_;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    return Error(ErrorKind::kIo, "cannot create segment directory " + dir.string() + ": " +
+                                     ec.message());
+  const fs::path path = dir / ("epoch-" + std::to_string(epoch) + ".tsnap");
+  // Records-only segments: small, and remount rebuilds the index once
+  // over the concatenation anyway.
+  const std::string bytes = data::pack_columnar(spec_, suffix, nullptr);
+  auto written = data::write_columnar_file(path.string(), bytes);
+  if (!written.ok()) return written.error();
+  segments_written().add();
+  return {};
 }
 
 Result<stream::IngestOutcome> Tenant::ingest_row(std::string_view row) {
@@ -184,6 +293,13 @@ Result<std::uint64_t> Tenant::seal() {
     return merged.error().with_context("seal tenant '" + name_ + "'");
   }
   const auto& snapshot = merged.value();
+  if (!config_.data_dir.empty()) {
+    // Persist before the swap so a crash can only lose the newest epoch,
+    // never publish one that is missing from disk.
+    auto persisted = persist_segment(
+        snapshot->epoch(), snapshot->log().records().subspan(base->size()));
+    if (!persisted.ok()) return persisted.error().with_context("persist epoch segment");
+  }
   epoch_merges().add();
   epoch_merged_records().add(snapshot->size() - base->size());
   epoch_merge_seconds().observe(static_cast<double>(timer.elapsed_ns()) * 1e-9);

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,7 +57,19 @@ struct TenantConfig {
   double burst_threshold = 3.0;
   /// Alert transitions kept for the ALERTS query (oldest dropped).
   std::size_t alert_history = 64;
+  /// Root directory for columnar epoch segments ("" = in-memory only).
+  /// When set, every sealed epoch N atomically writes
+  /// <data_dir>/<tenant>/epoch-N.tsnap (records-only columnar snapshot,
+  /// checksummed) and open() re-mounts the segments already on disk —
+  /// the tenant comes back at its last sealed epoch without replaying
+  /// the event stream.  The reorder buffer itself is not persisted:
+  /// records still in flight at shutdown re-enter through ingest.
+  std::string data_dir;
 };
+
+/// Parses a persisted segment filename ("epoch-<N>.tsnap", nothing
+/// else) into its epoch number.
+std::optional<std::uint64_t> segment_epoch(const std::string& filename);
 
 /// One tenant's counters, consistent at a point in time.
 struct TenantStats {
@@ -71,8 +84,11 @@ struct TenantStats {
 
 class Tenant {
  public:
-  /// Opens a tenant with an empty epoch-0 snapshot.  Errors: invalid
-  /// stream config or monitor grid for this spec.
+  /// Opens a tenant with an empty epoch-0 snapshot — or, when
+  /// config.data_dir holds previously sealed segments for this name,
+  /// re-mounted at its last persisted epoch.  Errors: invalid stream
+  /// config or monitor grid for this spec, unreadable/corrupt segments,
+  /// or a segment packed for a different machine.
   static Result<std::unique_ptr<Tenant>> open(std::string name, const data::MachineSpec& spec,
                                               const TenantConfig& config);
 
@@ -113,6 +129,13 @@ class Tenant {
   Tenant(std::string name, data::MachineSpec spec, const TenantConfig& config);
 
   void consume_released();  ///< drains the stream; caller holds ingest_mutex_
+
+  /// Re-mounts every epoch segment under data_dir (ascending epoch) into
+  /// the starting snapshot.  Returns the restored epoch (0 = none).
+  Result<std::uint64_t> remount_segments();
+  /// Persists `suffix` (the records epoch `epoch` added) as a segment.
+  Result<void> persist_segment(std::uint64_t epoch,
+                               std::span<const data::FailureRecord> suffix) const;
 
   std::string name_;
   data::MachineSpec spec_;

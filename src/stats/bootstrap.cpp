@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "stats/descriptive.h"
+#include "stats/kernels.h"
 
 namespace tsufail::stats {
 namespace {
@@ -37,31 +38,43 @@ Result<ConfidenceInterval> bootstrap_ci(
   const std::size_t shard_count = (replicates + kShardSize - 1) / kShardSize;
 
   std::vector<double> replicate_stats(replicates);
-  const auto run_shard = [&](std::size_t shard, std::vector<double>& resample) {
+  // Per-replicate fill is split draw-then-gather: the RNG advances in
+  // exactly the same call order as the old fused loop (same indices, so
+  // bit-identical resamples and CI bounds), but the value movement
+  // becomes a contiguous stats::gather_into the vectorizer can handle.
+  struct ShardScratch {
+    std::vector<std::uint32_t> indices;
+    std::vector<double> resample;
+  };
+  const auto run_shard = [&](std::size_t shard, ShardScratch& scratch) {
     Rng shard_rng = rng.fork(shard);
     const std::size_t begin = shard * kShardSize;
     const std::size_t end = std::min(begin + kShardSize, replicates);
     for (std::size_t r = begin; r < end; ++r) {
-      for (auto& slot : resample) slot = sample[shard_rng.uniform_index(sample.size())];
-      replicate_stats[r] = statistic(resample);
+      for (auto& slot : scratch.indices)
+        slot = static_cast<std::uint32_t>(shard_rng.uniform_index(sample.size()));
+      gather_into(sample, scratch.indices, scratch.resample);
+      replicate_stats[r] = statistic(scratch.resample);
     }
   };
 
   std::size_t workers = jobs == 0 ? std::max(1u, std::thread::hardware_concurrency()) : jobs;
   workers = std::min(workers, shard_count);
   if (workers <= 1) {
-    std::vector<double> resample(sample.size());
-    for (std::size_t shard = 0; shard < shard_count; ++shard) run_shard(shard, resample);
+    ShardScratch scratch{std::vector<std::uint32_t>(sample.size()),
+                         std::vector<double>(sample.size())};
+    for (std::size_t shard = 0; shard < shard_count; ++shard) run_shard(shard, scratch);
   } else {
     std::atomic<std::size_t> next_shard{0};
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       threads.emplace_back([&] {
-        std::vector<double> resample(sample.size());
+        ShardScratch scratch{std::vector<std::uint32_t>(sample.size()),
+                             std::vector<double>(sample.size())};
         for (std::size_t shard = next_shard.fetch_add(1); shard < shard_count;
              shard = next_shard.fetch_add(1)) {
-          run_shard(shard, resample);
+          run_shard(shard, scratch);
         }
       });
     }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "analysis/study.h"
+#include "data/columnar.h"
 #include "data/log_index.h"
 #include "testkit/reference.h"
 
@@ -575,6 +576,78 @@ void check_index_merge(Differ& d, const data::FailureLog& log, const data::LogIn
   }
 }
 
+/// Packs the log (with its index) into the columnar snapshot format,
+/// loads it back from the bytes, and demands the materialized records
+/// and the zero-copy-adopted index be bit-identical to the in-memory
+/// originals — the pack -> mmap-load -> analyze path must be
+/// indistinguishable from parse -> analyze.
+void check_snapshot_roundtrip(Differ& d, const data::FailureLog& log,
+                              const data::LogIndex& index) {
+  d.set_tag("snapshot_roundtrip");
+  const std::string bytes = data::pack_columnar(log, &index);
+  auto loaded = data::ColumnarSnapshot::from_bytes(bytes);
+  if (!loaded.ok()) {
+    d.fail("load", loaded.error().to_string());
+    return;
+  }
+  const auto& snap = *loaded.value();
+  d.eq("size", static_cast<std::uint64_t>(log.size()), static_cast<std::uint64_t>(snap.size()));
+  if (log.size() != snap.size()) return;
+
+  const auto records = log.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const data::FailureRecord got = snap.record_at(static_cast<std::uint32_t>(i));
+    const auto& ref = records[i];
+    const std::string p = "record[" + std::to_string(i) + "]";
+    if (ref.time.seconds_since_epoch() != got.time.seconds_since_epoch() ||
+        ref.node != got.node || ref.category != got.category ||
+        std::bit_cast<std::uint64_t>(ref.ttr_hours) != std::bit_cast<std::uint64_t>(got.ttr_hours) ||
+        ref.gpu_slots != got.gpu_slots || ref.root_locus != got.root_locus) {
+      d.fail(p, "materialized record differs from the original");
+      return;  // first divergence only
+    }
+  }
+
+  auto adopted = data::LogIndex::from_columnar(log, loaded.value());
+  if (!adopted.ok()) {
+    d.fail("adopt", adopted.error().to_string());
+    return;
+  }
+  const data::LogIndex& got = adopted.value();
+  cmp_bits(d, "hours", index.hours(), got.hours());
+  cmp_bits(d, "ttr", index.ttr(), got.ttr());
+  for (std::size_t c = 0; c <= static_cast<std::size_t>(data::Category::kUnknown); ++c) {
+    const auto category = static_cast<data::Category>(c);
+    cmp_positions(d, "by_category[" + std::string(data::to_string(category)) + "]",
+                  index.by_category(category), got.by_category(category));
+  }
+  for (std::size_t c = 0; c <= static_cast<std::size_t>(data::FailureClass::kUnknown); ++c) {
+    const auto cls = static_cast<data::FailureClass>(c);
+    cmp_positions(d, "by_class[" + std::string(data::to_string(cls)) + "]",
+                  index.by_class(cls), got.by_class(cls));
+  }
+  for (int month = 1; month <= 12; ++month) {
+    cmp_positions(d, "by_month[" + std::to_string(month) + "]", index.by_month(month),
+                  got.by_month(month));
+  }
+  cmp_positions(d, "gpu_attributed", index.gpu_attributed(), got.gpu_attributed());
+  cmp_positions(d, "multi_gpu", index.multi_gpu(), got.multi_gpu());
+
+  const auto ref_nodes = index.nodes();
+  const auto got_nodes = got.nodes();
+  d.eq("nodes.size", static_cast<std::uint64_t>(ref_nodes.size()),
+       static_cast<std::uint64_t>(got_nodes.size()));
+  if (ref_nodes.size() == got_nodes.size()) {
+    for (std::size_t i = 0; i < ref_nodes.size(); ++i) {
+      const std::string p = "nodes[" + std::to_string(i) + "]";
+      d.eq(p + ".node", static_cast<std::int64_t>(ref_nodes[i].node),
+           static_cast<std::int64_t>(got_nodes[i].node));
+      cmp_positions(d, p + ".positions", index.positions_of(ref_nodes[i]),
+                    got.positions_of(got_nodes[i]));
+    }
+  }
+}
+
 }  // namespace
 
 std::string OracleReport::str(std::size_t max_lines) const {
@@ -595,6 +668,10 @@ OracleReport run_oracle(const data::FailureLog& log, const OracleOptions& option
 
   // The serve delta-merge path must reproduce this index bit-for-bit.
   check_index_merge(d, log, index);
+
+  // The columnar pack -> load path must reproduce both the records and
+  // the index bit-for-bit.
+  check_snapshot_roundtrip(d, log, index);
 
   // One analysis, three ways: reference vs FailureLog wrapper vs LogIndex
   // overload.

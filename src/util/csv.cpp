@@ -88,6 +88,11 @@ bool is_blank_record(const CsvRecord& record) {
 }  // namespace
 
 Result<CsvDocument> CsvDocument::parse(std::string_view text) {
+  // Spreadsheet exports routinely prepend a UTF-8 byte-order mark; left
+  // in place it would glue itself onto the first header name and break
+  // column lookup.
+  constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+  if (text.substr(0, kUtf8Bom.size()) == kUtf8Bom) text.remove_prefix(kUtf8Bom.size());
   Tokenizer tokenizer(text);
   CsvDocument doc;
   bool have_header = false;

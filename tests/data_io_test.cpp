@@ -41,6 +41,24 @@ TEST(ReadLog, MinimalDocument) {
   EXPECT_EQ(log.records()[1].root_locus, "batch stuck");
 }
 
+TEST(ReadLog, CrLfAndUtf8BomDocument) {
+  // A log exported from a spreadsheet: UTF-8 BOM plus CRLF line endings.
+  // Both must be absorbed before the schema sees the header.
+  const std::string csv =
+      "\xEF\xBB\xBF"
+      "machine,timestamp,node,category,ttr_hours,gpu_slots,root_locus\r\n"
+      "Tsubame-2,2012-06-01 10:00:00,5,GPU,20.5,0|2,\r\n"
+      "Tsubame-2,2012-06-02 11:00:00,6,PBS,2.0,,batch stuck\r\n";
+  auto report = read_log_csv(csv);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().row_errors.empty());
+  const auto& log = report.value().log;
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].gpu_slots, (std::vector<int>{0, 2}));
+  // The final CRLF-terminated field must not carry a trailing '\r'.
+  EXPECT_EQ(log.records()[1].root_locus, "batch stuck");
+}
+
 TEST(ReadLog, ColumnOrderIsFree) {
   const std::string csv =
       "category,node,machine,ttr_hours,root_locus,gpu_slots,timestamp\n"

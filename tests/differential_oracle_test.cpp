@@ -5,6 +5,8 @@
 // label: property; TSUFAIL_TEST_SEED replays, TSUFAIL_TEST_ITERS deepens).
 #include <gtest/gtest.h>
 
+#include "data/columnar.h"
+#include "data/log_index.h"
 #include "sim/generator.h"
 #include "sim/tsubame_models.h"
 #include "testkit/oracle.h"
@@ -61,6 +63,31 @@ TEST(DifferentialOracle, DenseTieHeavyLogs) {
   options.iterations = 12;
   const auto ce = check_property("differential-oracle-dense", options, oracle_property);
   if (ce.has_value()) FAIL() << ce->describe();
+}
+
+TEST(DifferentialOracle, SnapshotRejectsTruncationAndCorruption) {
+  // run_oracle's snapshot_roundtrip check covers the happy path over the
+  // whole corpus above; here the same adversarial logs are packed and
+  // then damaged — every truncation and every single-bit payload flip
+  // must be rejected as a value-level error, never accepted or crashed.
+  PropertyOptions gen_options;
+  gen_options.gen.min_records = 1;
+  Rng rng(test_seed());
+  for (int round = 0; round < 8; ++round) {
+    const data::FailureLog log = random_log(gen_options.gen, rng);
+    const data::LogIndex index(log);
+    const std::string bytes = data::pack_columnar(log, &index);
+    for (std::size_t keep = 0; keep < bytes.size(); keep += 17) {
+      EXPECT_FALSE(data::ColumnarSnapshot::from_bytes(std::string_view(bytes).substr(0, keep)).ok())
+          << "accepted a " << keep << "-byte prefix of " << bytes.size() << " bytes";
+    }
+    // Flip one bit somewhere in the payload (past the 48-byte header).
+    std::string corrupt = bytes;
+    const std::size_t victim = 48 + rng.uniform_index(corrupt.size() - 48);
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ 0x10);
+    EXPECT_FALSE(data::ColumnarSnapshot::from_bytes(corrupt).ok())
+        << "accepted a bit flip at byte " << victim << describe_log(log);
+  }
 }
 
 TEST(DifferentialOracle, WideThreadSweep) {

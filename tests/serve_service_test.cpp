@@ -4,6 +4,7 @@
 // tenant's pipeline.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -310,6 +311,116 @@ TEST(QueryCache, CapacityZeroDisablesCaching) {
   EXPECT_FALSE(cache.get("t", 1, "k").has_value());
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+// --- columnar epoch persistence --------------------------------------------
+
+/// A fresh data_dir under the gtest temp root, removed on destruction.
+struct TempDataDir {
+  std::filesystem::path path;
+  explicit TempDataDir(const std::string& tag)
+      : path(std::filesystem::path(::testing::TempDir()) / ("tsufail_serve_" + tag)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDataDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(SegmentEpoch, ParsesOnlyWellFormedNames) {
+  EXPECT_EQ(segment_epoch("epoch-1.tsnap").value_or(0), 1u);
+  EXPECT_EQ(segment_epoch("epoch-42.tsnap").value_or(0), 42u);
+  EXPECT_FALSE(segment_epoch("epoch-.tsnap").has_value());
+  EXPECT_FALSE(segment_epoch("epoch-1.tsnap.tmp").has_value());
+  EXPECT_FALSE(segment_epoch("epoch-x1.tsnap").has_value());
+  EXPECT_FALSE(segment_epoch("snapshot-1.tsnap").has_value());
+  EXPECT_FALSE(segment_epoch("epoch-1.csv").has_value());
+}
+
+TEST(FleetPersistence, SealedEpochsRemountAndKeepIngesting) {
+  const auto log = generated(data::Machine::kTsubame2);
+  const auto rows = csv_rows(log);
+  const std::size_t third = rows.size() / 3;
+  TempDataDir dir("remount");
+
+  auto config = replay_service_config();
+  config.tenant.data_dir = dir.path.string();
+
+  {
+    FleetService service(config);
+    ASSERT_TRUE(service.open_tenant("t2", data::tsubame2_spec()).ok());
+    for (std::size_t i = 0; i < third; ++i)
+      ASSERT_TRUE(service.ingest_row("t2", rows[i]).ok()) << rows[i];
+    ASSERT_TRUE(service.seal("t2").ok());
+    for (std::size_t i = third; i < 2 * third; ++i)
+      ASSERT_TRUE(service.ingest_row("t2", rows[i]).ok()) << rows[i];
+    auto epoch = service.seal("t2");
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ(epoch.value(), 2u);
+  }  // service (and tenant) die here; only the segments survive
+
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "t2" / "epoch-1.tsnap"));
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "t2" / "epoch-2.tsnap"));
+
+  FleetService service(config);
+  auto restored = service.restore_tenants();
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value(), 1u);
+  // Idempotent: already-open tenants are skipped.
+  EXPECT_EQ(service.restore_tenants().value(), 0u);
+
+  auto stats = service.tenant_stats("t2");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().epoch, 2u);
+  EXPECT_EQ(stats.value().records, 2 * third);
+
+  // The remounted tenant keeps ingesting where it left off.
+  for (std::size_t i = 2 * third; i < rows.size(); ++i)
+    ASSERT_TRUE(service.ingest_row("t2", rows[i]).ok()) << rows[i];
+  auto epoch = service.seal("t2");
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 3u);
+  EXPECT_TRUE(std::filesystem::exists(dir.path / "t2" / "epoch-3.tsnap"));
+
+  // End to end, the remounted + extended tenant answers byte-identically
+  // to batch analysis of the full replayed log.
+  const auto study = service.query("t2", "study");
+  ASSERT_TRUE(study.ok()) << study.error().to_string();
+  EXPECT_EQ(study.value().text, batch_study_text(round_tripped(log)));
+}
+
+TEST(FleetPersistence, RemountRejectsWrongMachineSegments) {
+  const auto log = generated(data::Machine::kTsubame2);
+  const auto rows = csv_rows(log);
+  TempDataDir dir("mismatch");
+
+  auto config = replay_config();
+  config.data_dir = dir.path.string();
+  {
+    auto tenant = Tenant::open("fleet", data::tsubame2_spec(), config);
+    ASSERT_TRUE(tenant.ok());
+    ASSERT_TRUE(tenant.value()->ingest_row(rows[0]).ok());
+    ASSERT_TRUE(tenant.value()->seal().ok());
+  }
+  auto reopened = Tenant::open("fleet", data::tsubame3_spec(), config);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.error().to_string().find("machine"), std::string::npos)
+      << reopened.error().to_string();
+}
+
+TEST(FleetPersistence, EmptyDataDirRestoresNothing) {
+  TempDataDir dir("empty");
+  auto config = replay_service_config();
+  config.tenant.data_dir = dir.path.string();
+  FleetService service(config);
+  EXPECT_EQ(service.restore_tenants().value(), 0u);
+  // A data_dir-less service is also a no-op.
+  FleetService plain(replay_service_config());
+  EXPECT_EQ(plain.restore_tenants().value(), 0u);
+}
+
+TEST(FleetPersistence, TenantNamesWithPathSeparatorsAreRejected) {
+  auto tenant = Tenant::open("../escape", data::tsubame2_spec(), replay_config());
+  ASSERT_FALSE(tenant.ok());
 }
 
 }  // namespace

@@ -34,6 +34,48 @@ TEST(CsvParse, CrLfLineEndings) {
   EXPECT_EQ(doc.value().records()[0].fields, (std::vector<std::string>{"1", "2"}));
 }
 
+TEST(CsvParse, CrLfWithQuotedFields) {
+  // CRLF terminators must not leak a stray '\r' into the last field,
+  // with or without quoting around it.
+  auto doc = CsvDocument::parse("a,b\r\n1,\"x,y\"\r\n2,plain\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value().records().size(), 2u);
+  EXPECT_EQ(doc.value().records()[0].fields, (std::vector<std::string>{"1", "x,y"}));
+  EXPECT_EQ(doc.value().records()[1].fields, (std::vector<std::string>{"2", "plain"}));
+}
+
+TEST(CsvParse, CrLfNoTrailingNewline) {
+  auto doc = CsvDocument::parse("a,b\r\n1,2");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc.value().records().size(), 1u);
+  EXPECT_EQ(doc.value().records()[0].fields, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, Utf8BomStripped) {
+  // Spreadsheet exports prepend a UTF-8 BOM; it must not glue itself to
+  // the first header name.
+  auto doc = CsvDocument::parse("\xEF\xBB\xBF" "a,b\n1,2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().header(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(doc.value().column("a").ok());
+}
+
+TEST(CsvParse, Utf8BomWithCrLf) {
+  auto doc = CsvDocument::parse("\xEF\xBB\xBF" "a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().header(), (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc.value().records().size(), 1u);
+  EXPECT_EQ(doc.value().records()[0].fields, (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvParse, BomOnlyInsideDocumentIsData) {
+  // Only a leading BOM is stripped; the same bytes later in the file are
+  // honest field content.
+  auto doc = CsvDocument::parse("a,b\n\xEF\xBB\xBF" "x,2\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().records()[0].fields[0], "\xEF\xBB\xBF" "x");
+}
+
 TEST(CsvParse, QuotedFieldWithComma) {
   auto doc = CsvDocument::parse("a,b\n\"x,y\",2\n");
   ASSERT_TRUE(doc.ok());
