@@ -31,9 +31,8 @@ int main() {
     const double mtbf = analysis::analyze_tbf(log).value().exposure_mtbf_hours;
     const double tau = ops::daly_interval_hours(cost, mtbf).value();
     const double analytic = ops::waste_fraction(cost, tau, mtbf).value();
-    Rng rng(bench::kBenchSeed);
     const auto sim = ops::simulate_checkpointed_job_exponential(
-        {5000.0, tau, cost, 0.0}, mtbf, rng, 48).value();
+        {5000.0, tau, cost, 0.0}, mtbf, bench::kBenchSeed, 48).value();
     ckpt.add_row({std::string(data::to_string(machine)), report::fmt(mtbf, 1) + " h",
                   report::fmt(tau, 2) + " h", report::fmt_percent(100.0 * analytic, 2),
                   report::fmt_percent(100.0 * sim.waste_fraction, 2)});
@@ -54,8 +53,8 @@ int main() {
                       report::Align::kRight});
   double goodput_t2 = 0.0, goodput_t3 = 0.0;
   for (data::Machine machine : {data::Machine::kTsubame2, data::Machine::kTsubame3}) {
-    Rng rng(bench::kBenchSeed);
-    const auto result = ops::replay_job_impact(bench::bench_log(machine), mix, rng).value();
+    const auto result = ops::replay_job_impact(bench::bench_log(machine), mix,
+                                               std::uint64_t{bench::kBenchSeed}).value();
     jobs.add_row({std::string(data::to_string(machine)),
                   report::fmt_percent(100.0 * result.interrupted_fraction, 1),
                   report::fmt_percent(100.0 * result.goodput_no_ckpt, 2),

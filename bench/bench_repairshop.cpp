@@ -1,0 +1,153 @@
+// Repair-shop engine bench: single-core event-loop throughput on a large
+// generated log, plus the policy-sweep determinism gate — the same
+// three-policy comparison run at jobs = 1 / 2 / 8 must produce
+// byte-identical metrics (the repair shop draws no randomness and the
+// goodput rescore uses the fork_seed stage stream, so thread count can
+// never leak into the numbers).
+//
+//   $ ./bench_repairshop            # 20k-failure log, 12-replicate sweep
+//   $ ./bench_repairshop --quick    # 5k-failure log, 4 replicates (CI smoke)
+//
+// Emits BENCH_repairshop.json (events/s, per-jobs sweep wall times, the
+// determinism verdict) for cross-commit perf tracking.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/obs.h"
+#include "ops/repair_sweep.h"
+#include "ops/repairshop.h"
+#include "report/table.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+using namespace tsufail;
+
+namespace {
+
+/// Full-precision rendering of a policy sweep, used for the byte-identity
+/// check across jobs counts (same shape as bench_montecarlo's).
+std::string fingerprint(const sim::SweepResult& sweep) {
+  std::string out;
+  char line[256];
+  for (const auto& variant : sweep.variants) {
+    out += variant.label + "\n";
+    for (const auto& replicate : variant.replicates) {
+      std::snprintf(line, sizeof line, "r%zu seed=%llu failures=%zu\n", replicate.replicate,
+                    static_cast<unsigned long long>(replicate.seed), replicate.failures);
+      out += line;
+      for (const auto& metric : replicate.metrics) {
+        std::snprintf(line, sizeof line, "  %s=%.17g\n", metric.name.c_str(), metric.value);
+        out += line;
+      }
+    }
+    for (const auto& aggregate : variant.aggregates) {
+      std::snprintf(line, sizeof line, "%s n=%zu mean=%.17g sd=%.17g ci=[%.17g,%.17g]\n",
+                    aggregate.name.c_str(), aggregate.n, aggregate.mean, aggregate.stddev,
+                    aggregate.mean_ci.low, aggregate.mean_ci.high);
+      out += line;
+    }
+  }
+  return out;
+}
+
+/// Events the loop dispatched for one schedule: every failure arrives,
+/// every started repair completes, and every consumed spare restocks.
+std::size_t event_count(const ops::RepairShopResult& result) {
+  return result.assignments.size() + result.completed + result.in_flight_at_horizon +
+         result.spare_demands;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t failures = 20000;
+  std::size_t replicates = 12;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      failures = 5000;
+      replicates = 4;
+    } else if (std::strcmp(argv[i], "--failures") == 0 && i + 1 < argc) {
+      failures = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::printf("usage: bench_repairshop [--quick] [--failures N]\n");
+      return 2;
+    }
+  }
+
+  bench::print_banner("bench_repairshop",
+                      "ops::repairshop event-loop throughput + policy-sweep "
+                      "determinism (DESIGN.md section 15)");
+
+  // --- single-core throughput: one big contended schedule ---------------
+  auto model = sim::tsubame2_model();
+  model.total_failures = failures;
+  const auto log = sim::generate_log(model, bench::kBenchSeed).value();
+  const auto config =
+      ops::parse_repair_config("crews=8,policy=critical,spares=GPU:200:168,throttle=4,boost=0.9")
+          .value();
+
+  constexpr int kRounds = 5;
+  std::size_t events = 0;
+  const obs::Stopwatch watch;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto schedule = ops::run_repair_shop(log, config).value();
+    events += event_count(schedule);
+  }
+  const double wall_s = watch.seconds();
+  const double events_per_s = static_cast<double>(events) / wall_s;
+  std::printf("throughput: %zu failures x %d rounds -> %zu events in %.3f s (%.0f events/s)\n\n",
+              log.size(), kRounds, events, wall_s, events_per_s);
+
+  // --- the determinism gate: same sweep bytes at every jobs count -------
+  ops::RepairSweepOptions options;
+  options.sweep.base_seed = bench::kBenchSeed;
+  options.sweep.replicates = replicates;
+  options.job_mix.jobs = 200;
+  const auto base = ops::parse_repair_config("crews=2,spares=GPU:2:336,throttle=1,boost=0.95")
+                        .value();
+
+  report::Table table({"jobs", "wall (s)", "cells/s"});
+  table.set_alignment({report::Align::kRight, report::Align::kRight, report::Align::kRight});
+  std::vector<std::string> fingerprints;
+  std::vector<double> walls;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    options.sweep.jobs = jobs;
+    const obs::Stopwatch sweep_watch;
+    const auto sweep = ops::run_repair_policy_sweep(
+                           sim::tsubame2_model(), ops::default_policy_variants(base), options)
+                           .value();
+    const double sweep_wall = sweep_watch.seconds();
+    fingerprints.push_back(fingerprint(sweep));
+    walls.push_back(sweep_wall);
+    const double cells = static_cast<double>(replicates * sweep.variants.size());
+    table.add_row({std::to_string(jobs), report::fmt(sweep_wall, 3),
+                   report::fmt(cells / sweep_wall, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const bool identical =
+      fingerprints[1] == fingerprints[0] && fingerprints[2] == fingerprints[0];
+
+  report::ComparisonSet cmp("repair shop engine contract");
+  cmp.add("policy sweep byte-identical at jobs=1/2/8 (1 = yes)", 1.0, identical ? 1.0 : 0.0,
+          0.0);
+  bench::print_comparisons(cmp);
+
+  bench::PerfJson perf("repairshop");
+  perf.set("machine", std::string("tsubame-2"));
+  perf.set("failures", static_cast<std::int64_t>(log.size()));
+  perf.set("events", static_cast<std::int64_t>(events));
+  perf.set("events_per_s", events_per_s);
+  perf.set("sweep_replicates", static_cast<std::int64_t>(replicates));
+  for (std::size_t i = 0; i < walls.size(); ++i) {
+    const std::size_t jobs = i == 0 ? 1 : i == 1 ? 2 : 8;
+    perf.set("sweep_wall_s_jobs" + std::to_string(jobs), walls[i]);
+  }
+  perf.set("deterministic", static_cast<std::int64_t>(identical ? 1 : 0));
+  perf.write();
+  return bench::exit_code();
+}

@@ -117,4 +117,11 @@ Result<CheckpointSimResult> simulate_checkpointed_job_exponential(
   return mean;
 }
 
+Result<CheckpointSimResult> simulate_checkpointed_job_exponential(
+    const CheckpointSimConfig& config, double mtbf_hours, std::uint64_t seed,
+    std::size_t replications) {
+  Rng rng(fork_seed(seed, kCheckpointSimSeedStream));
+  return simulate_checkpointed_job_exponential(config, mtbf_hours, rng, replications);
+}
+
 }  // namespace tsufail::ops

@@ -48,4 +48,15 @@ Result<CheckpointSimResult> simulate_checkpointed_job_exponential(
     const CheckpointSimConfig& config, double mtbf_hours, Rng& rng,
     std::size_t replications = 32);
 
+/// The fixed fork_seed stream of the checkpoint simulator (see the
+/// seed-contract note in job_impact.h).
+inline constexpr std::uint64_t kCheckpointSimSeedStream = 0xC4B5EED1ULL;
+
+/// Seed-contract overload: draws from Rng(fork_seed(seed,
+/// kCheckpointSimSeedStream)), independent of any other stage sharing
+/// the same base seed.
+Result<CheckpointSimResult> simulate_checkpointed_job_exponential(
+    const CheckpointSimConfig& config, double mtbf_hours, std::uint64_t seed,
+    std::size_t replications = 32);
+
 }  // namespace tsufail::ops

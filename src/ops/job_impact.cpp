@@ -95,4 +95,10 @@ Result<JobImpactResult> replay_job_impact(const data::FailureLog& log, const Job
   return result;
 }
 
+Result<JobImpactResult> replay_job_impact(const data::FailureLog& log, const JobMixSpec& spec,
+                                          std::uint64_t seed) {
+  Rng rng(fork_seed(seed, kJobImpactSeedStream));
+  return replay_job_impact(log, spec, rng);
+}
+
 }  // namespace tsufail::ops

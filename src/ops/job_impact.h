@@ -47,4 +47,17 @@ struct JobImpactResult {
 Result<JobImpactResult> replay_job_impact(const data::FailureLog& log, const JobMixSpec& spec,
                                           Rng& rng);
 
+/// The fixed fork_seed stream of the job-impact stage (see util/rng.h:
+/// every ops-layer stochastic entry point draws from its own fork of the
+/// caller's seed, so stages sharing one replicate seed never share a
+/// stream and reordering stages never perturbs draws).
+inline constexpr std::uint64_t kJobImpactSeedStream = 0x10B5EED1ULL;
+
+/// Seed-contract overload: draws from Rng(fork_seed(seed,
+/// kJobImpactSeedStream)).  Same value for the same (log, spec, seed)
+/// regardless of what else the caller has sampled — the form sweep
+/// stages must use.
+Result<JobImpactResult> replay_job_impact(const data::FailureLog& log, const JobMixSpec& spec,
+                                          std::uint64_t seed);
+
 }  // namespace tsufail::ops

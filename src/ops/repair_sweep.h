@@ -1,0 +1,64 @@
+// ops::repair_sweep — repair-policy comparison through the Monte Carlo
+// engine.
+//
+// One SweepVariant per candidate policy, all sharing the same machine
+// model: run_sweep's common-random-numbers contract then hands every
+// policy the *same* generated failure log per replicate, so cross-policy
+// deltas in availability and goodput are pure scheduling effects, not
+// sampling noise.  Each cell runs the repair shop on the replicate's
+// log, rescores the schedule's effective downtime with the existing
+// availability and job-impact models, and emits scalar metrics that the
+// engine bootstraps into per-policy CIs.
+//
+// Determinism: the repair shop draws no randomness, and the job-impact
+// replay inside the stage uses the seed-contract overload
+// (fork_seed(replicate_seed, kJobImpactSeedStream)), so the sweep is
+// bit-identical at any jobs count — bench_repairshop gates this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ops/job_impact.h"
+#include "ops/repairshop.h"
+#include "sim/montecarlo.h"
+
+namespace tsufail::ops {
+
+/// One candidate repair-shop configuration to score.
+struct RepairPolicyVariant {
+  std::string label;
+  RepairShopConfig config;
+};
+
+/// The three stock candidates compared by `tsufail repairs` and the
+/// golden report: FIFO, criticality-first, and batched weekly windows,
+/// all over `base` (crews/spares/throttle reused; only policy and, for
+/// the batched arm, the window cadence differ).
+std::vector<RepairPolicyVariant> default_policy_variants(const RepairShopConfig& base);
+
+struct RepairSweepOptions {
+  sim::SweepOptions sweep;  ///< seeds, replicates, jobs, CI settings
+  JobMixSpec job_mix;       ///< goodput scoring mix
+  /// Also replay job impact on the *raw* sampled-TTR log (metrics
+  /// "goodput_ckpt_sampled", ...) so every policy's schedule can be read
+  /// against the paper's no-contention model.
+  bool score_sampled_baseline = true;
+};
+
+/// The per-replicate metric names a policy cell emits, in order:
+/// availability, mttr_effective_hours, mean_wait_hours, max_wait_hours,
+/// crew_utilization, peak_queue_depth, stockouts, unfinished,
+/// degraded_node_hours, interrupted_fraction, goodput_ckpt,
+/// goodput_no_ckpt (+ *_sampled baselines when enabled).
+sim::ReplicateStage make_repair_stage(const RepairShopConfig& config,
+                                      const RepairSweepOptions& options);
+
+/// Scores every policy variant over `options.sweep.replicates` generated
+/// logs of `model`.  Result variants are labelled by policy.  Errors:
+/// invalid configs, duplicate labels, or any cell failing.
+Result<sim::SweepResult> run_repair_policy_sweep(const sim::MachineModel& model,
+                                                 std::vector<RepairPolicyVariant> policies,
+                                                 const RepairSweepOptions& options);
+
+}  // namespace tsufail::ops

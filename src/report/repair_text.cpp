@@ -1,0 +1,81 @@
+#include "report/repair_text.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "report/table.h"
+
+namespace tsufail::report {
+namespace {
+
+// Display rows in print order; metrics a variant never emitted are
+// skipped (e.g. the sampled baselines when disabled).
+constexpr std::pair<const char*, const char*> kRepairHeadlines[] = {
+    {"availability", "capacity availability"},
+    {"availability_mtbf_mttr", "MTBF/(MTBF+MTTR) availability"},
+    {"mttr_effective_hours", "effective MTTR (h)"},
+    {"mean_wait_hours", "mean repair wait (h)"},
+    {"max_wait_hours", "max repair wait (h)"},
+    {"crew_utilization", "crew utilization"},
+    {"peak_queue_depth", "peak queue depth"},
+    {"stockouts", "spare stockouts"},
+    {"unfinished", "unfinished at horizon"},
+    {"degraded_node_hours", "degraded node-hours"},
+    {"interrupted_fraction", "interrupted job fraction"},
+    {"goodput_ckpt", "goodput (ckpt)"},
+    {"goodput_no_ckpt", "goodput (no ckpt)"},
+    {"goodput_ckpt_sampled", "goodput (ckpt, sampled TTR)"},
+    {"goodput_no_ckpt_sampled", "goodput (no ckpt, sampled TTR)"},
+};
+
+}  // namespace
+
+std::string render_repair_comparison(const sim::SweepResult& sweep,
+                                     const ops::RepairShopConfig& base,
+                                     const sim::SweepOptions& options) {
+  std::ostringstream out;
+  out << "# Repair-policy comparison\n\n";
+  out << "Shop: " << ops::describe_repair_config(base) << "\n";
+  out << "Sweep: " << options.replicates << " replicates, base seed " << options.base_seed
+      << ", " << fmt_percent(100.0 * options.ci_level, 0) << " bootstrap CIs ("
+      << options.bootstrap_replicates << " resamples)\n";
+
+  for (const auto& variant : sweep.variants) {
+    out << "\n## Policy: " << variant.label << "\n\n";
+    Table table({"Metric", "n", "Mean", "Stddev", "CI low", "CI high"});
+    table.set_alignment(
+        {Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight, Align::kRight});
+    for (const auto& [name, display] : kRepairHeadlines) {
+      const sim::MetricAggregate* aggregate = variant.find(name);
+      if (aggregate == nullptr) continue;
+      const int decimals = std::string_view(name).find("availability") != std::string_view::npos ||
+                                   std::string_view(name).find("goodput") != std::string_view::npos
+                               ? 5
+                               : 3;
+      table.add_row({display, std::to_string(aggregate->n), fmt(aggregate->mean, decimals),
+                     fmt(aggregate->stddev, decimals), fmt(aggregate->mean_ci.low, decimals),
+                     fmt(aggregate->mean_ci.high, decimals)});
+    }
+    out << table.render();
+  }
+
+  // Ranking: best mean capacity availability first; ties break by label
+  // so the rendering stays deterministic.
+  std::vector<const sim::VariantSweep*> ranked;
+  ranked.reserve(sweep.variants.size());
+  for (const auto& variant : sweep.variants) ranked.push_back(&variant);
+  std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+    const double aa = a->mean_of("availability");
+    const double bb = b->mean_of("availability");
+    if (aa != bb) return aa > bb;
+    return a->label < b->label;
+  });
+  out << "\n## Ranking (mean capacity availability)\n\n";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    out << (i + 1) << ". " << ranked[i]->label << " — " << fmt(ranked[i]->mean_of("availability"), 5)
+        << " (goodput ckpt " << fmt(ranked[i]->mean_of("goodput_ckpt"), 5) << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace tsufail::report

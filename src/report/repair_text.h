@@ -1,0 +1,24 @@
+// Markdown rendering of a repair-policy comparison sweep.
+//
+// Shared by `tsufail repairs` and the golden snapshots in
+// tests/golden/*_repairs.md: one metrics table per policy variant (mean,
+// stddev, bootstrap CI per metric) plus a ranking by mean availability,
+// so the scheduling story reads directly off the report.  Numbers are
+// fixed-precision, making the rendering byte-stable wherever the sweep
+// itself is bit-identical.
+#pragma once
+
+#include <string>
+
+#include "ops/repair_sweep.h"
+
+namespace tsufail::report {
+
+/// Renders the comparison.  `base` is the shop configuration shared by
+/// the variants (echoed in the header); `options` supplies the
+/// replicate/seed/CI context line.
+std::string render_repair_comparison(const sim::SweepResult& sweep,
+                                     const ops::RepairShopConfig& base,
+                                     const sim::SweepOptions& options);
+
+}  // namespace tsufail::report

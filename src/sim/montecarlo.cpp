@@ -75,10 +75,7 @@ Result<std::vector<MetricAggregate>> aggregate_metrics(
 }  // namespace
 
 std::uint64_t replicate_seed(std::uint64_t base_seed, std::uint64_t replicate_index) noexcept {
-  // Golden-ratio stride over the index, then a splitmix64 finalizer: the
-  // same forking shape the generator uses for category streams.
-  std::uint64_t state = base_seed ^ ((replicate_index + 1) * 0x9E3779B97F4A7C15ULL);
-  return splitmix64(state);
+  return fork_seed(base_seed, replicate_index);
 }
 
 const MetricAggregate* VariantSweep::find(std::string_view name) const noexcept {
@@ -210,17 +207,32 @@ Result<SweepResult> run_sweep(std::span<const SweepVariant> variants,
           continue;
         }
         result.failures = log.value().size();
-        auto study = [&] {
-          OBS_SPAN("sweep.analyze");
-          return analysis::run_study(log.value(), analysis::StudyOptions{1});
-        }();
-        buffer = data::FailureLog::take_records(std::move(log).value());
-        if (!study.ok()) {
-          cell_errors[cell] = study.error();
-          continue;
+        const ReplicateStage& stage =
+            variants[variant].stage ? variants[variant].stage : options.stage;
+        if (stage) {
+          auto samples = [&] {
+            OBS_SPAN("sweep.stage");
+            return stage(log.value(), result.seed);
+          }();
+          buffer = data::FailureLog::take_records(std::move(log).value());
+          if (!samples.ok()) {
+            cell_errors[cell] = samples.error();
+            continue;
+          }
+          result.metrics = std::move(samples.value());
+        } else {
+          auto study = [&] {
+            OBS_SPAN("sweep.analyze");
+            return analysis::run_study(log.value(), analysis::StudyOptions{1});
+          }();
+          buffer = data::FailureLog::take_records(std::move(log).value());
+          if (!study.ok()) {
+            cell_errors[cell] = study.error();
+            continue;
+          }
+          result.metrics = study_metrics(study.value());
+          if (options.keep_reports) result.report = std::move(study.value());
         }
-        result.metrics = study_metrics(study.value());
-        if (options.keep_reports) result.report = std::move(study.value());
         cells[cell] = std::move(result);
         cells_counter.add();
         if (obs::enabled()) cell_seconds.observe(cell_watch.seconds());

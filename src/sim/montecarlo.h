@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -40,16 +41,35 @@
 namespace tsufail::sim {
 
 /// The RNG stream seed for replicate `replicate_index` of a sweep with
-/// `base_seed`.  A splitmix64 fork: stable across releases (tests pin
-/// it), uncorrelated between adjacent indices, and never identical to
-/// the base seed itself.
+/// `base_seed`.  An alias for util's fork_seed(base, r) — the library-wide
+/// seed-derivation contract: stable across releases (tests pin it),
+/// uncorrelated between adjacent indices, and never identical to the
+/// base seed itself.
 std::uint64_t replicate_seed(std::uint64_t base_seed, std::uint64_t replicate_index) noexcept;
+
+/// One named scalar pulled out of a replicate (see study_metrics).
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// A custom per-replicate scoring stage: given one generated log and the
+/// replicate's forked seed, produce the cell's metric samples — e.g. run
+/// a repair-policy schedule instead of the default full study.  Any
+/// randomness inside the stage must derive from fork_seed(seed, k) with
+/// fixed stream constants k: run_sweep calls stages concurrently from
+/// worker threads and requires bit-identical samples at any jobs count.
+using ReplicateStage =
+    std::function<Result<std::vector<MetricSample>>(const data::FailureLog&, std::uint64_t seed)>;
 
 /// One model variant of a sweep (e.g. an ablation arm or a scaled
 /// machine).  Labels must be unique within one run_sweep call.
 struct SweepVariant {
   std::string label;
   MachineModel model;
+  /// Per-variant stage override; empty = SweepOptions::stage, then the
+  /// default study pipeline.
+  ReplicateStage stage;
 };
 
 struct SweepOptions {
@@ -64,12 +84,10 @@ struct SweepOptions {
   bool keep_reports = false;
   double ci_level = 0.95;                  ///< aggregate bootstrap CI level
   std::size_t bootstrap_replicates = 1000; ///< aggregate bootstrap resamples
-};
-
-/// One named scalar pulled out of a StudyReport (see study_metrics).
-struct MetricSample {
-  std::string name;
-  double value = 0.0;
+  /// Default scoring stage for every variant that does not override it;
+  /// empty = the full-study pipeline.  keep_reports only applies to the
+  /// study pipeline (stages produce no StudyReport).
+  ReplicateStage stage;
 };
 
 /// One generated-and-analyzed replicate of one variant.

@@ -5,7 +5,9 @@
 #include <sstream>
 #include <vector>
 
+#include "ops/repair_sweep.h"
 #include "report/markdown_report.h"
+#include "report/repair_text.h"
 #include "sim/generator.h"
 #include "sim/tsubame_models.h"
 
@@ -55,6 +57,30 @@ Result<std::string> golden_report_markdown(data::Machine machine) {
   auto markdown = report::render_markdown_report(log.value());
   if (!markdown.ok()) return markdown.error().with_context("golden_report_markdown");
   return std::move(markdown).value();
+}
+
+Result<std::string> golden_repairs_markdown(data::Machine machine, std::size_t jobs) {
+  const sim::MachineModel& model = machine == data::Machine::kTsubame2
+                                       ? sim::tsubame2_model()
+                                       : sim::tsubame3_model();
+  // A deliberately contended shop, so the policies actually diverge in
+  // the golden: two crews, a small GPU pool with a two-week lead, and a
+  // load throttle that lifts below 95% healthy capacity.
+  ops::RepairShopConfig base;
+  base.crews = 2;
+  base.spare_pools.push_back({data::Category::kGpu, {2, 336.0}});
+  base.throttle.max_active = 1;
+  base.throttle.boost_below_capacity = 0.95;
+
+  ops::RepairSweepOptions options;
+  options.sweep.base_seed = kGoldenSeed;
+  options.sweep.replicates = 6;
+  options.sweep.jobs = jobs;
+  options.job_mix.jobs = 400;
+  auto sweep =
+      ops::run_repair_policy_sweep(model, ops::default_policy_variants(base), options);
+  if (!sweep.ok()) return sweep.error().with_context("golden_repairs_markdown");
+  return report::render_repair_comparison(sweep.value(), base, options.sweep);
 }
 
 std::string diff_lines(const std::string& expected, const std::string& actual,

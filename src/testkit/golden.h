@@ -27,6 +27,14 @@ inline constexpr std::uint64_t kGoldenSeed = 0x60'1D'EE'D5;
 /// Errors propagate from generation/rendering.
 Result<std::string> golden_report_markdown(data::Machine machine);
 
+/// Renders the repair-policy-comparison golden for one machine preset:
+/// a run_repair_policy_sweep over the default policy variants (6
+/// replicates of the preset model from kGoldenSeed, serial) fed through
+/// report::render_repair_comparison.  Deterministic by the sweep's
+/// bit-identity contract; the golden test re-renders at jobs=2 to prove
+/// it.
+Result<std::string> golden_repairs_markdown(data::Machine machine, std::size_t jobs = 1);
+
 /// Line-oriented diff of expected vs actual with `context` lines around
 /// each hunk ("-" expected-only, "+" actual-only, " " common).  Empty
 /// string when equal.

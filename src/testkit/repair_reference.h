@@ -1,0 +1,44 @@
+// tsufail::testkit — naive reference implementation of the repair shop.
+//
+// reference_repair_shop() implements the exact semantics documented in
+// ops/repairshop.h with the dumbest structure that can be right: no event
+// queue, no incremental state.  Each step scans every failure, every
+// crew, and every outstanding restock to find the next time anything can
+// happen, then re-derives eligibility and policy order from scratch at
+// that time — O(n) scans per step, O(n²) overall.  The production
+// event-loop orchestrator must match it event for event; diff_repair_runs
+// renders any divergence field-by-field.
+//
+// Times along the schedule derive from identical arithmetic in both
+// simulators (arrival via hours_between, completion = start + service,
+// restock = start + lead), so starts, completions, and crew indices are
+// compared exactly (4-ULP guard only).  Time *integrals* (degraded node
+// hours and everything downstream) accumulate over differently-partitioned
+// intervals in the two simulators, so those compare at 512 ULPs / 1e-9
+// relative, the oracle's reassociation tier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ops/repairshop.h"
+
+namespace tsufail::testkit {
+
+/// The O(n²) scan-based reference schedule.  Same error conditions as
+/// ops::run_repair_shop.
+Result<ops::RepairShopResult> reference_repair_shop(const data::FailureLog& log,
+                                                    const ops::RepairShopConfig& config);
+
+/// Field-by-field diff of two repair runs ("assignments[3].start_hours:
+/// engine=… reference=…"); empty = event-for-event identical.
+std::vector<std::string> diff_repair_runs(const ops::RepairShopResult& engine,
+                                          const ops::RepairShopResult& reference);
+
+/// Convenience: runs both simulators on (log, config) and diffs.  Error
+/// outcomes must agree too — one side failing where the other succeeds
+/// is itself a mismatch.
+std::vector<std::string> repair_oracle(const data::FailureLog& log,
+                                       const ops::RepairShopConfig& config);
+
+}  // namespace tsufail::testkit

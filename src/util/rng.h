@@ -25,6 +25,18 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Stateless seed fork: the seed for child stream `stream` of `base`.
+/// This is THE seed-derivation contract for every stochastic stage in the
+/// library: sim::replicate_seed(base, r) is fork_seed(base, r), and
+/// ops-layer stages fork again from the replicate seed with a fixed
+/// per-stage stream constant.  Golden-ratio stride over the stream index,
+/// then a splitmix64 finalizer — stable across releases (tests pin it),
+/// uncorrelated between adjacent streams, never equal to `base` itself.
+constexpr std::uint64_t fork_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+  std::uint64_t state = base ^ ((stream + 1) * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(state);
+}
+
 /// xoshiro256**: 256-bit state, period 2^256 - 1, passes BigCrush.
 /// Satisfies std::uniform_random_bit_generator.
 class Rng {

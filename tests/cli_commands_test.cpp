@@ -312,5 +312,66 @@ TEST(Commands, CompareGenerations) {
   std::remove(t3_path.c_str());
 }
 
+TEST(Commands, RepairsHelpListsTheKnobs) {
+  const auto result = run({"repairs", "--help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("usage: tsufail repairs"), std::string::npos);
+  for (const char* flag : {"--config", "--policy", "--replicates", "--mix-jobs", "--quick"})
+    EXPECT_NE(result.out.find(flag), std::string::npos) << flag;
+}
+
+TEST(Commands, RepairsSweepComparesAllPolicies) {
+  const auto result = run({"repairs", "--machine", "t2", "--quick", "--mix-jobs", "50"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  for (const char* needle : {"## Policy: fifo", "## Policy: criticality-first",
+                             "## Policy: batched-windows", "## Ranking",
+                             "capacity availability", "goodput (ckpt)"})
+    EXPECT_NE(result.out.find(needle), std::string::npos) << needle;
+}
+
+TEST(Commands, RepairsSweepOutputIndependentOfJobs) {
+  // End-to-end determinism for the staged sweep: same bytes whether the
+  // policy replicates ran serially or on 4 worker threads.
+  const auto serial = run({"repairs", "--quick", "--jobs", "1", "--seed", "9",
+                           "--mix-jobs", "50"});
+  const auto threaded = run({"repairs", "--quick", "--jobs", "4", "--seed", "9",
+                             "--mix-jobs", "50"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(threaded.code, 0) << threaded.err;
+  EXPECT_EQ(serial.out, threaded.out);
+}
+
+TEST(Commands, RepairsSinglePolicySweep) {
+  const auto result = run({"repairs", "--quick", "--policy", "critical", "--mix-jobs", "50"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("## Policy: criticality-first"), std::string::npos);
+  EXPECT_EQ(result.out.find("## Policy: fifo"), std::string::npos);
+}
+
+TEST(Commands, RepairsDirectModeSchedulesALog) {
+  const std::string path = temp_log_path("cli_repairs_t2.csv");
+  const auto sim = run({"simulate", path, "--machine", "t2", "--seed", "5",
+                        "--failures", "80"});
+  ASSERT_EQ(sim.code, 0) << sim.err;
+  const auto result = run({"repairs", path, "--config", "crews=8,spares=GPU:40:168",
+                           "--mix-jobs", "50"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("repair shop on 80 failures"), std::string::npos);
+  for (const char* needle :
+       {"Policy", "Avail", "Eff MTTR", "Stockouts", "Goodput (ckpt)", "fifo",
+        "criticality-first", "batched-windows"})
+    EXPECT_NE(result.out.find(needle), std::string::npos) << needle;
+  std::remove(path.c_str());
+}
+
+TEST(Commands, RepairsRejectsBadArguments) {
+  EXPECT_EQ(run({"repairs", "--config", "crews=0"}).code, 1);
+  EXPECT_EQ(run({"repairs", "--config", "crews=2,boost=7"}).code, 1);
+  EXPECT_EQ(run({"repairs", "--policy", "round-robin"}).code, 1);
+  EXPECT_EQ(run({"repairs", "--quick", "--mix-jobs", "0"}).code, 1);
+  EXPECT_EQ(run({"repairs", "--machine", "cray"}).code, 1);
+  EXPECT_EQ(run({"repairs", "/no/such/log.csv"}).code, 1);
+}
+
 }  // namespace
 }  // namespace tsufail::cli

@@ -8,6 +8,7 @@
 
 #include "data/legacy_import.h"
 #include "data/log_io.h"
+#include "ops/repairshop.h"
 #include "stream/event_stream.h"
 #include "util/civil_time.h"
 #include "util/csv.h"
@@ -140,6 +141,45 @@ TEST_P(ParserFuzz, EventStreamSurvivesHostileRecords) {
   EXPECT_EQ(stats.accepted, stats.released);
   EXPECT_EQ(stats.offered, stats.accepted + stats.quarantined_invalid + stats.quarantined_late +
                                stats.rejected_duplicates);
+}
+
+TEST_P(ParserFuzz, RepairConfigParserNeverCrashes) {
+  Rng rng(GetParam() * 6007);
+  for (int i = 0; i < 400; ++i) {
+    const std::string input = random_garbage(rng, 96);
+    auto config = ops::parse_repair_config(input);
+    if (config.ok()) {
+      // Whatever parsed must satisfy the validator and describe/re-parse.
+      EXPECT_TRUE(ops::validate_repair_config(config.value()).ok()) << input;
+      EXPECT_TRUE(ops::parse_repair_config(ops::describe_repair_config(config.value())).ok())
+          << input;
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RepairConfigStructuredGarbage) {
+  // Well-shaped key=value text with hostile values: huge magnitudes,
+  // negatives, NaN/inf spellings, overlong tokens, stray separators.
+  Rng rng(GetParam() * 7001);
+  static constexpr const char* kKeys[] = {"crews",  "policy", "spares", "throttle",
+                                          "boost",  "window", "horizon-slack", "bogus"};
+  static constexpr const char* kValues[] = {
+      "0",    "1",       "999999999999999999999", "-3",      "1e308", "-1e308",
+      "nan",  "inf",     "GPU:2:336",             "GPU:2",   ":::",   "GPU:1e99:0",
+      "0/0/0", "0/168/24", "1/0.1/9",             "fifo",    "critical", "zzz",
+      "1.5",  "0.5",     "",                       "GPU:2:336;GPU:2:336"};
+  for (int i = 0; i < 400; ++i) {
+    std::string text;
+    const auto pairs = rng.uniform_index(5);
+    for (std::uint64_t p = 0; p < pairs; ++p) {
+      if (p > 0) text += ',';
+      text += kKeys[rng.uniform_index(std::size(kKeys))];
+      text += '=';
+      text += kValues[rng.uniform_index(std::size(kValues))];
+    }
+    (void)ops::parse_repair_config(text);
+    (void)ops::parse_repair_policy(random_garbage(rng, 24));
+  }
 }
 
 TEST_P(ParserFuzz, ParseCategoryAndSlotsNeverCrash) {

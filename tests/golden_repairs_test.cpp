@@ -1,0 +1,51 @@
+// Golden-snapshot tests for the repair-policy comparison report: both
+// Tsubame presets pinned byte-for-byte against checked-in golden files
+// (ctest labels: golden, repair).  A mismatch prints a line diff;
+// regenerate with TSUFAIL_UPDATE_GOLDEN=1 ctest -L golden.  The jobs=2
+// re-render doubles as the report-level bit-identity gate: the same
+// sweep on two worker threads must produce the same bytes.
+#include <gtest/gtest.h>
+
+#include "testkit/golden.h"
+
+#ifndef TSUFAIL_GOLDEN_DIR
+#error "TSUFAIL_GOLDEN_DIR must point at tests/golden (set by CMake)"
+#endif
+
+namespace tsufail::testkit {
+namespace {
+
+void check_machine(data::Machine machine, const std::string& file) {
+  auto markdown = golden_repairs_markdown(machine);
+  ASSERT_TRUE(markdown.ok()) << markdown.error().to_string();
+  EXPECT_FALSE(markdown.value().empty());
+  // Every policy section and the ranking must be present before we pin
+  // bytes — an empty or truncated render matching a stale golden would
+  // otherwise pass silently.
+  for (const char* needle : {"## Policy: fifo", "## Policy: criticality-first",
+                             "## Policy: batched-windows", "## Ranking",
+                             "capacity availability", "goodput (ckpt)"}) {
+    EXPECT_NE(markdown.value().find(needle), std::string::npos) << needle;
+  }
+  const std::string path = std::string(TSUFAIL_GOLDEN_DIR) + "/" + file;
+  const auto failure = check_golden(path, markdown.value());
+  if (failure.has_value()) FAIL() << *failure;
+}
+
+TEST(GoldenRepairs, Tsubame2) { check_machine(data::Machine::kTsubame2, "tsubame2_repairs.md"); }
+
+TEST(GoldenRepairs, Tsubame3) { check_machine(data::Machine::kTsubame3, "tsubame3_repairs.md"); }
+
+TEST(GoldenRepairs, ParallelSweepRendersIdenticalBytes) {
+  for (data::Machine machine : {data::Machine::kTsubame2, data::Machine::kTsubame3}) {
+    auto serial = golden_repairs_markdown(machine, 1);
+    auto parallel = golden_repairs_markdown(machine, 2);
+    ASSERT_TRUE(serial.ok()) << serial.error().to_string();
+    ASSERT_TRUE(parallel.ok()) << parallel.error().to_string();
+    EXPECT_EQ(serial.value(), parallel.value())
+        << "repair comparison diverges across jobs counts for " << data::to_string(machine);
+  }
+}
+
+}  // namespace
+}  // namespace tsufail::testkit

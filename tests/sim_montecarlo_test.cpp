@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/tsubame_models.h"
+#include "util/rng.h"
 
 namespace tsufail::sim {
 namespace {
@@ -74,6 +75,18 @@ TEST(ReplicateSeed, PureAndPinned) {
   EXPECT_NE(first, replicate_seed(20210608, 0));
 }
 
+TEST(ReplicateSeed, IsForkSeed) {
+  // replicate_seed IS util's fork_seed — one derivation scheme for the
+  // whole library, so replicate streams and ops-layer stage streams can
+  // never drift apart.  Pinned as an identity over a seed grid.
+  for (const std::uint64_t base : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{42},
+                                   std::uint64_t{0x75E5FA11ULL}, ~std::uint64_t{0}}) {
+    for (std::uint64_t r = 0; r < 16; ++r) {
+      EXPECT_EQ(replicate_seed(base, r), fork_seed(base, r)) << base << " r" << r;
+    }
+  }
+}
+
 TEST(ReplicateSeed, DistinctAcrossIndicesAndNeverBase) {
   const std::uint64_t base = 7;
   std::set<std::uint64_t> seen;
@@ -88,8 +101,8 @@ TEST(ReplicateSeed, DistinctAcrossIndicesAndNeverBase) {
 
 TEST(RunSweep, BitIdenticalAtAnyJobsCount) {
   const std::vector<SweepVariant> variants = {
-      {"baseline", tsubame3_model()},
-      {"t2", tsubame2_model()},
+      {"baseline", tsubame3_model(), {}},
+      {"t2", tsubame2_model(), {}},
   };
   const auto serial = run_sweep(variants, small_options(1));
   ASSERT_TRUE(serial.ok()) << serial.error().message();
@@ -115,8 +128,8 @@ TEST(RunSweep, VariantsShareCommonRandomNumbers) {
   // Every variant replays the same seed set, so identical models produce
   // identical per-replicate results under different labels.
   const std::vector<SweepVariant> variants = {
-      {"a", tsubame3_model()},
-      {"b", tsubame3_model()},
+      {"a", tsubame3_model(), {}},
+      {"b", tsubame3_model(), {}},
   };
   const auto sweep = run_sweep(variants, small_options(2)).value();
   const auto& a = sweep.variants[0];
@@ -208,6 +221,103 @@ TEST(RunSweep, KeepReportsControlsTheReportLayer) {
   }
 }
 
+// ---- custom replicate stages --------------------------------------------
+
+/// A deterministic toy stage: metrics derived only from the log and the
+/// forked seed, so staged sweeps stay bit-identical at any jobs count.
+ReplicateStage toy_stage() {
+  return [](const data::FailureLog& log, std::uint64_t seed) {
+    std::vector<MetricSample> samples;
+    samples.push_back({"custom_failures", static_cast<double>(log.size())});
+    samples.push_back({"custom_seed_low", static_cast<double>(seed & 0xFFFFu)});
+    return Result<std::vector<MetricSample>>(std::move(samples));
+  };
+}
+
+TEST(RunSweep, StageOverridesStudyPipeline) {
+  auto options = small_options();
+  options.keep_reports = true;  // must be ignored on the stage path
+  options.stage = toy_stage();
+  const auto sweep = run_sweep(tsubame3_model(), options).value();
+  const auto& variant = sweep.variants[0];
+  ASSERT_EQ(variant.replicates.size(), 4u);
+  for (const auto& replicate : variant.replicates) {
+    // Only the stage's metrics — no study pipeline, no report layer.
+    ASSERT_EQ(replicate.metrics.size(), 2u);
+    EXPECT_EQ(replicate.metrics[0].name, "custom_failures");
+    EXPECT_EQ(replicate.metrics[0].value, static_cast<double>(replicate.failures));
+    // The stage receives the replicate's forked seed, not the base seed.
+    EXPECT_EQ(replicate.metrics[1].value,
+              static_cast<double>(replicate_seed(42, replicate.replicate) & 0xFFFFu));
+    EXPECT_FALSE(replicate.report.has_value());
+  }
+  EXPECT_NE(variant.find("custom_failures"), nullptr);
+  EXPECT_EQ(variant.find("mtbf_hours"), nullptr);
+}
+
+TEST(RunSweep, PerVariantStageOverridesDefault) {
+  // One staged arm and one study-path arm in the same sweep: the variant
+  // override wins over the (empty) default, and the study arm keeps the
+  // full metric set.
+  std::vector<SweepVariant> variants = {
+      {"staged", tsubame3_model(), {}},
+      {"study", tsubame3_model(), {}},
+  };
+  variants[0].stage = toy_stage();
+  const auto sweep = run_sweep(variants, small_options()).value();
+  const auto* staged = sweep.find("staged");
+  const auto* study = sweep.find("study");
+  ASSERT_NE(staged, nullptr);
+  ASSERT_NE(study, nullptr);
+  EXPECT_NE(staged->find("custom_failures"), nullptr);
+  EXPECT_EQ(staged->find("mtbf_hours"), nullptr);
+  EXPECT_NE(study->find("mtbf_hours"), nullptr);
+  EXPECT_EQ(study->find("custom_failures"), nullptr);
+  // Common random numbers hold across the stage/study split: both arms
+  // replay the same seeds, so the generated logs are the same size.
+  for (std::size_t r = 0; r < staged->replicates.size(); ++r) {
+    EXPECT_EQ(staged->replicates[r].seed, study->replicates[r].seed);
+    EXPECT_EQ(staged->replicates[r].failures, study->replicates[r].failures);
+  }
+}
+
+TEST(RunSweep, StageErrorNamesVariantAndReplicate) {
+  std::vector<SweepVariant> variants = {{"ok-arm", tsubame3_model(), {}},
+                                        {"sick-arm", tsubame3_model(), {}}};
+  variants[0].stage = toy_stage();
+  const std::uint64_t poison = replicate_seed(42, 2);
+  variants[1].stage = [poison](const data::FailureLog&,
+                               std::uint64_t seed) -> Result<std::vector<MetricSample>> {
+    if (seed == poison) return Error(ErrorKind::kDomain, "stage exploded");
+    return std::vector<MetricSample>{{"fine", 1.0}};
+  };
+  const auto result = run_sweep(variants, small_options(2));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message().find("sick-arm"), std::string::npos)
+      << result.error().message();
+  EXPECT_NE(result.error().message().find("replicate 2"), std::string::npos)
+      << result.error().message();
+  EXPECT_NE(result.error().message().find("stage exploded"), std::string::npos)
+      << result.error().message();
+}
+
+TEST(RunSweep, StageSweepBitIdenticalAtAnyJobsCount) {
+  std::vector<SweepVariant> variants = {{"a", tsubame3_model(), {}},
+                                        {"b", tsubame2_model(), {}}};
+  variants[0].stage = toy_stage();
+  auto serial_options = small_options(1);
+  serial_options.stage = toy_stage();  // default for variant "b"
+  const auto serial = run_sweep(variants, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error().message();
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    auto threaded_options = small_options(jobs);
+    threaded_options.stage = toy_stage();
+    const auto threaded = run_sweep(variants, threaded_options);
+    ASSERT_TRUE(threaded.ok()) << threaded.error().message();
+    expect_identical(serial.value(), threaded.value());
+  }
+}
+
 // ---- errors -------------------------------------------------------------
 
 TEST(RunSweep, RejectsBadInputs) {
@@ -227,8 +337,8 @@ TEST(RunSweep, RejectsBadInputs) {
   EXPECT_FALSE(run_sweep(tsubame3_model(), no_bootstrap).ok());
 
   const std::vector<SweepVariant> duplicates = {
-      {"same", tsubame3_model()},
-      {"same", tsubame2_model()},
+      {"same", tsubame3_model(), {}},
+      {"same", tsubame2_model(), {}},
   };
   const auto dup = run_sweep(duplicates, small_options());
   ASSERT_FALSE(dup.ok());
@@ -236,9 +346,9 @@ TEST(RunSweep, RejectsBadInputs) {
 }
 
 TEST(RunSweep, InvalidVariantModelNamesTheVariant) {
-  SweepVariant broken{"broken-arm", tsubame3_model()};
+  SweepVariant broken{"broken-arm", tsubame3_model(), {}};
   broken.model.total_failures = 0;
-  const std::vector<SweepVariant> variants = {{"ok", tsubame3_model()}, broken};
+  const std::vector<SweepVariant> variants = {{"ok", tsubame3_model(), {}}, broken};
   const auto result = run_sweep(variants, small_options());
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.error().message().find("broken-arm"), std::string::npos);
