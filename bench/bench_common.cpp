@@ -8,6 +8,7 @@
 #include "obs/obs.h"
 #include "sim/generator.h"
 #include "util/build_info.h"
+#include "util/simd.h"
 
 namespace tsufail::bench {
 namespace {
@@ -92,6 +93,9 @@ std::string PerfJson::render() const {
   json += ",\n  \"env_compiler\": \"" + build.compiler + "\"";
   json += ",\n  \"env_build_type\": \"" + build.build_type + "\"";
   json += ",\n  \"env_flags\": \"" + build.flags + "\"";
+  json += ",\n  \"env_simd_dispatch\": \"" +
+          std::string(simd::level_name(simd::active_level())) + "\"";
+  json += ",\n  \"env_simd_supported\": \"" + build.simd_supported + "\"";
   std::snprintf(buffer, sizeof buffer, "%.17g", single_core_ops_per_s());
   json += ",\n  \"env_single_core_ops_per_s\": ";
   json += buffer;

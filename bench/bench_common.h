@@ -51,6 +51,7 @@ double single_core_ops_per_s();
 ///
 /// Every rendered record automatically carries a bench-environment block
 /// (`env_hw_threads`, `env_compiler`, `env_build_type`, `env_flags`,
+/// `env_simd_dispatch`, `env_simd_supported`,
 /// `env_single_core_ops_per_s`), so results from different machines or
 /// build configurations are never compared blind.
 class PerfJson {

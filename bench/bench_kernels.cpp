@@ -1,0 +1,217 @@
+// Throughput and bit-identity sweep of the stats::simd kernel engine.
+//
+// For every dispatch level this build supports (scalar, then SSE2/AVX2
+// as available) it times each kernel on a fixed workload, reports
+// single-core elements/s and the speedup over the scalar twin, and
+// bit-compares every output buffer against the scalar run.  Results land
+// in BENCH_kernels.json (uploaded by the bench-smoke CI job), so the
+// kernel perf trajectory and the determinism contract are both tracked
+// across commits.  Exit code is non-zero if any level's output is not
+// byte-identical to scalar.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/obs.h"
+#include "stats/simd.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace {
+
+using namespace tsufail;
+namespace ssimd = tsufail::stats::simd;
+
+constexpr std::size_t kArrayElems = std::size_t{1} << 16;
+constexpr std::size_t kSortedElems = std::size_t{1} << 14;
+constexpr std::size_t kQueryElems = std::size_t{1} << 14;
+constexpr std::size_t kRngDrawsPerLane = std::size_t{1} << 14;
+constexpr std::size_t kTextBytes = std::size_t{1} << 20;
+constexpr double kMinSeconds = 0.15;
+
+std::vector<double> random_sample(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = rng.lognormal(3.0, 1.2);
+  return out;
+}
+
+/// Runs `body` until kMinSeconds elapse and returns elements/second,
+/// where one call to `body` processes `elems` elements.
+double time_elems_per_s(std::size_t elems, const std::function<void()>& body) {
+  // Warm-up pass (page faults, branch predictors) outside the timer.
+  body();
+  obs::Stopwatch timer;
+  std::size_t iterations = 0;
+  do {
+    body();
+    ++iterations;
+  } while (timer.seconds() < kMinSeconds);
+  const double seconds = timer.seconds();
+  return seconds > 0.0
+             ? static_cast<double>(iterations) * static_cast<double>(elems) / seconds
+             : 0.0;
+}
+
+struct KernelResult {
+  double elems_per_s = 0.0;
+  std::vector<unsigned char> output;  // raw bytes, for identity checks
+};
+
+template <typename T>
+void capture(std::vector<unsigned char>& sink, const std::vector<T>& buffer) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(buffer.data());
+  sink.insert(sink.end(), bytes, bytes + buffer.size() * sizeof(T));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("kernel throughput: stats::simd dispatch levels",
+                      "engineering baseline (supports all figure/table pipelines)");
+
+  // Fixed workloads shared by every level.
+  const std::vector<double> values = random_sample(kArrayElems, 42);
+  std::vector<double> sorted = random_sample(kSortedElems, 7);
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> sorted_b = random_sample(kSortedElems + kSortedElems / 3, 11);
+  std::sort(sorted_b.begin(), sorted_b.end());
+  const std::vector<double> queries = random_sample(kQueryElems, 13);
+  std::vector<std::uint32_t> indices(kArrayElems);
+  {
+    Rng rng(99);
+    for (auto& i : indices) i = static_cast<std::uint32_t>(rng.uniform_index(kArrayElems));
+  }
+  std::string text;
+  text.reserve(kTextBytes);
+  {
+    Rng rng(5);
+    while (text.size() < kTextBytes) {
+      const std::size_t len = 20 + rng.uniform_index(80);
+      for (std::size_t i = 0; i < len; ++i)
+        text += static_cast<char>('a' + rng.uniform_index(26));
+      text += '\n';
+    }
+  }
+
+  const struct {
+    const char* name;
+    std::size_t elems;
+  } kKernels[] = {
+      {"adjacent_deltas", kArrayElems - 1},
+      {"gather", kArrayElems},
+      {"upper_bound", kQueryElems},
+      {"xoshiro_fill", kRngDrawsPerLane * ssimd::XoshiroLanes::kLanes},
+      {"ks_distance", kSortedElems + kSortedElems + kSortedElems / 3},
+      {"byte_scan", kTextBytes},
+  };
+  constexpr std::size_t kKernelCount = sizeof kKernels / sizeof kKernels[0];
+
+  const ssimd::Level initial = ssimd::active_level();
+  const std::vector<ssimd::Level> levels = ssimd::available_levels();
+  // results[level][kernel]
+  std::vector<std::vector<KernelResult>> results;
+
+  for (const ssimd::Level level : levels) {
+    ssimd::set_active_level(level);
+    std::vector<KernelResult> row(kKernelCount);
+
+    std::vector<double> deltas(kArrayElems - 1);
+    row[0].elems_per_s = time_elems_per_s(
+        kArrayElems - 1, [&] { ssimd::adjacent_deltas(values, deltas); });
+    capture(row[0].output, deltas);
+
+    std::vector<double> gathered(kArrayElems);
+    row[1].elems_per_s =
+        time_elems_per_s(kArrayElems, [&] { ssimd::gather(values, indices, gathered); });
+    capture(row[1].output, gathered);
+
+    std::vector<std::uint32_t> counts(kQueryElems);
+    row[2].elems_per_s = time_elems_per_s(
+        kQueryElems, [&] { ssimd::upper_bound_many(sorted, queries, counts); });
+    capture(row[2].output, counts);
+
+    {
+      const Rng parent(kArrayElems);
+      std::vector<std::uint32_t> lanes_out[ssimd::XoshiroLanes::kLanes];
+      std::uint32_t* outs[ssimd::XoshiroLanes::kLanes];
+      for (std::size_t lane = 0; lane < ssimd::XoshiroLanes::kLanes; ++lane) {
+        lanes_out[lane].resize(kRngDrawsPerLane);
+        outs[lane] = lanes_out[lane].data();
+      }
+      row[3].elems_per_s = time_elems_per_s(
+          kRngDrawsPerLane * ssimd::XoshiroLanes::kLanes, [&] {
+            // Fresh engine per rep so every rep (and every level) draws
+            // the same stream prefix.
+            ssimd::XoshiroLanes lanes(parent, 0);
+            lanes.fill_indices(897, kRngDrawsPerLane, outs);
+          });
+      for (const auto& lane : lanes_out) capture(row[3].output, lane);
+    }
+
+    {
+      double ks = 0.0;
+      row[4].elems_per_s = time_elems_per_s(
+          kKernels[4].elems, [&] { ks = ssimd::ks_distance_sorted(sorted, sorted_b); });
+      capture(row[4].output, std::vector<double>{ks});
+    }
+
+    {
+      std::uint64_t newline_count = 0;
+      row[5].elems_per_s = time_elems_per_s(kTextBytes, [&] {
+        newline_count = 0;
+        std::size_t pos = 0;
+        while ((pos = tsufail::simd::find_byte(text, '\n', pos)) != std::string::npos) {
+          ++newline_count;
+          ++pos;
+        }
+      });
+      capture(row[5].output,
+              std::vector<std::uint64_t>{newline_count, tsufail::simd::count_byte(text, '\n')});
+    }
+
+    results.push_back(std::move(row));
+  }
+  ssimd::set_active_level(initial);
+
+  bench::PerfJson perf("kernels");
+  bool all_identical = true;
+  std::size_t speedup_ge2 = 0;
+  std::printf("%-16s %-8s %14s %10s %s\n", "kernel", "level", "elems/s", "speedup", "identical");
+  for (std::size_t k = 0; k < kKernelCount; ++k) {
+    const double scalar_rate = results[0][k].elems_per_s;
+    double best_speedup = 1.0;
+    bool kernel_identical = true;
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      const std::string level(ssimd::level_name(levels[li]));
+      const KernelResult& r = results[li][k];
+      const bool identical = r.output == results[0][k].output;
+      kernel_identical = kernel_identical && identical;
+      const double speedup = scalar_rate > 0.0 ? r.elems_per_s / scalar_rate : 0.0;
+      if (li > 0) best_speedup = std::max(best_speedup, speedup);
+      std::printf("%-16s %-8s %14.3e %9.2fx %s\n", kKernels[k].name, level.c_str(),
+                  r.elems_per_s, speedup, identical ? "yes" : "NO");
+      perf.set(std::string(kKernels[k].name) + "_" + level + "_elems_per_s", r.elems_per_s);
+      if (li > 0)
+        perf.set(std::string(kKernels[k].name) + "_" + level + "_speedup_x", speedup);
+    }
+    perf.set(std::string(kKernels[k].name) + "_identical",
+             static_cast<std::int64_t>(kernel_identical ? 1 : 0));
+    all_identical = all_identical && kernel_identical;
+    if (levels.size() > 1 && best_speedup >= 2.0) ++speedup_ge2;
+  }
+  perf.set("kernels_total", static_cast<std::int64_t>(kKernelCount));
+  perf.set("kernels_speedup_ge2", static_cast<std::int64_t>(speedup_ge2));
+  perf.set("all_levels_identical", static_cast<std::int64_t>(all_identical ? 1 : 0));
+  perf.write();
+
+  std::printf("\n%zu/%zu kernels at >=2x over scalar; outputs %s across levels\n",
+              speedup_ge2, kKernelCount,
+              all_identical ? "byte-identical" : "NOT BYTE-IDENTICAL");
+  return all_identical ? 0 : 1;
+}

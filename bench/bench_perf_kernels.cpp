@@ -13,6 +13,7 @@
 #include "stats/ecdf.h"
 #include "stats/fit.h"
 #include "stats/kernels.h"
+#include "stats/simd.h"
 #include "util/rng.h"
 
 namespace {
@@ -85,6 +86,71 @@ void BM_KsDistanceSorted(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_KsDistanceSorted)->Range(1 << 10, 1 << 20);
+
+// --- Per-dispatch-level kernel benches ---------------------------------
+//
+// range(1) selects the stats::simd dispatch level (0 scalar, 1 SSE2,
+// 2 AVX2, clamped to what this host supports), timing one level's kernel
+// table directly without flipping the process-wide dispatch.
+
+int max_level() { return static_cast<int>(stats::simd::supported_level()); }
+
+void BM_UpperBoundManyLevel(benchmark::State& state) {
+  const auto& kernels =
+      stats::simd::numeric_kernels(static_cast<stats::simd::Level>(state.range(1)));
+  auto sorted = random_sample(static_cast<std::size_t>(state.range(0)));
+  std::sort(sorted.begin(), sorted.end());
+  const auto queries = random_sample(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint32_t> counts(queries.size());
+  for (auto _ : state) {
+    kernels.upper_bound_many(sorted.data(), sorted.size(), queries.data(), queries.size(),
+                             counts.data());
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UpperBoundManyLevel)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 18},
+                   benchmark::CreateDenseRange(0, max_level(), 1)});
+
+void BM_XoshiroFillLevel(benchmark::State& state) {
+  const auto& kernels =
+      stats::simd::numeric_kernels(static_cast<stats::simd::Level>(state.range(1)));
+  constexpr std::size_t kCount = 1 << 14;
+  const Rng parent(17);
+  stats::simd::XoshiroLanes lanes(parent, 0);
+  std::vector<std::uint32_t> buffers[stats::simd::XoshiroLanes::kLanes];
+  std::uint32_t* outs[stats::simd::XoshiroLanes::kLanes];
+  for (std::size_t lane = 0; lane < stats::simd::XoshiroLanes::kLanes; ++lane) {
+    buffers[lane].resize(kCount);
+    outs[lane] = buffers[lane].data();
+  }
+  std::uint64_t st[4][stats::simd::XoshiroLanes::kLanes];
+  for (std::size_t lane = 0; lane < stats::simd::XoshiroLanes::kLanes; ++lane) {
+    const auto words = lanes.lane_state(lane);
+    for (std::size_t word = 0; word < 4; ++word) st[word][lane] = words[word];
+  }
+  for (auto _ : state) {
+    kernels.xoshiro_fill(st, 897, (~std::uint64_t{897} + 1) % 897, kCount, outs);
+    benchmark::DoNotOptimize(outs[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kCount * stats::simd::XoshiroLanes::kLanes);
+}
+BENCHMARK(BM_XoshiroFillLevel)
+    ->ArgsProduct({{0}, benchmark::CreateDenseRange(0, max_level(), 1)});
+
+void BM_EcdfEvaluateMany(benchmark::State& state) {
+  const auto sample = random_sample(static_cast<std::size_t>(state.range(0)));
+  const auto ecdf = stats::Ecdf::create(sample).value();
+  const auto queries = random_sample(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> out(queries.size());
+  for (auto _ : state) {
+    ecdf.evaluate_many(queries, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EcdfEvaluateMany)->Range(1 << 10, 1 << 20);
 
 void BM_WeibullFit(benchmark::State& state) {
   Rng rng(7);

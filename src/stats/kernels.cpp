@@ -1,16 +1,15 @@
 #include "stats/kernels.h"
 
-#include <cmath>
+#include <cassert>
+
+#include "stats/simd.h"
 
 namespace tsufail::stats {
 
 std::vector<double> adjacent_deltas(std::span<const double> values) {
   if (values.size() < 2) return {};
-  const std::size_t n = values.size() - 1;
-  std::vector<double> deltas(n);
-  const double* in = values.data();
-  double* out = deltas.data();
-  for (std::size_t i = 0; i < n; ++i) out[i] = in[i + 1] - in[i];
+  std::vector<double> deltas(values.size() - 1);
+  simd::adjacent_deltas(values, deltas);
   return deltas;
 }
 
@@ -23,33 +22,16 @@ std::vector<double> gather(std::span<const double> values,
 
 void gather_into(std::span<const double> values, std::span<const std::uint32_t> indices,
                  std::span<double> out) {
-  const double* src = values.data();
-  const std::uint32_t* idx = indices.data();
-  double* dst = out.data();
-  const std::size_t n = indices.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+  assert(out.size() >= indices.size() && "gather_into: output slice too small");
+#ifndef NDEBUG
+  for (const std::uint32_t i : indices)
+    assert(i < values.size() && "gather_into: index out of range");
+#endif
+  simd::gather(values, indices, out);
 }
 
 double ks_distance_sorted(std::span<const double> a, std::span<const double> b) {
-  if (a.empty() || b.empty()) return 0.0;
-  const auto n = static_cast<double>(a.size());
-  const auto m = static_cast<double>(b.size());
-  // One merge sweep over the union support.  Both ECDFs are right-
-  // continuous step functions, so the supremum is attained just after a
-  // sample point; at each distinct merged value x, i and j count the
-  // elements <= x (the upper_bound the binary-search formulation used).
-  double worst = 0.0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.size() || j < b.size()) {
-    const double x = (j >= b.size() || (i < a.size() && a[i] <= b[j])) ? a[i] : b[j];
-    while (i < a.size() && a[i] <= x) ++i;
-    while (j < b.size() && b[j] <= x) ++j;
-    const double diff =
-        std::abs(static_cast<double>(i) / n - static_cast<double>(j) / m);
-    if (diff > worst) worst = diff;
-  }
-  return worst;
+  return simd::ks_distance_sorted(a, b);
 }
 
 }  // namespace tsufail::stats

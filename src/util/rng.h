@@ -66,6 +66,12 @@ class Rng {
     return result;
   }
 
+  /// The raw 256-bit engine state, word order as xoshiro256** defines it.
+  /// Exposed for the stats::simd multi-lane engine, which loads four
+  /// forked streams into vector lanes, and for tests that pin state
+  /// evolution; not useful for drawing variates directly.
+  std::array<std::uint64_t, 4> state_words() const noexcept { return state_; }
+
   /// Derives an independent child generator; `stream` selects the stream.
   /// Used to give each failure category its own reproducible stream, so
   /// adding a category never perturbs the draws of the others.

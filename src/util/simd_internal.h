@@ -1,0 +1,15 @@
+// Internal wiring between the dispatch core (simd.cpp) and the
+// separately-compiled AVX2 translation unit (simd_avx2.cpp, built with
+// -mavx2 when the compiler supports it).  Not installed; include only
+// from those two files.
+#pragma once
+
+#include "util/simd.h"
+
+namespace tsufail::simd::detail {
+
+/// The AVX2 byte-kernel table, or nullptr when this binary was compiled
+/// without AVX2 support (non-x86 target, or a compiler without -mavx2).
+const ByteKernels* avx2_byte_kernels() noexcept;
+
+}  // namespace tsufail::simd::detail
