@@ -33,8 +33,11 @@
 #include "report/repair_text.h"
 #include "report/study_text.h"
 #include "report/table.h"
+#include "obs/slo.h"
+#include "serve/client.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "serve/top.h"
 #include "sim/generator.h"
 #include "sim/montecarlo.h"
 #include "sim/scaling.h"
@@ -1089,6 +1092,10 @@ ArgParser make_watch_parser() {
                  std::string("100")});
   parser.option({"pace-ms", "MS", "replay delay per event in milliseconds (0 = instant)",
                  std::string("0")});
+  parser.option({"max-lag-events", "N",
+                 "SLO ceiling on alert-engine lag (accepted minus released events); the final "
+                 "summary reports the objective's burn state",
+                 std::string("512")});
   parser.option(strict_option());
   parser.option(trace_option());
   parser.option(metrics_option());
@@ -1117,6 +1124,10 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
   if (!summary_every.ok()) return summary_every.error();
   auto pace_ms = args.get_int("pace-ms");
   if (!pace_ms.ok()) return pace_ms.error();
+  auto max_lag = args.get_int("max-lag-events");
+  if (!max_lag.ok()) return max_lag.error();
+  if (max_lag.value() <= 0)
+    return Error(ErrorKind::kDomain, "--max-lag-events must be positive");
   if (burst_size.value() <= 0)
     return Error(ErrorKind::kDomain, "--burst-size must be positive");
   if (summary_every.value() < 0 || pace_ms.value() < 0)
@@ -1170,6 +1181,22 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
   static obs::Gauge skew_gauge = obs::gauge("health.slot_skew");
   static obs::Gauge events_gauge = obs::gauge("health.events");
   static obs::Gauge active_gauge = obs::gauge("alerts.active");
+  static obs::Gauge lag_gauge = obs::gauge("watch.lag_events");
+
+  // Alert-engine lag (records accepted into the reorder buffer but not
+  // yet released to the monitor) as a staleness SLO: any evaluation tick
+  // with lag above --max-lag-events burns the budget.
+  obs::SloEngine slo;
+  {
+    obs::SloObjective lag_objective;
+    lag_objective.name = "watch.alert_lag";
+    lag_objective.kind = obs::SloKind::kStalenessMax;
+    lag_objective.metric = "watch.lag_events";
+    lag_objective.threshold = static_cast<double>(max_lag.value());
+    lag_objective.budget = 0.1;
+    slo.add_objective(std::move(lag_objective));
+  }
+  slo.tick(obs::collect_metrics(), obs::now_ns());  // baseline entry
 
   std::uint64_t processed = 0;
   const auto consume = [&](const data::FailureRecord& record) {
@@ -1185,6 +1212,8 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
       skew_gauge.set(health.slot_skew);
       events_gauge.set(static_cast<double>(health.events));
       active_gauge.set(static_cast<double>(engine.value().active().size()));
+      const auto& lag_stats = events.value().stats();
+      lag_gauge.set(static_cast<double>(lag_stats.accepted - lag_stats.released));
     }
     ++processed;
     if (summary_every.value() > 0 &&
@@ -1193,16 +1222,19 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
   };
 
   stream::StreamCursor cursor(events.value());
+  std::uint64_t offered = 0;
   for (const auto& record : log.value().records()) {
     if (pace_ms.value() > 0)
       std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms.value()));
     auto outcome = events.value().offer(record);
     if (!outcome.ok()) return outcome.error();
     cursor.drain(consume);
+    if (++offered % 256 == 0) slo.tick(obs::collect_metrics(), obs::now_ns());
   }
   events.value().finish();
   cursor.drain(consume);
   monitor.value().finish();
+  slo.tick(obs::collect_metrics(), obs::now_ns());
 
   const auto& stats = events.value().stats();
   const auto health = monitor.value().snapshot();
@@ -1234,6 +1266,9 @@ Result<void> run_watch(const ParsedArgs& args, std::ostream& out) {
         << " failures/day per year (p = "
         << report::fmt(trends.value().rate_trend.slope_p_value, 3) << ")\n";
   }
+  for (const auto& status : slo.evaluate(obs::now_ns()))
+    out << "slo " << status.objective << ": " << obs::slo_state_name(status.state) << " ("
+        << status.reason << ")\n";
   cli_span.stop();
   return write_obs_outputs(obs_request.value(), out);
 }
@@ -1324,6 +1359,11 @@ ArgParser make_serve_parser() {
                  "persist sealed epochs as columnar segments under DIR/<tenant>/ and "
                  "re-mount any fleets already there on startup",
                  std::string("")});
+  parser.option({"slo-query-p99", "S", "latency objective for the query SLO (seconds)",
+                 std::string("0.1")});
+  parser.option({"slo-tick-ms", "MS", "SLO evaluation / exemplar-window period",
+                 std::string("1000")});
+  parser.option(trace_option());
   return parser;
 }
 
@@ -1350,6 +1390,22 @@ Result<void> run_serve(const ParsedArgs& args, std::ostream& out) {
     return Error(ErrorKind::kDomain,
                  "--cache-capacity, --epoch-every and --jobs must be >= 0");
   if (max_line.value() <= 0) return Error(ErrorKind::kDomain, "--max-line-bytes must be positive");
+  auto slo_p99 = args.get_double("slo-query-p99");
+  if (!slo_p99.ok()) return slo_p99.error();
+  auto slo_tick_ms = args.get_int("slo-tick-ms");
+  if (!slo_tick_ms.ok()) return slo_tick_ms.error();
+  if (slo_p99.value() <= 0.0 || slo_tick_ms.value() <= 0)
+    return Error(ErrorKind::kDomain, "--slo-query-p99 and --slo-tick-ms must be positive");
+  std::optional<std::string> trace_path;
+  if (args.has("trace")) {
+    trace_path = args.get("trace").value();
+    if (auto ok = validate_writable_path(*trace_path); !ok.ok())
+      return ok.error().with_context("--trace");
+    if (!obs::kCompiledIn)
+      return Error(ErrorKind::kInternal,
+                   "this build has TSUFAIL_OBS_DISABLE: --trace cannot record");
+    obs::reset_trace();
+  }
 
   // The metrics endpoint is part of the product, so serve always runs
   // with obs enabled (unlike the one-shot commands' --metrics opt-in).
@@ -1358,6 +1414,7 @@ Result<void> run_serve(const ParsedArgs& args, std::ostream& out) {
   serve::ServiceConfig config;
   config.cache_capacity = static_cast<std::size_t>(cache_capacity.value());
   config.study_jobs = static_cast<std::size_t>(jobs.value());
+  config.slo.query_p99_seconds = slo_p99.value();
   config.tenant.stream.reorder_horizon_hours = reorder.value();
   config.tenant.slack_hours = slack.value();
   config.tenant.auto_epoch_events = static_cast<std::uint64_t>(epoch_every.value());
@@ -1383,23 +1440,107 @@ Result<void> run_serve(const ParsedArgs& args, std::ostream& out) {
   if (!server.ok()) return server.error();
 
   out << "tsufail serve listening on " << host.value() << ":" << server.value()->port() << "\n"
-      << "line protocol: OPEN/EVENT/SEAL/QUERY/STATS/ALERTS/TENANTS/KEYS/METRICS/PING/QUIT\n"
-      << "http: /metrics /tenants /stats/<tenant> /query/<tenant>/<key>\n"
+      << "line protocol: OPEN/EVENT/SEAL/QUERY/STATS/ALERTS/TENANTS/KEYS/METRICS/SLO/PING/QUIT\n"
+      << "http: /metrics /slo /healthz /tenants /stats/<tenant> /query/<tenant>/<key>\n"
       << std::flush;
 
   g_serve_stop.store(false);
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
-  while (!g_serve_stop.load())
+  // The main thread doubles as the SLO cadence: sleep in 100ms slices
+  // for signal responsiveness, tick every --slo-tick-ms.
+  const auto tick_period = std::chrono::milliseconds(slo_tick_ms.value());
+  auto next_tick = std::chrono::steady_clock::now() + tick_period;
+  while (!g_serve_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (std::chrono::steady_clock::now() >= next_tick) {
+      service.slo_tick();
+      next_tick += tick_period;
+    }
+  }
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
 
   server.value()->stop();
+  service.slo_tick();  // final entry so short-lived runs still evaluate
+  if (trace_path.has_value()) {
+    if (auto written =
+            write_text_file(*trace_path, obs::chrome_trace_json(obs::collect_trace()));
+        !written.ok())
+      return written.error().with_context("--trace");
+    out << "\nwrote trace " << *trace_path << "\n";
+  }
   const auto cache = service.cache_stats();
   out << "\nshutting down: " << service.tenant_names().size() << " tenants, cache hits "
       << cache.hits << " / misses " << cache.misses << "\n";
   return {};
+}
+
+// --- top --------------------------------------------------------------------
+
+std::atomic<bool> g_top_stop{false};
+
+void top_signal_handler(int) { g_top_stop.store(true); }
+
+ArgParser make_top_parser() {
+  ArgParser parser("top",
+                   "Live dashboard for a running serve daemon: SLO burn state, fleet query "
+                   "latency, and per-tenant ingest counters.");
+  parser.option({"connect", "HOST:PORT", "serve daemon address", std::string("127.0.0.1:7070")});
+  parser.option({"once", "", "render one plain-text frame and exit (for pipes and tests)", {}});
+  parser.option({"interval-ms", "MS", "refresh period in live mode", std::string("2000")});
+  parser.option({"frames", "N", "stop live mode after N frames (0 = until SIGINT)",
+                 std::string("0")});
+  return parser;
+}
+
+Result<void> run_top(const ParsedArgs& args, std::ostream& out) {
+  auto target = args.get("connect");
+  if (!target.ok()) return target.error();
+  auto interval = args.get_int("interval-ms");
+  if (!interval.ok()) return interval.error();
+  auto frames = args.get_int("frames");
+  if (!frames.ok()) return frames.error();
+  if (interval.value() <= 0) return Error(ErrorKind::kDomain, "--interval-ms must be positive");
+  if (frames.value() < 0) return Error(ErrorKind::kDomain, "--frames must be >= 0");
+  const std::size_t colon = target.value().rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == target.value().size())
+    return Error(ErrorKind::kValidation, "--connect expects HOST:PORT");
+  const std::string host = target.value().substr(0, colon);
+  const std::string port = target.value().substr(colon + 1);
+
+  serve::LineClient client;
+  if (auto connected = client.connect(host, port); !connected.ok()) return connected.error();
+
+  if (args.flag("once")) {
+    auto snapshot = serve::fetch_top(client, target.value());
+    if (!snapshot.ok()) return snapshot.error();
+    out << serve::render_top(snapshot.value(), /*ansi=*/false);
+    return {};
+  }
+
+  g_top_stop.store(false);
+  std::signal(SIGINT, top_signal_handler);
+  std::signal(SIGTERM, top_signal_handler);
+  long long rendered = 0;
+  Result<void> outcome = Result<void>{};
+  while (!g_top_stop.load()) {
+    auto snapshot = serve::fetch_top(client, target.value());
+    if (!snapshot.ok()) {
+      outcome = snapshot.error();
+      break;
+    }
+    out << serve::render_top(snapshot.value(), /*ansi=*/true) << std::flush;
+    if (frames.value() > 0 && ++rendered >= frames.value()) break;
+    // Sleep in slices so Ctrl-C lands within ~100ms, not a full interval.
+    for (long long slept = 0; slept < interval.value() && !g_top_stop.load(); slept += 100)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min<long long>(100, interval.value() - slept)));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (outcome.ok()) out << "\n";
+  return outcome;
 }
 
 // --- compare --------------------------------------------------------------
@@ -1468,6 +1609,7 @@ const std::vector<Command>& commands() {
       {"watch", "live-replay a log through the streaming monitor", make_watch_parser, run_watch},
       {"serve", "multi-tenant fleet service (ingest + cached queries)", make_serve_parser,
        run_serve},
+      {"top", "live SLO/tenant dashboard for a serve daemon", make_top_parser, run_top},
       {"profile", "span self-time profile of the study pipeline", make_profile_parser,
        run_profile},
       {"racks", "rack-level spatial distribution", make_racks_parser, run_racks},

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace tsufail::obs {
@@ -27,18 +30,70 @@ void atomic_add(std::atomic<double>& cell, double delta) noexcept {
 struct HistogramSpec {
   std::string name;
   std::vector<double> bounds;
+  ExemplarMode exemplar_mode = ExemplarMode::kNone;
 };
 
+/// The exemplar window generation (see exemplar_window() in the header).
+/// Starts at 1 so window 0 can mean "cell never written".
+std::atomic<std::uint64_t> g_exemplar_window{1};
+
+/// One bucket's exemplar slot: a seqlock over all-atomic fields.  Single
+/// writer (the shard's owning thread); snapshot readers retry while the
+/// version is odd or changes under them.  All fields are atomics so a
+/// lost retry race is stale data, never UB or a TSan report.
+struct ExemplarCell {
+  std::atomic<std::uint64_t> version{0};  ///< even = stable, odd = write in flight
+  std::atomic<double> value{0.0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> window{0};   ///< 0 = empty
+};
+
+/// Writer side of the seqlock (Boehm's seqlock-with-fences shape).
+void exemplar_store(ExemplarCell& cell, double value, std::uint64_t trace_id,
+                    std::uint64_t window) noexcept {
+  const std::uint64_t v = cell.version.load(std::memory_order_relaxed);
+  cell.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  cell.value.store(value, std::memory_order_relaxed);
+  cell.trace_id.store(trace_id, std::memory_order_relaxed);
+  cell.window.store(window, std::memory_order_relaxed);
+  cell.version.store(v + 2, std::memory_order_release);
+}
+
+/// Reader side: returns false when the cell is empty or stayed unstable
+/// across the retry budget (a writer storm; the exemplar is best-effort).
+bool exemplar_read(const ExemplarCell& cell, HistogramValue::Exemplar& out) noexcept {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const std::uint64_t v1 = cell.version.load(std::memory_order_acquire);
+    if (v1 & 1) continue;
+    const double value = cell.value.load(std::memory_order_relaxed);
+    const std::uint64_t trace_id = cell.trace_id.load(std::memory_order_relaxed);
+    const std::uint64_t window = cell.window.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (cell.version.load(std::memory_order_relaxed) != v1) continue;
+    if (window == 0) return false;
+    out.value = value;
+    out.trace_id = trace_id;
+    out.window = window;
+    return true;
+  }
+  return false;
+}
+
 /// Per-thread cells for one histogram: bounds.size() + 1 buckets, plus
-/// the running count/sum.  `bounds` points into the registry's
+/// the running count/sum.  `spec` points at the registry's
 /// stable-address spec, so the hot path never takes the registry lock.
 struct HistogramCells {
-  explicit HistogramCells(const std::vector<double>* spec_bounds)
-      : bounds(spec_bounds), counts(spec_bounds->size() + 1) {}
-  const std::vector<double>* bounds;
+  explicit HistogramCells(const HistogramSpec* histogram_spec)
+      : spec(histogram_spec), counts(histogram_spec->bounds.size() + 1) {
+    if (spec->exemplar_mode != ExemplarMode::kNone)
+      exemplars = std::make_unique<ExemplarCell[]>(spec->bounds.size() + 1);
+  }
+  const HistogramSpec* spec;
   std::deque<std::atomic<std::uint64_t>> counts;
   std::atomic<std::uint64_t> count{0};
   std::atomic<double> sum{0.0};
+  std::unique_ptr<ExemplarCell[]> exemplars;  ///< null unless exemplars enabled
 };
 
 /// One thread's slice of every counter/histogram.  Single writer (the
@@ -92,16 +147,16 @@ void ensure_counter(Shard& shard, std::uint32_t id) {
 }
 
 void ensure_histogram(Shard& shard, std::uint32_t id) {
-  const std::vector<double>* bounds = nullptr;
+  const HistogramSpec* spec = nullptr;
   {
     Registry& r = registry();
     std::lock_guard lock(r.mutex);
-    bounds = &r.histogram_specs[id]->bounds;
+    spec = r.histogram_specs[id].get();
   }
   std::lock_guard lock(shard.mutex);
   while (shard.histograms.size() <= id) shard.histograms.push_back(nullptr);
   if (shard.histograms[id] == nullptr)
-    shard.histograms[id] = std::make_unique<HistogramCells>(bounds);
+    shard.histograms[id] = std::make_unique<HistogramCells>(spec);
 }
 
 void append_double(std::string& out, double value) {
@@ -173,12 +228,22 @@ void histogram_observe(std::uint32_t id, double value) noexcept {
   if (shard.histograms.size() <= id || shard.histograms[id] == nullptr)
     ensure_histogram(shard, id);
   HistogramCells& cells = *shard.histograms[id];
-  const std::vector<double>& bounds = *cells.bounds;
+  const std::vector<double>& bounds = cells.spec->bounds;
   const auto bucket = static_cast<std::size_t>(
       std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
   cells.counts[bucket].fetch_add(1, std::memory_order_relaxed);
   cells.count.fetch_add(1, std::memory_order_relaxed);
   atomic_add(cells.sum, value);
+  if (cells.exemplars != nullptr) {
+    // Capture the slowest observation per bucket per window.  This
+    // thread is the cell's only writer, so the relaxed pre-reads are
+    // exact; the seqlock only protects snapshot readers.
+    ExemplarCell& cell = cells.exemplars[bucket];
+    const std::uint64_t window = g_exemplar_window.load(std::memory_order_relaxed);
+    if (cell.window.load(std::memory_order_relaxed) != window ||
+        value > cell.value.load(std::memory_order_relaxed))
+      exemplar_store(cell, value, current_trace_id(), window);
+  }
 }
 
 }  // namespace detail
@@ -205,7 +270,7 @@ Gauge gauge(std::string_view name) {
   return Gauge(it->second);
 }
 
-Histogram histogram(std::string_view name, std::span<const double> bounds) {
+Histogram histogram(std::string_view name, std::span<const double> bounds, ExemplarMode mode) {
   TSUFAIL_REQUIRE(!bounds.empty(), "obs::histogram: empty bucket bounds");
   TSUFAIL_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()) &&
                       std::adjacent_find(bounds.begin(), bounds.end()) == bounds.end(),
@@ -216,9 +281,17 @@ Histogram histogram(std::string_view name, std::span<const double> bounds) {
       std::string(name), static_cast<std::uint32_t>(r.histogram_specs.size()));
   if (inserted) {
     r.histogram_specs.push_back(std::make_unique<HistogramSpec>(
-        HistogramSpec{std::string(name), {bounds.begin(), bounds.end()}}));
+        HistogramSpec{std::string(name), {bounds.begin(), bounds.end()}, mode}));
   }
   return Histogram(it->second);
+}
+
+std::uint64_t exemplar_window() noexcept {
+  return g_exemplar_window.load(std::memory_order_relaxed);
+}
+
+std::uint64_t advance_exemplar_window() noexcept {
+  return g_exemplar_window.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 std::span<const double> time_buckets_seconds() noexcept {
@@ -231,6 +304,13 @@ std::uint64_t HistogramValue::cumulative(std::size_t i) const noexcept {
   std::uint64_t total = 0;
   for (std::size_t b = 0; b <= i && b < counts.size(); ++b) total += counts[b];
   return total;
+}
+
+const HistogramValue::Exemplar* HistogramValue::find_exemplar(std::size_t bucket) const noexcept {
+  for (const auto& exemplar : exemplars) {
+    if (exemplar.bucket == bucket) return &exemplar;
+  }
+  return nullptr;
 }
 
 double histogram_quantile(const HistogramValue& histogram, double q) {
@@ -307,7 +387,32 @@ MetricsSnapshot collect_metrics() {
         merged.counts[b] += cells.counts[b].load(std::memory_order_relaxed);
       merged.count += cells.count.load(std::memory_order_relaxed);
       merged.sum += cells.sum.load(std::memory_order_relaxed);
+      if (cells.exemplars != nullptr) {
+        // Keep the winning exemplar per bucket across shards: freshest
+        // window first, then slowest value.
+        for (std::size_t b = 0; b < merged.counts.size(); ++b) {
+          HistogramValue::Exemplar candidate;
+          if (!exemplar_read(cells.exemplars[b], candidate)) continue;
+          candidate.bucket = b;
+          auto existing = std::find_if(
+              merged.exemplars.begin(), merged.exemplars.end(),
+              [b](const HistogramValue::Exemplar& e) { return e.bucket == b; });
+          if (existing == merged.exemplars.end()) {
+            merged.exemplars.push_back(candidate);
+          } else if (candidate.window > existing->window ||
+                     (candidate.window == existing->window &&
+                      candidate.value > existing->value)) {
+            *existing = candidate;
+          }
+        }
+      }
     }
+  }
+  for (auto& h : snapshot.histograms) {
+    std::sort(h.exemplars.begin(), h.exemplars.end(),
+              [](const HistogramValue::Exemplar& a, const HistogramValue::Exemplar& b) {
+                return a.bucket < b.bucket;
+              });
   }
 
   const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
@@ -332,6 +437,13 @@ void reset_metrics() {
       for (auto& bucket : cells->counts) bucket.store(0, std::memory_order_relaxed);
       cells->count.store(0, std::memory_order_relaxed);
       cells->sum.store(0.0, std::memory_order_relaxed);
+      if (cells->exemplars != nullptr) {
+        // window = 0 marks the cell empty; readers skip it.  A reset
+        // racing an active writer loses to the writer's next store,
+        // which is the semantics a reset wants anyway.
+        for (std::size_t b = 0; b < cells->counts.size(); ++b)
+          cells->exemplars[b].window.store(0, std::memory_order_relaxed);
+      }
     }
   }
 }
@@ -370,7 +482,25 @@ std::string metrics_json(const MetricsSnapshot& snapshot) {
       if (b != 0) json += ", ";
       append_u64(json, h.counts[b]);
     }
-    json += "]}";
+    json += "]";
+    if (!h.exemplars.empty()) {
+      json += ", \"exemplars\": [";
+      for (std::size_t e = 0; e < h.exemplars.size(); ++e) {
+        const HistogramValue::Exemplar& exemplar = h.exemplars[e];
+        if (e != 0) json += ", ";
+        json += "{\"bucket\": ";
+        append_u64(json, exemplar.bucket);
+        json += ", \"value\": ";
+        append_double(json, exemplar.value);
+        json += ", \"trace_id\": ";
+        append_json_string(json, trace_id_hex(exemplar.trace_id));
+        json += ", \"window\": ";
+        append_u64(json, exemplar.window);
+        json += "}";
+      }
+      json += "]";
+    }
+    json += "}";
   }
   json += "\n  }\n}\n";
   return json;
@@ -398,15 +528,23 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
     const std::string name = prometheus_name(h.name);
     out += "# HELP " + name + " tsufail histogram " + h.name + "\n";
     out += "# TYPE " + name + " histogram\n";
+    const auto append_exemplar = [&](std::size_t bucket) {
+      const HistogramValue::Exemplar* exemplar = h.find_exemplar(bucket);
+      if (exemplar == nullptr) return;
+      out += " # {trace_id=\"" + trace_id_hex(exemplar->trace_id) + "\"} ";
+      append_double(out, exemplar->value);
+    };
     for (std::size_t b = 0; b < h.bounds.size(); ++b) {
       out += name + "_bucket{le=\"";
       append_double(out, h.bounds[b]);
       out += "\"} ";
       append_u64(out, h.cumulative(b));
+      append_exemplar(b);
       out += "\n";
     }
     out += name + "_bucket{le=\"+Inf\"} ";
     append_u64(out, h.count);
+    append_exemplar(h.bounds.size());
     out += "\n" + name + "_sum ";
     append_double(out, h.sum);
     out += "\n" + name + "_count ";
@@ -448,14 +586,20 @@ Result<PrometheusCheck> check_prometheus_text(std::string_view text) {
       }
       continue;
     }
-    // Sample line: name[{labels}] value
-    const std::size_t space = line.rfind(' ');
-    if (space == std::string_view::npos || space + 1 >= line.size())
+    // Sample line: name[{labels}] value [# {exemplar-labels} exemplar-value]
+    std::string_view sample = line;
+    std::string_view exemplar_text;
+    if (const std::size_t hash = line.find(" # "); hash != std::string_view::npos) {
+      sample = line.substr(0, hash);
+      exemplar_text = line.substr(hash + 3);
+    }
+    const std::size_t space = sample.rfind(' ');
+    if (space == std::string_view::npos || space + 1 >= sample.size())
       return fail("sample line has no value");
-    const std::string value_text(line.substr(space + 1));
+    const std::string value_text(sample.substr(space + 1));
     auto value = parse_double(value_text);
     if (!value.ok()) return fail("unparseable value '" + value_text + "'");
-    std::string series(line.substr(0, space));
+    std::string series(sample.substr(0, space));
     std::string labels;
     if (const std::size_t brace = series.find('{'); brace != std::string::npos) {
       if (series.back() != '}') return fail("unterminated label set");
@@ -475,13 +619,44 @@ Result<PrometheusCheck> check_prometheus_text(std::string_view text) {
     }
     const auto type = types.find(family);
     if (type == types.end()) return fail("series '" + series + "' has no TYPE declaration");
-    if (type->second == "histogram" && series.ends_with("_bucket")) {
+    const bool is_bucket = type->second == "histogram" && series.ends_with("_bucket");
+    if (is_bucket) {
       if (labels.find("le=\"") == std::string::npos)
         return fail("histogram bucket without le label");
       auto& previous = last_bucket[family];
       const auto count = static_cast<std::uint64_t>(value.value());
       if (count < previous) return fail("bucket counts for " + family + " not cumulative");
       previous = count;
+    }
+    if (!exemplar_text.empty()) {
+      // OpenMetrics-style: `# {trace_id="<hex>"} <value>` — bucket
+      // series only.
+      if (!is_bucket) return fail("exemplar on non-bucket series '" + series + "'");
+      if (exemplar_text.front() != '{') return fail("exemplar missing label set");
+      const std::size_t close = exemplar_text.find('}');
+      if (close == std::string_view::npos) return fail("unterminated exemplar label set");
+      const std::string_view exemplar_labels = exemplar_text.substr(1, close - 1);
+      const std::string_view exemplar_value =
+          close + 2 <= exemplar_text.size() ? exemplar_text.substr(close + 2)
+                                            : std::string_view{};
+      if (!parse_double(std::string(exemplar_value)).ok())
+        return fail("unparseable exemplar value '" + std::string(exemplar_value) + "'");
+      for (std::string_view label : split(exemplar_labels, ',')) {
+        if (label.empty()) continue;
+        const std::size_t equals = label.find("=\"");
+        if (equals == std::string_view::npos || label.back() != '"')
+          return fail("malformed exemplar label '" + std::string(label) + "'");
+        if (label.substr(0, equals) == "trace_id") {
+          const std::string_view id = label.substr(equals + 2, label.size() - equals - 3);
+          if (id.empty()) return fail("empty exemplar trace_id");
+          for (char c : id) {
+            if (!std::isxdigit(static_cast<unsigned char>(c)))
+              return fail("exemplar trace_id '" + std::string(id) + "' is not hex");
+          }
+          check.exemplar_trace_ids.emplace_back(id);
+        }
+      }
+      ++check.exemplars;
     }
     for (char c : family) {
       const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -492,7 +667,118 @@ Result<PrometheusCheck> check_prometheus_text(std::string_view text) {
   }
   if (check.families == 0)
     return Error(ErrorKind::kValidation, "prometheus text has no TYPE declarations");
+  std::sort(check.exemplar_trace_ids.begin(), check.exemplar_trace_ids.end());
+  check.exemplar_trace_ids.erase(
+      std::unique(check.exemplar_trace_ids.begin(), check.exemplar_trace_ids.end()),
+      check.exemplar_trace_ids.end());
   return check;
+}
+
+Result<MetricsSnapshot> parse_prometheus_text(std::string_view text) {
+  auto checked = check_prometheus_text(text);
+  if (!checked.ok()) return checked.error();
+
+  MetricsSnapshot snapshot;
+  std::unordered_map<std::string, std::string> types;
+  // Histogram families under (re)construction: exposition order gives
+  // buckets ascending, so cumulative counts un-difference in one pass.
+  std::unordered_map<std::string, std::size_t> histogram_index;
+  std::unordered_map<std::string, std::uint64_t> histogram_cumulative;
+  std::size_t position = 0;
+  while (position < text.size()) {
+    std::size_t end = text.find('\n', position);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(position, end - position);
+    position = end + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::vector<std::string_view> parts = split(line, ' ');
+      if (parts.size() >= 4 && parts[1] == "TYPE") types[std::string(parts[2])] = parts[3];
+      continue;
+    }
+    std::string_view sample = line;
+    std::string_view exemplar_text;
+    if (const std::size_t hash = line.find(" # "); hash != std::string_view::npos) {
+      sample = line.substr(0, hash);
+      exemplar_text = line.substr(hash + 3);
+    }
+    const std::size_t space = sample.rfind(' ');
+    const double value = parse_double(std::string(sample.substr(space + 1))).value();
+    std::string series(sample.substr(0, space));
+    std::string labels;
+    if (const std::size_t brace = series.find('{'); brace != std::string::npos) {
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series.resize(brace);
+    }
+
+    const auto direct = types.find(series);
+    if (direct != types.end() && direct->second == "counter") {
+      snapshot.counters.push_back({series, static_cast<std::uint64_t>(value)});
+      continue;
+    }
+    if (direct != types.end() && direct->second == "gauge") {
+      snapshot.gauges.push_back({series, value});
+      continue;
+    }
+    // Histogram series: resolve the family through the suffix.
+    std::string family;
+    std::string_view suffix;
+    for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+      const std::string_view sv(candidate);
+      if (series.size() > sv.size() && series.ends_with(sv)) {
+        const std::string base = series.substr(0, series.size() - sv.size());
+        if (const auto it = types.find(base); it != types.end() && it->second == "histogram") {
+          family = base;
+          suffix = sv;
+          break;
+        }
+      }
+    }
+    if (family.empty())
+      return Error(ErrorKind::kParse, "prometheus parse: unclassifiable series '" + series + "'");
+    auto [slot, inserted] = histogram_index.try_emplace(family, snapshot.histograms.size());
+    if (inserted) snapshot.histograms.push_back({});
+    HistogramValue& h = snapshot.histograms[slot->second];
+    h.name = family;
+    if (suffix == "_sum") {
+      h.sum = value;
+    } else if (suffix == "_count") {
+      h.count = static_cast<std::uint64_t>(value);
+    } else {
+      const std::size_t le = labels.find("le=\"");
+      const std::size_t le_end = labels.find('"', le + 4);
+      const std::string bound = labels.substr(le + 4, le_end - le - 4);
+      auto& cumulative = histogram_cumulative[family];
+      const auto total = static_cast<std::uint64_t>(value);
+      h.counts.push_back(total - cumulative);
+      cumulative = total;
+      if (bound != "+Inf") {
+        auto parsed_bound = parse_double(bound);
+        if (!parsed_bound.ok())
+          return Error(ErrorKind::kParse,
+                       "prometheus parse: bad le bound '" + bound + "' for " + family);
+        h.bounds.push_back(parsed_bound.value());
+      }
+      if (!exemplar_text.empty()) {
+        HistogramValue::Exemplar exemplar;
+        exemplar.bucket = h.counts.size() - 1;
+        const std::size_t close = exemplar_text.find('}');
+        exemplar.value = parse_double(std::string(exemplar_text.substr(close + 2))).value();
+        const std::size_t id = exemplar_text.find("trace_id=\"");
+        if (id != std::string_view::npos) {
+          const std::size_t id_end = exemplar_text.find('"', id + 10);
+          exemplar.trace_id = std::strtoull(
+              std::string(exemplar_text.substr(id + 10, id_end - id - 10)).c_str(), nullptr, 16);
+        }
+        h.exemplars.push_back(exemplar);
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
 }
 
 }  // namespace tsufail::obs

@@ -69,6 +69,12 @@ class Gauge {
 
 Gauge gauge(std::string_view name);
 
+/// Whether a histogram captures trace exemplars (the slowest observation
+/// per bucket per exemplar window, tagged with the recording span's
+/// trace id).  Off by default: exemplar cells cost ~32 bytes per bucket
+/// per thread and one extra relaxed load per observation.
+enum class ExemplarMode : std::uint8_t { kNone, kMaxPerBucket };
+
 /// Fixed-bucket histogram.  Bucket `i` counts observations with
 /// value <= bounds[i] (Prometheus "le" semantics, first matching
 /// bucket); an implicit +Inf bucket catches the rest.
@@ -79,15 +85,27 @@ class Histogram {
   }
 
  private:
-  friend Histogram histogram(std::string_view name, std::span<const double> bounds);
+  friend Histogram histogram(std::string_view name, std::span<const double> bounds,
+                             ExemplarMode mode);
   explicit Histogram(std::uint32_t id) noexcept : id_(id) {}
   std::uint32_t id_;
 };
 
 /// Registers (or finds) the histogram `name`.  `bounds` must be strictly
 /// increasing and non-empty; a re-registration keeps the first bounds
-/// (the name identifies the metric, not the call site).
-Histogram histogram(std::string_view name, std::span<const double> bounds);
+/// and ExemplarMode (the name identifies the metric, not the call site).
+Histogram histogram(std::string_view name, std::span<const double> bounds,
+                    ExemplarMode mode = ExemplarMode::kNone);
+
+/// The current exemplar window generation.  Exemplar cells remember the
+/// window they were captured in; a stale cell is overwritten by the next
+/// observation regardless of value, so "slowest" always means "slowest
+/// since the window last advanced".
+std::uint64_t exemplar_window() noexcept;
+
+/// Advances the exemplar window (the SLO tick calls this once per
+/// evaluation period).  Returns the new generation.
+std::uint64_t advance_exemplar_window() noexcept;
 
 /// Shared log-spaced duration buckets (seconds): 1us .. 100s.
 std::span<const double> time_buckets_seconds() noexcept;
@@ -105,14 +123,26 @@ struct GaugeValue {
 };
 
 struct HistogramValue {
+  /// The slowest observation captured for one bucket in one exemplar
+  /// window.  `trace_id` is 0 when the observation happened outside any
+  /// span; otherwise it matches a span in the Chrome trace export.
+  struct Exemplar {
+    std::size_t bucket = 0;      ///< index into counts (bounds.size() = +Inf)
+    double value = 0.0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t window = 0;    ///< exemplar_window() generation at capture
+  };
+
   std::string name;
   std::vector<double> bounds;        ///< upper bounds, ascending
   std::vector<std::uint64_t> counts; ///< per-bucket, size bounds.size() + 1 (+Inf last)
   std::uint64_t count = 0;           ///< total observations
   double sum = 0.0;                  ///< FP merge order is unspecified
+  std::vector<Exemplar> exemplars;   ///< at most one per bucket, ascending by bucket
 
   /// Cumulative count through bucket `i` (Prometheus exposition shape).
   std::uint64_t cumulative(std::size_t i) const noexcept;
+  const Exemplar* find_exemplar(std::size_t bucket) const noexcept;
 };
 
 /// Quantile estimate from a fixed-bucket histogram, linearly
@@ -147,17 +177,30 @@ std::string metrics_json(const MetricsSnapshot& snapshot);
 
 /// Prometheus text exposition (version 0.0.4): HELP/TYPE headers,
 /// cumulative `_bucket{le="..."}` series, `_sum`/`_count`.  Metric names
-/// are sanitized ('.' and '-' map to '_').
+/// are sanitized ('.' and '-' map to '_').  Histogram buckets with a
+/// captured exemplar carry an OpenMetrics-style annotation:
+///   name_bucket{le="0.1"} 42 # {trace_id="00000100000002a7"} 0.0871
 std::string prometheus_text(const MetricsSnapshot& snapshot);
 
 /// Structural validation of a Prometheus text exposition: every sample
-/// line parses, every series was declared by a preceding TYPE line, and
-/// histogram bucket series are cumulative.  Used by tests and the
-/// `obs_check` CI tool.
+/// line parses, every series was declared by a preceding TYPE line,
+/// histogram bucket series are cumulative, and exemplar annotations only
+/// appear on bucket series with hex trace ids and parseable values.
+/// Used by tests and the `obs_check` CI tool.
 struct PrometheusCheck {
   std::size_t samples = 0;
   std::size_t families = 0;
+  std::size_t exemplars = 0;
+  /// Distinct trace_id label values across all exemplars, sorted.
+  std::vector<std::string> exemplar_trace_ids;
 };
 Result<PrometheusCheck> check_prometheus_text(std::string_view text);
+
+/// Parses a tsufail-generated Prometheus exposition back into a
+/// MetricsSnapshot (the inverse of prometheus_text, modulo name
+/// sanitization: names come back with '_' where '.' was).  Exemplar
+/// annotations are reconstructed with window 0.  `tsufail top` uses this
+/// to recompute quantiles client-side from a scraped /metrics page.
+Result<MetricsSnapshot> parse_prometheus_text(std::string_view text);
 
 }  // namespace tsufail::obs

@@ -36,4 +36,32 @@ const char* intern(const char* name) {
   return names.emplace(name).first->c_str();
 }
 
+namespace {
+// Trace ids are (thread slot << 40) | per-thread sequence: process-unique
+// and nonzero without a shared atomic per span.  The global counter is
+// touched once per thread lifetime.
+std::atomic<std::uint64_t> g_trace_thread_seq{0};
+thread_local std::uint64_t t_trace_id_base = 0;
+thread_local std::uint64_t t_trace_id_seq = 0;
+thread_local std::uint64_t t_current_trace_id = 0;
+}  // namespace
+
+std::uint64_t current_trace_id() noexcept { return t_current_trace_id; }
+
+namespace detail {
+
+std::uint64_t new_trace_id() noexcept {
+  if (t_trace_id_base == 0)
+    t_trace_id_base = (g_trace_thread_seq.fetch_add(1, std::memory_order_relaxed) + 1) << 40;
+  return t_trace_id_base | (++t_trace_id_seq & ((std::uint64_t{1} << 40) - 1));
+}
+
+std::uint64_t swap_current_trace_id(std::uint64_t id) noexcept {
+  const std::uint64_t previous = t_current_trace_id;
+  t_current_trace_id = id;
+  return previous;
+}
+
+}  // namespace detail
+
 }  // namespace tsufail::obs

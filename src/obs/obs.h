@@ -63,9 +63,20 @@ class Stopwatch {
 /// loops (or only when enabled()).  Literals need no interning.
 const char* intern(const char* name);
 
+/// The innermost live span's trace id on this thread (0 = no span open).
+/// Exemplar-enabled histograms read this at observe() time, which is how
+/// a slow observation links back to the span that produced it.
+std::uint64_t current_trace_id() noexcept;
+
 namespace detail {
 /// Records one completed span into this thread's ring buffer.
-void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept;
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::uint64_t trace_id) noexcept;
+/// Allocates a fresh process-unique nonzero trace id (thread-sequenced,
+/// no shared atomic on the hot path).
+std::uint64_t new_trace_id() noexcept;
+/// Installs `id` as this thread's current trace id, returning the old one.
+std::uint64_t swap_current_trace_id(std::uint64_t id) noexcept;
 }  // namespace detail
 
 /// RAII span: captures the clock on construction when obs is enabled
@@ -77,6 +88,8 @@ class SpanScope {
   explicit SpanScope(const char* name) noexcept {
     if (name != nullptr && enabled()) {
       name_ = name;
+      trace_id_ = detail::new_trace_id();
+      parent_id_ = detail::swap_current_trace_id(trace_id_);
       start_ = now_ns();
     }
   }
@@ -87,13 +100,21 @@ class SpanScope {
   /// Ends the span before scope exit (for phases that do not map onto a
   /// C++ block).  Idempotent; the destructor becomes a no-op.
   void stop() noexcept {
-    if (name_ != nullptr) detail::record_span(name_, start_, now_ns());
+    if (name_ != nullptr) {
+      detail::record_span(name_, start_, now_ns(), trace_id_);
+      detail::swap_current_trace_id(parent_id_);
+    }
     name_ = nullptr;
   }
+
+  /// This span's trace id (0 when the span is not recording).
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
 
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t parent_id_ = 0;
 };
 
 #define TSUFAIL_OBS_CAT2(a, b) a##b

@@ -97,6 +97,7 @@ struct Event {
   bool begin = true;
   const char* name = nullptr;
   std::uint32_t tid = 0;
+  std::uint64_t trace_id = 0;  ///< only emitted on "B" events
 };
 
 /// Expands one thread's completed spans into a properly nested B/E event
@@ -109,14 +110,14 @@ void emit_thread_events(const ThreadTrace& thread, std::vector<Event>& out) {
   for (std::size_t index : order) {
     const Span& span = thread.spans[index];
     while (!stack.empty() && stack.back()->end_ns <= span.start_ns) {
-      out.push_back({stack.back()->end_ns, false, stack.back()->name, thread.tid});
+      out.push_back({stack.back()->end_ns, false, stack.back()->name, thread.tid, 0});
       stack.pop_back();
     }
-    out.push_back({span.start_ns, true, span.name, thread.tid});
+    out.push_back({span.start_ns, true, span.name, thread.tid, span.trace_id});
     stack.push_back(&span);
   }
   while (!stack.empty()) {
-    out.push_back({stack.back()->end_ns, false, stack.back()->name, thread.tid});
+    out.push_back({stack.back()->end_ns, false, stack.back()->name, thread.tid, 0});
     stack.pop_back();
   }
 }
@@ -125,10 +126,11 @@ void emit_thread_events(const ThreadTrace& thread, std::vector<Event>& out) {
 
 namespace detail {
 
-void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept {
+void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+                 std::uint64_t trace_id) noexcept {
   Ring& ring = local_ring();
   std::lock_guard lock(ring.mutex);
-  ring.spans[ring.next] = {name, start_ns, end_ns};
+  ring.spans[ring.next] = {name, start_ns, end_ns, trace_id};
   ring.next = (ring.next + 1) % ring.capacity;
   if (ring.count < ring.capacity) {
     ++ring.count;
@@ -138,6 +140,12 @@ void record_span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns)
 }
 
 }  // namespace detail
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx", static_cast<unsigned long long>(trace_id));
+  return buffer;
+}
 
 std::size_t TraceSnapshot::span_count() const noexcept {
   std::size_t total = 0;
@@ -229,8 +237,14 @@ std::string chrome_trace_json(const TraceSnapshot& snapshot) {
     std::snprintf(buffer, sizeof buffer, ",\"ts\":%.3f",
                   static_cast<double>(event.ts_ns - epoch) / 1000.0);
     json += buffer;
-    std::snprintf(buffer, sizeof buffer, ",\"pid\":1,\"tid\":%u}", event.tid);
+    std::snprintf(buffer, sizeof buffer, ",\"pid\":1,\"tid\":%u", event.tid);
     json += buffer;
+    if (event.begin && event.trace_id != 0) {
+      json += ",\"args\":{\"trace_id\":\"";
+      json += trace_id_hex(event.trace_id);
+      json += "\"}";
+    }
+    json += "}";
   }
   json += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"exporter\":\"tsufail::obs\"";
   std::snprintf(buffer, sizeof buffer, ",\"dropped_spans\":%llu}}\n",
@@ -519,6 +533,7 @@ Result<ChromeTraceCheck> check_chrome_trace(std::string_view json) {
   // tid -> stack of open "B" names.
   std::map<std::uint32_t, std::vector<std::string>> open;
   std::map<std::string, std::size_t> spans_by_name;
+  std::map<std::string, bool> trace_ids;
   for (std::size_t i = 0; i < events->items.size(); ++i) {
     const JsonValue& event = events->items[i];
     const auto fail = [&](const std::string& why) {
@@ -543,6 +558,18 @@ Result<ChromeTraceCheck> check_chrome_trace(std::string_view json) {
     if (phase->text == "B") {
       open[thread].push_back(name->text);
       ++check.begin_events;
+      if (const JsonValue* arguments = event.find("args");
+          arguments != nullptr && arguments->kind == JsonValue::Kind::kObject) {
+        if (const JsonValue* id = arguments->find("trace_id"); id != nullptr) {
+          if (id->kind != JsonValue::Kind::kString || id->text.empty())
+            return fail("args.trace_id is not a non-empty string");
+          for (char c : id->text) {
+            if (!std::isxdigit(static_cast<unsigned char>(c)))
+              return fail("args.trace_id '" + id->text + "' is not hex");
+          }
+          trace_ids[id->text] = true;
+        }
+      }
     } else if (phase->text == "E") {
       auto& stack = open[thread];
       if (stack.empty()) return fail("E without open B on tid " + std::to_string(thread));
@@ -564,7 +591,14 @@ Result<ChromeTraceCheck> check_chrome_trace(std::string_view json) {
   }
   check.threads = open.size();
   check.spans_by_name.assign(spans_by_name.begin(), spans_by_name.end());
+  check.trace_ids.reserve(trace_ids.size());
+  for (const auto& [id, seen] : trace_ids) check.trace_ids.push_back(id);
   return check;
+}
+
+bool ChromeTraceCheck::has_trace_id(std::string_view id) const noexcept {
+  return std::binary_search(trace_ids.begin(), trace_ids.end(), id,
+                            [](std::string_view a, std::string_view b) { return a < b; });
 }
 
 }  // namespace tsufail::obs

@@ -24,9 +24,15 @@ struct Span {
   const char* name = nullptr;
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
+  std::uint64_t trace_id = 0;  ///< process-unique id; links exemplars to spans
 
   std::uint64_t duration_ns() const noexcept { return end_ns - start_ns; }
 };
+
+/// Canonical rendering of a trace id: 16 lowercase hex digits.  The same
+/// form appears in Chrome-trace `args` and Prometheus exemplars, so the
+/// two exports can be joined on it.
+std::string trace_id_hex(std::uint64_t trace_id);
 
 /// One thread's recorded spans, oldest first (completion order).
 struct ThreadTrace {
@@ -93,6 +99,10 @@ struct ChromeTraceCheck {
   std::size_t threads = 0;      ///< distinct tids
   /// Completed-span count per name, ascending by name.
   std::vector<std::pair<std::string, std::size_t>> spans_by_name;
+  /// Distinct `args.trace_id` values seen on "B" events, sorted ascending.
+  std::vector<std::string> trace_ids;
+
+  bool has_trace_id(std::string_view id) const noexcept;
 };
 Result<ChromeTraceCheck> check_chrome_trace(std::string_view json);
 

@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
 namespace tsufail::predict {
+namespace {
+
+obs::Counter& queries_counter() {
+  static obs::Counter counter = obs::counter("predict.queries");
+  return counter;
+}
+
+obs::Counter& observations_counter() {
+  static obs::Counter counter = obs::counter("predict.observations");
+  return counter;
+}
+
+}  // namespace
 
 Result<EvaluationReport> evaluate_predictor(const data::FailureLog& log,
                                             NodeRiskPredictor& predictor,
                                             double warmup_fraction, std::size_t top_k) {
+  OBS_SPAN("predict.evaluate");
   if (log.empty())
     return Error(ErrorKind::kDomain, "evaluate_predictor: empty log");
   if (!(warmup_fraction >= 0.0 && warmup_fraction < 1.0))
@@ -51,8 +68,10 @@ Result<EvaluationReport> evaluate_predictor(const data::FailureLog& log,
           static_cast<double>(strictly_greater) + (static_cast<double>(ties) + 1.0) / 2.0;
       mrr_sum += 1.0 / expected_rank;
       ++report.queries;
+      queries_counter().add();
     }
     predictor.observe(record);
+    observations_counter().add();
   }
 
   if (report.queries == 0)
@@ -66,6 +85,7 @@ Result<EvaluationReport> evaluate_predictor(const data::FailureLog& log,
 Result<std::vector<EvaluationReport>> compare_predictors(const data::FailureLog& log,
                                                          double warmup_fraction,
                                                          std::size_t top_k) {
+  OBS_SPAN("predict.compare");
   std::vector<std::unique_ptr<NodeRiskPredictor>> predictors;
   predictors.push_back(make_uniform_predictor());
   predictors.push_back(make_count_predictor());

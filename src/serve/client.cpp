@@ -1,0 +1,110 @@
+#include "serve/client.h"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace tsufail::serve {
+
+Result<std::size_t> parse_frame_header(std::string_view header) {
+  if (header.rfind("OK", 0) != 0)
+    return Error(ErrorKind::kValidation, "server said: " + std::string(header));
+  const std::size_t marker = header.rfind(" bytes ");
+  if (marker == std::string_view::npos)
+    return Error(ErrorKind::kParse, "unframed response: " + std::string(header));
+  const std::string digits(header.substr(marker + 7));
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(digits.c_str(), &end, 10);
+  if (end == digits.c_str() || *end != '\0')
+    return Error(ErrorKind::kParse, "bad frame length in: " + std::string(header));
+  return static_cast<std::size_t>(n);
+}
+
+LineClient::~LineClient() { close(); }
+
+void LineClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inbox_.clear();
+}
+
+Result<void> LineClient::connect(const std::string& host, const std::string& port) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &found) != 0 || found == nullptr)
+    return Error(ErrorKind::kIo, "cannot resolve " + host + ":" + port);
+  fd_ = ::socket(found->ai_family, found->ai_socktype, found->ai_protocol);
+  const bool ok = fd_ >= 0 && ::connect(fd_, found->ai_addr, found->ai_addrlen) == 0;
+  ::freeaddrinfo(found);
+  if (!ok) {
+    close();
+    return Error(ErrorKind::kIo, "cannot connect to " + host + ":" + port);
+  }
+  return {};
+}
+
+Result<void> LineClient::send_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t sent = ::send(fd_, data.data() + off, data.size() - off, 0);
+    if (sent <= 0) return Error(ErrorKind::kIo, "send failed (connection lost?)");
+    off += static_cast<std::size_t>(sent);
+  }
+  return {};
+}
+
+Result<void> LineClient::fill() {
+  char buffer[4096];
+  const ssize_t got = ::recv(fd_, buffer, sizeof buffer, 0);
+  if (got <= 0) return Error(ErrorKind::kIo, "connection closed mid-response");
+  inbox_.append(buffer, static_cast<std::size_t>(got));
+  return {};
+}
+
+Result<std::string> LineClient::read_line() {
+  for (;;) {
+    const std::size_t newline = inbox_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = inbox_.substr(0, newline);
+      inbox_.erase(0, newline + 1);
+      return line;
+    }
+    if (auto filled = fill(); !filled.ok()) return filled.error();
+  }
+}
+
+Result<std::string> LineClient::read_bytes(std::size_t n) {
+  while (inbox_.size() < n) {
+    if (auto filled = fill(); !filled.ok()) return filled.error();
+  }
+  std::string payload = inbox_.substr(0, n);
+  inbox_.erase(0, n);
+  return payload;
+}
+
+Result<std::string> LineClient::simple(const std::string& line) {
+  if (fd_ < 0) return Error(ErrorKind::kValidation, "not connected");
+  if (auto sent = send_all(line + "\n"); !sent.ok()) return sent.error();
+  auto response = read_line();
+  if (!response.ok()) return response.error();
+  if (response.value().rfind("OK", 0) != 0)
+    return Error(ErrorKind::kValidation, "server said: " + response.value());
+  return response;
+}
+
+Result<std::string> LineClient::framed(const std::string& line) {
+  if (fd_ < 0) return Error(ErrorKind::kValidation, "not connected");
+  if (auto sent = send_all(line + "\n"); !sent.ok()) return sent.error();
+  auto header = read_line();
+  if (!header.ok()) return header.error();
+  auto length = parse_frame_header(header.value());
+  if (!length.ok()) return length.error().with_context("command '" + line + "'");
+  return read_bytes(length.value());
+}
+
+}  // namespace tsufail::serve

@@ -1,0 +1,47 @@
+// Blocking TCP client for the serve line protocol — the library twin of
+// the driver the serve bench carries, with Result-based errors instead
+// of exits.  `tsufail top` polls a daemon through this; tests exercise
+// the response parsing against canned bytes via parse_frame_header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace tsufail::serve {
+
+/// Parses "OK <header...> bytes <n>" into n.  Errors on ERR lines and
+/// unframed responses.
+Result<std::size_t> parse_frame_header(std::string_view header);
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to host:port (IPv4).  A second call reconnects.
+  Result<void> connect(const std::string& host, const std::string& port);
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends `line` and returns the single "OK ..." response line.
+  Result<std::string> simple(const std::string& line);
+
+  /// Sends `line` expecting a framed response; returns the payload.
+  Result<std::string> framed(const std::string& line);
+
+ private:
+  Result<void> send_all(std::string_view data);
+  Result<std::string> read_line();
+  Result<std::string> read_bytes(std::size_t n);
+  Result<void> fill();
+
+  int fd_ = -1;
+  std::string inbox_;
+};
+
+}  // namespace tsufail::serve

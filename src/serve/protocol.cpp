@@ -64,7 +64,8 @@ std::string render_stats(const std::string& tenant, const TenantStats& stats) {
      << "quarantine_dropped: " << stats.stream.quarantine_dropped << '\n'
      << "bad_rows: " << stats.bad_rows << '\n'
      << "alerts_fired: " << stats.alerts_fired << '\n'
-     << "alerts_cleared: " << stats.alerts_cleared << '\n';
+     << "alerts_cleared: " << stats.alerts_cleared << '\n'
+     << "staleness_seconds: " << stats.staleness_seconds << '\n';
   return std::move(os).str();
 }
 
@@ -266,6 +267,12 @@ void Connection::handle_command(std::string_view line, std::string& out) {
     frame(out, "keys", render_keys());
   } else if (command == "METRICS") {
     frame(out, "metrics", FleetService::metrics_text());
+  } else if (command == "SLO") {
+    if (!rest.empty()) {
+      err(out, "usage: SLO (no arguments)");
+      return;
+    }
+    frame(out, "slo", service_->slo_text());
   } else {
     err(out, "unknown command '" + std::string(command) + "'");
   }
@@ -281,6 +288,18 @@ void Connection::handle_http_request(std::string_view path, std::string& out) {
   }
   if (path == "/tenants") {
     http_response(out, 200, "OK", render_tenants(service_->tenant_names()));
+    return;
+  }
+  if (path == "/slo") {
+    http_response(out, 200, "OK", service_->slo_text());
+    return;
+  }
+  if (path == "/healthz") {
+    // Burning objectives flip the status code so dumb probes (curl -f,
+    // load balancers) see unhealthy without parsing the body.
+    const bool burning = service_->health_state() == obs::SloState::kBurning;
+    http_response(out, burning ? 503 : 200, burning ? "Service Unavailable" : "OK",
+                  service_->healthz_text());
     return;
   }
   if (path.rfind("/stats/", 0) == 0) {
@@ -311,7 +330,8 @@ void Connection::handle_http_request(std::string_view path, std::string& out) {
     return;
   }
   http_response(out, 404, "Not Found",
-                "routes: /metrics /tenants /stats/<tenant> /query/<tenant>/<key>\n");
+                "routes: /metrics /slo /healthz /tenants /stats/<tenant> "
+                "/query/<tenant>/<key>\n");
 }
 
 }  // namespace tsufail::serve

@@ -22,6 +22,7 @@
 //   TENANTS                     framed open-tenant list
 //   KEYS                        framed query-key vocabulary
 //   METRICS                     framed Prometheus exposition
+//   SLO                         framed objective table (render_slo_text)
 //   PING                        "OK pong"
 //   QUIT                        "OK bye", connection closes
 //
@@ -30,8 +31,9 @@
 // stays readable).
 //
 // A connection whose first line starts with "GET " switches to minimal
-// HTTP/1.0: /metrics, /tenants, /stats/<tenant>, /query/<tenant>/<key>
-// answer one request with Content-Length and close.
+// HTTP/1.0: /metrics, /slo, /healthz, /tenants, /stats/<tenant>,
+// /query/<tenant>/<key> answer one request with Content-Length and
+// close (/healthz answers 503 while any objective is burning).
 //
 // A line longer than max_line_bytes earns one ERR and is discarded up to
 // the next '\n'; the connection (and every tenant) keeps working.

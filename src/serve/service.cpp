@@ -32,14 +32,24 @@ obs::Counter& query_errors() {
   return c;
 }
 obs::Histogram& query_seconds() {
-  static obs::Histogram h =
-      obs::histogram("serve.query.seconds", obs::time_buckets_seconds());
+  // Exemplars on: every bucket remembers its slowest query's trace id,
+  // so a burning latency SLO links straight into the Chrome trace.
+  static obs::Histogram h = obs::histogram("serve.query.seconds", obs::time_buckets_seconds(),
+                                           obs::ExemplarMode::kMaxPerBucket);
   return h;
 }
 obs::Gauge& tenants_gauge() {
   static obs::Gauge g = obs::gauge("serve.tenants");
   return g;
 }
+obs::Counter& dropped_series() {
+  static obs::Counter c = obs::counter("obs.dropped_series");
+  return c;
+}
+
+/// Series registered per tenant when per-tenant metrics are on (keep in
+/// sync with Tenant's constructor).
+constexpr std::size_t kSeriesPerTenant = 7;
 
 constexpr std::string_view kStudyKey = "study";
 constexpr std::string_view kStudySummary =
@@ -48,7 +58,38 @@ constexpr std::string_view kStudySummary =
 }  // namespace
 
 FleetService::FleetService(ServiceConfig config)
-    : config_(config), cache_(config.cache_capacity) {}
+    : config_(config), cache_(config.cache_capacity), slo_(config.slo.windows) {
+  query_seconds();  // register eagerly so the first SLO ticks see the histogram
+  const SloTargets& targets = config_.slo;
+  if (targets.query_p99_seconds > 0.0) {
+    obs::SloObjective objective;
+    objective.name = "serve.query.p99";
+    objective.kind = obs::SloKind::kLatencyQuantile;
+    objective.metric = "serve.query.seconds";
+    objective.threshold = targets.query_p99_seconds;
+    objective.quantile = 0.99;
+    objective.budget = targets.query_budget;
+    slo_.add_objective(std::move(objective));
+  }
+  if (targets.cache_miss_budget > 0.0) {
+    obs::SloObjective objective;
+    objective.name = "serve.query.cache_miss_ratio";
+    objective.kind = obs::SloKind::kErrorRatio;
+    objective.metric = "serve.query.cache_misses";
+    objective.denominator = "serve.query.requests";
+    objective.budget = targets.cache_miss_budget;
+    slo_.add_objective(std::move(objective));
+  }
+  if (targets.min_ingest_per_s > 0.0) {
+    obs::SloObjective objective;
+    objective.name = "serve.ingest.throughput";
+    objective.kind = obs::SloKind::kThroughputMin;
+    objective.metric = "serve.ingest.events";
+    objective.threshold = targets.min_ingest_per_s;
+    objective.budget = 0.1;
+    slo_.add_objective(std::move(objective));
+  }
+}
 
 Result<void> FleetService::open_tenant(const std::string& name, const data::MachineSpec& spec) {
   return open_tenant(name, spec, config_.tenant);
@@ -56,7 +97,20 @@ Result<void> FleetService::open_tenant(const std::string& name, const data::Mach
 
 Result<void> FleetService::open_tenant(const std::string& name, const data::MachineSpec& spec,
                                        const TenantConfig& config) {
-  auto tenant = Tenant::open(name, spec, config);
+  TenantConfig effective = config;
+  bool metered = effective.per_tenant_metrics;
+  {
+    // Cardinality cap: past max_tenant_series tenants, per-tenant series
+    // are suppressed (counted into obs.dropped_series) so a tenant flood
+    // cannot grow the registry without bound.
+    std::unique_lock lock(tenants_mutex_);
+    if (metered && metered_tenants_ >= config_.max_tenant_series) {
+      effective.per_tenant_metrics = false;
+      metered = false;
+      dropped_series().add(kSeriesPerTenant);
+    }
+  }
+  auto tenant = Tenant::open(name, spec, effective);
   if (!tenant.ok()) return tenant.error().with_context("open tenant");
   // The callback outlives nothing: tenants are owned by (and die with)
   // this service, and QueryCache is internally synchronized.
@@ -67,6 +121,21 @@ Result<void> FleetService::open_tenant(const std::string& name, const data::Mach
   auto [it, inserted] = tenants_.emplace(name, std::move(tenant).value());
   if (!inserted)
     return Error(ErrorKind::kValidation, "tenant '" + name + "' is already open");
+  if (metered) {
+    ++metered_tenants_;
+    // Watermark-staleness objective over the tenant's staleness gauge
+    // (refreshed by slo_tick): released records must become queryable
+    // within the ceiling.
+    if (config_.slo.staleness_ceiling_s > 0.0) {
+      obs::SloObjective objective;
+      objective.name = "serve.tenant." + name + ".staleness";
+      objective.kind = obs::SloKind::kStalenessMax;
+      objective.metric = "serve.tenant." + name + ".staleness";
+      objective.threshold = config_.slo.staleness_ceiling_s;
+      objective.budget = config_.slo.staleness_budget;
+      slo_.add_objective(std::move(objective));
+    }
+  }
   tenants_gauge().set(static_cast<double>(tenants_.size()));
   return {};
 }
@@ -215,6 +284,55 @@ bool FleetService::is_key(std::string_view key) noexcept {
 
 std::string FleetService::metrics_text() {
   return obs::prometheus_text(obs::collect_metrics());
+}
+
+void FleetService::slo_tick(std::uint64_t now_ns) {
+  if (now_ns == 0) now_ns = obs::now_ns();
+  // Refresh the per-tenant staleness gauges before snapshotting; stats()
+  // writes the gauge as a side effect.
+  {
+    std::shared_lock lock(tenants_mutex_);
+    for (const auto& [name, tenant] : tenants_) (void)tenant->stats();
+  }
+  slo_.tick(obs::collect_metrics(), now_ns);
+}
+
+std::vector<obs::SloStatus> FleetService::slo_statuses(std::uint64_t now_ns) const {
+  return slo_.evaluate(now_ns == 0 ? obs::now_ns() : now_ns);
+}
+
+std::string FleetService::slo_text(std::uint64_t now_ns) const {
+  return obs::render_slo_text(slo_statuses(now_ns));
+}
+
+obs::SloState FleetService::health_state(std::uint64_t now_ns) const {
+  return obs::aggregate_slo_state(slo_statuses(now_ns));
+}
+
+std::string FleetService::healthz_text(std::uint64_t now_ns) const {
+  const std::vector<obs::SloStatus> statuses = slo_statuses(now_ns);
+  std::string out = "status ";
+  out += obs::slo_state_name(obs::aggregate_slo_state(statuses));
+  out += '\n';
+  constexpr std::string_view kTenantPrefix = "serve.tenant.";
+  for (const obs::SloStatus& status : statuses) {
+    if (status.objective.starts_with(kTenantPrefix)) {
+      const std::string_view tail =
+          std::string_view(status.objective).substr(kTenantPrefix.size());
+      out += "tenant ";
+      out += tail.substr(0, tail.find('.'));
+    } else {
+      out += "fleet";
+    }
+    out += ' ';
+    out += status.objective;
+    out += ' ';
+    out += obs::slo_state_name(status.state);
+    out += ' ';
+    out += status.reason;
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace tsufail::serve

@@ -22,10 +22,23 @@
 #include <vector>
 
 #include "analysis/query.h"
+#include "obs/slo.h"
 #include "serve/cache.h"
 #include "serve/tenant.h"
 
 namespace tsufail::serve {
+
+/// Error-budget targets for the service's default objectives.  A target
+/// of 0 leaves that objective unregistered.
+struct SloTargets {
+  double query_p99_seconds = 0.1;    ///< "99% of queries answer within this"
+  double query_budget = 0.01;        ///< allowed slow-query fraction
+  double cache_miss_budget = 0.9;    ///< allowed miss fraction (cold caches miss)
+  double min_ingest_per_s = 0.0;     ///< ingest-throughput floor (0 = off)
+  double staleness_ceiling_s = 600.0;///< per-tenant watermark staleness bound
+  double staleness_budget = 0.1;     ///< allowed fraction of stale ticks
+  obs::SloConfig windows;            ///< burn-rate windows and thresholds
+};
 
 struct ServiceConfig {
   /// Shared query-cache capacity (entries across all tenants; 0 = off).
@@ -34,6 +47,13 @@ struct ServiceConfig {
   TenantConfig tenant;
   /// Worker threads for "study" queries (see analysis::StudyOptions).
   std::size_t study_jobs = 1;
+  /// Cardinality cap: at most this many tenants register per-tenant
+  /// series (serve.tenant.<name>.*).  Tenants past the cap still work,
+  /// but open with per-tenant metrics off and count into
+  /// obs.dropped_series — a tenant flood cannot blow up the registry.
+  std::size_t max_tenant_series = 64;
+  /// Default objectives for the SLO engine.
+  SloTargets slo;
 };
 
 class FleetService {
@@ -91,6 +111,29 @@ class FleetService {
   /// serve.* aggregates plus per-tenant series).
   static std::string metrics_text();
 
+  /// One SLO evaluation tick: refreshes per-tenant staleness gauges,
+  /// snapshots the registry, and feeds the engine.  The serve daemon
+  /// calls this once a second; tests call it with synthetic timestamps.
+  /// `now_ns` = 0 means obs::now_ns().
+  void slo_tick(std::uint64_t now_ns = 0);
+
+  /// Every objective's status as of `now_ns` (0 = obs::now_ns()).
+  std::vector<obs::SloStatus> slo_statuses(std::uint64_t now_ns = 0) const;
+
+  /// The /slo page (render_slo_text over slo_statuses).
+  std::string slo_text(std::uint64_t now_ns = 0) const;
+
+  /// The /healthz page: "status <STATE>" headline, then one line per
+  /// objective — "fleet <objective> <STATE> <reason>" for service-wide
+  /// objectives, "tenant <name> <objective> <STATE> <reason>" for
+  /// per-tenant ones.
+  std::string healthz_text(std::uint64_t now_ns = 0) const;
+
+  /// Aggregate state across all objectives (kNoData never escalates).
+  obs::SloState health_state(std::uint64_t now_ns = 0) const;
+
+  obs::SloEngine& slo_engine() noexcept { return slo_; }
+
   const ServiceConfig& config() const noexcept { return config_; }
 
  private:
@@ -98,6 +141,8 @@ class FleetService {
 
   ServiceConfig config_;
   QueryCache cache_;
+  obs::SloEngine slo_;
+  std::size_t metered_tenants_ = 0;  ///< tenants granted per-tenant series
   mutable std::shared_mutex tenants_mutex_;
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
 };

@@ -86,6 +86,7 @@ Tenant::Tenant(std::string name, data::MachineSpec spec, const TenantConfig& con
     cleared_counter_ = obs::counter(prefix + "alerts.cleared");
     epoch_gauge_ = obs::gauge(prefix + "epoch");
     records_gauge_ = obs::gauge(prefix + "records");
+    staleness_gauge_ = obs::gauge(prefix + "staleness");
   }
 }
 
@@ -268,6 +269,7 @@ void Tenant::consume_released() {
         while (alert_history_.size() > config_.alert_history) alert_history_.pop_front();
       }
     }
+    if (sealed_pending_.empty()) pending_since_ns_ = obs::now_ns();
     sealed_pending_.push_back(std::move(*record));
   }
 }
@@ -278,6 +280,7 @@ Result<std::uint64_t> Tenant::seal() {
   {
     std::lock_guard lock(ingest_mutex_);
     pending.swap(sealed_pending_);
+    pending_since_ns_ = 0;
   }
   data::SnapshotPtr base = snapshot();
   if (pending.empty()) return base->epoch();
@@ -327,7 +330,11 @@ TenantStats Tenant::stats() const {
     out.bad_rows = bad_rows_;
     out.alerts_fired = alerts_fired_;
     out.alerts_cleared = alerts_cleared_;
+    if (!sealed_pending_.empty() && pending_since_ns_ != 0)
+      out.staleness_seconds =
+          static_cast<double>(obs::now_ns() - pending_since_ns_) * 1e-9;
   }
+  if (staleness_gauge_.has_value()) staleness_gauge_->set(out.staleness_seconds);
   data::SnapshotPtr current = snapshot();
   out.epoch = current->epoch();
   out.records = current->size();

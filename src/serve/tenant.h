@@ -80,6 +80,10 @@ struct TenantStats {
   std::uint64_t bad_rows = 0;       ///< rows that never parsed to a record
   std::uint64_t alerts_fired = 0;
   std::uint64_t alerts_cleared = 0;
+  /// Wall-clock age (seconds) of the oldest released record still
+  /// waiting for a seal — the tenant's watermark staleness.  0 when
+  /// nothing is pending.
+  double staleness_seconds = 0.0;
 };
 
 class Tenant {
@@ -146,6 +150,7 @@ class Tenant {
   std::optional<stream::HealthMonitor> monitor_;
   std::optional<stream::AlertEngine> engine_;
   std::vector<data::FailureRecord> sealed_pending_;
+  std::uint64_t pending_since_ns_ = 0;  ///< obs clock when pending became non-empty
   std::deque<stream::Alert> alert_history_;
   std::uint64_t bad_rows_ = 0;
   std::uint64_t alerts_fired_ = 0;
@@ -164,6 +169,8 @@ class Tenant {
   std::optional<obs::Counter> cleared_counter_;
   std::optional<obs::Gauge> epoch_gauge_;
   std::optional<obs::Gauge> records_gauge_;
+  // mutable: const stats() refreshes the gauge as a side effect.
+  mutable std::optional<obs::Gauge> staleness_gauge_;
 };
 
 }  // namespace tsufail::serve

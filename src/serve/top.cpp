@@ -1,0 +1,161 @@
+#include "serve/top.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tsufail::serve {
+namespace {
+
+std::string format_fixed(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_burn(double burn) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.1fx", burn);
+  return buffer;
+}
+
+/// Pads (or leaves alone — never truncates) to `width` columns.
+std::string pad(std::string text, std::size_t width) {
+  if (text.size() < width) text.append(width - text.size(), ' ');
+  return text;
+}
+
+const char* state_color(obs::SloState state) {
+  switch (state) {
+    case obs::SloState::kOk: return "\x1b[32m";        // green
+    case obs::SloState::kNoData: return "\x1b[2m";     // dim
+    case obs::SloState::kDegraded: return "\x1b[33m";  // yellow
+    case obs::SloState::kBurning: return "\x1b[31m";   // red
+  }
+  return "";
+}
+
+}  // namespace
+
+TopTenant parse_top_tenant(const std::string& name, std::string_view stats_block) {
+  TopTenant row;
+  row.name = name;
+  std::size_t pos = 0;
+  while (pos < stats_block.size()) {
+    std::size_t newline = stats_block.find('\n', pos);
+    if (newline == std::string_view::npos) newline = stats_block.size();
+    const std::string_view line = stats_block.substr(pos, newline - pos);
+    pos = newline + 1;
+    const std::size_t colon = line.find(": ");
+    if (colon == std::string_view::npos) continue;
+    const std::string_view key = line.substr(0, colon);
+    const std::string value(line.substr(colon + 2));
+    if (key == "epoch") row.epoch = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "records") row.records = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "sealed_pending") row.pending = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "offered") row.offered = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "quarantined_invalid" || key == "quarantined_late")
+      row.quarantined += std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "alerts_fired") row.alerts_fired = std::strtoull(value.c_str(), nullptr, 10);
+    else if (key == "staleness_seconds") row.staleness_seconds = std::strtod(value.c_str(), nullptr);
+  }
+  return row;
+}
+
+Result<TopSnapshot> fetch_top(LineClient& client, const std::string& target) {
+  TopSnapshot snapshot;
+  snapshot.target = target;
+
+  auto slo_payload = client.framed("SLO");
+  if (!slo_payload.ok()) return slo_payload.error().with_context("fetching /slo");
+  auto statuses = obs::parse_slo_text(slo_payload.value());
+  if (!statuses.ok()) return statuses.error().with_context("parsing SLO table");
+  snapshot.objectives = std::move(statuses.value());
+
+  auto tenants_payload = client.framed("TENANTS");
+  if (!tenants_payload.ok()) return tenants_payload.error().with_context("fetching tenants");
+  std::istringstream names(tenants_payload.value());
+  std::string name;
+  while (std::getline(names, name)) {
+    if (name.empty()) continue;
+    auto stats_payload = client.framed("STATS " + name);
+    if (!stats_payload.ok())
+      return stats_payload.error().with_context("fetching stats for " + name);
+    snapshot.tenants.push_back(parse_top_tenant(name, stats_payload.value()));
+  }
+
+  auto metrics_payload = client.framed("METRICS");
+  if (!metrics_payload.ok()) return metrics_payload.error().with_context("fetching metrics");
+  auto metrics = obs::parse_prometheus_text(metrics_payload.value());
+  if (!metrics.ok()) return metrics.error().with_context("parsing /metrics");
+  // parse_prometheus_text returns sanitized names ('.' became '_').
+  if (const auto* latency = metrics.value().find_histogram("serve_query_seconds")) {
+    snapshot.query_p50 = obs::histogram_quantile(*latency, 0.50);
+    snapshot.query_p95 = obs::histogram_quantile(*latency, 0.95);
+    snapshot.query_p99 = obs::histogram_quantile(*latency, 0.99);
+    snapshot.query_count = latency->count;
+  }
+  if (const auto* hits = metrics.value().find_counter("serve_query_cache_hits"))
+    snapshot.cache_hits = hits->value;
+  if (const auto* misses = metrics.value().find_counter("serve_query_cache_misses"))
+    snapshot.cache_misses = misses->value;
+  for (const auto& histogram : metrics.value().histograms)
+    snapshot.exemplars += histogram.exemplars.size();
+  return snapshot;
+}
+
+std::string render_top(const TopSnapshot& snapshot, bool ansi) {
+  const char* reset = ansi ? "\x1b[0m" : "";
+  std::string out;
+  if (ansi) out += "\x1b[H\x1b[2J";  // cursor home + clear screen
+
+  const obs::SloState aggregate = obs::aggregate_slo_state(snapshot.objectives);
+  out += "tsufail top — " + snapshot.target + "   fleet: ";
+  if (ansi) out += state_color(aggregate);
+  out += slo_state_name(aggregate);
+  out += reset;
+  out += '\n';
+
+  out += "\nOBJECTIVES\n";
+  out += pad("NAME", 36) + pad("STATE", 10) + pad("FAST", 8) + pad("SLOW", 8) +
+         pad("VALUE", 12) + pad("TARGET", 12) + "REASON\n";
+  for (const auto& status : snapshot.objectives) {
+    out += pad(status.objective, 36);
+    if (ansi) out += state_color(status.state);
+    out += pad(std::string(slo_state_name(status.state)), 10);
+    out += reset;
+    out += pad(format_burn(status.fast_burn), 8);
+    out += pad(format_burn(status.slow_burn), 8);
+    out += pad(format_fixed(status.value, 4), 12);
+    out += pad(format_fixed(status.threshold, 4), 12);
+    out += status.reason;
+    out += '\n';
+  }
+  if (snapshot.objectives.empty()) out += "(no objectives registered)\n";
+
+  const std::uint64_t lookups = snapshot.cache_hits + snapshot.cache_misses;
+  const double hit_pct = lookups == 0 ? 0.0 : 100.0 * snapshot.cache_hits / lookups;
+  out += "\nQUERIES  p50 " + format_fixed(snapshot.query_p50, 4) + "s  p95 " +
+         format_fixed(snapshot.query_p95, 4) + "s  p99 " + format_fixed(snapshot.query_p99, 4) +
+         "s  count " + std::to_string(snapshot.query_count) + "  cache_hit " +
+         format_fixed(hit_pct, 1) + "%  exemplars " + std::to_string(snapshot.exemplars) + '\n';
+
+  out += "\nTENANTS\n";
+  out += pad("NAME", 20) + pad("EPOCH", 8) + pad("RECORDS", 10) + pad("PENDING", 10) +
+         pad("OFFERED", 10) + pad("QUARANTINED", 13) + pad("ALERTS", 8) + "STALE_S\n";
+  for (const auto& tenant : snapshot.tenants) {
+    out += pad(tenant.name, 20);
+    out += pad(std::to_string(tenant.epoch), 8);
+    out += pad(std::to_string(tenant.records), 10);
+    out += pad(std::to_string(tenant.pending), 10);
+    out += pad(std::to_string(tenant.offered), 10);
+    out += pad(std::to_string(tenant.quarantined), 13);
+    out += pad(std::to_string(tenant.alerts_fired), 8);
+    out += format_fixed(tenant.staleness_seconds, 1);
+    out += '\n';
+  }
+  if (snapshot.tenants.empty()) out += "(no tenants open)\n";
+  return out;
+}
+
+}  // namespace tsufail::serve

@@ -1,0 +1,59 @@
+// `tsufail top` — fleet dashboard over the serve line protocol.
+//
+// Split for testability: fetch_top() talks to a daemon through a
+// LineClient (SLO, TENANTS, STATS per tenant, METRICS) and fills a
+// TopSnapshot; render_top() is a pure function from snapshot to text,
+// so the golden test renders a hand-built snapshot with no socket in
+// sight.  Plain mode emits a stable tab-free table for pipes and tests;
+// ANSI mode adds a home/clear prefix and state colors for the live
+// loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/slo.h"
+#include "serve/client.h"
+
+namespace tsufail::serve {
+
+/// One tenant row on the dashboard (a distillation of TenantStats as
+/// rendered by the STATS verb).
+struct TopTenant {
+  std::string name;
+  std::uint64_t epoch = 0;
+  std::uint64_t records = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t quarantined = 0;  ///< invalid + late
+  std::uint64_t alerts_fired = 0;
+  double staleness_seconds = 0.0;
+};
+
+struct TopSnapshot {
+  std::string target;  ///< host:port the data came from
+  std::vector<obs::SloStatus> objectives;
+  std::vector<TopTenant> tenants;
+  // Fleet-wide query latency, recomputed client-side from the scraped
+  // serve.query.seconds histogram.
+  double query_p50 = 0.0;
+  double query_p95 = 0.0;
+  double query_p99 = 0.0;
+  std::uint64_t query_count = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t exemplars = 0;  ///< exemplar annotations on the /metrics page
+};
+
+/// Parses a STATS payload ("key: value" lines) into a row.  Unknown keys
+/// are ignored so older daemons still render.
+TopTenant parse_top_tenant(const std::string& name, std::string_view stats_block);
+
+/// Polls one round of SLO + TENANTS + STATS + METRICS.
+Result<TopSnapshot> fetch_top(LineClient& client, const std::string& target);
+
+/// Renders the dashboard.  `ansi` adds cursor-home/clear and colors.
+std::string render_top(const TopSnapshot& snapshot, bool ansi);
+
+}  // namespace tsufail::serve

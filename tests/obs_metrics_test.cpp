@@ -203,6 +203,74 @@ TEST(HistogramQuantile, EmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
 }
 
+TEST_F(MetricsTest, ExemplarCaptureIsExactUnderContention) {
+  // Eight threads hammer one exemplar-enabled histogram, each inside its
+  // own span.  The total count must be exact (exemplar capture never
+  // drops or double-counts observations) and every captured exemplar
+  // must carry one of the eight span trace ids whole — a torn seqlock
+  // read would surface as an id outside the set (or 0 with a nonzero
+  // observation recorded under a live span).
+  const double bounds[] = {0.01, 0.1, 1.0};
+  Histogram contended = histogram("test.contended", bounds, ExemplarMode::kMaxPerBucket);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 5000;
+  const double values[] = {0.005, 0.05, 0.5, 5.0};  // one per bucket incl. +Inf
+
+  std::vector<std::uint64_t> ids(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      SpanScope span("contended.worker");
+      ids[t] = current_trace_id();
+      for (std::size_t i = 0; i < kPerThread; ++i)
+        contended.observe(values[(t + i) % 4]);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  const auto snapshot = collect_metrics();
+  const auto* h = snapshot.find_histogram("test.contended");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : h->counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+
+  ASSERT_FALSE(h->exemplars.empty());
+  for (const auto& exemplar : h->exemplars) {
+    bool known = false;
+    for (std::uint64_t id : ids) known = known || exemplar.trace_id == id;
+    EXPECT_TRUE(known) << "torn or foreign trace id " << exemplar.trace_id;
+    // The captured value must be one the threads actually observed, and
+    // must belong to the bucket the exemplar claims.
+    bool observed = false;
+    for (double v : values) observed = observed || exemplar.value == v;
+    EXPECT_TRUE(observed) << exemplar.value;
+    ASSERT_LT(exemplar.bucket, h->counts.size());
+    if (exemplar.bucket < h->bounds.size()) {
+      EXPECT_LE(exemplar.value, h->bounds[exemplar.bucket]);
+    }
+    EXPECT_EQ(exemplar.window, exemplar_window());
+  }
+}
+
+TEST_F(MetricsTest, AdvancingTheWindowRetiresStaleExemplars) {
+  const double bounds[] = {1.0};
+  Histogram h = histogram("test.windowed", bounds, ExemplarMode::kMaxPerBucket);
+  h.observe(0.9);
+  const std::uint64_t next = advance_exemplar_window();
+  // The old cell is stale: the next observation overwrites it even though
+  // its value is smaller ("slowest" resets per window).
+  h.observe(0.1);
+  const auto snapshot = collect_metrics();
+  const auto* value = snapshot.find_histogram("test.windowed");
+  ASSERT_NE(value, nullptr);
+  const auto* exemplar = value->find_exemplar(0);
+  ASSERT_NE(exemplar, nullptr);
+  EXPECT_DOUBLE_EQ(exemplar->value, 0.1);
+  EXPECT_EQ(exemplar->window, next);
+}
+
 TEST_F(MetricsTest, ValidatorRejectsUndeclaredAndNonCumulative) {
   EXPECT_FALSE(check_prometheus_text("undeclared_metric 1\n").ok());
   const std::string non_cumulative =

@@ -1,0 +1,275 @@
+// Tests for obs::slo — the sliding-window burn-rate engine.
+// Load-bearing claims: burn crosses into BURNING exactly at the paging
+// thresholds (>=, not >), a fast-only spike marks DEGRADED rather than
+// paging, counter resets fall back to "latest cumulative is the delta",
+// an empty window is a zero fraction (never NaN), fewer than two ticks
+// is NO_DATA, and the /slo text round-trips through its parser.
+//
+// The engine is fed hand-built MetricsSnapshots with synthetic
+// timestamps, so every window edge is exact.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tsufail::obs {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+MetricsSnapshot ratio_snapshot(std::uint64_t bad, std::uint64_t total) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"err.bad", bad});
+  snapshot.counters.push_back({"err.total", total});
+  return snapshot;
+}
+
+SloObjective ratio_objective(double budget) {
+  SloObjective objective;
+  objective.name = "test.ratio";
+  objective.kind = SloKind::kErrorRatio;
+  objective.metric = "err.bad";
+  objective.denominator = "err.total";
+  objective.budget = budget;
+  return objective;
+}
+
+TEST(SloEngine, FewerThanTwoTicksIsNoData) {
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.01));
+  auto statuses = engine.evaluate(kSecond);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, SloState::kNoData);
+
+  engine.tick(ratio_snapshot(0, 100), kSecond);
+  statuses = engine.evaluate(kSecond);
+  EXPECT_EQ(statuses[0].state, SloState::kNoData);
+}
+
+TEST(SloEngine, BurnsExactlyAtThePagingThreshold) {
+  // Burn exactly 14.4x — the fast paging threshold — and the `>=`
+  // comparison pages.  The budget is a power of two (1/16) so the
+  // division 0.9/0.0625 is exact and lands on double(14.4) precisely,
+  // not one ulp under it.  Both windows share the same baseline here,
+  // so slow burn is 14.4x >= 6x too: BURNING.
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.0625));
+  engine.tick(ratio_snapshot(0, 0), 0);
+  engine.tick(ratio_snapshot(900, 1000), 10 * kSecond);
+  auto statuses = engine.evaluate(10 * kSecond);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].fast_burn, 14.4);
+  EXPECT_EQ(statuses[0].slow_burn, 14.4);
+  EXPECT_EQ(statuses[0].state, SloState::kBurning);
+}
+
+TEST(SloEngine, JustUnderTheFastThresholdIsDegraded) {
+  // Burn 14.3x: below the 14.4x fast threshold but above the 6x slow
+  // threshold — one hot window marks DEGRADED, not BURNING.
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.01));
+  engine.tick(ratio_snapshot(0, 0), 0);
+  engine.tick(ratio_snapshot(143, 1000), 10 * kSecond);
+  auto statuses = engine.evaluate(10 * kSecond);
+  EXPECT_LT(statuses[0].fast_burn, 14.4);
+  EXPECT_GE(statuses[0].slow_burn, 6.0);
+  EXPECT_EQ(statuses[0].state, SloState::kDegraded);
+}
+
+TEST(SloEngine, FastSpikeAgainstCleanHistoryIsDegraded) {
+  // An hour of clean traffic, then a hot burst inside the last five
+  // minutes: the fast window pages but the slow window dilutes the
+  // burst below its threshold, so the state stays DEGRADED (the SRE
+  // rationale: a spike that is already over must not page).
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.01));
+  engine.tick(ratio_snapshot(0, 0), 0);
+  engine.tick(ratio_snapshot(0, 2000), 1000 * kSecond);
+  engine.tick(ratio_snapshot(0, 4000), 3400 * kSecond);
+  engine.tick(ratio_snapshot(20, 4100), 3590 * kSecond);
+  // At now=3700s the fast baseline (newest entry <= 3400s) is the clean
+  // 3400s entry: 20 bad of 100 -> burn 20x, hot.  The slow baseline is
+  // the t=0 entry: 20 bad of 4100 -> burn ~0.5x, cold.
+  auto statuses = engine.evaluate(3700 * kSecond);
+  EXPECT_GE(statuses[0].fast_burn, 14.4);
+  EXPECT_LT(statuses[0].slow_burn, 6.0);
+  EXPECT_EQ(statuses[0].state, SloState::kDegraded);
+}
+
+TEST(SloEngine, CounterResetUsesLatestCumulativeAsDelta) {
+  // The process restarted between ticks: cumulative counters went
+  // backwards.  The delta falls back to the latest cumulative values
+  // instead of going negative.
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.5));
+  engine.tick(ratio_snapshot(50, 100), 0);
+  engine.tick(ratio_snapshot(5, 10), 10 * kSecond);  // restart: 5 bad of 10
+  auto statuses = engine.evaluate(10 * kSecond);
+  EXPECT_NEAR(statuses[0].value, 0.5, 1e-9);  // 5/10, not (5-50)/(10-100)
+  EXPECT_GE(statuses[0].fast_burn, 0.0);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);  // burn 1.0x < both thresholds
+}
+
+TEST(SloEngine, EmptyWindowIsZeroFractionNotNan) {
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.01));
+  engine.tick(ratio_snapshot(10, 100), 0);
+  engine.tick(ratio_snapshot(10, 100), 10 * kSecond);  // no traffic at all
+  auto statuses = engine.evaluate(10 * kSecond);
+  EXPECT_EQ(statuses[0].fast_burn, 0.0);
+  EXPECT_EQ(statuses[0].slow_burn, 0.0);
+  EXPECT_FALSE(std::isnan(statuses[0].value));
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+}
+
+TEST(SloEngine, LatencyObjectiveSplitsGoodBadAtTheThresholdBound) {
+  MetricsSnapshot first;
+  HistogramValue h;
+  h.name = "rpc.seconds";
+  h.bounds = {0.01, 0.1, 1.0};
+  h.counts = {0, 0, 0, 0};
+  first.histograms.push_back(h);
+
+  MetricsSnapshot second = first;
+  // 90 fast (<=0.1s), 10 slow: with threshold 0.1 the bad fraction is
+  // exactly 0.10; budget 0.01 -> burn 10x: slow-hot only -> DEGRADED.
+  second.histograms[0].counts = {50, 40, 8, 2};
+  second.histograms[0].count = 100;
+
+  SloObjective objective;
+  objective.name = "test.p99";
+  objective.kind = SloKind::kLatencyQuantile;
+  objective.metric = "rpc.seconds";
+  objective.threshold = 0.1;
+  objective.quantile = 0.99;
+  objective.budget = 0.01;
+
+  SloEngine engine;
+  engine.add_objective(objective);
+  engine.tick(first, 0);
+  engine.tick(second, 10 * kSecond);
+  auto statuses = engine.evaluate(10 * kSecond);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_NEAR(statuses[0].fast_burn, 10.0, 1e-9);
+  EXPECT_EQ(statuses[0].state, SloState::kDegraded);
+  // The displayed value is the p99 over the window's bucket deltas;
+  // with 2 of 100 observations above 1.0s it lands in the +Inf bucket
+  // region, reported as the highest finite bound.
+  EXPECT_GT(statuses[0].value, 0.1);
+}
+
+TEST(SloEngine, ThroughputShortfallBurnsAgainstTheFloor) {
+  MetricsSnapshot first;
+  first.counters.push_back({"ingest.events", 0});
+  MetricsSnapshot second;
+  second.counters.push_back({"ingest.events", 100});
+
+  SloObjective objective;
+  objective.name = "test.throughput";
+  objective.kind = SloKind::kThroughputMin;
+  objective.metric = "ingest.events";
+  objective.threshold = 100.0;  // want >= 100/s; actual is 10/s
+  objective.budget = 0.05;
+
+  SloEngine engine;
+  engine.add_objective(objective);
+  engine.tick(first, 0);
+  engine.tick(second, 10 * kSecond);
+  auto statuses = engine.evaluate(10 * kSecond);
+  EXPECT_NEAR(statuses[0].value, 10.0, 1e-9);          // measured rate
+  EXPECT_NEAR(statuses[0].fast_burn, 0.9 / 0.05, 1e-9);  // shortfall 0.9
+  EXPECT_EQ(statuses[0].state, SloState::kBurning);
+}
+
+TEST(SloEngine, StalenessCountsBadTicksAgainstTotalTicks) {
+  MetricsSnapshot fresh;
+  fresh.gauges.push_back({"tenant.staleness", 1.0});
+  MetricsSnapshot stale;
+  stale.gauges.push_back({"tenant.staleness", 900.0});
+
+  SloObjective objective;
+  objective.name = "test.staleness";
+  objective.kind = SloKind::kStalenessMax;
+  objective.metric = "tenant.staleness";
+  objective.threshold = 600.0;
+  objective.budget = 0.05;
+
+  SloEngine engine;
+  engine.add_objective(objective);
+  engine.tick(fresh, 0);
+  engine.tick(stale, 10 * kSecond);
+  engine.tick(stale, 20 * kSecond);
+  // Relative to the fresh baseline tick, every tick in the window was
+  // stale: fraction 2/2 = 1.0, burn 20x -> both windows hot.
+  auto statuses = engine.evaluate(20 * kSecond);
+  EXPECT_NEAR(statuses[0].value, 900.0, 1e-9);
+  EXPECT_EQ(statuses[0].state, SloState::kBurning);
+}
+
+TEST(SloEngine, ReplacingAnObjectiveRestartsItsRing) {
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.01));
+  engine.tick(ratio_snapshot(0, 0), 0);
+  engine.tick(ratio_snapshot(500, 1000), 10 * kSecond);  // burn 50x
+  ASSERT_EQ(engine.evaluate(10 * kSecond)[0].state, SloState::kBurning);
+
+  engine.add_objective(ratio_objective(0.5));  // same name, new budget
+  EXPECT_EQ(engine.objective_count(), 1u);
+  EXPECT_EQ(engine.evaluate(10 * kSecond)[0].state, SloState::kNoData);
+}
+
+TEST(SloEngine, TickAdvancesTheExemplarWindow) {
+  const std::uint64_t before = exemplar_window();
+  SloEngine engine;
+  engine.tick(MetricsSnapshot{}, kSecond);
+  EXPECT_GT(exemplar_window(), before);
+}
+
+TEST(SloAggregate, NoDataNeverEscalatesAndWorstWins) {
+  std::vector<SloStatus> statuses(3);
+  statuses[0].state = SloState::kNoData;
+  statuses[1].state = SloState::kOk;
+  statuses[2].state = SloState::kOk;
+  EXPECT_EQ(aggregate_slo_state(statuses), SloState::kOk);
+
+  statuses[2].state = SloState::kDegraded;
+  EXPECT_EQ(aggregate_slo_state(statuses), SloState::kDegraded);
+  statuses[1].state = SloState::kBurning;
+  EXPECT_EQ(aggregate_slo_state(statuses), SloState::kBurning);
+
+  std::vector<SloStatus> empty;
+  EXPECT_EQ(aggregate_slo_state(empty), SloState::kOk);
+}
+
+TEST(SloText, RenderParseRoundTrip) {
+  SloEngine engine;
+  engine.add_objective(ratio_objective(0.01));
+  engine.tick(ratio_snapshot(0, 0), 0);
+  engine.tick(ratio_snapshot(144, 1000), 10 * kSecond);
+  const auto statuses = engine.evaluate(10 * kSecond);
+  const std::string text = render_slo_text(statuses);
+  EXPECT_EQ(text.rfind("# tsufail slo v1", 0), 0u);
+
+  auto parsed = parse_slo_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed.value().size(), statuses.size());
+  EXPECT_EQ(parsed.value()[0].objective, statuses[0].objective);
+  EXPECT_EQ(parsed.value()[0].state, statuses[0].state);
+  EXPECT_EQ(parsed.value()[0].reason, statuses[0].reason);
+  EXPECT_NEAR(parsed.value()[0].fast_burn, statuses[0].fast_burn, 1e-4);
+  EXPECT_NEAR(parsed.value()[0].value, statuses[0].value, 1e-6);
+}
+
+TEST(SloText, ParserRejectsGarbage) {
+  EXPECT_FALSE(parse_slo_text("not an slo table").ok());
+  EXPECT_FALSE(parse_slo_text("# tsufail slo v1\nname\tBOGUS_STATE\t1\t2\t3\t4\tr").ok());
+  EXPECT_FALSE(parse_slo_text("# tsufail slo v1\ntoo\tfew\tfields").ok());
+}
+
+}  // namespace
+}  // namespace tsufail::obs

@@ -195,6 +195,42 @@ TEST(TraceProfileTest, SelfTimeSubtractsSameThreadChildren) {
   EXPECT_NE(table.find("child"), std::string::npos);
 }
 
+TEST_F(TraceTest, SpansCarryTraceIdsIntoTheChromeExport) {
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    SpanScope outer("traced.outer");
+    outer_id = current_trace_id();
+    {
+      SpanScope inner("traced.inner");
+      inner_id = current_trace_id();
+    }
+    // Closing the inner span restores the parent as the current id.
+    EXPECT_EQ(current_trace_id(), outer_id);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+  ASSERT_NE(outer_id, 0u);
+  ASSERT_NE(inner_id, 0u);
+  EXPECT_NE(outer_id, inner_id);
+
+  // Canonical rendering: 16 lowercase hex digits, zero-padded.
+  const std::string outer_hex = trace_id_hex(outer_id);
+  ASSERT_EQ(outer_hex.size(), 16u);
+  for (char c : outer_hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << outer_hex;
+  EXPECT_EQ(trace_id_hex(0x2a), "000000000000002a");
+
+  const std::string json = chrome_trace_json(collect_trace());
+  EXPECT_NE(json.find("\"trace_id\":\"" + outer_hex + "\""), std::string::npos) << json;
+
+  auto check = check_chrome_trace(json);
+  ASSERT_TRUE(check.ok()) << check.error().to_string();
+  EXPECT_TRUE(check.value().has_trace_id(outer_hex));
+  EXPECT_TRUE(check.value().has_trace_id(trace_id_hex(inner_id)));
+  EXPECT_FALSE(check.value().has_trace_id("ffffffffffffffff"));
+  EXPECT_EQ(check.value().trace_ids.size(), 2u);
+}
+
 TEST(TraceProfileTest, SpansOnOtherThreadsDoNotCountAsChildren) {
   TraceSnapshot snapshot;
   ThreadTrace a;

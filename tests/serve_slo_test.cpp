@@ -1,0 +1,281 @@
+// SLO surface of the fleet service: default objectives burn end-to-end
+// (slow queries -> BURNING -> /healthz 503), the SLO line-protocol verb
+// and HTTP routes round-trip through the client parsers, the tenant
+// cardinality cap suppresses per-tenant series past the limit, and the
+// `tsufail top` renderer is golden-stable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/log_io.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/slo.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/top.h"
+#include "sim/generator.h"
+#include "sim/tsubame_models.h"
+
+namespace tsufail::serve {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+std::vector<std::string> csv_rows(const data::FailureLog& log) {
+  const std::string csv = data::write_log_csv(log);
+  std::vector<std::string> rows;
+  std::size_t at = 0;
+  while (at < csv.size()) {
+    const std::size_t end = csv.find('\n', at);
+    rows.push_back(csv.substr(at, end - at));
+    at = end == std::string::npos ? csv.size() : end + 1;
+  }
+  rows.erase(rows.begin());  // header
+  return rows;
+}
+
+ServiceConfig base_config() {
+  ServiceConfig config;
+  config.tenant.stream.reorder_horizon_hours = 0.0;
+  config.tenant.alerts = false;
+  return config;
+}
+
+class ServeSloTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset_metrics();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset_metrics();
+  }
+};
+
+TEST_F(ServeSloTest, SlowQueriesBurnTheLatencyObjectiveEndToEnd) {
+  // A p99 target of 1ns makes every real query a bad event: fraction
+  // 1.0 against budget 0.01 is burn 100x in both windows -> BURNING,
+  // and /healthz flips to 503.
+  ServiceConfig config = base_config();
+  config.slo.query_p99_seconds = 1e-9;
+  FleetService service(config);
+  ASSERT_TRUE(service.open_tenant("t3", data::tsubame3_spec()).ok());
+  const auto log = sim::generate_log(sim::tsubame3_model(), 5).value();
+  for (const auto& row : csv_rows(log))
+    ASSERT_TRUE(service.ingest_row("t3", row).ok());
+  ASSERT_TRUE(service.seal("t3").ok());
+
+  // Ticks use the real clock: the HTTP probe below evaluates at
+  // obs::now_ns(), and both burn windows fall back to the oldest ring
+  // entry when the history is shorter than the window.
+  service.slo_tick(obs::now_ns());  // baseline before any queries
+  ASSERT_TRUE(service.query("t3", "summary").ok());
+  ASSERT_TRUE(service.query("t3", "categories").ok());
+  service.slo_tick(obs::now_ns());
+
+  const std::uint64_t now = obs::now_ns();
+  const auto statuses = service.slo_statuses(now);
+  const obs::SloStatus* p99 = nullptr;
+  for (const auto& status : statuses)
+    if (status.objective == "serve.query.p99") p99 = &status;
+  ASSERT_NE(p99, nullptr);
+  EXPECT_EQ(p99->state, obs::SloState::kBurning) << p99->reason;
+  EXPECT_GE(p99->fast_burn, 14.4);
+  EXPECT_EQ(service.health_state(now), obs::SloState::kBurning);
+
+  const std::string healthz = service.healthz_text(now);
+  EXPECT_EQ(healthz.rfind("status BURNING", 0), 0u) << healthz;
+
+  // The burning histogram carries an exemplar from the slow query.
+  const auto snapshot = obs::collect_metrics();
+  const auto* histogram = snapshot.find_histogram("serve.query.seconds");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_FALSE(histogram->exemplars.empty());
+
+  // HTTP probe sees the burn as a status code.
+  Connection http(service);
+  std::string out;
+  http.feed("GET /healthz HTTP/1.0\r\n\r\n", out);
+  EXPECT_NE(out.find("HTTP/1.0 503"), std::string::npos) << out;
+  EXPECT_NE(out.find("serve.query.p99 BURNING"), std::string::npos);
+}
+
+TEST_F(ServeSloTest, HealthyServiceAnswers200WithPerTenantLines) {
+  FleetService service(base_config());
+  ASSERT_TRUE(service.open_tenant("alpha", data::tsubame3_spec()).ok());
+  service.slo_tick(1 * kSecond);
+  service.slo_tick(2 * kSecond);
+
+  Connection http(service);
+  std::string out;
+  http.feed("GET /healthz HTTP/1.0\r\n\r\n", out);
+  EXPECT_NE(out.find("HTTP/1.0 200"), std::string::npos) << out;
+  EXPECT_NE(out.find("status OK"), std::string::npos);
+  EXPECT_NE(out.find("tenant alpha serve.tenant.alpha.staleness"), std::string::npos);
+}
+
+TEST_F(ServeSloTest, SloVerbRoundTripsThroughTheParser) {
+  FleetService service(base_config());
+  service.slo_tick(1 * kSecond);
+  service.slo_tick(2 * kSecond);
+
+  Connection connection(service);
+  std::string out;
+  connection.feed("SLO\n", out);
+  auto header_end = out.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  auto length = parse_frame_header(out.substr(0, header_end));
+  ASSERT_TRUE(length.ok()) << out;
+  const std::string payload = out.substr(header_end + 1);
+  ASSERT_EQ(payload.size(), length.value());
+
+  auto statuses = obs::parse_slo_text(payload);
+  ASSERT_TRUE(statuses.ok()) << statuses.error().to_string();
+  EXPECT_EQ(statuses.value().size(), service.slo_statuses(2 * kSecond).size());
+
+  // Malformed: the verb takes no arguments.
+  out.clear();
+  connection.feed("SLO now\n", out);
+  EXPECT_EQ(out.rfind("ERR", 0), 0u) << out;
+}
+
+TEST_F(ServeSloTest, HttpSloRouteServesTheTable) {
+  FleetService service(base_config());
+  service.slo_tick(1 * kSecond);
+  Connection http(service);
+  std::string out;
+  http.feed("GET /slo HTTP/1.0\r\n\r\n", out);
+  EXPECT_NE(out.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(out.find("# tsufail slo v1"), std::string::npos);
+}
+
+TEST_F(ServeSloTest, CardinalityCapSuppressesPerTenantSeries) {
+  ServiceConfig config = base_config();
+  config.max_tenant_series = 2;
+  FleetService service(config);
+  ASSERT_TRUE(service.open_tenant("a", data::tsubame3_spec()).ok());
+  ASSERT_TRUE(service.open_tenant("b", data::tsubame3_spec()).ok());
+  ASSERT_TRUE(service.open_tenant("c", data::tsubame3_spec()).ok());  // over the cap
+
+  const auto snapshot = obs::collect_metrics();
+  EXPECT_NE(snapshot.find_gauge("serve.tenant.a.epoch"), nullptr);
+  EXPECT_NE(snapshot.find_gauge("serve.tenant.b.epoch"), nullptr);
+  EXPECT_EQ(snapshot.find_gauge("serve.tenant.c.epoch"), nullptr);
+  const auto* dropped = snapshot.find_counter("obs.dropped_series");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GT(dropped->value, 0u);
+
+  // The capped tenant still works and still gets no staleness objective.
+  bool has_c_objective = false;
+  for (const auto& status : service.slo_statuses(1))
+    if (status.objective == "serve.tenant.c.staleness") has_c_objective = true;
+  EXPECT_FALSE(has_c_objective);
+}
+
+TEST(FrameHeader, ParsesAndRejects) {
+  auto ok = parse_frame_header("OK stats t bytes 42");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42u);
+
+  EXPECT_FALSE(parse_frame_header("ERR validation: nope").ok());
+  EXPECT_FALSE(parse_frame_header("OK pong").ok());
+  EXPECT_FALSE(parse_frame_header("OK stats t bytes twelve").ok());
+}
+
+TEST(TopParsing, TenantStatsBlockRoundTrips) {
+  const std::string block =
+      "tenant: fleet\nepoch: 3\nrecords: 150\nsealed_pending: 7\noffered: 160\n"
+      "accepted: 158\nreleased: 151\nquarantined_invalid: 1\nquarantined_late: 2\n"
+      "rejected_duplicates: 0\nquarantine_dropped: 0\nbad_rows: 0\nalerts_fired: 4\n"
+      "alerts_cleared: 1\nstaleness_seconds: 12.5\n";
+  const TopTenant row = parse_top_tenant("fleet", block);
+  EXPECT_EQ(row.epoch, 3u);
+  EXPECT_EQ(row.records, 150u);
+  EXPECT_EQ(row.pending, 7u);
+  EXPECT_EQ(row.offered, 160u);
+  EXPECT_EQ(row.quarantined, 3u);  // invalid + late
+  EXPECT_EQ(row.alerts_fired, 4u);
+  EXPECT_DOUBLE_EQ(row.staleness_seconds, 12.5);
+}
+
+TEST(TopRender, GoldenPlainFrame) {
+  TopSnapshot snapshot;
+  snapshot.target = "127.0.0.1:7070";
+  obs::SloStatus ok_status;
+  ok_status.objective = "serve.query.p99";
+  ok_status.kind = obs::SloKind::kLatencyQuantile;
+  ok_status.state = obs::SloState::kOk;
+  ok_status.fast_burn = 0.2;
+  ok_status.slow_burn = 0.1;
+  ok_status.value = 0.0012;
+  ok_status.threshold = 0.1;
+  ok_status.reason = "p99 0.0012s vs 0.1s target; burn 0.2x/fast 0.1x/slow";
+  obs::SloStatus hot_status;
+  hot_status.objective = "serve.tenant.fleet.staleness";
+  hot_status.kind = obs::SloKind::kStalenessMax;
+  hot_status.state = obs::SloState::kBurning;
+  hot_status.fast_burn = 20.0;
+  hot_status.slow_burn = 10.0;
+  hot_status.value = 900.0;
+  hot_status.threshold = 600.0;
+  hot_status.reason = "staleness 900 vs ceiling 600; burn 20.0x/fast 10.0x/slow";
+  snapshot.objectives = {ok_status, hot_status};
+  snapshot.query_p50 = 0.0004;
+  snapshot.query_p95 = 0.0011;
+  snapshot.query_p99 = 0.0012;
+  snapshot.query_count = 250;
+  snapshot.cache_hits = 200;
+  snapshot.cache_misses = 50;
+  snapshot.exemplars = 3;
+  TopTenant tenant;
+  tenant.name = "fleet";
+  tenant.epoch = 3;
+  tenant.records = 150;
+  tenant.pending = 7;
+  tenant.offered = 160;
+  tenant.quarantined = 3;
+  tenant.alerts_fired = 4;
+  tenant.staleness_seconds = 900.0;
+  snapshot.tenants = {tenant};
+
+  const std::string expected =
+      "tsufail top — 127.0.0.1:7070   fleet: BURNING\n"
+      "\n"
+      "OBJECTIVES\n"
+      "NAME                                STATE     FAST    SLOW    VALUE       "
+      "TARGET      REASON\n"
+      "serve.query.p99                     OK        0.2x    0.1x    0.0012      "
+      "0.1000      p99 0.0012s vs 0.1s target; burn 0.2x/fast 0.1x/slow\n"
+      "serve.tenant.fleet.staleness        BURNING   20.0x   10.0x   900.0000    "
+      "600.0000    staleness 900 vs ceiling 600; burn 20.0x/fast 10.0x/slow\n"
+      "\n"
+      "QUERIES  p50 0.0004s  p95 0.0011s  p99 0.0012s  count 250  cache_hit 80.0%  "
+      "exemplars 3\n"
+      "\n"
+      "TENANTS\n"
+      "NAME                EPOCH   RECORDS   PENDING   OFFERED   QUARANTINED  ALERTS  "
+      "STALE_S\n"
+      "fleet               3       150       7         160       3            4       "
+      "900.0\n";
+  EXPECT_EQ(render_top(snapshot, /*ansi=*/false), expected);
+
+  // ANSI mode only adds control sequences, never different content.
+  std::string ansi = render_top(snapshot, /*ansi=*/true);
+  EXPECT_NE(ansi.find("\x1b[31m"), std::string::npos);  // BURNING in red
+  EXPECT_NE(ansi.find("serve.tenant.fleet.staleness"), std::string::npos);
+}
+
+TEST(TopRender, EmptySnapshotRendersPlaceholders) {
+  TopSnapshot snapshot;
+  snapshot.target = "127.0.0.1:1";
+  const std::string text = render_top(snapshot, false);
+  EXPECT_NE(text.find("(no objectives registered)"), std::string::npos);
+  EXPECT_NE(text.find("(no tenants open)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsufail::serve
